@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates the series behind one table or figure of the
+paper.  The configurations here are scaled down (smaller synthetic NYTaxi,
+fewer repeats) so the whole suite finishes in minutes on a laptop; the
+full-size settings used for EXPERIMENTS.md are documented there and can be
+reproduced by editing these fixtures or running ``examples/full_evaluation.py``
+with ``--paper-scale``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench.harness import ERExperimentConfig, ExperimentConfig  # noqa: E402
+from repro.bench.reporting import format_records, summarize_by  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def query_config() -> ExperimentConfig:
+    """Scaled-down configuration for the query benchmark experiments."""
+    config = ExperimentConfig(
+        adult_rows=32_561,
+        nytaxi_rows=100_000,
+        alpha_fractions=(0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64),
+        n_runs=3,
+        mc_samples=1_000,
+    )
+    config.build_benchmark()
+    return config
+
+
+@pytest.fixture(scope="session")
+def er_config() -> ERExperimentConfig:
+    """Scaled-down configuration for the entity-resolution case study."""
+    config = ERExperimentConfig(
+        n_pairs=1_000,
+        budgets=(0.1, 0.2, 0.5, 1.0, 1.5, 2.0),
+        alpha_fractions=(0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64),
+        n_runs=3,
+        mc_samples=500,
+    )
+    config.build_table()
+    return config
+
+
+def report(title: str, records, group_keys, value_key) -> None:
+    """Print a paper-shaped summary table for one experiment."""
+    summary = summarize_by(records, group_keys, value_key)
+    print(f"\n=== {title} ===")
+    print(format_records(summary, columns=list(group_keys) + ["count", "median", "q25", "q75"]))

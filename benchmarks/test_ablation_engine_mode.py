@@ -1,0 +1,66 @@
+"""Ablation: optimistic vs pessimistic mechanism selection (Algorithm 1).
+
+The paper evaluates the optimistic mode (pick the mechanism with the smallest
+best-case loss) and notes it can lose to the pessimistic mode when the data is
+adversarial for ICQ-MPM (threshold close to many counts).  This ablation runs
+the same iceberg-query session in both modes on an easy and on a hard
+threshold and reports the total privacy spent.
+"""
+
+import numpy as np
+from conftest import report
+
+from repro.core.accuracy import AccuracySpec
+from repro.core.engine import APExEngine
+from repro.mechanisms.registry import default_registry
+from repro.queries.builders import histogram_workload
+from repro.queries.query import IcebergCountingQuery
+
+
+def _session_cost(table, threshold: float, mode: str, n_queries: int = 5) -> float:
+    engine = APExEngine(
+        table, budget=50.0, seed=13, mode=mode, registry=default_registry(mc_samples=500)
+    )
+    accuracy = AccuracySpec(alpha=0.08 * len(table))
+    query = IcebergCountingQuery(
+        histogram_workload("capital_gain", start=0, stop=5000, bins=50),
+        threshold=threshold,
+        name=f"icq-{threshold:.0f}",
+    )
+    for _ in range(n_queries):
+        engine.explore(query, accuracy)
+    return engine.budget_spent
+
+
+def test_ablation_selection_mode(benchmark, query_config):
+    table = query_config.build_benchmark().adult
+    counts = IcebergCountingQuery(
+        histogram_workload("capital_gain", start=0, stop=5000, bins=50),
+        threshold=1.0,
+    ).true_counts(table)
+    easy_threshold = 2.0 * len(table)
+    hard_threshold = float(np.median(counts[counts > 0]))
+
+    def sweep():
+        rows = []
+        for scenario, threshold in (("easy", easy_threshold), ("hard", hard_threshold)):
+            for mode in ("optimistic", "pessimistic"):
+                rows.append(
+                    {
+                        "scenario": scenario,
+                        "mode": mode,
+                        "epsilon_spent": _session_cost(table, threshold, mode),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("Ablation: engine selection mode", rows, ["scenario", "mode"], "epsilon_spent")
+    cost = {(r["scenario"], r["mode"]): r["epsilon_spent"] for r in rows}
+
+    # when the threshold is far from every count the optimistic bet pays off
+    assert cost[("easy", "optimistic")] < cost[("easy", "pessimistic")]
+    # when counts hug the threshold the optimistic mode loses its edge
+    easy_gain = cost[("easy", "pessimistic")] - cost[("easy", "optimistic")]
+    hard_gain = cost[("hard", "pessimistic")] - cost[("hard", "optimistic")]
+    assert hard_gain < easy_gain

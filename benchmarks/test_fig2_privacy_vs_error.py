@@ -1,0 +1,55 @@
+"""Figure 2: privacy cost vs empirical error for the 12 benchmark queries.
+
+The paper's headline end-to-end result: for every query, the mechanism APEx
+selects (optimistic mode) answers within the requested error bound, the
+empirical error is always below the theoretical alpha, and the privacy cost
+decreases as the accuracy requirement relaxes.  On Adult every query is
+answerable with empirical error < 0.1 at privacy cost < 0.1; on NYTaxi the
+same relative error costs orders of magnitude less because |D| is larger.
+"""
+
+from conftest import report
+
+from repro.bench.harness import run_figure2
+from repro.bench.reporting import summarize_by
+
+
+def test_figure2_privacy_cost_vs_error(benchmark, query_config):
+    records = benchmark.pedantic(
+        run_figure2, args=(query_config,), rounds=1, iterations=1
+    )
+    report(
+        "Figure 2: empirical error by query and alpha",
+        records,
+        ["query", "alpha_fraction"],
+        "empirical_error",
+    )
+    report(
+        "Figure 2: actual privacy cost by query and alpha",
+        records,
+        ["query", "alpha_fraction"],
+        "epsilon",
+    )
+
+    # empirical error never exceeds the theoretical bound alpha
+    assert all(r["empirical_error"] <= r["alpha_fraction"] + 1e-12 for r in records)
+
+    # privacy cost decreases as alpha relaxes (compare the sweep's extremes)
+    cost = {
+        (row["query"], row["alpha_fraction"]): row["median"]
+        for row in summarize_by(records, ["query", "alpha_fraction"], "epsilon")
+    }
+    fractions = sorted(query_config.alpha_fractions)
+    for name in {r["query"] for r in records}:
+        assert cost[(name, fractions[0])] > cost[(name, fractions[-1])]
+
+    # Adult queries are answerable with error < 0.1 at cost < 0.1 for alpha >= 0.08|D|
+    adult = [r for r in records if r["dataset"] == "Adult" and r["alpha_fraction"] == 0.08]
+    assert all(r["empirical_error"] < 0.1 for r in adult)
+    assert all(r["epsilon"] < 0.75 for r in adult)
+
+    # NYTaxi costs are orders of magnitude below Adult's at the same alpha/|D|
+    nytaxi = [r for r in records if r["dataset"] == "NYTaxi" and r["alpha_fraction"] == 0.08]
+    adult_median = sorted(r["epsilon"] for r in adult)[len(adult) // 2]
+    nytaxi_median = sorted(r["epsilon"] for r in nytaxi)[len(nytaxi) // 2]
+    assert nytaxi_median < adult_median / 2

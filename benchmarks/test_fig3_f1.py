@@ -1,0 +1,33 @@
+"""Figure 3: F1 of the reported bin set vs privacy cost for QI4 and QT1.
+
+Relates the paper's (alpha, beta) accuracy requirement to a conventional error
+metric: as alpha grows (privacy cost shrinks) the F1 between the reported and
+true bin identifier sets degrades, and at tight alpha it is near 1.
+"""
+
+from conftest import report
+
+from repro.bench.harness import run_figure3
+from repro.bench.reporting import summarize_by
+
+
+def test_figure3_f1_vs_privacy_cost(benchmark, query_config):
+    records = benchmark.pedantic(
+        run_figure3, args=(query_config,), kwargs={"queries": ("QI4", "QT1")},
+        rounds=1, iterations=1,
+    )
+    report("Figure 3: F1 by query and alpha", records, ["query", "alpha_fraction"], "f1")
+
+    assert all(0.0 <= r["f1"] <= 1.0 for r in records)
+    summary = {
+        (row["query"], row["alpha_fraction"]): row["median"]
+        for row in summarize_by(records, ["query", "alpha_fraction"], "f1")
+    }
+    fractions = sorted(query_config.alpha_fractions)
+    for name in ("QI4", "QT1"):
+        # tight accuracy yields (near-)perfect agreement with the true answer set
+        assert summary[(name, fractions[0])] >= 0.9
+        # and the F1 at the loosest alpha is no better than at the tightest
+        assert summary[(name, fractions[-1])] <= summary[(name, fractions[0])] + 1e-9
+    # QT1 degrades sharply once alpha crosses the gap between top-10 counts
+    assert summary[("QT1", fractions[-1])] < 0.9

@@ -1,0 +1,51 @@
+"""Figure 4a: privacy cost vs workload size L (WCQ-LM vs WCQ-SM).
+
+The baseline Laplace mechanism's cost tracks the workload sensitivity: flat in
+L on the disjoint histogram template (QW1, sensitivity 1) and linear in L on
+the cumulative template (QW2, sensitivity L).  The strategy mechanism costs
+roughly the same on both templates and grows only logarithmically with L.
+"""
+
+from conftest import report
+
+from repro.bench.harness import run_figure4a
+
+
+def test_figure4a_vary_workload_size(benchmark, query_config):
+    sizes = (100, 200, 300, 400, 500)
+    records = benchmark.pedantic(
+        run_figure4a, args=(query_config,), kwargs={"workload_sizes": sizes},
+        rounds=1, iterations=1,
+    )
+    report(
+        "Figure 4a: privacy cost vs workload size",
+        records,
+        ["template", "mechanism", "workload_size"],
+        "epsilon",
+    )
+
+    def cost(template: str, mechanism: str, size: int) -> float:
+        for record in records:
+            if (
+                record["template"] == template
+                and record["mechanism"] == mechanism
+                and record["workload_size"] == size
+            ):
+                return record["epsilon"]
+        raise AssertionError("missing record")
+
+    # LM on the cumulative template grows linearly with L ...
+    assert cost("QW2", "WCQ-LM", 500) > 4.0 * cost("QW2", "WCQ-LM", 100)
+    # ... but is flat on the disjoint histogram template.
+    assert cost("QW1", "WCQ-LM", 500) < 1.5 * cost("QW1", "WCQ-LM", 100)
+
+    # The strategy mechanism's cost is similar across the two templates ...
+    for size in sizes:
+        ratio = cost("QW1", "WCQ-SM", size) / cost("QW2", "WCQ-SM", size)
+        assert 0.5 < ratio < 2.0
+    # ... and grows far slower than linearly with L.
+    assert cost("QW2", "WCQ-SM", 500) < 3.0 * cost("QW2", "WCQ-SM", 100)
+
+    # crossover: SM beats LM on the cumulative template at every size
+    for size in sizes:
+        assert cost("QW2", "WCQ-SM", size) < cost("QW2", "WCQ-LM", size)

@@ -1,0 +1,46 @@
+"""Figure 4b: privacy cost vs k for top-k queries (TCQ-LM vs TCQ-LTM).
+
+The baseline's cost is independent of k (it releases all noisy counts and
+selects locally); the Laplace top-k mechanism's cost is linear in k but
+independent of the workload sensitivity, so the winner flips between the
+low-sensitivity QT3 and the high-sensitivity QT4 templates as k grows.
+"""
+
+from conftest import report
+
+from repro.bench.harness import run_figure4b
+
+
+def test_figure4b_vary_k(benchmark, query_config):
+    ks = (10, 20, 30, 40, 50)
+    records = benchmark.pedantic(
+        run_figure4b, args=(query_config,), kwargs={"ks": ks}, rounds=1, iterations=1
+    )
+    report("Figure 4b: privacy cost vs k", records, ["template", "mechanism", "k"], "epsilon")
+
+    def cost(template: str, mechanism: str, k: int) -> float:
+        for record in records:
+            if (
+                record["template"] == template
+                and record["mechanism"] == mechanism
+                and record["k"] == k
+            ):
+                return record["epsilon"]
+        raise AssertionError("missing record")
+
+    # LM cost does not change with k
+    assert cost("QT3", "TCQ-LM", 50) == cost("QT3", "TCQ-LM", 10)
+    assert cost("QT4", "TCQ-LM", 50) == cost("QT4", "TCQ-LM", 10)
+
+    # LTM cost is linear in k and identical across templates
+    assert abs(cost("QT3", "TCQ-LTM", 50) - 5 * cost("QT3", "TCQ-LTM", 10)) < 1e-9
+    for k in ks:
+        assert abs(cost("QT3", "TCQ-LTM", k) - cost("QT4", "TCQ-LTM", k)) < 1e-9
+
+    # LM cost differs strongly between the templates (sensitivity 1 vs 74)
+    assert cost("QT4", "TCQ-LM", 10) > 10 * cost("QT3", "TCQ-LM", 10)
+
+    # winner flips: LM wins on QT3 for large k, LTM wins on QT4 everywhere
+    assert cost("QT3", "TCQ-LM", 50) < cost("QT3", "TCQ-LTM", 50)
+    for k in ks:
+        assert cost("QT4", "TCQ-LTM", k) < cost("QT4", "TCQ-LM", k)

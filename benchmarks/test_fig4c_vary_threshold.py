@@ -1,0 +1,47 @@
+"""Figure 4c: actual privacy cost vs the ICQ threshold c (QI2 template).
+
+The Laplace and strategy mechanisms have data-independent cost, flat in c.
+The multi-poking mechanism's *actual* cost depends on how close the bin counts
+are to the threshold: far thresholds are decided after one poke (about a tenth
+of the worst case), thresholds close to many counts need most of the budget
+and can even exceed the baseline -- the paper's argument for letting APEx
+choose per query.
+"""
+
+from conftest import report
+
+from repro.bench.harness import run_figure4c
+
+
+def test_figure4c_vary_threshold(benchmark, query_config):
+    fractions = (0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0)
+    records = benchmark.pedantic(
+        run_figure4c, args=(query_config,), kwargs={"threshold_fractions": fractions},
+        rounds=1, iterations=1,
+    )
+    report(
+        "Figure 4c: actual privacy cost vs ICQ threshold",
+        records,
+        ["mechanism", "threshold_fraction"],
+        "epsilon_median",
+    )
+
+    def cost(mechanism: str, fraction: float) -> float:
+        for record in records:
+            if record["mechanism"] == mechanism and record["threshold_fraction"] == fraction:
+                return record["epsilon_median"]
+        raise AssertionError("missing record")
+
+    # data-independent mechanisms are flat in c
+    for mechanism in ("ICQ-LM", "ICQ-SM"):
+        assert abs(cost(mechanism, 0.01) - cost(mechanism, 1.0)) < 1e-9
+
+    # MPM's actual cost varies with c ...
+    mpm_costs = [cost("ICQ-MPM", fraction) for fraction in fractions]
+    assert max(mpm_costs) > 2 * min(mpm_costs)
+
+    # ... is far below the baseline when the threshold is far from every count ...
+    assert cost("ICQ-MPM", 1.0) < 0.5 * cost("ICQ-LM", 1.0)
+
+    # ... and approaches (or exceeds) the baseline when counts hug the threshold.
+    assert max(mpm_costs) > 0.5 * cost("ICQ-LM", 0.01)

@@ -1,0 +1,40 @@
+"""Figure 5: entity-resolution task quality vs the privacy budget B.
+
+At a fixed accuracy requirement (alpha = 0.08|D|), increasing the owner's
+budget lets the exploration strategies ask more screening queries, so the
+blocking recall and matching F1 rise with B and then flatten.  The ICQ/TCQ
+strategies (BS2/MS2) spend less per query than the WCQ-only ones, so they
+reach good quality at smaller budgets.
+"""
+
+from conftest import report
+
+from repro.bench.harness import run_figure5
+from repro.bench.reporting import summarize_by
+
+
+def test_figure5_quality_vs_budget(benchmark, er_config):
+    records = benchmark.pedantic(run_figure5, args=(er_config,), rounds=1, iterations=1)
+    report(
+        "Figure 5: task quality vs privacy budget",
+        records,
+        ["strategy", "budget"],
+        "quality",
+    )
+
+    summary = {
+        (row["strategy"], row["budget"]): row["median"]
+        for row in summarize_by(records, ["strategy", "budget"], "quality")
+    }
+    budgets = sorted(er_config.budgets)
+    smallest, largest = budgets[0], budgets[-1]
+
+    for strategy in er_config.strategies:
+        # quality improves (weakly) from the smallest to the largest budget
+        assert summary[(strategy, largest)] >= summary[(strategy, smallest)] - 0.05
+    # blocking with a generous budget reaches high recall
+    assert summary[("BS1", largest)] > 0.6 or summary[("BS2", largest)] > 0.6
+    # matching with a generous budget reaches a solid F1
+    assert summary[("MS1", largest)] > 0.6 or summary[("MS2", largest)] > 0.6
+    # every run respects the budget it was given
+    assert all(r["epsilon_spent"] <= r["budget"] + 1e-9 for r in records)

@@ -1,0 +1,45 @@
+"""Figure 6: entity-resolution task quality vs the accuracy requirement alpha.
+
+With the budget fixed at B = 1, alpha controls the per-query privacy cost and
+therefore how many queries fit in the budget.  Very tight alpha answers only a
+couple of queries; very loose alpha answers many but each answer is too noisy
+to steer the predicate selection -- so quality peaks at an intermediate alpha,
+the paper's "there exists an optimal alpha" observation.
+"""
+
+from conftest import report
+
+from repro.bench.harness import run_figure6
+from repro.bench.reporting import summarize_by
+
+
+def test_figure6_quality_vs_alpha(benchmark, er_config):
+    records = benchmark.pedantic(run_figure6, args=(er_config,), rounds=1, iterations=1)
+    report(
+        "Figure 6: task quality vs accuracy requirement",
+        records,
+        ["strategy", "alpha_fraction"],
+        "quality",
+    )
+
+    summary = {
+        (row["strategy"], row["alpha_fraction"]): row["median"]
+        for row in summarize_by(records, ["strategy", "alpha_fraction"], "quality")
+    }
+    fractions = sorted(er_config.alpha_fractions)
+    interior = fractions[1:-1]
+
+    for strategy in er_config.strategies:
+        best_interior = max(summary[(strategy, f)] for f in interior)
+        # the best quality is achieved away from the extremes (or at least not
+        # strictly worse than both extremes)
+        assert best_interior >= summary[(strategy, fractions[0])] - 0.05
+        assert best_interior >= summary[(strategy, fractions[-1])] - 0.05
+
+    # more queries get answered as alpha relaxes (per-query cost shrinks)
+    answered = {
+        (row["strategy"], row["alpha_fraction"]): row["median"]
+        for row in summarize_by(records, ["strategy", "alpha_fraction"], "queries_answered")
+    }
+    for strategy in er_config.strategies:
+        assert answered[(strategy, fractions[-1])] >= answered[(strategy, fractions[0])]

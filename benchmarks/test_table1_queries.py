@@ -1,0 +1,40 @@
+"""Table 1: the benchmark queries themselves (construction + analysis cost).
+
+This is the "meta" benchmark: it times the data-independent part of APEx --
+building the workload matrices and computing sensitivities for all twelve
+benchmark queries -- and prints the per-query workload size and sensitivity
+exactly as Table 1 / Section 5 describe them.
+"""
+
+from conftest import report
+
+
+def test_table1_workload_analysis(benchmark, query_config):
+    bench12 = query_config.build_benchmark()
+
+    def analyse():
+        rows = []
+        for entry in bench12:
+            table = bench12.table_for(entry)
+            matrix = entry.query.workload_matrix(table.schema)
+            rows.append(
+                {
+                    "query": entry.name,
+                    "dataset": entry.dataset,
+                    "kind": entry.kind,
+                    "L": entry.query.workload_size,
+                    "sensitivity": matrix.sensitivity,
+                    "partitions": matrix.n_partitions,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    report("Table 1: benchmark queries", rows, ["query", "dataset", "kind", "L"], "sensitivity")
+    assert len(rows) == 12
+    by_name = {row["query"]: row for row in rows}
+    # headline sensitivities the rest of the evaluation depends on
+    assert by_name["QW1"]["sensitivity"] == 1.0
+    assert by_name["QW2"]["sensitivity"] == 100.0
+    assert by_name["QI1"]["sensitivity"] == 100.0
+    assert by_name["QT2"]["sensitivity"] > 2 * 10  # larger than 2k => LTM wins

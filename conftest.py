@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (e.g. running ``pytest`` straight from a fresh checkout in an
+offline environment).  When the package *is* installed this is a harmless
+no-op because the installed distribution takes the same import name.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Census exploration: workload shapes, mechanism choice and budget management.
+
+This example walks the workflow of a data scientist profiling the (synthetic)
+Adult census table before building a model:
+
+1. preview what each candidate query would cost (no privacy spent),
+2. CDF / cumulative queries -- where the strategy (matrix) mechanism shines,
+3. a GROUP BY emulated as an iceberg query followed by a counting query
+   (Appendix E of the paper),
+4. watching the engine deny queries once the budget runs out.
+
+Run with::
+
+    python examples/census_exploration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.queries.builders import (
+    cumulative_histogram_workload,
+    histogram_workload,
+    point_workload,
+)
+
+
+def preview(engine: repro.APExEngine, query, accuracy) -> None:
+    costs = engine.preview_cost(query, accuracy)
+    rendered = ", ".join(
+        f"{name}: [{low:.4f}, {high:.4f}]" for name, (low, high) in sorted(costs.items())
+    )
+    print(f"    candidate mechanisms -> {rendered}")
+
+
+def main() -> None:
+    table = repro.generate_adult(seed=1)
+    engine = repro.APExEngine(table, budget=0.5, seed=1)
+    accuracy = repro.AccuracySpec.relative(0.05, len(table))
+    print(f"Adult rows: {len(table)}, budget B = {engine.budget}, accuracy {accuracy}")
+
+    # ------------------------------------------------------------------ CDF --
+    print("\n[1] age CDF (cumulative counts) -- a high-sensitivity workload")
+    cdf_query = repro.WorkloadCountingQuery(
+        cumulative_histogram_workload("age", start=15, stop=95, bins=16), name="age-cdf"
+    )
+    preview(engine, cdf_query, accuracy)
+    result = engine.explore(cdf_query, accuracy)
+    print(f"    chosen: {result.mechanism}, spent {result.epsilon_spent:.4f}")
+    cdf = np.asarray(result.answer)
+    print(f"    people younger than 45 (noisy): ~{cdf[5]:,.0f}")
+
+    # ----------------------------------------------------- GROUP BY pattern --
+    print("\n[2] GROUP BY occupation HAVING COUNT(*) > 3% of |D| (ICQ then WCQ)")
+    occupations = point_workload("occupation", schema=table.schema)
+    iceberg = repro.IcebergCountingQuery(
+        occupations, threshold=0.03 * len(table), name="popular-occupations"
+    )
+    preview(engine, iceberg, accuracy)
+    popular = engine.explore(iceberg, accuracy)
+    print(f"    chosen: {popular.mechanism}, spent {popular.epsilon_spent:.4f}")
+    print(f"    occupations above the threshold: {len(popular.answer)}")
+
+    if popular.answer:
+        # second step of the GROUP BY: counts for the surviving groups only
+        surviving = [name.split("= ")[1] for name in popular.answer]
+        counts_query = repro.WorkloadCountingQuery(
+            point_workload("occupation", surviving), name="popular-occupation-counts"
+        )
+        counts = engine.explore(counts_query, accuracy)
+        print(f"    noisy counts ({counts.mechanism}, spent {counts.epsilon_spent:.4f}):")
+        for name, value in zip(counts_query.bin_names(), np.asarray(counts.answer)):
+            print(f"        {name:<40} ~{value:,.0f}")
+
+    # ------------------------------------------------------- budget pressure --
+    print("\n[3] keep asking until the engine denies")
+    histogram_query = repro.WorkloadCountingQuery(
+        histogram_workload("hours_per_week", start=0, stop=100, bins=20), name="hours"
+    )
+    asked = 0
+    while True:
+        result = engine.explore(histogram_query, accuracy)
+        asked += 1
+        if result.denied:
+            print(f"    query #{asked} denied -- remaining budget "
+                  f"{engine.budget_remaining:.4f} cannot cover the worst case")
+            break
+        print(f"    query #{asked} answered by {result.mechanism} "
+              f"(spent {result.epsilon_spent:.4f}, remaining {engine.budget_remaining:.4f})")
+        if asked > 30:
+            break
+
+    print("\nsession summary:", engine.transcript().summary())
+
+
+if __name__ == "__main__":
+    main()

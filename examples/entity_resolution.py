@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Entity-resolution case study: private blocking and matching (Section 8).
+
+A cleaning engineer wants to learn a blocking rule (a disjunction of
+similarity predicates that keeps almost all true duplicate pairs) and a
+matching rule (a conjunction that separates duplicates from non-duplicates)
+over a labelled table of citation pairs -- without ever seeing exact counts.
+All interaction goes through APEx, so the data owner can bound the total
+privacy loss.
+
+Run with::
+
+    python examples/entity_resolution.py [--pairs 2000] [--budget 1.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import repro
+from repro.bench.reporting import format_table
+from repro.data.citations import generate_citation_pairs, pairs_to_table
+from repro.er import (
+    BlockingStrategyICQ,
+    BlockingStrategyWCQ,
+    CleanerModel,
+    MatchingStrategyICQ,
+    MatchingStrategyWCQ,
+    SimilarityCache,
+)
+
+STRATEGIES = {
+    "BS1 (blocking, WCQ only)": BlockingStrategyWCQ,
+    "BS2 (blocking, ICQ/TCQ)": BlockingStrategyICQ,
+    "MS1 (matching, WCQ only)": MatchingStrategyWCQ,
+    "MS2 (matching, ICQ/TCQ)": MatchingStrategyICQ,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pairs", type=int, default=2_000, help="number of labelled pairs")
+    parser.add_argument("--budget", type=float, default=1.0, help="owner privacy budget B")
+    parser.add_argument("--alpha", type=float, default=0.08, help="accuracy alpha as a fraction of |D|")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print(f"generating {args.pairs} labelled citation pairs ...")
+    table = pairs_to_table(generate_citation_pairs(args.pairs, seed=args.seed))
+    cache = SimilarityCache(table)
+    accuracy = repro.AccuracySpec.relative(args.alpha, len(table))
+    cleaner = CleanerModel.default_profile()
+    print(f"budget B = {args.budget}, accuracy {accuracy}\n")
+
+    rows = []
+    for label, strategy_class in STRATEGIES.items():
+        engine = repro.APExEngine(table, budget=args.budget, seed=args.seed)
+        strategy = strategy_class(table, cleaner, accuracy, cache=cache, rng=args.seed)
+        outcome = strategy.run(engine)
+        rows.append(
+            [
+                label,
+                f"{outcome.recall:.3f}",
+                f"{outcome.precision:.3f}",
+                f"{outcome.f1:.3f}",
+                outcome.blocking_cost,
+                len(outcome.formula),
+                outcome.queries_answered,
+                f"{outcome.epsilon_spent:.3f}",
+            ]
+        )
+        print(f"{label}")
+        print(f"    learned formula: {outcome.formula.describe()}")
+        print(f"    queries answered: {outcome.queries_answered}, "
+              f"privacy spent: {outcome.epsilon_spent:.3f}\n")
+
+    print(format_table(
+        rows,
+        ["strategy", "recall", "precision", "F1", "blocking cost",
+         "|formula|", "queries", "epsilon spent"],
+    ))
+    print("\nBlocking is judged by recall (keep the true matches), matching by F1.")
+
+
+if __name__ == "__main__":
+    main()

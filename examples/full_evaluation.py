@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation as CSV + text.
+
+Runs the full experiment harness (Figures 2-7, Table 2) and writes one CSV per
+experiment plus a text summary to ``--output-dir``.  By default a quick,
+laptop-scale configuration is used; ``--paper-scale`` switches to the paper's
+parameters (full Adult, a large NYTaxi sample, 10 repeats, 100 ER runs) and
+takes considerably longer.
+
+Run with::
+
+    python examples/full_evaluation.py --output-dir results/
+    python examples/full_evaluation.py --output-dir results/ --paper-scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from repro.bench.harness import (
+    ERExperimentConfig,
+    ExperimentConfig,
+    run_figure2,
+    run_figure3,
+    run_figure4a,
+    run_figure4b,
+    run_figure4c,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_table2,
+)
+from repro.bench.reporting import dump_records, format_records, summarize_by
+
+
+def build_configs(paper_scale: bool) -> tuple[ExperimentConfig, ERExperimentConfig]:
+    if paper_scale:
+        query_config = ExperimentConfig(
+            adult_rows=32_561,
+            nytaxi_rows=2_000_000,
+            n_runs=10,
+            mc_samples=10_000,
+        )
+        er_config = ERExperimentConfig(n_pairs=4_000, n_runs=100, mc_samples=2_000)
+    else:
+        query_config = ExperimentConfig(
+            adult_rows=32_561,
+            nytaxi_rows=100_000,
+            n_runs=3,
+            mc_samples=1_000,
+        )
+        er_config = ERExperimentConfig(n_pairs=1_000, n_runs=3, mc_samples=500)
+    return query_config, er_config
+
+
+#: experiment name -> (runner, summary group keys, summary value key)
+EXPERIMENTS = {
+    "figure2": (run_figure2, ["query", "alpha_fraction"], "empirical_error"),
+    "figure3": (run_figure3, ["query", "alpha_fraction"], "f1"),
+    "table2": (run_table2, ["query", "alpha_fraction", "mechanism"], "epsilon_median"),
+    "figure4a": (run_figure4a, ["template", "mechanism", "workload_size"], "epsilon"),
+    "figure4b": (run_figure4b, ["template", "mechanism", "k"], "epsilon"),
+    "figure4c": (run_figure4c, ["mechanism", "threshold_fraction"], "epsilon_median"),
+    "figure5": (run_figure5, ["strategy", "budget"], "quality"),
+    "figure6": (run_figure6, ["strategy", "alpha_fraction"], "quality"),
+    "figure7": (run_figure7, ["figure", "strategy", "budget"], "quality"),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output-dir", default="results")
+    parser.add_argument("--paper-scale", action="store_true")
+    parser.add_argument(
+        "--only", nargs="*", choices=sorted(EXPERIMENTS), default=None,
+        help="run only the named experiments",
+    )
+    args = parser.parse_args()
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    query_config, er_config = build_configs(args.paper_scale)
+
+    selected = args.only or list(EXPERIMENTS)
+    summary_path = os.path.join(args.output_dir, "summary.txt")
+    with open(summary_path, "w", encoding="utf-8") as summary_file:
+        for name in selected:
+            runner, group_keys, value_key = EXPERIMENTS[name]
+            config = er_config if name in ("figure5", "figure6") else query_config
+            started = time.perf_counter()
+            if name == "figure7":
+                records = runner(None if not args.paper_scale else ERExperimentConfig(
+                    n_pairs=1_000, n_runs=100, strategies=("BS1", "BS2")))
+            else:
+                records = runner(config)
+            elapsed = time.perf_counter() - started
+
+            csv_path = os.path.join(args.output_dir, f"{name}.csv")
+            dump_records(records, csv_path)
+            summary = summarize_by(records, group_keys, value_key)
+            block = (
+                f"\n===== {name} ({len(records)} records, {elapsed:.1f}s) =====\n"
+                + format_records(summary, columns=list(group_keys) + ["count", "median", "q25", "q75"])
+                + "\n"
+            )
+            print(block)
+            summary_file.write(block)
+            print(f"wrote {csv_path}")
+
+    print(f"\nsummary written to {summary_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: explore a sensitive table with accuracy-annotated queries.
+
+The data owner wraps a table in an :class:`repro.APExEngine` with a total
+privacy budget; the analyst then asks declarative queries annotated with
+``ERROR alpha CONFIDENCE 1-beta``.  APEx picks, per query, the differentially
+private mechanism that meets the accuracy bound with the least privacy loss,
+and accounts every answer against the budget.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    # --- data owner side -----------------------------------------------------
+    table = repro.generate_adult(n_rows=32_561, seed=0)
+    engine = repro.APExEngine(table, budget=1.0, seed=0)
+    print(f"dataset: Adult ({len(table)} rows), owner budget B = {engine.budget}")
+
+    # --- analyst side ---------------------------------------------------------
+    alpha = 0.05 * len(table)  # tolerate +-5% of |D| per count
+    confidence = 0.9995
+
+    # 1. a histogram of capital gains, written in the declarative language
+    histogram = engine.explore_text(
+        "BIN D ON COUNT(*) WHERE W = {"
+        "  capital_gain BETWEEN 0 AND 1000,"
+        "  capital_gain BETWEEN 1000 AND 2000,"
+        "  capital_gain BETWEEN 2000 AND 3000,"
+        "  capital_gain BETWEEN 3000 AND 4000,"
+        "  capital_gain BETWEEN 4000 AND 5000"
+        f"}} ERROR {alpha} CONFIDENCE {confidence};"
+    )
+    print("\n[1] capital-gain histogram")
+    print(f"    mechanism: {histogram.mechanism}, privacy spent: {histogram.epsilon_spent:.4f}")
+    for name, count in zip(
+        ["0-1k", "1k-2k", "2k-3k", "3k-4k", "4k-5k"], np.asarray(histogram.answer)
+    ):
+        print(f"    {name:>6}: ~{count:,.0f}")
+
+    # 2. which states have more than 1,000 high-earners? (an iceberg query)
+    iceberg = engine.explore_text(
+        "BIN D ON COUNT(*) WHERE W = {"
+        "  label = '>5000' AND state = 'CA',"
+        "  label = '>5000' AND state = 'NY',"
+        "  label = '>5000' AND state = 'TX',"
+        "  label = '>5000' AND state = 'WY'"
+        f"}} HAVING COUNT(*) > 150 ERROR {alpha} CONFIDENCE {confidence};"
+    )
+    print("\n[2] states with > 150 high earners")
+    print(f"    mechanism: {iceberg.mechanism}, privacy spent: {iceberg.epsilon_spent:.4f}")
+    print(f"    bins over the threshold: {iceberg.answer}")
+
+    # 3. the three most common work classes (a top-k query)
+    top = engine.explore_text(
+        "BIN D ON COUNT(*) WHERE W = {"
+        "  workclass = 'private', workclass = 'self-emp-not-inc', workclass = 'self-emp-inc',"
+        "  workclass = 'federal-gov', workclass = 'local-gov', workclass = 'state-gov'"
+        f"}} ORDER BY COUNT(*) LIMIT 3 ERROR {alpha} CONFIDENCE {confidence};"
+    )
+    print("\n[3] top-3 work classes")
+    print(f"    mechanism: {top.mechanism}, privacy spent: {top.epsilon_spent:.4f}")
+    print(f"    answer: {top.answer}")
+
+    # --- what the owner sees ---------------------------------------------------
+    transcript = engine.transcript()
+    print("\nowner view of the session")
+    print(f"    queries answered: {len(transcript.answered())}, denied: {len(transcript.denied())}")
+    print(f"    total privacy loss: {engine.budget_spent:.4f} of {engine.budget}")
+    print(f"    transcript valid for B={engine.budget}: {transcript.is_valid(engine.budget)}")
+
+
+if __name__ == "__main__":
+    main()

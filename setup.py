@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so the
+package can be installed in fully offline environments where pip's build
+isolation cannot download ``wheel`` (``pip install -e . --no-build-isolation
+--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

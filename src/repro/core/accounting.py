@@ -1,0 +1,224 @@
+"""Privacy accounting: the budget ledger and the transcript of interaction.
+
+Section 6 of the paper.  The privacy analyzer must guarantee that the whole
+(adaptively chosen) sequence of interactions is ``B``-differentially private.
+Two ingredients:
+
+* **admission control** uses the *worst-case* loss ``epsilon_u`` of the chosen
+  mechanism: a query is only answered when ``B_{i-1} + epsilon_u <= B``
+  (otherwise the decision to answer would itself leak information through the
+  data-dependent actual loss);
+* **charging** uses the *actual* loss ``epsilon_i`` reported by the mechanism
+  (``epsilon_i < epsilon_u`` is possible for ICQ-MPM), by sequential
+  composition.
+
+:class:`PrivacyLedger` implements both rules and records every interaction in
+a :class:`Transcript` whose entries mirror the paper's
+``[(q_i, alpha_i, beta_i), (omega_i, epsilon_i)]`` alternating sequence,
+including denials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.core.accuracy import AccuracySpec
+from repro.core.exceptions import ApexError, BudgetExceededError
+
+__all__ = ["TranscriptEntry", "Transcript", "PrivacyLedger"]
+
+_TOLERANCE = 1e-12
+
+
+@dataclass(frozen=True)
+class TranscriptEntry:
+    """One interaction: the query asked and what came back.
+
+    ``denied`` entries carry ``epsilon_spent == 0`` and ``answer is None``
+    (the paper's ``omega_i = bottom``).
+    """
+
+    index: int
+    query_name: str
+    query_kind: str
+    accuracy: AccuracySpec
+    mechanism: str | None
+    epsilon_upper: float
+    epsilon_spent: float
+    denied: bool
+    answer: Any = None
+    budget_before: float = 0.0
+    budget_after: float = 0.0
+
+
+class Transcript:
+    """The analyst's view of the exploration: an append-only entry list."""
+
+    def __init__(self) -> None:
+        self._entries: list[TranscriptEntry] = []
+
+    def append(self, entry: TranscriptEntry) -> None:
+        self._entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TranscriptEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> TranscriptEntry:
+        return self._entries[index]
+
+    @property
+    def entries(self) -> tuple[TranscriptEntry, ...]:
+        return tuple(self._entries)
+
+    def answered(self) -> list[TranscriptEntry]:
+        return [entry for entry in self._entries if not entry.denied]
+
+    def denied(self) -> list[TranscriptEntry]:
+        return [entry for entry in self._entries if entry.denied]
+
+    def total_epsilon(self) -> float:
+        return sum(entry.epsilon_spent for entry in self._entries)
+
+    def is_valid(self, budget: float) -> bool:
+        """Check the paper's valid-transcript conditions (Definition 6.1)."""
+        running = 0.0
+        for entry in self._entries:
+            if entry.denied:
+                if entry.epsilon_spent != 0:
+                    return False
+                continue
+            if running + entry.epsilon_upper > budget + _TOLERANCE:
+                return False
+            if entry.epsilon_spent > entry.epsilon_upper + _TOLERANCE:
+                return False
+            running += entry.epsilon_spent
+            if running > budget + _TOLERANCE:
+                return False
+        return True
+
+    def summary(self) -> dict[str, Any]:
+        """Aggregate statistics for reporting."""
+        answered = self.answered()
+        return {
+            "interactions": len(self._entries),
+            "answered": len(answered),
+            "denied": len(self._entries) - len(answered),
+            "epsilon_spent": self.total_epsilon(),
+            "mechanisms": sorted({e.mechanism for e in answered if e.mechanism}),
+        }
+
+
+class PrivacyLedger:
+    """Tracks the owner's budget ``B`` across a sequence of mechanism runs."""
+
+    def __init__(self, budget: float) -> None:
+        if budget <= 0:
+            raise ApexError(f"the privacy budget must be positive, got {budget}")
+        self._budget = float(budget)
+        self._spent = 0.0
+        self._transcript = Transcript()
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def budget(self) -> float:
+        """The owner-specified total budget ``B``."""
+        return self._budget
+
+    @property
+    def spent(self) -> float:
+        """The privacy loss actually consumed so far (``B_{i-1}``)."""
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        """Budget headroom used for admission control."""
+        return max(self._budget - self._spent, 0.0)
+
+    @property
+    def transcript(self) -> Transcript:
+        return self._transcript
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no further positive-epsilon query can possibly be admitted."""
+        return self.remaining <= _TOLERANCE
+
+    # -- admission and charging ------------------------------------------------------
+
+    def can_afford(self, epsilon_upper: float) -> bool:
+        """Whether a mechanism with the given worst-case loss may be run."""
+        if epsilon_upper <= 0:
+            raise ApexError("epsilon_upper must be positive")
+        return epsilon_upper <= self.remaining + _TOLERANCE
+
+    def charge(
+        self,
+        *,
+        query_name: str,
+        query_kind: str,
+        accuracy: AccuracySpec,
+        mechanism: str,
+        epsilon_upper: float,
+        epsilon_spent: float,
+        answer: Any,
+    ) -> TranscriptEntry:
+        """Record an answered query and deduct its actual privacy loss."""
+        if not self.can_afford(epsilon_upper):
+            raise BudgetExceededError(
+                f"admitting {mechanism} (worst case {epsilon_upper:.6g}) would "
+                f"exceed the remaining budget {self.remaining:.6g}",
+                required=epsilon_upper,
+                remaining=self.remaining,
+            )
+        if epsilon_spent < 0 or epsilon_spent > epsilon_upper + _TOLERANCE:
+            raise ApexError(
+                f"actual loss {epsilon_spent} must lie in [0, {epsilon_upper}]"
+            )
+        before = self._spent
+        self._spent += epsilon_spent
+        entry = TranscriptEntry(
+            index=len(self._transcript),
+            query_name=query_name,
+            query_kind=query_kind,
+            accuracy=accuracy,
+            mechanism=mechanism,
+            epsilon_upper=epsilon_upper,
+            epsilon_spent=epsilon_spent,
+            denied=False,
+            answer=answer,
+            budget_before=before,
+            budget_after=self._spent,
+        )
+        self._transcript.append(entry)
+        return entry
+
+    def deny(
+        self,
+        *,
+        query_name: str,
+        query_kind: str,
+        accuracy: AccuracySpec,
+        reason: str = "no mechanism fits the remaining budget",
+    ) -> TranscriptEntry:
+        """Record a denied query (costs no privacy)."""
+        entry = TranscriptEntry(
+            index=len(self._transcript),
+            query_name=query_name,
+            query_kind=query_kind,
+            accuracy=accuracy,
+            mechanism=None,
+            epsilon_upper=0.0,
+            epsilon_spent=0.0,
+            denied=True,
+            answer=None,
+            budget_before=self._spent,
+            budget_after=self._spent,
+        )
+        self._transcript.append(entry)
+        _ = reason
+        return entry

@@ -1,0 +1,84 @@
+"""Accuracy requirements ``ERROR alpha CONFIDENCE 1 - beta``.
+
+Section 3.2 of the paper attaches an accuracy requirement to every query:
+
+* **WCQ** (Definition 3.1): the maximum absolute error over the workload
+  answers exceeds ``alpha`` with probability at most ``beta``.
+* **ICQ** (Definition 3.2): with probability at least ``1 - beta`` no
+  predicate whose true count is below ``c - alpha`` is reported, and no
+  predicate whose true count is above ``c + alpha`` is omitted.
+* **TCQ** (Definition 3.3): the same, with the threshold replaced by the
+  k-th largest true count.
+
+The class below is a plain value object; the per-query-type semantics live in
+the mechanisms (which guarantee the bound) and in
+:mod:`repro.bench.harness` (which measures the empirical error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import AccuracyError
+
+__all__ = ["AccuracySpec"]
+
+
+@dataclass(frozen=True)
+class AccuracySpec:
+    """An ``(alpha, beta)`` accuracy requirement.
+
+    Parameters
+    ----------
+    alpha:
+        Absolute error bound on counts.  Must be positive.  The paper usually
+        expresses it as a fraction of the dataset size (``alpha = 0.08 * |D|``);
+        use :meth:`relative` for that form.
+    beta:
+        Failure probability; must lie strictly between 0 and 1.  The paper's
+        default is ``5e-4``.
+    """
+
+    alpha: float
+    beta: float = 5e-4
+
+    def __post_init__(self) -> None:
+        if not self.alpha > 0:
+            raise AccuracyError(f"alpha must be positive, got {self.alpha}")
+        if not 0 < self.beta < 1:
+            raise AccuracyError(
+                f"beta must lie strictly between 0 and 1, got {self.beta}"
+            )
+
+    @classmethod
+    def relative(
+        cls, fraction: float, population: int, beta: float = 5e-4
+    ) -> "AccuracySpec":
+        """Accuracy bound expressed as a fraction of the dataset size.
+
+        ``AccuracySpec.relative(0.08, len(table))`` is the paper's
+        ``alpha = 0.08|D|``.
+        """
+        if population <= 0:
+            raise AccuracyError("population must be positive")
+        if fraction <= 0:
+            raise AccuracyError("fraction must be positive")
+        return cls(alpha=fraction * population, beta=beta)
+
+    @property
+    def confidence(self) -> float:
+        """The confidence level ``1 - beta``."""
+        return 1.0 - self.beta
+
+    def scaled(self, factor: float) -> "AccuracySpec":
+        """A new spec with ``alpha`` multiplied by ``factor`` (same beta)."""
+        if factor <= 0:
+            raise AccuracyError("scaling factor must be positive")
+        return AccuracySpec(alpha=self.alpha * factor, beta=self.beta)
+
+    def with_beta(self, beta: float) -> "AccuracySpec":
+        """A new spec with the same alpha and a different beta."""
+        return AccuracySpec(alpha=self.alpha, beta=beta)
+
+    def __str__(self) -> str:
+        return f"ERROR {self.alpha:g} CONFIDENCE {self.confidence:g}"

@@ -1,0 +1,242 @@
+"""The APEx engine: accuracy-aware private data exploration (Algorithm 1).
+
+The engine is the object a data owner instantiates (with the sensitive table
+and a total privacy budget ``B``) and hands to an analyst.  The analyst then
+calls :meth:`APExEngine.explore` with queries and accuracy requirements --
+either constructed programmatically (:mod:`repro.queries`) or written in the
+declarative text language (:meth:`APExEngine.explore_text`).
+
+Per query the engine
+
+1. asks the :class:`~repro.core.translator.AccuracyTranslator` for the set of
+   applicable mechanisms, their translations, and the cheapest admissible one;
+2. denies the query (``ExplorationResult.denied``) when no mechanism fits the
+   remaining budget;
+3. otherwise runs the chosen mechanism and charges the *actual* privacy loss
+   to the :class:`~repro.core.accounting.PrivacyLedger`.
+
+The full interaction is recorded in a transcript whose validity (Definition
+6.1 / Theorem 6.2) can be checked at any time via
+:meth:`APExEngine.transcript`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.accounting import PrivacyLedger, Transcript
+from repro.core.accuracy import AccuracySpec
+from repro.core.exceptions import ApexError, BudgetExceededError
+from repro.core.translator import AccuracyTranslator, SelectionMode
+from repro.data.table import Table
+from repro.mechanisms.registry import MechanismRegistry
+from repro.queries.parser import parse_query
+from repro.queries.query import Query
+
+__all__ = ["ExplorationResult", "APExEngine"]
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """What the analyst gets back for one query."""
+
+    query_name: str
+    query_kind: str
+    accuracy: AccuracySpec
+    denied: bool
+    answer: np.ndarray | list[str] | None
+    mechanism: str | None
+    epsilon_spent: float
+    epsilon_upper: float
+    budget_remaining: float
+    noisy_counts: np.ndarray | None = None
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        """Truthy when the query was answered."""
+        return not self.denied
+
+
+class APExEngine:
+    """Accuracy-aware privacy engine over one sensitive table.
+
+    Parameters
+    ----------
+    table:
+        The sensitive dataset ``D``.
+    budget:
+        The owner-specified total privacy budget ``B``.
+    mode:
+        Mechanism selection mode; the paper evaluates ``OPTIMISTIC``.
+    registry:
+        Mechanism suite; defaults to the paper's
+        (:func:`repro.mechanisms.registry.default_registry`).
+    seed:
+        Seed for the engine's random generator (noise sampling).  Runs with
+        the same seed, data and query sequence are reproducible.
+    deny_mode:
+        ``"result"`` (default) returns a denied :class:`ExplorationResult`;
+        ``"raise"`` raises :class:`~repro.core.exceptions.BudgetExceededError`
+        instead.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        budget: float,
+        *,
+        mode: SelectionMode | str = SelectionMode.OPTIMISTIC,
+        registry: MechanismRegistry | None = None,
+        seed: int | np.random.Generator | None = None,
+        deny_mode: str = "result",
+    ) -> None:
+        if not isinstance(table, Table):
+            raise ApexError("APExEngine requires a repro.data.Table")
+        if isinstance(mode, str):
+            mode = SelectionMode(mode.lower())
+        if deny_mode not in ("result", "raise"):
+            raise ApexError("deny_mode must be 'result' or 'raise'")
+        self._table = table
+        self._ledger = PrivacyLedger(budget)
+        self._translator = AccuracyTranslator(registry, mode)
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        )
+        self._deny_mode = deny_mode
+
+    # -- owner-facing accessors ---------------------------------------------------
+
+    @property
+    def budget(self) -> float:
+        return self._ledger.budget
+
+    @property
+    def budget_spent(self) -> float:
+        return self._ledger.spent
+
+    @property
+    def budget_remaining(self) -> float:
+        return self._ledger.remaining
+
+    @property
+    def exhausted(self) -> bool:
+        return self._ledger.exhausted
+
+    @property
+    def mode(self) -> SelectionMode:
+        return self._translator.mode
+
+    @property
+    def registry(self) -> MechanismRegistry:
+        return self._translator.registry
+
+    def transcript(self) -> Transcript:
+        """The full transcript of interaction so far."""
+        return self._ledger.transcript
+
+    # -- analyst-facing API --------------------------------------------------------
+
+    def explore(self, query: Query, accuracy: AccuracySpec) -> ExplorationResult:
+        """Answer one query under the given accuracy requirement (Algorithm 1)."""
+        choice = self._translator.choose(
+            query,
+            accuracy,
+            self._table.schema,
+            budget_remaining=self._ledger.remaining,
+        )
+        if choice is None:
+            return self._deny(query, accuracy)
+
+        result = choice.mechanism.run(query, accuracy, self._table, rng=self._rng)
+        entry = self._ledger.charge(
+            query_name=query.name,
+            query_kind=query.kind.value,
+            accuracy=accuracy,
+            mechanism=choice.mechanism.name,
+            epsilon_upper=choice.translation.epsilon_upper,
+            epsilon_spent=result.epsilon_spent,
+            answer=result.value,
+        )
+        return ExplorationResult(
+            query_name=query.name,
+            query_kind=query.kind.value,
+            accuracy=accuracy,
+            denied=False,
+            answer=result.value,
+            mechanism=choice.mechanism.name,
+            epsilon_spent=result.epsilon_spent,
+            epsilon_upper=choice.translation.epsilon_upper,
+            budget_remaining=self._ledger.remaining,
+            noisy_counts=result.noisy_counts,
+            metadata={
+                "transcript_index": entry.index,
+                "candidates": {
+                    t.mechanism: (t.epsilon_lower, t.epsilon_upper)
+                    for t in choice.candidates
+                },
+            },
+        )
+
+    def explore_text(
+        self, query_text: str, accuracy: AccuracySpec | None = None
+    ) -> ExplorationResult:
+        """Answer a query written in the declarative text language.
+
+        The accuracy requirement may come from the query's ``ERROR ...
+        CONFIDENCE ...`` clause or from the ``accuracy`` argument (the latter
+        wins when both are present).
+        """
+        query, parsed_accuracy = parse_query(query_text)
+        spec = accuracy if accuracy is not None else parsed_accuracy
+        if spec is None:
+            raise ApexError(
+                "the query text has no ERROR/CONFIDENCE clause and no accuracy "
+                "was supplied"
+            )
+        return self.explore(query, spec)
+
+    def preview_cost(
+        self, query: Query, accuracy: AccuracySpec
+    ) -> dict[str, tuple[float, float]]:
+        """The (epsilon_lower, epsilon_upper) of every applicable mechanism.
+
+        This is a purely data-independent computation: it lets the analyst
+        budget an exploration session without spending any privacy.
+        """
+        translations = self._translator.translations(
+            query, accuracy, self._table.schema
+        )
+        return {
+            mechanism.name: (t.epsilon_lower, t.epsilon_upper)
+            for mechanism, t in translations
+        }
+
+    # -- internals ------------------------------------------------------------------
+
+    def _deny(self, query: Query, accuracy: AccuracySpec) -> ExplorationResult:
+        self._ledger.deny(
+            query_name=query.name,
+            query_kind=query.kind.value,
+            accuracy=accuracy,
+        )
+        if self._deny_mode == "raise":
+            raise BudgetExceededError(
+                f"query {query.name!r} denied: no mechanism fits the remaining "
+                f"budget {self._ledger.remaining:.6g}",
+                required=float("nan"),
+                remaining=self._ledger.remaining,
+            )
+        return ExplorationResult(
+            query_name=query.name,
+            query_kind=query.kind.value,
+            accuracy=accuracy,
+            denied=True,
+            answer=None,
+            mechanism=None,
+            epsilon_spent=0.0,
+            epsilon_upper=0.0,
+            budget_remaining=self._ledger.remaining,
+        )

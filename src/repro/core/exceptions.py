@@ -1,0 +1,64 @@
+"""Exception hierarchy for the APEx reproduction.
+
+Every error raised by the library derives from :class:`ApexError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ApexError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ApexError):
+    """A schema or attribute-domain definition is invalid or inconsistent."""
+
+
+class PredicateError(ApexError):
+    """A predicate references unknown attributes or uses invalid operands."""
+
+
+class QueryError(ApexError):
+    """A query is malformed (e.g. ICQ without a threshold, TCQ with k <= 0)."""
+
+
+class ParseError(QueryError):
+    """The SQL-like query text could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class AccuracyError(ApexError):
+    """An accuracy requirement (alpha, beta) is out of its valid range."""
+
+
+class TranslationError(ApexError):
+    """No mechanism could translate the accuracy requirement for a query."""
+
+
+class MechanismError(ApexError):
+    """A mechanism was invoked with inputs it does not support."""
+
+
+class BudgetExceededError(ApexError):
+    """Answering the query would exceed the data owner's privacy budget.
+
+    The engine normally *denies* such queries rather than raising; this error
+    is raised only when the caller explicitly asks for a raising behaviour
+    (``APExEngine(..., deny_mode="raise")``).
+    """
+
+    def __init__(self, message: str, required: float, remaining: float) -> None:
+        super().__init__(message)
+        self.required = required
+        self.remaining = remaining
+
+
+class QueryDeniedError(BudgetExceededError):
+    """Alias kept for backwards compatibility with earlier releases."""

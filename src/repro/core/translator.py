@@ -1,0 +1,146 @@
+"""The accuracy translator: choose the mechanism with the least privacy loss.
+
+Algorithm 1, lines 4-10 of the paper.  Given an analyst query with an
+``(alpha, beta)`` accuracy requirement, the translator
+
+1. collects the mechanisms applicable to the query's type,
+2. asks each for its accuracy-to-privacy translation,
+3. drops the ones whose *worst-case* loss would not fit the remaining budget
+   (that set is ``M*``), and
+4. picks one mechanism from ``M*``:
+
+   * **pessimistic mode** minimises the worst-case loss ``epsilon_u`` -- the
+     conservative choice;
+   * **optimistic mode** minimises the best-case loss ``epsilon_l`` -- it bets
+     on data-dependent mechanisms (ICQ-MPM) stopping early.  This is the mode
+     the paper's evaluation uses.
+
+The translator is deterministic and never looks at the data, which the
+privacy proof (Theorem 6.2) relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.accuracy import AccuracySpec
+from repro.core.exceptions import TranslationError
+from repro.data.schema import Schema
+from repro.mechanisms.base import Mechanism, TranslationResult
+from repro.mechanisms.registry import MechanismRegistry, default_registry
+from repro.queries.query import Query
+
+__all__ = ["SelectionMode", "MechanismChoice", "AccuracyTranslator"]
+
+
+class SelectionMode(enum.Enum):
+    """How to break the tie between data-independent and data-dependent mechanisms."""
+
+    OPTIMISTIC = "optimistic"
+    PESSIMISTIC = "pessimistic"
+
+
+@dataclass(frozen=True)
+class MechanismChoice:
+    """The translator's decision for one query."""
+
+    mechanism: Mechanism
+    translation: TranslationResult
+    #: translations of every applicable mechanism (for reporting / Table 2).
+    candidates: tuple[TranslationResult, ...]
+
+    @property
+    def epsilon_upper(self) -> float:
+        return self.translation.epsilon_upper
+
+    @property
+    def epsilon_lower(self) -> float:
+        return self.translation.epsilon_lower
+
+
+class AccuracyTranslator:
+    """Chooses, per query, the mechanism that meets the accuracy bound cheapest."""
+
+    def __init__(
+        self,
+        registry: MechanismRegistry | None = None,
+        mode: SelectionMode = SelectionMode.OPTIMISTIC,
+    ) -> None:
+        self._registry = registry if registry is not None else default_registry()
+        self._mode = mode
+
+    @property
+    def registry(self) -> MechanismRegistry:
+        return self._registry
+
+    @property
+    def mode(self) -> SelectionMode:
+        return self._mode
+
+    # -- translation ---------------------------------------------------------------
+
+    def translations(
+        self,
+        query: Query,
+        accuracy: AccuracySpec,
+        schema: Schema | None = None,
+    ) -> list[tuple[Mechanism, TranslationResult]]:
+        """Accuracy-to-privacy translations of every applicable mechanism.
+
+        Mechanisms whose translation fails (e.g. the accuracy requirement is
+        too loose for their closed form) are skipped.
+        """
+        applicable = self._registry.for_query(query)
+        if not applicable:
+            raise TranslationError(
+                f"no registered mechanism supports {query.kind.value} queries"
+            )
+        out: list[tuple[Mechanism, TranslationResult]] = []
+        for mechanism in applicable:
+            try:
+                out.append((mechanism, mechanism.translate(query, accuracy, schema)))
+            except TranslationError:
+                continue
+        if not out:
+            raise TranslationError(
+                f"no mechanism could translate the accuracy requirement {accuracy} "
+                f"for query {query.name!r}"
+            )
+        return out
+
+    def choose(
+        self,
+        query: Query,
+        accuracy: AccuracySpec,
+        schema: Schema | None = None,
+        *,
+        budget_remaining: float | None = None,
+    ) -> MechanismChoice | None:
+        """Pick the cheapest admissible mechanism; ``None`` when M* is empty.
+
+        ``budget_remaining`` enables the admission filter of Algorithm 1
+        (line 5); leave it ``None`` to translate without budget constraints.
+        """
+        translations = self.translations(query, accuracy, schema)
+        if budget_remaining is not None:
+            admissible = [
+                (mechanism, translation)
+                for mechanism, translation in translations
+                if translation.epsilon_upper <= budget_remaining + 1e-12
+            ]
+        else:
+            admissible = list(translations)
+        if not admissible:
+            return None
+
+        if self._mode is SelectionMode.PESSIMISTIC:
+            key = lambda pair: (pair[1].epsilon_upper, pair[1].epsilon_lower)
+        else:
+            key = lambda pair: (pair[1].epsilon_lower, pair[1].epsilon_upper)
+        mechanism, translation = min(admissible, key=key)
+        return MechanismChoice(
+            mechanism=mechanism,
+            translation=translation,
+            candidates=tuple(t for _, t in translations),
+        )

@@ -1,0 +1,346 @@
+"""Synthetic labelled citation pairs for the entity-resolution case study.
+
+Section 8 of the paper uses the ``citations`` dataset from the Magellan data
+repository: each row is a *pair* of citation records (title, authors, venue,
+year) with a binary label saying whether the two records refer to the same
+publication.  The blocking/matching strategies then learn boolean formulas
+over similarity predicates.
+
+We cannot redistribute that corpus, so this module synthesises an equivalent
+one:
+
+1. generate base publication records with realistic titles (random
+   combinations of a domain vocabulary), author lists, venues and years;
+2. create duplicates of a subset of records by applying realistic
+   perturbations (typos, word drops, venue abbreviations, author initials,
+   missing fields, year off-by-one);
+3. emit MATCH pairs (record, perturbed duplicate) and NON-MATCH pairs
+   (distinct records, some deliberately similar to make the task non-trivial);
+4. materialise the pairs as a :class:`~repro.data.table.Table` whose schema
+   has left/right copies of each attribute plus the ``label``.
+
+The synthetic corpus preserves what the case study actually exercises: a
+similarity-score distribution where matches concentrate at high similarity,
+non-matches at low similarity, with an overlapping middle band.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import Attribute, CategoricalDomain, NumericDomain, Schema, TextDomain
+from repro.data.table import Table
+
+__all__ = [
+    "CitationRecord",
+    "CitationPair",
+    "CITATION_PAIR_SCHEMA",
+    "ER_ATTRIBUTE_PAIRS",
+    "generate_citation_records",
+    "generate_citation_pairs",
+    "pairs_to_table",
+]
+
+_TITLE_NOUNS = (
+    "databases", "queries", "indexes", "transactions", "joins", "streams",
+    "graphs", "privacy", "learning", "optimization", "storage", "caching",
+    "replication", "consistency", "sampling", "aggregation", "clustering",
+    "integration", "cleaning", "provenance", "workloads", "histograms",
+)
+_TITLE_ADJECTIVES = (
+    "scalable", "adaptive", "differential", "distributed", "efficient",
+    "approximate", "incremental", "robust", "secure", "parallel",
+    "interactive", "declarative", "probabilistic", "streaming",
+)
+_TITLE_PATTERNS = (
+    "{adj} {noun} for {noun2}",
+    "towards {adj} {noun}",
+    "{adj} {noun}: a {adj2} approach",
+    "on the {noun} of {adj} {noun2}",
+    "{noun} meets {noun2}: {adj} techniques",
+)
+_FIRST_NAMES = (
+    "alice", "bob", "carol", "david", "erin", "frank", "grace", "henry",
+    "irene", "jack", "karen", "luis", "maria", "nolan", "olivia", "peter",
+    "qing", "rosa", "sam", "tina", "umar", "vera", "wei", "xi", "yan", "zoe",
+)
+_LAST_NAMES = (
+    "smith", "johnson", "lee", "garcia", "chen", "kumar", "mueller", "rossi",
+    "tanaka", "ivanov", "silva", "nguyen", "kim", "patel", "hernandez",
+    "brown", "davis", "wilson", "martin", "anderson",
+)
+_VENUES = (
+    ("proceedings of the international conference on management of data", "sigmod"),
+    ("proceedings of the vldb endowment", "pvldb"),
+    ("international conference on data engineering", "icde"),
+    ("acm transactions on database systems", "tods"),
+    ("international conference on very large data bases", "vldb"),
+    ("symposium on principles of database systems", "pods"),
+    ("conference on innovative data systems research", "cidr"),
+    ("international conference on extending database technology", "edbt"),
+)
+
+
+@dataclass(frozen=True)
+class CitationRecord:
+    """One publication record."""
+
+    title: str | None
+    authors: str | None
+    venue: str | None
+    year: float | None
+
+
+@dataclass(frozen=True)
+class CitationPair:
+    """A labelled pair of citation records."""
+
+    left: CitationRecord
+    right: CitationRecord
+    is_match: bool
+
+    @property
+    def label(self) -> str:
+        return "MATCH" if self.is_match else "NON-MATCH"
+
+
+CITATION_PAIR_SCHEMA = Schema(
+    [
+        Attribute("title_l", TextDomain(), nullable=True),
+        Attribute("title_r", TextDomain(), nullable=True),
+        Attribute("authors_l", TextDomain(), nullable=True),
+        Attribute("authors_r", TextDomain(), nullable=True),
+        Attribute("venue_l", TextDomain(), nullable=True),
+        Attribute("venue_r", TextDomain(), nullable=True),
+        Attribute("year_l", NumericDomain(1960, 2030, integral=True), nullable=True),
+        Attribute("year_r", NumericDomain(1960, 2030, integral=True), nullable=True),
+        Attribute("label", CategoricalDomain(("MATCH", "NON-MATCH"))),
+    ],
+    name="CitationPairs",
+)
+
+#: The logical ER attributes and their (left, right) column names in the pair
+#: table.  The exploration strategies iterate over these.
+ER_ATTRIBUTE_PAIRS = (
+    ("title", "title_l", "title_r"),
+    ("authors", "authors_l", "authors_r"),
+    ("venue", "venue_l", "venue_r"),
+    ("year", "year_l", "year_r"),
+)
+
+#: Per-attribute probability of a NULL value in a generated record.  Title and
+#: authors have the fewest NULLs, which is what lets the strategies' first
+#: query ("which two attributes have the fewest NULLs?") pick them.
+_NULL_RATES = {"title": 0.01, "authors": 0.03, "venue": 0.12, "year": 0.20}
+
+
+def generate_citation_records(
+    n_records: int, rng: np.random.Generator
+) -> list[CitationRecord]:
+    """Generate ``n_records`` base publication records."""
+    records = []
+    for _ in range(n_records):
+        records.append(_random_record(rng))
+    return records
+
+
+def generate_citation_pairs(
+    n_pairs: int = 4_000,
+    *,
+    match_fraction: float = 0.12,
+    hard_nonmatch_fraction: float = 0.3,
+    seed: int | np.random.Generator | None = 0,
+) -> list[CitationPair]:
+    """Generate a labelled training set of ``n_pairs`` citation pairs.
+
+    Parameters
+    ----------
+    n_pairs:
+        Number of pairs (the paper samples 4,000 and 1,000).
+    match_fraction:
+        Fraction of pairs labelled MATCH.
+    hard_nonmatch_fraction:
+        Among NON-MATCH pairs, the fraction that share the venue or overlap in
+        title vocabulary, making the classification genuinely ambiguous.
+    seed:
+        RNG seed for reproducibility.
+    """
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    if not 0 < match_fraction < 1:
+        raise ValueError("match_fraction must lie strictly between 0 and 1")
+
+    n_matches = int(round(n_pairs * match_fraction))
+    n_nonmatches = n_pairs - n_matches
+    # Every record appears at most once (as in the paper's training sample), so
+    # we need 2 * n_pairs distinct base records.
+    base = generate_citation_records(2 * n_pairs, rng)
+    cursor = 0
+    pairs: list[CitationPair] = []
+
+    for _ in range(n_matches):
+        record = base[cursor]
+        cursor += 1
+        duplicate = _perturb_record(record, rng)
+        pairs.append(CitationPair(record, duplicate, is_match=True))
+
+    for _ in range(n_nonmatches):
+        left = base[cursor]
+        right = base[cursor + 1]
+        cursor += 2
+        if rng.random() < hard_nonmatch_fraction:
+            right = _make_similar_nonmatch(left, right, rng)
+        pairs.append(CitationPair(left, right, is_match=False))
+
+    rng.shuffle(pairs)  # type: ignore[arg-type]
+    return pairs
+
+
+def pairs_to_table(pairs: list[CitationPair]) -> Table:
+    """Materialise labelled pairs as a flat table over :data:`CITATION_PAIR_SCHEMA`."""
+    rows = []
+    for pair in pairs:
+        rows.append(
+            {
+                "title_l": pair.left.title,
+                "title_r": pair.right.title,
+                "authors_l": pair.left.authors,
+                "authors_r": pair.right.authors,
+                "venue_l": pair.left.venue,
+                "venue_r": pair.right.venue,
+                "year_l": pair.left.year,
+                "year_r": pair.right.year,
+                "label": pair.label,
+            }
+        )
+    return Table.from_rows(CITATION_PAIR_SCHEMA, rows)
+
+
+# ---------------------------------------------------------------------------
+# Record generation and perturbation
+# ---------------------------------------------------------------------------
+
+
+def _random_record(rng: np.random.Generator) -> CitationRecord:
+    pattern = _TITLE_PATTERNS[rng.integers(len(_TITLE_PATTERNS))]
+    title = pattern.format(
+        adj=_choice(rng, _TITLE_ADJECTIVES),
+        adj2=_choice(rng, _TITLE_ADJECTIVES),
+        noun=_choice(rng, _TITLE_NOUNS),
+        noun2=_choice(rng, _TITLE_NOUNS),
+    )
+    n_authors = int(rng.integers(1, 5))
+    authors = ", ".join(
+        f"{_choice(rng, _FIRST_NAMES)} {_choice(rng, _LAST_NAMES)}"
+        for _ in range(n_authors)
+    )
+    venue_full, _ = _VENUES[rng.integers(len(_VENUES))]
+    year = float(rng.integers(1985, 2020))
+
+    return CitationRecord(
+        title=_maybe_null(title, "title", rng),
+        authors=_maybe_null(authors, "authors", rng),
+        venue=_maybe_null(venue_full, "venue", rng),
+        year=_maybe_null(year, "year", rng),
+    )
+
+
+def _perturb_record(record: CitationRecord, rng: np.random.Generator) -> CitationRecord:
+    """A realistic 'duplicate' of a record: same publication, messier entry."""
+    title = record.title
+    if title is not None:
+        if rng.random() < 0.5:
+            title = _introduce_typos(title, rng, max_typos=2)
+        if rng.random() < 0.25:
+            words = title.split()
+            if len(words) > 3:
+                drop = rng.integers(len(words))
+                words = [w for i, w in enumerate(words) if i != drop]
+                title = " ".join(words)
+    authors = record.authors
+    if authors is not None:
+        if rng.random() < 0.5:
+            authors = _abbreviate_authors(authors)
+        if rng.random() < 0.2:
+            parts = authors.split(", ")
+            if len(parts) > 1:
+                authors = ", ".join(parts[:-1])
+    venue = record.venue
+    if venue is not None and rng.random() < 0.6:
+        venue = _abbreviate_venue(venue)
+    year = record.year
+    if year is not None and rng.random() < 0.15:
+        year = year + float(rng.choice([-1.0, 1.0]))
+
+    perturbed = CitationRecord(title=title, authors=authors, venue=venue, year=year)
+    # occasionally blank out a field entirely
+    if rng.random() < 0.1:
+        field = str(rng.choice(["venue", "year"]))
+        perturbed = dataclasses.replace(perturbed, **{field: None})
+    return perturbed
+
+
+def _make_similar_nonmatch(
+    left: CitationRecord, right: CitationRecord, rng: np.random.Generator
+) -> CitationRecord:
+    """Bias a non-match to share surface features with ``left`` (hard negative)."""
+    venue = left.venue if rng.random() < 0.6 else right.venue
+    year = left.year if rng.random() < 0.5 else right.year
+    title = right.title
+    if title is not None and left.title is not None and rng.random() < 0.5:
+        # splice one content word from the left title into the right title
+        left_words = left.title.split()
+        right_words = title.split()
+        if left_words and right_words:
+            right_words[rng.integers(len(right_words))] = left_words[
+                rng.integers(len(left_words))
+            ]
+            title = " ".join(right_words)
+    return dataclasses.replace(right, venue=venue, year=year, title=title)
+
+
+def _introduce_typos(text: str, rng: np.random.Generator, max_typos: int = 2) -> str:
+    chars = list(text)
+    n_typos = int(rng.integers(1, max_typos + 1))
+    for _ in range(n_typos):
+        if len(chars) < 4:
+            break
+        position = int(rng.integers(1, len(chars) - 1))
+        action = rng.random()
+        if action < 0.4:  # swap adjacent characters
+            chars[position], chars[position - 1] = chars[position - 1], chars[position]
+        elif action < 0.7:  # drop a character
+            del chars[position]
+        else:  # duplicate a character
+            chars.insert(position, chars[position])
+    return "".join(chars)
+
+
+def _abbreviate_authors(authors: str) -> str:
+    parts = []
+    for author in authors.split(", "):
+        tokens = author.split()
+        if len(tokens) >= 2:
+            parts.append(f"{tokens[0][0]}. {tokens[-1]}")
+        else:
+            parts.append(author)
+    return ", ".join(parts)
+
+
+def _abbreviate_venue(venue: str) -> str:
+    for full, short in _VENUES:
+        if venue == full:
+            return short
+    return venue
+
+
+def _maybe_null(value, attribute: str, rng: np.random.Generator):
+    if rng.random() < _NULL_RATES[attribute]:
+        return None
+    return value
+
+
+def _choice(rng: np.random.Generator, options: tuple[str, ...]) -> str:
+    return options[int(rng.integers(len(options)))]

@@ -1,0 +1,223 @@
+"""An immutable, column-oriented in-memory table.
+
+The mechanisms in APEx only ever need two things from the sensitive dataset:
+
+* evaluate workload predicates over the rows (producing boolean masks), and
+* count rows per workload partition (producing the histogram vector ``x``).
+
+``Table`` therefore stores one numpy array per attribute and exposes exactly
+those operations plus the usual conveniences (row access, filtering, sampling,
+construction from row dicts).  Numeric NULLs are represented as ``NaN`` and
+categorical/text NULLs as ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import SchemaError
+from repro.data.schema import AttributeKind, Schema
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A fixed set of rows conforming to a :class:`~repro.data.schema.Schema`.
+
+    Instances are conceptually immutable: all "mutating" operations
+    (:meth:`filter`, :meth:`sample`, :meth:`take`) return new tables.
+    """
+
+    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]) -> None:
+        self._schema = schema
+        self._columns: dict[str, np.ndarray] = {}
+        n_rows: int | None = None
+        for attr in schema.attributes:
+            if attr.name not in columns:
+                raise SchemaError(f"missing column {attr.name!r}")
+            col = np.asarray(columns[attr.name])
+            if n_rows is None:
+                n_rows = len(col)
+            elif len(col) != n_rows:
+                raise SchemaError(
+                    f"column {attr.name!r} has {len(col)} rows, expected {n_rows}"
+                )
+            self._columns[attr.name] = col
+        extra = set(columns) - set(schema.attribute_names)
+        if extra:
+            raise SchemaError(f"columns not present in schema: {sorted(extra)}")
+        self._n_rows = n_rows or 0
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, schema: Schema, rows: Iterable[Mapping[str, object]]
+    ) -> "Table":
+        """Build a table from an iterable of ``{attribute: value}`` dicts.
+
+        Missing keys become NULL (``NaN`` for numeric attributes, ``None``
+        otherwise).
+        """
+        rows = list(rows)
+        columns: dict[str, np.ndarray] = {}
+        for attr in schema.attributes:
+            values = [row.get(attr.name) for row in rows]
+            columns[attr.name] = _coerce_column(attr.kind, values)
+        return cls(schema, columns)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Table":
+        """A table with zero rows."""
+        return cls.from_rows(schema, [])
+
+    # -- basic accessors ------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    def column(self, name: str) -> np.ndarray:
+        """The values of one attribute as a numpy array (read-only view)."""
+        if name not in self._columns:
+            raise SchemaError(
+                f"table has no column {name!r}; "
+                f"known columns: {list(self._columns)}"
+            )
+        col = self._columns[name]
+        view = col.view()
+        view.flags.writeable = False
+        return view
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def row(self, index: int) -> dict[str, object]:
+        """One row as a plain dict (NULLs become ``None``)."""
+        if not -self._n_rows <= index < self._n_rows:
+            raise IndexError(f"row index {index} out of range for {self._n_rows} rows")
+        out: dict[str, object] = {}
+        for attr in self._schema.attributes:
+            value = self._columns[attr.name][index]
+            if attr.kind is AttributeKind.NUMERIC:
+                fval = float(value)
+                out[attr.name] = None if np.isnan(fval) else fval
+            else:
+                out[attr.name] = value if value is not None else None
+        return out
+
+    def iter_rows(self) -> Iterator[dict[str, object]]:
+        for i in range(self._n_rows):
+            yield self.row(i)
+
+    def to_rows(self) -> list[dict[str, object]]:
+        return list(self.iter_rows())
+
+    # -- null handling --------------------------------------------------------
+
+    def is_null(self, name: str) -> np.ndarray:
+        """Boolean mask marking NULL values of the named attribute."""
+        attr = self._schema[name]
+        col = self._columns[name]
+        if attr.kind is AttributeKind.NUMERIC:
+            return np.isnan(col.astype(float))
+        return np.array([v is None for v in col], dtype=bool)
+
+    def null_count(self, name: str) -> int:
+        return int(self.is_null(name).sum())
+
+    # -- derived tables -------------------------------------------------------
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """A new table containing only rows where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self._n_rows:
+            raise SchemaError(
+                f"mask has length {len(mask)}, table has {self._n_rows} rows"
+            )
+        columns = {name: col[mask] for name, col in self._columns.items()}
+        return Table(self._schema, columns)
+
+    def take(self, indices: Sequence[int]) -> "Table":
+        """A new table containing the rows at ``indices`` (in that order)."""
+        idx = np.asarray(indices, dtype=int)
+        columns = {name: col[idx] for name, col in self._columns.items()}
+        return Table(self._schema, columns)
+
+    def sample(self, n: int, rng: np.random.Generator | int | None = None) -> "Table":
+        """Uniform sample of ``n`` rows without replacement."""
+        if n < 0:
+            raise ValueError("sample size must be non-negative")
+        if n > self._n_rows:
+            raise ValueError(
+                f"cannot sample {n} rows from a table with {self._n_rows} rows"
+            )
+        generator = _as_generator(rng)
+        idx = generator.choice(self._n_rows, size=n, replace=False)
+        return self.take(idx)
+
+    def head(self, n: int = 5) -> "Table":
+        return self.take(np.arange(min(n, self._n_rows)))
+
+    def project(self, names: Sequence[str]) -> "Table":
+        """A new table restricted to the named attributes."""
+        schema = self._schema.project(names)
+        columns = {name: self._columns[name] for name in names}
+        return Table(schema, columns)
+
+    def concat(self, other: "Table") -> "Table":
+        """Rows of ``self`` followed by rows of ``other`` (same schema)."""
+        if other.schema.attribute_names != self._schema.attribute_names:
+            raise SchemaError("cannot concatenate tables with different schemas")
+        columns = {
+            name: np.concatenate([self._columns[name], other._columns[name]])
+            for name in self._schema.attribute_names
+        }
+        return Table(self._schema, columns)
+
+    # -- counting -------------------------------------------------------------
+
+    def count(self, mask: np.ndarray | None = None) -> int:
+        """Number of rows, optionally restricted to ``mask``."""
+        if mask is None:
+            return self._n_rows
+        mask = np.asarray(mask, dtype=bool)
+        if len(mask) != self._n_rows:
+            raise SchemaError(
+                f"mask has length {len(mask)}, table has {self._n_rows} rows"
+            )
+        return int(mask.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Table(schema={self._schema.name!r}, rows={self._n_rows}, "
+            f"attributes={list(self._schema.attribute_names)})"
+        )
+
+
+def _coerce_column(kind: AttributeKind, values: list[object]) -> np.ndarray:
+    """Build the storage array for one attribute from python values."""
+    if kind is AttributeKind.NUMERIC:
+        out = np.empty(len(values), dtype=float)
+        for i, value in enumerate(values):
+            out[i] = np.nan if value is None else float(value)  # type: ignore[arg-type]
+        return out
+    col = np.empty(len(values), dtype=object)
+    for i, value in enumerate(values):
+        col[i] = None if value is None else str(value)
+    return col
+
+
+def _as_generator(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)

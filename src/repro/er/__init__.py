@@ -1,0 +1,59 @@
+"""Entity-resolution case study (Section 8 of the paper).
+
+The case study expresses two data-cleaning tasks -- *blocking* and *pairwise
+matching* -- as sequences of APEx exploration queries over a table of labelled
+citation pairs.  This subpackage provides every substrate that workflow needs:
+
+* :mod:`repro.er.transforms` -- string transformations (n-grams, tokenisation),
+* :mod:`repro.er.similarity` -- similarity functions (edit, Jaro,
+  Smith-Waterman, Jaccard, cosine, overlap, numeric difference),
+* :mod:`repro.er.predicates` -- similarity predicates over pair tables, with a
+  cache so repeated evaluation stays cheap,
+* :mod:`repro.er.metrics` -- recall / precision / F1 / blocking cost,
+* :mod:`repro.er.cleaner` -- the cleaner model of Appendix C (Table 3),
+* :mod:`repro.er.strategies` -- the four exploration strategies BS1, BS2
+  (blocking) and MS1, MS2 (matching).
+"""
+
+from repro.er.transforms import Transform, TRANSFORMS, get_transform
+from repro.er.similarity import SimilarityFunction, SIMILARITIES, get_similarity
+from repro.er.predicates import SimilarityPredicateSpec, SimilarityCache, BooleanFormula
+from repro.er.metrics import (
+    blocking_cost,
+    f1_score,
+    f1_sets,
+    precision_recall,
+    set_precision_recall,
+)
+from repro.er.cleaner import CleanerModel, CleanerProfile
+from repro.er.strategies import (
+    BlockingStrategyWCQ,
+    BlockingStrategyICQ,
+    MatchingStrategyWCQ,
+    MatchingStrategyICQ,
+    StrategyOutcome,
+)
+
+__all__ = [
+    "Transform",
+    "TRANSFORMS",
+    "get_transform",
+    "SimilarityFunction",
+    "SIMILARITIES",
+    "get_similarity",
+    "SimilarityPredicateSpec",
+    "SimilarityCache",
+    "BooleanFormula",
+    "blocking_cost",
+    "precision_recall",
+    "set_precision_recall",
+    "f1_score",
+    "f1_sets",
+    "CleanerModel",
+    "CleanerProfile",
+    "BlockingStrategyWCQ",
+    "BlockingStrategyICQ",
+    "MatchingStrategyWCQ",
+    "MatchingStrategyICQ",
+    "StrategyOutcome",
+]

@@ -1,0 +1,212 @@
+"""The cleaner model of Appendix C (Table 3).
+
+The case study does not involve a human: the "cleaning engineer" is a
+parameterised program that issues exploration queries and makes choices from
+the noisy answers.  :class:`CleanerModel` encodes the space of all parameters
+``x1..x11`` from Table 3 and samples concrete cleaners
+(:class:`CleanerProfile`); each benchmark run samples one cleaner and reports
+the quality distribution over many runs, exactly as in Section 8.1.
+
+The parameters:
+
+``x1``   number of attributes picked from the least-NULL ranking (2..4 here --
+         the citation schema has four ER attributes)
+``x2``   subset of transformations from ``T = {2grams, 3grams, space}``
+``x3``   subset of similarity functions from ``S``
+``x4/x5``lower / upper end of the similarity-threshold range
+``x6``   number of thresholds, enumerated in ascending or descending order
+``x7``   ordering of the candidate predicate list (descending threshold with a
+         random shuffle inside equal-threshold groups)
+``x8``   minimum fraction of the remaining matches a blocking predicate must
+         catch (relaxed by ``x10`` when a full pass accepts nothing)
+``x9``   maximum fraction of the remaining non-matches it may catch
+``x10``  relaxation factor for ``x8``/``x9``
+``x11``  trust style: ``neutral`` takes noisy answers at face value,
+         ``optimistic``/``pessimistic`` shift them by ``+alpha/5`` / ``-alpha/5``
+
+Matching uses the analogous pair (``max_match_prune``, ``min_nonmatch_prune``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.exceptions import ApexError
+from repro.er.predicates import SimilarityPredicateSpec, enumerate_thresholds
+from repro.er.transforms import DEFAULT_TRANSFORM_NAMES
+
+__all__ = ["CleanerProfile", "CleanerModel"]
+
+_STYLES = ("neutral", "optimistic", "pessimistic")
+
+#: Character-based similarities applicable to text attributes.
+_CHAR_SIMS = ("edit", "jaro", "smith_waterman")
+#: Token-based similarities applicable to text attributes.
+_TOKEN_SIMS = ("jaccard", "cosine", "overlap")
+
+
+@dataclass(frozen=True)
+class CleanerProfile:
+    """A concrete cleaner: one point in the Table 3 parameter space."""
+
+    n_attributes: int
+    transforms: tuple[str, ...]
+    similarities: tuple[str, ...]
+    threshold_low: float
+    threshold_high: float
+    n_thresholds: int
+    descending_thresholds: bool
+    min_match_fraction: float        # x8
+    max_nonmatch_fraction: float     # x9
+    relaxation_factor: float         # x10
+    style: str                       # x11
+    max_match_prune: float = 0.02    # matching: tolerate pruning <= this share of matches
+    min_nonmatch_prune: float = 0.5  # matching: require pruning >= this share of non-matches
+    blocking_cost_fraction: float = 0.1375  # cutoff 550 / 4000 from the paper
+    max_formula_size: int = 6
+    max_relaxation_rounds: int = 3
+    shuffle_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_attributes < 1:
+            raise ApexError("a cleaner must use at least one attribute")
+        if self.style not in _STYLES:
+            raise ApexError(f"unknown cleaner style {self.style!r}")
+        if not 0.0 < self.threshold_low < self.threshold_high <= 1.0:
+            raise ApexError("threshold range must satisfy 0 < low < high <= 1")
+
+    # -- noisy-answer adjustment (c6 / x11) ----------------------------------------
+
+    def adjust(self, noisy_value: float, alpha: float) -> float:
+        """Apply the cleaner's trust style to a noisy count."""
+        if self.style == "optimistic":
+            return noisy_value + alpha / 5.0
+        if self.style == "pessimistic":
+            return noisy_value - alpha / 5.0
+        return noisy_value
+
+    # -- candidate predicate enumeration (c2-c5a) -------------------------------------
+
+    def candidate_predicates(
+        self,
+        attributes: Sequence[tuple[str, str, str]],
+        rng: np.random.Generator | None = None,
+    ) -> list[SimilarityPredicateSpec]:
+        """All candidate similarity predicates for the chosen attributes.
+
+        ``attributes`` is a sequence of ``(logical_name, left_column,
+        right_column)`` triples (the strategies pass the least-NULL ones).
+        Character-based similarities use the identity transform; token-based
+        ones use each tokenizing transform the cleaner selected; the ``diff``
+        similarity only applies to the numeric ``year`` attribute.  Candidates
+        are ordered by descending threshold (c5a), with the order inside each
+        threshold group shuffled (x7).
+        """
+        generator = rng if rng is not None else np.random.default_rng(self.shuffle_seed)
+        thresholds = enumerate_thresholds(
+            self.threshold_low,
+            self.threshold_high,
+            self.n_thresholds,
+            descending=self.descending_thresholds,
+        )
+        by_threshold: dict[float, list[SimilarityPredicateSpec]] = {
+            theta: [] for theta in thresholds
+        }
+        for logical, left_column, right_column in attributes:
+            numeric = logical == "year"
+            for similarity in self.similarities:
+                if numeric and similarity != "diff":
+                    continue
+                if not numeric and similarity == "diff":
+                    continue
+                if similarity in _TOKEN_SIMS:
+                    transform_names: tuple[str, ...] = self.transforms
+                else:
+                    transform_names = ("identity",)
+                for transform in transform_names:
+                    for theta in thresholds:
+                        by_threshold[theta].append(
+                            SimilarityPredicateSpec(
+                                attribute=logical,
+                                left_column=left_column,
+                                right_column=right_column,
+                                transform=transform,
+                                similarity=similarity,
+                                threshold=theta,
+                            )
+                        )
+        ordered: list[SimilarityPredicateSpec] = []
+        for theta in thresholds:
+            group = by_threshold[theta]
+            generator.shuffle(group)  # type: ignore[arg-type]
+            ordered.extend(group)
+        return ordered
+
+
+@dataclass
+class CleanerModel:
+    """Samples concrete cleaners from the Table 3 parameter space."""
+
+    seed: int | None = None
+    rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.rng = np.random.default_rng(self.seed)
+
+    def sample(self) -> CleanerProfile:
+        """Draw one concrete cleaner (c1-c6 parameter assignment)."""
+        rng = self.rng
+        n_attributes = int(rng.integers(2, 4))
+        n_transforms = int(rng.integers(1, len(DEFAULT_TRANSFORM_NAMES) + 1))
+        transforms = tuple(
+            rng.choice(DEFAULT_TRANSFORM_NAMES, size=n_transforms, replace=False)
+        )
+        text_sims = list(_CHAR_SIMS + _TOKEN_SIMS)
+        n_sims = int(rng.integers(2, min(6, len(text_sims)) + 1))
+        similarities = tuple(rng.choice(text_sims, size=n_sims, replace=False)) + ("diff",)
+        threshold_low = float(rng.uniform(0.05, 0.5))
+        threshold_high = float(rng.uniform(0.55, 0.95))
+        n_thresholds = int(rng.integers(2, 7))
+        descending = bool(rng.random() < 0.8)
+        min_match_fraction = float(rng.uniform(0.2, 0.5))
+        max_nonmatch_fraction = float(rng.uniform(0.1, 0.2))
+        relaxation_factor = float(rng.choice([2.0, 3.0]))
+        style = str(rng.choice(_STYLES))
+        max_match_prune = float(rng.uniform(0.01, 0.05))
+        min_nonmatch_prune = float(rng.uniform(0.4, 0.6))
+        return CleanerProfile(
+            n_attributes=n_attributes,
+            transforms=transforms,
+            similarities=similarities,
+            threshold_low=threshold_low,
+            threshold_high=threshold_high,
+            n_thresholds=n_thresholds,
+            descending_thresholds=descending,
+            min_match_fraction=min_match_fraction,
+            max_nonmatch_fraction=max_nonmatch_fraction,
+            relaxation_factor=relaxation_factor,
+            style=style,
+            max_match_prune=max_match_prune,
+            min_nonmatch_prune=min_nonmatch_prune,
+            shuffle_seed=int(rng.integers(0, 2**31 - 1)),
+        )
+
+    @staticmethod
+    def default_profile() -> CleanerProfile:
+        """A fixed, reasonable cleaner used by tests and the quickstart example."""
+        return CleanerProfile(
+            n_attributes=2,
+            transforms=("2grams", "space"),
+            similarities=("jaccard", "cosine", "edit", "diff"),
+            threshold_low=0.3,
+            threshold_high=0.8,
+            n_thresholds=4,
+            descending_thresholds=True,
+            min_match_fraction=0.3,
+            max_nonmatch_fraction=0.15,
+            relaxation_factor=2.0,
+            style="neutral",
+        )

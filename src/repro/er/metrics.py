@@ -1,0 +1,85 @@
+"""Quality metrics for the entity-resolution case study and for ICQ/TCQ answers.
+
+* blocking quality: recall of the learned disjunction over the true matches and
+  its blocking cost (how many pairs survive),
+* matching quality: precision / recall / F1 of the learned conjunction as a
+  match classifier,
+* ``f1_sets``: F1 similarity between the true and reported bin-identifier sets
+  of an ICQ/TCQ answer (used by Figure 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+import numpy as np
+
+from repro.core.exceptions import ApexError
+
+__all__ = [
+    "precision_recall",
+    "f1_score",
+    "blocking_cost",
+    "set_precision_recall",
+    "f1_sets",
+]
+
+
+def precision_recall(
+    predicted: np.ndarray, actual: np.ndarray
+) -> tuple[float, float]:
+    """Precision and recall of a boolean prediction mask against truth.
+
+    Empty denominators yield 0.0 (rather than NaN) so downstream aggregation
+    over many runs stays well defined.
+    """
+    predicted = np.asarray(predicted, dtype=bool)
+    actual = np.asarray(actual, dtype=bool)
+    if predicted.shape != actual.shape:
+        raise ApexError("predicted and actual masks must have the same shape")
+    true_positives = int((predicted & actual).sum())
+    predicted_positives = int(predicted.sum())
+    actual_positives = int(actual.sum())
+    precision = true_positives / predicted_positives if predicted_positives else 0.0
+    recall = true_positives / actual_positives if actual_positives else 0.0
+    return precision, recall
+
+
+def f1_score(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Harmonic mean of precision and recall of a boolean prediction mask."""
+    precision, recall = precision_recall(predicted, actual)
+    if precision + recall == 0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def blocking_cost(predicted: np.ndarray) -> int:
+    """The blocking cost: the number of pairs the blocking formula keeps."""
+    return int(np.asarray(predicted, dtype=bool).sum())
+
+
+def set_precision_recall(
+    reported: Collection[str], truth: Collection[str]
+) -> tuple[float, float]:
+    """Precision and recall of a reported identifier set against the true set."""
+    reported_set = set(reported)
+    truth_set = set(truth)
+    intersection = len(reported_set & truth_set)
+    precision = intersection / len(reported_set) if reported_set else 0.0
+    recall = intersection / len(truth_set) if truth_set else 0.0
+    return precision, recall
+
+
+def f1_sets(reported: Collection[str], truth: Collection[str]) -> float:
+    """F1 similarity between the reported and true bin-identifier sets.
+
+    Used to relate the paper's ``(alpha, beta)`` accuracy measure to a
+    conventional error metric for ICQ/TCQ answers (Figure 3).  Both sets empty
+    counts as perfect agreement.
+    """
+    if not reported and not truth:
+        return 1.0
+    precision, recall = set_precision_recall(reported, truth)
+    if precision + recall == 0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)

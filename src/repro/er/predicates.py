@@ -1,0 +1,202 @@
+"""Similarity predicates and boolean formulas over pair tables.
+
+A similarity predicate ``p = (A, t, sim, theta)`` returns True for a pair
+``(r1, r2)`` when ``sim(t(r1.A), t(r2.A)) > theta`` (Section 8.1).  The
+blocking task learns a *disjunction* of such predicates; the matching task a
+*conjunction*.
+
+Because the exploration strategies evaluate many predicates that share the
+same ``(A, t, sim)`` triple (only the threshold differs), the expensive part
+-- computing the similarity score of every pair -- is cached per table in
+:class:`SimilarityCache`.  Predicates plug into the APEx query language as
+:class:`~repro.queries.predicates.FunctionPredicate` instances, so the engine
+treats them like any other (opaque) predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import ApexError
+from repro.data.table import Table
+from repro.er.similarity import SimilarityFunction, get_similarity
+from repro.er.transforms import Transform, get_transform
+from repro.queries.predicates import FunctionPredicate, Predicate
+
+__all__ = ["SimilarityPredicateSpec", "SimilarityCache", "BooleanFormula"]
+
+
+@dataclass(frozen=True)
+class SimilarityPredicateSpec:
+    """One similarity predicate ``sim(t(A_left), t(A_right)) > threshold``."""
+
+    attribute: str
+    left_column: str
+    right_column: str
+    transform: str
+    similarity: str
+    threshold: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.similarity}({self.transform}({self.attribute})) > "
+            f"{self.threshold:.2f}"
+        )
+
+    def key(self) -> tuple[str, str, str]:
+        """The cache key shared by all thresholds of the same score column."""
+        return (self.attribute, self.transform, self.similarity)
+
+
+class SimilarityCache:
+    """Caches per-pair similarity scores for one pair table.
+
+    The cache is keyed by ``(attribute, transform, similarity)``; thresholds
+    are applied lazily, so evaluating dozens of candidate predicates that only
+    differ in ``theta`` costs a single pass over the data.
+    """
+
+    def __init__(self, table: Table) -> None:
+        self._table = table
+        self._scores: dict[tuple[str, str, str], np.ndarray] = {}
+
+    @property
+    def table(self) -> Table:
+        return self._table
+
+    def scores(self, spec: SimilarityPredicateSpec) -> np.ndarray:
+        """The similarity score of every pair for the spec's score column."""
+        key = spec.key()
+        cached = self._scores.get(key)
+        if cached is not None:
+            return cached
+        transform: Transform = get_transform(spec.transform)
+        similarity: SimilarityFunction = get_similarity(spec.similarity)
+        left = self._table.column(spec.left_column)
+        right = self._table.column(spec.right_column)
+        values = np.empty(len(self._table), dtype=float)
+        for index in range(len(self._table)):
+            left_value = left[index]
+            right_value = right[index]
+            if _is_null(left_value) or _is_null(right_value):
+                values[index] = 0.0
+                continue
+            values[index] = similarity(transform(left_value), transform(right_value))
+        self._scores[key] = values
+        return values
+
+    def mask(self, spec: SimilarityPredicateSpec) -> np.ndarray:
+        """Boolean mask of pairs satisfying the predicate."""
+        return self.scores(spec) > spec.threshold
+
+    def predicate(self, spec: SimilarityPredicateSpec) -> Predicate:
+        """The spec as an APEx query predicate (opaque function predicate)."""
+        return FunctionPredicate(
+            spec.describe(),
+            lambda table, spec=spec: self._mask_for(table, spec),
+            attributes=(spec.left_column, spec.right_column),
+        )
+
+    def _mask_for(self, table: Table, spec: SimilarityPredicateSpec) -> np.ndarray:
+        if table is not self._table and len(table) != len(self._table):
+            raise ApexError(
+                "a cached similarity predicate was evaluated on a different table"
+            )
+        return self.mask(spec)
+
+    def cached_keys(self) -> list[tuple[str, str, str]]:
+        return list(self._scores)
+
+
+@dataclass(frozen=True)
+class BooleanFormula:
+    """A conjunction or disjunction of similarity predicates.
+
+    The empty disjunction matches nothing; the empty conjunction matches
+    everything -- the natural identities for growing blocking (OR) and
+    matching (AND) formulas predicate by predicate.
+    """
+
+    specs: tuple[SimilarityPredicateSpec, ...]
+    conjunction: bool = False
+
+    @classmethod
+    def disjunction(
+        cls, specs: Iterable[SimilarityPredicateSpec] = ()
+    ) -> "BooleanFormula":
+        return cls(tuple(specs), conjunction=False)
+
+    @classmethod
+    def conjunction_of(
+        cls, specs: Iterable[SimilarityPredicateSpec] = ()
+    ) -> "BooleanFormula":
+        return cls(tuple(specs), conjunction=True)
+
+    def with_predicate(self, spec: SimilarityPredicateSpec) -> "BooleanFormula":
+        """A new formula extended by one predicate."""
+        return BooleanFormula(self.specs + (spec,), conjunction=self.conjunction)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.specs
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def evaluate(self, cache: SimilarityCache) -> np.ndarray:
+        """Boolean mask of pairs captured by the formula."""
+        n_rows = len(cache.table)
+        if not self.specs:
+            if self.conjunction:
+                return np.ones(n_rows, dtype=bool)
+            return np.zeros(n_rows, dtype=bool)
+        masks = [cache.mask(spec) for spec in self.specs]
+        combined = masks[0].copy()
+        for mask in masks[1:]:
+            combined = (combined & mask) if self.conjunction else (combined | mask)
+        return combined
+
+    def predicate(self, cache: SimilarityCache) -> Predicate:
+        """The formula as an APEx query predicate."""
+        return FunctionPredicate(
+            self.describe(),
+            lambda table: self.evaluate(cache),
+            attributes=frozenset(
+                column
+                for spec in self.specs
+                for column in (spec.left_column, spec.right_column)
+            ),
+        )
+
+    def describe(self) -> str:
+        if not self.specs:
+            return "FALSE" if not self.conjunction else "TRUE"
+        connector = " AND " if self.conjunction else " OR "
+        return connector.join(spec.describe() for spec in self.specs)
+
+
+def _is_null(value: object) -> bool:
+    if value is None:
+        return True
+    if isinstance(value, float) and np.isnan(value):
+        return True
+    return False
+
+
+def enumerate_thresholds(
+    low: float, high: float, count: int, *, descending: bool = True
+) -> Sequence[float]:
+    """``count`` thresholds evenly spaced in ``[low, high]`` (c4 of the cleaner model)."""
+    if count <= 0:
+        raise ApexError("the number of thresholds must be positive")
+    if not 0.0 <= low < high <= 1.0:
+        raise ApexError("thresholds must satisfy 0 <= low < high <= 1")
+    if count == 1:
+        values = [round((low + high) / 2.0, 4)]
+    else:
+        step = (high - low) / (count - 1)
+        values = [round(low + i * step, 4) for i in range(count)]
+    return sorted(values, reverse=descending)

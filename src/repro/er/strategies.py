@@ -1,0 +1,546 @@
+"""The four exploration strategies of the entity-resolution case study.
+
+Appendix C (Figures 8 and 9) describes two strategies per task:
+
+* **BS1** -- blocking with workload counting queries only,
+* **BS2** -- blocking with a top-k query (attribute choice) and iceberg
+  queries (predicate screening),
+* **MS1** -- matching with workload counting queries only,
+* **MS2** -- matching with top-k / iceberg queries.
+
+Each strategy drives an :class:`~repro.core.engine.APExEngine` session: it
+issues queries, reads the noisy answers through the sampled cleaner's "trust
+style", grows a boolean formula (a disjunction for blocking, a conjunction
+for matching) predicate by predicate, and stops when either the candidate
+predicates are exhausted or the engine starts denying queries because the
+owner's budget is spent.  The returned :class:`StrategyOutcome` carries the
+formula and its quality on the true labels -- recall / blocking cost for
+blocking, precision / recall / F1 for matching -- which is what Figures 5-7
+of the paper plot.
+
+The ICQ screening queries of BS2/MS2 deviate from Figure 8b/9b in one detail:
+the figures phrase the negative check as ``HAVING COUNT(*) > 0.9 x
+remaining_non_matches``, which as written would almost never fire; we use the
+semantically intended check (the predicate must *not* clear the
+``x9 x remaining_non_matches`` threshold).  The positive check matches the
+figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.accuracy import AccuracySpec
+from repro.core.engine import APExEngine, ExplorationResult
+from repro.data.citations import ER_ATTRIBUTE_PAIRS
+from repro.data.table import Table
+from repro.er.cleaner import CleanerProfile
+from repro.er.metrics import blocking_cost, f1_score, precision_recall
+from repro.er.predicates import (
+    BooleanFormula,
+    SimilarityCache,
+    SimilarityPredicateSpec,
+)
+from repro.queries.predicates import And, Comparison, IsNull, Not, Or, Predicate
+from repro.queries.query import (
+    IcebergCountingQuery,
+    TopKCountingQuery,
+    WorkloadCountingQuery,
+)
+from repro.queries.workload import Workload
+
+__all__ = [
+    "StrategyOutcome",
+    "BlockingStrategyWCQ",
+    "BlockingStrategyICQ",
+    "MatchingStrategyWCQ",
+    "MatchingStrategyICQ",
+]
+
+
+@dataclass
+class StrategyOutcome:
+    """What one exploration run produced and how good it is."""
+
+    task: str
+    strategy: str
+    formula: BooleanFormula
+    recall: float
+    precision: float
+    f1: float
+    blocking_cost: int
+    queries_answered: int
+    queries_denied: int
+    epsilon_spent: float
+    details: dict = field(default_factory=dict)
+
+    @property
+    def quality(self) -> float:
+        """The task's headline quality: recall for blocking, F1 for matching."""
+        return self.recall if self.task == "blocking" else self.f1
+
+
+class _ExplorationStrategy:
+    """Shared machinery for the four strategies."""
+
+    task = "blocking"
+    strategy_name = "base"
+
+    def __init__(
+        self,
+        table: Table,
+        cleaner: CleanerProfile,
+        accuracy: AccuracySpec,
+        *,
+        cache: SimilarityCache | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self._table = table
+        self._cleaner = cleaner
+        self._accuracy = accuracy
+        self._cache = cache if cache is not None else SimilarityCache(table)
+        self._rng = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+        self._queries_answered = 0
+        self._queries_denied = 0
+        self._budget_exhausted = False
+
+    # -- engine interaction ------------------------------------------------------------
+
+    def _ask(self, engine: APExEngine, query, name: str) -> ExplorationResult | None:
+        """Issue one query; returns ``None`` once the engine starts denying."""
+        if self._budget_exhausted:
+            return None
+        result = engine.explore(query, self._accuracy)
+        if result.denied:
+            self._queries_denied += 1
+            self._budget_exhausted = True
+            return None
+        self._queries_answered += 1
+        _ = name
+        return result
+
+    def _adjusted(self, value: float) -> float:
+        return self._cleaner.adjust(value, self._accuracy.alpha)
+
+    # -- query construction helpers ------------------------------------------------------
+
+    def _null_count_workload(self) -> Workload:
+        predicates: list[Predicate] = []
+        names: list[str] = []
+        for logical, left, right in ER_ATTRIBUTE_PAIRS:
+            predicates.append(Or([IsNull(left), IsNull(right)]))
+            names.append(logical)
+        return Workload(predicates, names)
+
+    def _not_null_workload(self) -> Workload:
+        predicates: list[Predicate] = []
+        names: list[str] = []
+        for logical, left, right in ER_ATTRIBUTE_PAIRS:
+            predicates.append(Not(Or([IsNull(left), IsNull(right)])))
+            names.append(logical)
+        return Workload(predicates, names)
+
+    def _label_totals_query(self) -> WorkloadCountingQuery:
+        workload = Workload(
+            [Comparison("label", "==", "MATCH"), Comparison("label", "==", "NON-MATCH")],
+            ["matches", "non_matches"],
+        )
+        return WorkloadCountingQuery(workload, name="label-totals", disjoint=True)
+
+    def _screen_predicate(
+        self,
+        formula: BooleanFormula,
+        spec: SimilarityPredicateSpec,
+        label: str,
+        *,
+        exclude_formula: bool,
+    ) -> Predicate:
+        """``[NOT] O AND p AND label = <label>`` as an engine predicate."""
+        formula_predicate = formula.predicate(self._cache)
+        parts: list[Predicate] = []
+        if not formula.is_empty:
+            parts.append(Not(formula_predicate) if exclude_formula else formula_predicate)
+        elif not exclude_formula and formula.conjunction:
+            # the empty conjunction captures everything; no constraint needed
+            pass
+        parts.append(self._cache.predicate(spec))
+        parts.append(Comparison("label", "==", label))
+        return And(parts)
+
+    def _single_count_query(self, predicate: Predicate, name: str) -> WorkloadCountingQuery:
+        return WorkloadCountingQuery(
+            Workload([predicate], [name]), name=name, sensitivity=1.0
+        )
+
+    def _single_iceberg_query(
+        self, predicate: Predicate, threshold: float, name: str
+    ) -> IcebergCountingQuery:
+        return IcebergCountingQuery(
+            Workload([predicate], [name]),
+            threshold=max(threshold, 0.0),
+            name=name,
+            sensitivity=1.0,
+        )
+
+    # -- attribute choice (c1) -------------------------------------------------------------
+
+    def _choose_attributes_wcq(self, engine: APExEngine) -> list[tuple[str, str, str]]:
+        query = WorkloadCountingQuery(
+            self._null_count_workload(), name="q1-null-counts", sensitivity=float(
+                len(ER_ATTRIBUTE_PAIRS)
+            )
+        )
+        result = self._ask(engine, query, "q1")
+        if result is None:
+            return list(ER_ATTRIBUTE_PAIRS[: self._cleaner.n_attributes])
+        counts = np.asarray(result.answer, dtype=float)
+        order = np.argsort(counts, kind="stable")
+        chosen = [ER_ATTRIBUTE_PAIRS[i] for i in order[: self._cleaner.n_attributes]]
+        return chosen
+
+    def _choose_attributes_tcq(self, engine: APExEngine) -> list[tuple[str, str, str]]:
+        query = TopKCountingQuery(
+            self._not_null_workload(),
+            k=self._cleaner.n_attributes,
+            name="q1'-top-not-null",
+            sensitivity=float(len(ER_ATTRIBUTE_PAIRS)),
+        )
+        result = self._ask(engine, query, "q1'")
+        if result is None:
+            return list(ER_ATTRIBUTE_PAIRS[: self._cleaner.n_attributes])
+        chosen_names = list(result.answer or [])
+        by_name = {logical: (logical, left, right) for logical, left, right in ER_ATTRIBUTE_PAIRS}
+        chosen = [by_name[name] for name in chosen_names if name in by_name]
+        if not chosen:
+            chosen = list(ER_ATTRIBUTE_PAIRS[: self._cleaner.n_attributes])
+        return chosen
+
+    def _label_totals(self, engine: APExEngine) -> tuple[float, float]:
+        result = self._ask(engine, self._label_totals_query(), "q0")
+        if result is None:
+            # fall back to an uninformative guess: half the table each
+            half = len(self._table) / 2.0
+            return half, half
+        counts = np.asarray(result.answer, dtype=float)
+        return max(float(counts[0]), 1.0), max(float(counts[1]), 1.0)
+
+    # -- evaluation -----------------------------------------------------------------------
+
+    def _outcome(self, formula: BooleanFormula, engine: APExEngine, details: dict) -> StrategyOutcome:
+        predicted = formula.evaluate(self._cache)
+        actual = np.asarray(
+            [value == "MATCH" for value in self._table.column("label")], dtype=bool
+        )
+        precision, recall = precision_recall(predicted, actual)
+        return StrategyOutcome(
+            task=self.task,
+            strategy=self.strategy_name,
+            formula=formula,
+            recall=recall,
+            precision=precision,
+            f1=f1_score(predicted, actual),
+            blocking_cost=blocking_cost(predicted),
+            queries_answered=self._queries_answered,
+            queries_denied=self._queries_denied,
+            epsilon_spent=engine.budget_spent,
+            details=details,
+        )
+
+    # -- public API ------------------------------------------------------------------------
+
+    def run(self, engine: APExEngine) -> StrategyOutcome:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# Blocking strategies
+# ---------------------------------------------------------------------------
+
+
+class BlockingStrategyWCQ(_ExplorationStrategy):
+    """BS1: blocking using workload counting queries only (Figure 8a)."""
+
+    task = "blocking"
+    strategy_name = "BS1"
+
+    def run(self, engine: APExEngine) -> StrategyOutcome:
+        attributes = self._choose_attributes_wcq(engine)
+        total_matches, total_non_matches = self._label_totals(engine)
+        candidates = self._cleaner.candidate_predicates(attributes, self._rng)
+
+        formula = BooleanFormula.disjunction()
+        remaining_matches = total_matches
+        remaining_non_matches = total_non_matches
+        cost_estimate = 0.0
+        cost_cutoff = self._cleaner.blocking_cost_fraction * len(self._table)
+        min_match_fraction = self._cleaner.min_match_fraction
+        max_nonmatch_fraction = self._cleaner.max_nonmatch_fraction
+
+        for round_index in range(self._cleaner.max_relaxation_rounds):
+            accepted_this_round = 0
+            for spec in candidates:
+                if self._budget_exhausted or len(formula) >= self._cleaner.max_formula_size:
+                    break
+                caught = self._ask(
+                    engine,
+                    self._single_count_query(
+                        self._screen_predicate(formula, spec, "MATCH", exclude_formula=True),
+                        f"q5a[{spec.describe()}]",
+                    ),
+                    "q5a",
+                )
+                if caught is None:
+                    break
+                caught_matches = self._adjusted(float(np.asarray(caught.answer)[0]))
+                caught_non = self._ask(
+                    engine,
+                    self._single_count_query(
+                        self._screen_predicate(formula, spec, "NON-MATCH", exclude_formula=True),
+                        f"q5b[{spec.describe()}]",
+                    ),
+                    "q5b",
+                )
+                if caught_non is None:
+                    break
+                caught_non_matches = self._adjusted(float(np.asarray(caught_non.answer)[0]))
+
+                good_coverage = caught_matches >= min_match_fraction * remaining_matches
+                low_cost = caught_non_matches <= max_nonmatch_fraction * remaining_non_matches
+                within_cutoff = (
+                    cost_estimate + caught_matches + caught_non_matches <= cost_cutoff
+                )
+                if good_coverage and low_cost and within_cutoff:
+                    formula = formula.with_predicate(spec)
+                    remaining_matches = max(remaining_matches - caught_matches, 1.0)
+                    remaining_non_matches = max(
+                        remaining_non_matches - caught_non_matches, 1.0
+                    )
+                    cost_estimate += max(caught_matches, 0.0) + max(caught_non_matches, 0.0)
+                    accepted_this_round += 1
+                if remaining_matches <= 0.05 * total_matches:
+                    break
+            if self._budget_exhausted or not formula.is_empty:
+                break
+            if accepted_this_round == 0:
+                # c5b relaxation: loosen both criteria and try again.
+                min_match_fraction /= self._cleaner.relaxation_factor
+                max_nonmatch_fraction *= self._cleaner.relaxation_factor
+            _ = round_index
+        return self._outcome(
+            formula,
+            engine,
+            {
+                "attributes": [a[0] for a in attributes],
+                "total_matches_estimate": total_matches,
+            },
+        )
+
+
+class BlockingStrategyICQ(_ExplorationStrategy):
+    """BS2: blocking using a top-k query and iceberg screening queries (Figure 8b)."""
+
+    task = "blocking"
+    strategy_name = "BS2"
+
+    def run(self, engine: APExEngine) -> StrategyOutcome:
+        attributes = self._choose_attributes_tcq(engine)
+        total_matches, total_non_matches = self._label_totals(engine)
+        candidates = self._cleaner.candidate_predicates(attributes, self._rng)
+
+        formula = BooleanFormula.disjunction()
+        remaining_matches = total_matches
+        remaining_non_matches = total_non_matches
+        cost_estimate = 0.0
+        cost_cutoff = self._cleaner.blocking_cost_fraction * len(self._table)
+        min_match_fraction = self._cleaner.min_match_fraction
+        max_nonmatch_fraction = self._cleaner.max_nonmatch_fraction
+
+        for _round in range(self._cleaner.max_relaxation_rounds):
+            accepted_this_round = 0
+            for spec in candidates:
+                if self._budget_exhausted or len(formula) >= self._cleaner.max_formula_size:
+                    break
+                positive = self._ask(
+                    engine,
+                    self._single_iceberg_query(
+                        self._screen_predicate(formula, spec, "MATCH", exclude_formula=True),
+                        threshold=min_match_fraction * remaining_matches,
+                        name=f"q5a'[{spec.describe()}]",
+                    ),
+                    "q5a'",
+                )
+                if positive is None:
+                    break
+                negative = self._ask(
+                    engine,
+                    self._single_iceberg_query(
+                        self._screen_predicate(formula, spec, "NON-MATCH", exclude_formula=True),
+                        threshold=max_nonmatch_fraction * remaining_non_matches,
+                        name=f"q5b'[{spec.describe()}]",
+                    ),
+                    "q5b'",
+                )
+                if negative is None:
+                    break
+                covers_matches = len(positive.answer or []) > 0
+                floods_non_matches = len(negative.answer or []) > 0
+                # ICQ answers reveal only threshold membership, not counts, so
+                # the blocking-cost increment is estimated from the match side
+                # alone: the predicate caught at least x8 of the remaining
+                # matches, and the non-flood check already bounds the
+                # non-match contribution below x9 of the remaining non-matches.
+                expected_cost = min_match_fraction * remaining_matches
+                within_cutoff = cost_estimate + expected_cost <= cost_cutoff
+                if covers_matches and not floods_non_matches and within_cutoff:
+                    formula = formula.with_predicate(spec)
+                    remaining_matches = max(
+                        remaining_matches * (1.0 - min_match_fraction), 1.0
+                    )
+                    remaining_non_matches = max(
+                        remaining_non_matches * (1.0 - max_nonmatch_fraction), 1.0
+                    )
+                    cost_estimate += expected_cost
+                    accepted_this_round += 1
+                if remaining_matches <= 0.05 * total_matches:
+                    break
+            if self._budget_exhausted or not formula.is_empty:
+                break
+            if accepted_this_round == 0:
+                min_match_fraction /= self._cleaner.relaxation_factor
+                max_nonmatch_fraction *= self._cleaner.relaxation_factor
+        return self._outcome(
+            formula,
+            engine,
+            {
+                "attributes": [a[0] for a in attributes],
+                "total_matches_estimate": total_matches,
+            },
+        )
+
+
+# ---------------------------------------------------------------------------
+# Matching strategies
+# ---------------------------------------------------------------------------
+
+
+class MatchingStrategyWCQ(_ExplorationStrategy):
+    """MS1: matching using workload counting queries only (Figure 9a)."""
+
+    task = "matching"
+    strategy_name = "MS1"
+
+    def run(self, engine: APExEngine) -> StrategyOutcome:
+        attributes = self._choose_attributes_wcq(engine)
+        total_matches, total_non_matches = self._label_totals(engine)
+        candidates = self._cleaner.candidate_predicates(attributes, self._rng)
+
+        formula = BooleanFormula.conjunction_of()
+        captured_matches = total_matches
+        captured_non_matches = total_non_matches
+
+        for spec in candidates:
+            if self._budget_exhausted or len(formula) >= self._cleaner.max_formula_size:
+                break
+            kept = self._ask(
+                engine,
+                self._single_count_query(
+                    self._screen_predicate(formula, spec, "MATCH", exclude_formula=False),
+                    f"q5a[{spec.describe()}]",
+                ),
+                "q5a",
+            )
+            if kept is None:
+                break
+            kept_matches = self._adjusted(float(np.asarray(kept.answer)[0]))
+            kept_non = self._ask(
+                engine,
+                self._single_count_query(
+                    self._screen_predicate(formula, spec, "NON-MATCH", exclude_formula=False),
+                    f"q5b[{spec.describe()}]",
+                ),
+                "q5b",
+            )
+            if kept_non is None:
+                break
+            kept_non_matches = self._adjusted(float(np.asarray(kept_non.answer)[0]))
+
+            keeps_matches = kept_matches >= (1.0 - self._cleaner.max_match_prune) * captured_matches
+            prunes_non_matches = (
+                kept_non_matches
+                <= (1.0 - self._cleaner.min_nonmatch_prune) * captured_non_matches
+            )
+            if keeps_matches and prunes_non_matches:
+                formula = formula.with_predicate(spec)
+                captured_matches = max(kept_matches, 1.0)
+                captured_non_matches = max(kept_non_matches, 1.0)
+            if captured_non_matches <= 0.02 * total_non_matches:
+                break
+        return self._outcome(
+            formula,
+            engine,
+            {"attributes": [a[0] for a in attributes]},
+        )
+
+
+class MatchingStrategyICQ(_ExplorationStrategy):
+    """MS2: matching using a top-k query and iceberg screening queries (Figure 9b)."""
+
+    task = "matching"
+    strategy_name = "MS2"
+
+    def run(self, engine: APExEngine) -> StrategyOutcome:
+        attributes = self._choose_attributes_tcq(engine)
+        total_matches, total_non_matches = self._label_totals(engine)
+        candidates = self._cleaner.candidate_predicates(attributes, self._rng)
+
+        formula = BooleanFormula.conjunction_of()
+        captured_matches = total_matches
+        captured_non_matches = total_non_matches
+
+        for spec in candidates:
+            if self._budget_exhausted or len(formula) >= self._cleaner.max_formula_size:
+                break
+            positive = self._ask(
+                engine,
+                self._single_iceberg_query(
+                    self._screen_predicate(formula, spec, "MATCH", exclude_formula=False),
+                    threshold=(1.0 - self._cleaner.max_match_prune) * captured_matches,
+                    name=f"q5a'[{spec.describe()}]",
+                ),
+                "q5a'",
+            )
+            if positive is None:
+                break
+            negative = self._ask(
+                engine,
+                self._single_iceberg_query(
+                    self._screen_predicate(formula, spec, "NON-MATCH", exclude_formula=False),
+                    threshold=(1.0 - self._cleaner.min_nonmatch_prune) * captured_non_matches,
+                    name=f"q5b'[{spec.describe()}]",
+                ),
+                "q5b'",
+            )
+            if negative is None:
+                break
+            keeps_matches = len(positive.answer or []) > 0
+            keeps_too_many_non_matches = len(negative.answer or []) > 0
+            if keeps_matches and not keeps_too_many_non_matches:
+                formula = formula.with_predicate(spec)
+                captured_matches = max(
+                    captured_matches * (1.0 - self._cleaner.max_match_prune), 1.0
+                )
+                captured_non_matches = max(
+                    captured_non_matches * (1.0 - self._cleaner.min_nonmatch_prune), 1.0
+                )
+            if captured_non_matches <= 0.02 * total_non_matches:
+                break
+        return self._outcome(
+            formula,
+            engine,
+            {"attributes": [a[0] for a in attributes]},
+        )

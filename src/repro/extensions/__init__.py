@@ -1,0 +1,22 @@
+"""Extensions beyond the paper's core: the analyst session helpers.
+
+Appendix E of the paper sketches how further aggregates are expressible with
+the three core query types (MEDIAN/percentiles via a CDF workload, GROUP BY as
+an iceberg query followed by a counting query, SUM via value-weighted counts),
+and the conclusion lists a *recommender* that previews the privacy cost of
+candidate queries as future work.  This subpackage implements those on top of
+the public engine API:
+
+* :class:`~repro.extensions.session.AnalystSession` -- a convenience wrapper
+  around :class:`~repro.core.engine.APExEngine` offering ``histogram``,
+  ``cdf``, ``median``, ``quantile``, ``group_by_counts``, ``sum_estimate`` and
+  ``mean_estimate``, each a composition of WCQ/ICQ/TCQ queries so the engine's
+  privacy accounting covers everything.
+* :func:`~repro.extensions.session.recommend_costs` -- the cost recommender:
+  data-independent (epsilon lower/upper) previews for a batch of candidate
+  queries.
+"""
+
+from repro.extensions.session import AnalystSession, CostRecommendation, recommend_costs
+
+__all__ = ["AnalystSession", "CostRecommendation", "recommend_costs"]

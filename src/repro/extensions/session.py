@@ -1,0 +1,309 @@
+"""High-level analyst session: derived aggregates over the APEx engine.
+
+Everything here is *post-processing of engine answers* plus additional engine
+queries -- no direct data access -- so the privacy guarantee of the underlying
+transcript carries over unchanged (Theorem B.2 of the paper).
+
+The numeric helpers need a finite value range to bin over; it is taken from
+the attribute's (public) domain, or can be passed explicitly when the domain
+is unbounded above (e.g. ``capital_gain``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.accuracy import AccuracySpec
+from repro.core.engine import APExEngine, ExplorationResult
+from repro.core.exceptions import ApexError, QueryError
+from repro.data.schema import AttributeKind
+from repro.queries.builders import (
+    cumulative_histogram_workload,
+    histogram_workload,
+    point_workload,
+)
+from repro.queries.query import (
+    IcebergCountingQuery,
+    Query,
+    WorkloadCountingQuery,
+)
+
+__all__ = ["AnalystSession", "CostRecommendation", "recommend_costs"]
+
+
+@dataclass(frozen=True)
+class CostRecommendation:
+    """Preview of what one candidate query would cost (data independent)."""
+
+    query_name: str
+    query_kind: str
+    best_mechanism: str
+    epsilon_lower: float
+    epsilon_upper: float
+    fits_budget: bool
+
+
+def recommend_costs(
+    engine: APExEngine,
+    candidates: Sequence[tuple[Query, AccuracySpec]],
+) -> list[CostRecommendation]:
+    """The paper's future-work 'recommender': cost previews for candidate queries.
+
+    Purely data independent (uses only ``translate``), so it costs no privacy
+    and can be called as often as the analyst likes while planning a session.
+    """
+    recommendations = []
+    for query, accuracy in candidates:
+        costs = engine.preview_cost(query, accuracy)
+        best = min(costs, key=lambda name: costs[name][1])
+        lower, upper = costs[best]
+        recommendations.append(
+            CostRecommendation(
+                query_name=query.name,
+                query_kind=query.kind.value,
+                best_mechanism=best,
+                epsilon_lower=lower,
+                epsilon_upper=upper,
+                fits_budget=upper <= engine.budget_remaining + 1e-12,
+            )
+        )
+    return recommendations
+
+
+class AnalystSession:
+    """Convenience front end for an analyst exploring one table through APEx.
+
+    Parameters
+    ----------
+    engine:
+        The engine handed over by the data owner.
+    default_accuracy:
+        Accuracy requirement used when a call does not pass one explicitly.
+    """
+
+    def __init__(self, engine: APExEngine, default_accuracy: AccuracySpec) -> None:
+        if not isinstance(engine, APExEngine):
+            raise ApexError("AnalystSession requires an APExEngine")
+        self._engine = engine
+        self._default_accuracy = default_accuracy
+
+    # -- plumbing -----------------------------------------------------------------
+
+    @property
+    def engine(self) -> APExEngine:
+        return self._engine
+
+    @property
+    def budget_remaining(self) -> float:
+        return self._engine.budget_remaining
+
+    def _accuracy(self, accuracy: AccuracySpec | None) -> AccuracySpec:
+        return accuracy if accuracy is not None else self._default_accuracy
+
+    def _schema_attribute(self, attribute: str):
+        return self._engine._table.schema[attribute]  # noqa: SLF001 - read-only use
+
+    def _value_range(
+        self, attribute: str, value_range: tuple[float, float] | None
+    ) -> tuple[float, float]:
+        if value_range is not None:
+            low, high = value_range
+        else:
+            attr = self._schema_attribute(attribute)
+            if attr.kind is not AttributeKind.NUMERIC:
+                raise QueryError(f"attribute {attribute!r} is not numeric")
+            low, high = attr.domain.low, attr.domain.high  # type: ignore[union-attr]
+        if not (math.isfinite(low) and math.isfinite(high)) or high <= low:
+            raise QueryError(
+                f"attribute {attribute!r} needs an explicit finite value_range"
+            )
+        return float(low), float(high)
+
+    # -- direct wrappers -------------------------------------------------------------
+
+    def explore(self, query: Query, accuracy: AccuracySpec | None = None) -> ExplorationResult:
+        """Pass-through to the engine (kept so a session is a one-stop handle)."""
+        return self._engine.explore(query, self._accuracy(accuracy))
+
+    def histogram(
+        self,
+        attribute: str,
+        *,
+        bins: int = 20,
+        value_range: tuple[float, float] | None = None,
+        accuracy: AccuracySpec | None = None,
+    ) -> ExplorationResult:
+        """Noisy equal-width histogram of a numeric attribute (a WCQ)."""
+        low, high = self._value_range(attribute, value_range)
+        query = WorkloadCountingQuery(
+            histogram_workload(attribute, start=low, stop=high, bins=bins),
+            name=f"histogram({attribute})",
+        )
+        return self._engine.explore(query, self._accuracy(accuracy))
+
+    def cdf(
+        self,
+        attribute: str,
+        *,
+        bins: int = 20,
+        value_range: tuple[float, float] | None = None,
+        accuracy: AccuracySpec | None = None,
+    ) -> ExplorationResult:
+        """Noisy cumulative counts of a numeric attribute (a prefix WCQ)."""
+        low, high = self._value_range(attribute, value_range)
+        query = WorkloadCountingQuery(
+            cumulative_histogram_workload(attribute, start=low, stop=high, bins=bins),
+            name=f"cdf({attribute})",
+        )
+        return self._engine.explore(query, self._accuracy(accuracy))
+
+    # -- Appendix E aggregates ----------------------------------------------------------
+
+    def quantile(
+        self,
+        attribute: str,
+        q: float,
+        *,
+        bins: int = 32,
+        value_range: tuple[float, float] | None = None,
+        accuracy: AccuracySpec | None = None,
+    ) -> tuple[float | None, ExplorationResult]:
+        """Approximate the q-quantile of a numeric attribute via a CDF query.
+
+        Returns the upper edge of the first cumulative bin whose noisy count
+        reaches ``q`` times the noisy total (the last cumulative count), plus
+        the underlying exploration result.  ``None`` is returned when the
+        query was denied.
+        """
+        if not 0.0 < q < 1.0:
+            raise QueryError("q must lie strictly between 0 and 1")
+        low, high = self._value_range(attribute, value_range)
+        result = self.cdf(
+            attribute, bins=bins, value_range=(low, high), accuracy=accuracy
+        )
+        if result.denied:
+            return None, result
+        cumulative = np.asarray(result.answer, dtype=float)
+        total = max(cumulative[-1], 1.0)
+        width = (high - low) / bins
+        target = q * total
+        for index, value in enumerate(cumulative):
+            if value >= target:
+                return low + (index + 1) * width, result
+        return high, result
+
+    def median(
+        self,
+        attribute: str,
+        *,
+        bins: int = 32,
+        value_range: tuple[float, float] | None = None,
+        accuracy: AccuracySpec | None = None,
+    ) -> tuple[float | None, ExplorationResult]:
+        """Approximate the median via :meth:`quantile` (Appendix E, MEDIAN())."""
+        return self.quantile(
+            attribute, 0.5, bins=bins, value_range=value_range, accuracy=accuracy
+        )
+
+    def group_by_counts(
+        self,
+        attribute: str,
+        *,
+        min_count: float = 0.0,
+        accuracy: AccuracySpec | None = None,
+    ) -> tuple[dict[str, float], list[ExplorationResult]]:
+        """GROUP BY a categorical attribute, keeping groups above ``min_count``.
+
+        Implemented as the paper's two-step composition: an iceberg query
+        first finds the groups whose count clears the threshold, then a
+        counting query fetches noisy counts for those groups only.  Both steps
+        go through the engine, so the total cost is the sum of two
+        translations.
+        """
+        attr = self._schema_attribute(attribute)
+        if attr.kind is not AttributeKind.CATEGORICAL:
+            raise QueryError(f"GROUP BY helper expects a categorical attribute")
+        workload = point_workload(attribute, schema=self._engine._table.schema)  # noqa: SLF001
+        iceberg = IcebergCountingQuery(
+            workload, threshold=min_count, name=f"group_by({attribute})/having"
+        )
+        first = self._engine.explore(iceberg, self._accuracy(accuracy))
+        results = [first]
+        if first.denied or not first.answer:
+            return {}, results
+        surviving_values = [name.split("= ", 1)[1] for name in first.answer]
+        counts_query = WorkloadCountingQuery(
+            point_workload(attribute, surviving_values),
+            name=f"group_by({attribute})/counts",
+        )
+        second = self._engine.explore(counts_query, self._accuracy(accuracy))
+        results.append(second)
+        if second.denied:
+            return {}, results
+        counts = {
+            value: float(count)
+            for value, count in zip(surviving_values, np.asarray(second.answer))
+        }
+        return counts, results
+
+    def sum_estimate(
+        self,
+        attribute: str,
+        *,
+        bins: int = 32,
+        value_range: tuple[float, float] | None = None,
+        accuracy: AccuracySpec | None = None,
+    ) -> tuple[float | None, ExplorationResult]:
+        """Estimate ``SUM(attribute)`` from a noisy histogram (Appendix E, SUM()).
+
+        The estimate is the dot product of the noisy bin counts with the bin
+        midpoints; its error is bounded by ``alpha * (high+low)/2 * bins``
+        from the noise plus the binning discretisation, which is adequate for
+        exploration-grade profiling.  Use more bins for a finer estimate.
+        """
+        low, high = self._value_range(attribute, value_range)
+        result = self.histogram(
+            attribute, bins=bins, value_range=(low, high), accuracy=accuracy
+        )
+        if result.denied:
+            return None, result
+        counts = np.asarray(result.answer, dtype=float)
+        width = (high - low) / bins
+        midpoints = low + width * (np.arange(bins) + 0.5)
+        return float(np.dot(counts, midpoints)), result
+
+    def mean_estimate(
+        self,
+        attribute: str,
+        *,
+        bins: int = 32,
+        value_range: tuple[float, float] | None = None,
+        accuracy: AccuracySpec | None = None,
+    ) -> tuple[float | None, ExplorationResult]:
+        """Estimate ``AVG(attribute)`` as noisy SUM over noisy COUNT."""
+        low, high = self._value_range(attribute, value_range)
+        result = self.histogram(
+            attribute, bins=bins, value_range=(low, high), accuracy=accuracy
+        )
+        if result.denied:
+            return None, result
+        counts = np.asarray(result.answer, dtype=float)
+        total = counts.sum()
+        if total <= 0:
+            return None, result
+        width = (high - low) / bins
+        midpoints = low + width * (np.arange(bins) + 0.5)
+        return float(np.dot(counts, midpoints) / total), result
+
+    # -- planning ---------------------------------------------------------------------
+
+    def recommend(
+        self, candidates: Sequence[tuple[Query, AccuracySpec | None]]
+    ) -> list[CostRecommendation]:
+        """Cost previews for candidate queries (no privacy spent)."""
+        resolved = [(query, self._accuracy(accuracy)) for query, accuracy in candidates]
+        return recommend_costs(self._engine, resolved)

@@ -1,0 +1,204 @@
+"""Noise primitives: Laplace sampling, tail bounds, and gradual release.
+
+Besides plain Laplace sampling this module implements the *noise refinement*
+step of Koufogiannis et al. ("Gradual release of sensitive data under
+differential privacy", 2015) that the multi-poking mechanism (Algorithm 4 of
+the APEx paper) relies on: given a noise value drawn from ``Lap(b_old)`` it
+produces a correlated sample whose marginal distribution is ``Lap(b_new)``
+with ``b_new < b_old``, such that releasing both values costs only the privacy
+of the *less* noisy one.
+
+The refinement uses the exact conditional distribution.  Writing
+``q = (b_new / b_old)^2`` and ``y`` for the old noise value, the old noise can
+be decomposed as ``old = new + V`` where ``V`` is 0 with probability ``q`` and
+``Lap(b_old)`` otherwise (a characteristic-function identity).  Conditioning
+on ``old = y`` therefore gives
+
+* an atom at ``new = y`` with probability
+  ``q * f_new(y) / f_old(y) = (b_new/b_old) * exp(-|y| (1/b_new - 1/b_old))``,
+* a continuous part with density proportional to
+  ``f_new(x) * f_old(y - x)`` -- a piecewise exponential with break points at
+  ``0`` and ``y`` that we sample exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.exceptions import MechanismError
+
+__all__ = [
+    "laplace_noise",
+    "laplace_tail_bound",
+    "laplace_scale_for_tail",
+    "laplace_max_error_bound",
+    "relax_laplace_noise",
+]
+
+
+def laplace_noise(
+    scale: float, size: int | tuple[int, ...], rng: np.random.Generator
+) -> np.ndarray:
+    """Samples from the Laplace distribution with the given scale ``b``."""
+    if scale <= 0:
+        raise MechanismError(f"Laplace scale must be positive, got {scale}")
+    return rng.laplace(loc=0.0, scale=scale, size=size)
+
+
+def laplace_tail_bound(scale: float, threshold: float) -> float:
+    """``Pr[|Lap(b)| > t] = exp(-t / b)`` for ``t >= 0``."""
+    if scale <= 0:
+        raise MechanismError(f"Laplace scale must be positive, got {scale}")
+    if threshold < 0:
+        return 1.0
+    return math.exp(-threshold / scale)
+
+
+def laplace_scale_for_tail(threshold: float, probability: float) -> float:
+    """The largest scale ``b`` with ``Pr[|Lap(b)| > threshold] <= probability``."""
+    if threshold <= 0:
+        raise MechanismError("threshold must be positive")
+    if not 0 < probability < 1:
+        raise MechanismError("probability must lie strictly between 0 and 1")
+    return threshold / math.log(1.0 / probability)
+
+
+def laplace_max_error_bound(scale: float, count: int, beta: float) -> float:
+    """The value ``alpha`` with ``Pr[max of `count` |Lap(b)| >= alpha] <= beta``.
+
+    Uses the exact independent-maximum expression
+    ``1 - (1 - exp(-alpha/b))^count = beta``.
+    """
+    if count <= 0:
+        raise MechanismError("count must be positive")
+    if not 0 < beta < 1:
+        raise MechanismError("beta must lie strictly between 0 and 1")
+    per_query = 1.0 - (1.0 - beta) ** (1.0 / count)
+    return scale * math.log(1.0 / per_query)
+
+
+def relax_laplace_noise(
+    noise: np.ndarray | float,
+    scale_old: float,
+    scale_new: float,
+    rng: np.random.Generator,
+) -> np.ndarray | float:
+    """Refine Laplace noise from scale ``scale_old`` down to ``scale_new``.
+
+    Given ``noise`` distributed as ``Lap(scale_old)``, returns values whose
+    marginal distribution is ``Lap(scale_new)`` (``scale_new <= scale_old``)
+    and which are maximally correlated with the input, so that the pair
+    ``(noise, refined)`` only leaks the privacy of the refined value
+    (Koufogiannis et al. 2015, Theorems 9-10).
+    """
+    if scale_new <= 0 or scale_old <= 0:
+        raise MechanismError("Laplace scales must be positive")
+    if scale_new > scale_old:
+        raise MechanismError(
+            f"refinement requires scale_new ({scale_new}) <= scale_old ({scale_old})"
+        )
+    scalar_input = np.isscalar(noise)
+    values = np.atleast_1d(np.asarray(noise, dtype=float))
+    out = np.empty_like(values)
+    for index, y in enumerate(values):
+        out[index] = _relax_single(float(y), scale_old, scale_new, rng)
+    if scalar_input:
+        return float(out[0])
+    return out
+
+
+def _relax_single(
+    y: float, b_old: float, b_new: float, rng: np.random.Generator
+) -> float:
+    if b_new == b_old:
+        return y
+    stay_probability = (b_new / b_old) * math.exp(-abs(y) * (1.0 / b_new - 1.0 / b_old))
+    if rng.random() < stay_probability:
+        return y
+    return _sample_product_density(y, b_new, b_old, rng)
+
+
+def _sample_product_density(
+    y: float, b_new: float, b_old: float, rng: np.random.Generator
+) -> float:
+    """Sample from the density proportional to ``exp(-|x|/b_new - |y-x|/b_old)``.
+
+    The log-density is piecewise linear with break points at 0 and ``y``; the
+    three (or two) segments are sampled exactly via their analytic masses and
+    truncated-exponential inverse CDFs.  All segment masses are carried in log
+    space, anchored at each segment's own maximum, so the computation stays
+    finite even when ``|y|`` is enormous relative to the scales.
+    """
+    breakpoints = sorted({0.0, y})
+    edges = [-math.inf] + breakpoints + [math.inf]
+    segments = [(lo, hi) for lo, hi in zip(edges[:-1], edges[1:]) if lo < hi]
+
+    def log_density(x: float) -> float:
+        return -abs(x) / b_new - abs(y - x) / b_old
+
+    def slope(lower: float, upper: float) -> float:
+        probe = upper - 1.0 if math.isinf(lower) else (
+            lower + 1.0 if math.isinf(upper) else (lower + upper) / 2.0
+        )
+        sign_x = 1.0 if probe > 0 else -1.0
+        sign_yx = 1.0 if (y - probe) > 0 else -1.0
+        return -sign_x / b_new + sign_yx / b_old
+
+    log_reference = max(log_density(point) for point in breakpoints)
+
+    # One descriptor per segment: (lower, upper, slope, anchor, log_mass).
+    descriptors: list[tuple[float, float, float, float, float]] = []
+    for lower, upper in segments:
+        s = slope(lower, upper)
+        # The density peaks at the end the slope points towards; that end is
+        # always finite (the slope points away from the infinite tails).
+        anchor = upper if s >= 0 else lower
+        log_peak = log_density(anchor) - log_reference
+        rate = abs(s)
+        if math.isinf(lower) or math.isinf(upper):
+            log_integral = -math.log(rate)
+        else:
+            width = upper - lower
+            decay = rate * width
+            if decay <= 0.0 or rate < 1e-15:
+                log_integral = math.log(width) if width > 0 else -math.inf
+            else:
+                # -expm1(-decay) stays positive for arbitrarily small decay
+                log_integral = math.log(-math.expm1(-decay)) - math.log(rate)
+        descriptors.append((lower, upper, s, anchor, log_peak + log_integral))
+
+    max_log_mass = max(d[4] for d in descriptors)
+    weights = [math.exp(d[4] - max_log_mass) for d in descriptors]
+    total = sum(weights)
+    pick = rng.random() * total
+    cumulative = 0.0
+    chosen = descriptors[-1]
+    for descriptor, weight in zip(descriptors, weights):
+        cumulative += weight
+        if pick <= cumulative:
+            chosen = descriptor
+            break
+    return _sample_segment_towards_anchor(chosen, rng)
+
+
+def _sample_segment_towards_anchor(
+    descriptor: tuple[float, float, float, float, float],
+    rng: np.random.Generator,
+) -> float:
+    """Sample within one segment whose density decays away from its anchor end."""
+    lower, upper, s, anchor, _ = descriptor
+    rate = abs(s)
+    u = rng.random()
+    if math.isinf(lower) or math.isinf(upper):
+        distance = -math.log(max(u, 1e-300)) / rate
+    else:
+        width = upper - lower
+        decay = rate * width
+        if rate < 1e-15 or decay <= 0.0:
+            return lower + u * width
+        distance = -math.log1p(u * math.expm1(-decay)) / rate
+    if anchor == upper:
+        return anchor - distance
+    return anchor + distance

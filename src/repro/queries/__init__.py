@@ -1,0 +1,81 @@
+"""Query language substrate: predicates, workloads, queries and the parser.
+
+The analyst-facing surface of APEx is a small SQL-like language
+(Section 3.1 of the paper)::
+
+    BIN D ON COUNT(*) WHERE W = {phi_1, ..., phi_L}
+    [HAVING COUNT(*) > c]
+    [ORDER BY COUNT(*) LIMIT k]
+    ERROR alpha CONFIDENCE 1 - beta;
+
+This subpackage provides
+
+* :mod:`repro.queries.predicates` -- the boolean predicate algebra the
+  workload ``W`` is made of,
+* :mod:`repro.queries.workload` -- workloads, domain partitioning and the
+  matrix representation ``W`` / histogram ``x`` used by every mechanism,
+* :mod:`repro.queries.query` -- the three query types (WCQ, ICQ, TCQ),
+* :mod:`repro.queries.parser` -- a parser for the declarative text form,
+* :mod:`repro.queries.builders` -- convenience builders for the common
+  workload shapes (histograms, prefix/CDF workloads, marginals).
+"""
+
+from repro.queries.predicates import (
+    And,
+    Between,
+    Comparison,
+    FalsePredicate,
+    FunctionPredicate,
+    In,
+    IsNull,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.queries.workload import Workload, WorkloadMatrix
+from repro.queries.query import (
+    IcebergCountingQuery,
+    Query,
+    QueryKind,
+    TopKCountingQuery,
+    WorkloadCountingQuery,
+)
+from repro.queries.parser import parse_query, parse_predicate
+from repro.queries.builders import (
+    cumulative_histogram_workload,
+    histogram_workload,
+    marginal_workload,
+    point_workload,
+    prefix_workload,
+    range_workload,
+)
+
+__all__ = [
+    "Predicate",
+    "Comparison",
+    "Between",
+    "In",
+    "IsNull",
+    "And",
+    "Or",
+    "Not",
+    "TruePredicate",
+    "FalsePredicate",
+    "FunctionPredicate",
+    "Workload",
+    "WorkloadMatrix",
+    "Query",
+    "QueryKind",
+    "WorkloadCountingQuery",
+    "IcebergCountingQuery",
+    "TopKCountingQuery",
+    "parse_query",
+    "parse_predicate",
+    "histogram_workload",
+    "cumulative_histogram_workload",
+    "prefix_workload",
+    "range_workload",
+    "point_workload",
+    "marginal_workload",
+]

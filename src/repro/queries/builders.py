@@ -1,0 +1,168 @@
+"""Convenience builders for the workload shapes used throughout the paper.
+
+The evaluation queries (Table 1) are all built from a handful of workload
+templates:
+
+* 1-D histograms over equal-width numeric ranges (QW1, QI3, QI4, ...),
+* prefix / cumulative-histogram workloads (QW2, QI1),
+* one-bin-per-category point workloads (QT1),
+* 2-D marginals over pairs of attributes (QW4, QI2, QT3).
+
+These helpers produce :class:`~repro.queries.workload.Workload` objects with
+readable bin names so that ICQ/TCQ answers (which are bin identifiers) stay
+interpretable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.exceptions import QueryError
+from repro.data.schema import AttributeKind, Schema
+from repro.queries.predicates import And, Between, Comparison, Predicate
+from repro.queries.workload import Workload
+
+__all__ = [
+    "range_workload",
+    "histogram_workload",
+    "prefix_workload",
+    "cumulative_histogram_workload",
+    "point_workload",
+    "marginal_workload",
+    "cross_workload",
+]
+
+
+def range_workload(
+    attribute: str, edges: Sequence[float], *, names: Sequence[str] | None = None
+) -> Workload:
+    """One bin per consecutive pair of ``edges``: ``[e0, e1), [e1, e2), ...``."""
+    edges = list(edges)
+    if len(edges) < 2:
+        raise QueryError("a range workload needs at least two edges")
+    if any(b <= a for a, b in zip(edges[:-1], edges[1:])):
+        raise QueryError("range workload edges must be strictly increasing")
+    predicates = [
+        Between(attribute, low, high) for low, high in zip(edges[:-1], edges[1:])
+    ]
+    if names is None:
+        names = [f"{attribute} in [{low:g}, {high:g})" for low, high in zip(edges[:-1], edges[1:])]
+    return Workload(predicates, names)
+
+
+def histogram_workload(
+    attribute: str,
+    *,
+    start: float,
+    stop: float,
+    bins: int,
+    names: Sequence[str] | None = None,
+) -> Workload:
+    """Equal-width histogram workload with ``bins`` disjoint bins on ``[start, stop)``."""
+    if bins <= 0:
+        raise QueryError("bins must be positive")
+    if stop <= start:
+        raise QueryError("stop must exceed start")
+    width = (stop - start) / bins
+    edges = [start + i * width for i in range(bins + 1)]
+    return range_workload(attribute, edges, names=names)
+
+
+def prefix_workload(
+    attribute: str, cut_points: Sequence[float], *, names: Sequence[str] | None = None
+) -> Workload:
+    """Inclusive prefix bins ``attribute < c`` for each cut point (a CDF workload).
+
+    The bins are nested (``b_1 subset of b_2 subset of ...``), so the workload
+    sensitivity equals its size ``L`` -- the case where the strategy-based
+    mechanism shines (Section 5.2).
+    """
+    cut_points = list(cut_points)
+    if not cut_points:
+        raise QueryError("a prefix workload needs at least one cut point")
+    if any(b <= a for a, b in zip(cut_points[:-1], cut_points[1:])):
+        raise QueryError("prefix workload cut points must be strictly increasing")
+    predicates: list[Predicate] = [Comparison(attribute, "<", c) for c in cut_points]
+    if names is None:
+        names = [f"{attribute} < {c:g}" for c in cut_points]
+    return Workload(predicates, names)
+
+
+def cumulative_histogram_workload(
+    attribute: str,
+    *,
+    start: float,
+    stop: float,
+    bins: int,
+    names: Sequence[str] | None = None,
+) -> Workload:
+    """Cumulative bins ``[start, start + i*width)`` for ``i = 1..bins`` (QW2 template)."""
+    if bins <= 0:
+        raise QueryError("bins must be positive")
+    if stop <= start:
+        raise QueryError("stop must exceed start")
+    width = (stop - start) / bins
+    predicates = [
+        Between(attribute, start, start + i * width) for i in range(1, bins + 1)
+    ]
+    if names is None:
+        names = [
+            f"{attribute} in [{start:g}, {start + i * width:g})"
+            for i in range(1, bins + 1)
+        ]
+    return Workload(predicates, names)
+
+
+def point_workload(
+    attribute: str,
+    values: Sequence[object] | None = None,
+    *,
+    schema: Schema | None = None,
+    names: Sequence[str] | None = None,
+) -> Workload:
+    """One equality bin per value (``attribute = v``); QT1 template.
+
+    If ``values`` is omitted, the full categorical domain from ``schema`` is
+    used.
+    """
+    if values is None:
+        if schema is None:
+            raise QueryError("point_workload needs either explicit values or a schema")
+        attr = schema[attribute]
+        if attr.kind is not AttributeKind.CATEGORICAL:
+            raise QueryError(
+                f"attribute {attribute!r} is not categorical; pass explicit values"
+            )
+        values = list(attr.domain.values)  # type: ignore[union-attr]
+    values = list(values)
+    if not values:
+        raise QueryError("point workload needs at least one value")
+    predicates = [Comparison(attribute, "==", v) for v in values]  # type: ignore[arg-type]
+    if names is None:
+        names = [f"{attribute} = {v}" for v in values]
+    return Workload(predicates, names)
+
+
+def marginal_workload(
+    first: Workload, second: Workload, *, separator: str = " AND "
+) -> Workload:
+    """The cross product of two workloads (2-D marginal); QW4 / QT3 template."""
+    predicates: list[Predicate] = []
+    names: list[str] = []
+    for i, p in enumerate(first.predicates):
+        for j, q in enumerate(second.predicates):
+            predicates.append(And([p, q]))
+            names.append(f"{first.name_of(i)}{separator}{second.name_of(j)}")
+    return Workload(predicates, names)
+
+
+def cross_workload(workloads: Sequence[Workload]) -> Workload:
+    """Union (concatenation) of several workloads into one; QT2 / QT4 template."""
+    predicates: list[Predicate] = []
+    names: list[str] = []
+    for workload in workloads:
+        predicates.extend(workload.predicates)
+        names.extend(workload.names)
+    if not predicates:
+        raise QueryError("cross_workload needs at least one workload")
+    return Workload(predicates, names)

@@ -1,0 +1,359 @@
+"""Parser for the declarative query language of Section 3.
+
+Grammar (case insensitive keywords)::
+
+    query      := "BIN" ident "ON" "COUNT" "(" "*" ")"
+                  "WHERE" "W" "=" "{" predicate ( (";" | ",") predicate )* "}"
+                  [ "HAVING" "COUNT" "(" "*" ")" ">" number ]
+                  [ "ORDER" "BY" "COUNT" "(" "*" ")" "LIMIT" integer ]
+                  [ "ERROR" number "CONFIDENCE" number ]
+                  [ ";" ]
+
+    predicate  := or_expr
+    or_expr    := and_expr ( "OR" and_expr )*
+    and_expr   := not_expr ( "AND" not_expr )*
+    not_expr   := "NOT" not_expr | "(" or_expr ")" | atom
+    atom       := ident op value
+                | ident "BETWEEN" number "AND" number
+                | ident "IN" "(" value ( "," value )* ")"
+                | ident "IS" [ "NOT" ] "NULL"
+                | "TRUE" | "FALSE"
+    op         := "=" | "==" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+
+Identifiers may be double-quoted to allow spaces (``"capital gain"``); string
+literals use single quotes.  Top-level commas inside the workload braces only
+separate predicates when they are not nested inside parentheses, so ``IN``
+lists work as expected.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.accuracy import AccuracySpec
+from repro.core.exceptions import ParseError
+from repro.queries.predicates import (
+    And,
+    Between,
+    Comparison,
+    FalsePredicate,
+    In,
+    IsNull,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.queries.query import (
+    IcebergCountingQuery,
+    Query,
+    TopKCountingQuery,
+    WorkloadCountingQuery,
+)
+from repro.queries.workload import Workload
+
+__all__ = ["parse_query", "parse_predicate", "Token"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: a kind tag, its text, and its source position."""
+
+    kind: str
+    text: str
+    position: int
+
+
+_TOKEN_SPEC = [
+    ("NUMBER", r"-?\d+(\.\d+)?([eE][+-]?\d+)?"),
+    ("STRING", r"'(?:[^'\\]|\\.)*'"),
+    ("QUOTED_IDENT", r'"(?:[^"\\]|\\.)*"'),
+    ("OP", r"==|!=|<>|<=|>=|=|<|>"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("SEMI", r";"),
+    ("STAR", r"\*"),
+    ("IDENT", r"[A-Za-z_][A-Za-z_0-9\.]*"),
+    ("WS", r"\s+"),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+_KEYWORDS = {
+    "BIN", "ON", "COUNT", "WHERE", "W", "HAVING", "ORDER", "BY", "LIMIT",
+    "ERROR", "CONFIDENCE", "AND", "OR", "NOT", "BETWEEN", "IN", "IS", "NULL",
+    "TRUE", "FALSE",
+}
+
+
+def _tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r}", position)
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "WS":
+            if kind == "IDENT" and value.upper() in _KEYWORDS:
+                tokens.append(Token("KEYWORD", value.upper(), position))
+            else:
+                tokens.append(Token(kind, value, position))
+        position = match.end()
+    tokens.append(Token("EOF", "", len(text)))
+    return tokens
+
+
+class _TokenStream:
+    """A cursor over the token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def at_keyword(self, *keywords: str) -> bool:
+        token = self.peek()
+        return token.kind == "KEYWORD" and token.text in keywords
+
+    def expect_keyword(self, keyword: str) -> Token:
+        token = self.next()
+        if token.kind != "KEYWORD" or token.text != keyword:
+            raise ParseError(f"expected {keyword}, found {token.text!r}", token.position)
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.next()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.kind} {token.text!r}", token.position
+            )
+        return token
+
+    def accept(self, kind: str) -> Token | None:
+        if self.peek().kind == kind:
+            return self.next()
+        return None
+
+    def accept_keyword(self, keyword: str) -> Token | None:
+        if self.at_keyword(keyword):
+            return self.next()
+        return None
+
+
+def parse_query(text: str) -> tuple[Query, AccuracySpec | None]:
+    """Parse a full query; returns the query and its accuracy spec (if given)."""
+    stream = _TokenStream(_tokenize(text))
+    stream.expect_keyword("BIN")
+    stream.expect("IDENT")  # dataset placeholder, e.g. D
+    stream.expect_keyword("ON")
+    _expect_count_star(stream)
+    stream.expect_keyword("WHERE")
+    stream.expect_keyword("W")
+    token = stream.expect("OP")
+    if token.text not in ("=", "=="):
+        raise ParseError("expected '=' after W", token.position)
+    predicates, names = _parse_workload_braces(stream)
+
+    threshold: float | None = None
+    k: int | None = None
+    if stream.accept_keyword("HAVING"):
+        _expect_count_star(stream)
+        op = stream.expect("OP")
+        if op.text != ">":
+            raise ParseError("HAVING only supports COUNT(*) > c", op.position)
+        threshold = _parse_number(stream)
+    if stream.accept_keyword("ORDER"):
+        stream.expect_keyword("BY")
+        _expect_count_star(stream)
+        stream.expect_keyword("LIMIT")
+        k = int(_parse_number(stream))
+
+    accuracy: AccuracySpec | None = None
+    if stream.accept_keyword("ERROR"):
+        alpha = _parse_number(stream)
+        stream.expect_keyword("CONFIDENCE")
+        confidence = _parse_number(stream)
+        if not 0 < confidence < 1:
+            raise ParseError("CONFIDENCE must lie strictly between 0 and 1")
+        accuracy = AccuracySpec(alpha=alpha, beta=1.0 - confidence)
+
+    stream.accept("SEMI")
+    trailing = stream.peek()
+    if trailing.kind != "EOF":
+        raise ParseError(f"unexpected trailing input {trailing.text!r}", trailing.position)
+
+    if threshold is not None and k is not None:
+        raise ParseError("a query cannot combine HAVING and ORDER BY ... LIMIT")
+
+    workload = Workload(predicates, names)
+    if threshold is not None:
+        return IcebergCountingQuery(workload, threshold), accuracy
+    if k is not None:
+        return TopKCountingQuery(workload, k), accuracy
+    return WorkloadCountingQuery(workload), accuracy
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse a single predicate expression (the contents of one workload slot)."""
+    stream = _TokenStream(_tokenize(text))
+    predicate = _parse_or(stream)
+    trailing = stream.peek()
+    if trailing.kind != "EOF":
+        raise ParseError(f"unexpected trailing input {trailing.text!r}", trailing.position)
+    return predicate
+
+
+# ---------------------------------------------------------------------------
+# Internal parsing helpers
+# ---------------------------------------------------------------------------
+
+
+def _expect_count_star(stream: _TokenStream) -> None:
+    stream.expect_keyword("COUNT")
+    stream.expect("LPAREN")
+    stream.expect("STAR")
+    stream.expect("RPAREN")
+
+
+def _parse_workload_braces(stream: _TokenStream) -> tuple[list[Predicate], list[str]]:
+    stream.expect("LBRACE")
+    predicates: list[Predicate] = []
+    names: list[str] = []
+    if stream.accept("RBRACE"):
+        raise ParseError("the workload must contain at least one predicate")
+    while True:
+        predicate = _parse_or(stream)
+        predicates.append(predicate)
+        names.append(predicate.describe())
+        token = stream.next()
+        if token.kind in ("COMMA", "SEMI"):
+            continue
+        if token.kind == "RBRACE":
+            break
+        raise ParseError(
+            f"expected ',' or '}}' in workload, found {token.text!r}", token.position
+        )
+    return predicates, names
+
+
+def _parse_or(stream: _TokenStream) -> Predicate:
+    left = _parse_and(stream)
+    children = [left]
+    while stream.accept_keyword("OR"):
+        children.append(_parse_and(stream))
+    if len(children) == 1:
+        return left
+    return Or(children)
+
+
+def _parse_and(stream: _TokenStream) -> Predicate:
+    left = _parse_not(stream)
+    children = [left]
+    while stream.accept_keyword("AND"):
+        children.append(_parse_not(stream))
+    if len(children) == 1:
+        return left
+    return And(children)
+
+
+def _parse_not(stream: _TokenStream) -> Predicate:
+    if stream.accept_keyword("NOT"):
+        return Not(_parse_not(stream))
+    if stream.peek().kind == "LPAREN":
+        stream.expect("LPAREN")
+        inner = _parse_or(stream)
+        stream.expect("RPAREN")
+        return inner
+    return _parse_atom(stream)
+
+
+def _parse_atom(stream: _TokenStream) -> Predicate:
+    token = stream.peek()
+    if token.kind == "KEYWORD" and token.text == "TRUE":
+        stream.next()
+        return TruePredicate()
+    if token.kind == "KEYWORD" and token.text == "FALSE":
+        stream.next()
+        return FalsePredicate()
+
+    attribute = _parse_identifier(stream)
+    token = stream.peek()
+
+    if token.kind == "KEYWORD" and token.text == "BETWEEN":
+        stream.next()
+        low = _parse_number(stream)
+        stream.expect_keyword("AND")
+        high = _parse_number(stream)
+        return Between(attribute, low, high, low_inclusive=True, high_inclusive=True)
+
+    if token.kind == "KEYWORD" and token.text == "IN":
+        stream.next()
+        stream.expect("LPAREN")
+        values: list[str] = []
+        while True:
+            values.append(str(_parse_value(stream)))
+            nxt = stream.next()
+            if nxt.kind == "COMMA":
+                continue
+            if nxt.kind == "RPAREN":
+                break
+            raise ParseError(
+                f"expected ',' or ')' in IN list, found {nxt.text!r}", nxt.position
+            )
+        return In(attribute, values)
+
+    if token.kind == "KEYWORD" and token.text == "IS":
+        stream.next()
+        negated = stream.accept_keyword("NOT") is not None
+        stream.expect_keyword("NULL")
+        return IsNull(attribute, negated=negated)
+
+    op_token = stream.expect("OP")
+    op = {"=": "==", "<>": "!="}.get(op_token.text, op_token.text)
+    value = _parse_value(stream)
+    return Comparison(attribute, op, value)
+
+
+def _parse_identifier(stream: _TokenStream) -> str:
+    token = stream.next()
+    if token.kind == "IDENT":
+        return token.text
+    if token.kind == "QUOTED_IDENT":
+        return token.text[1:-1].replace('\\"', '"')
+    if token.kind == "KEYWORD" and token.text == "W":
+        # allow an attribute literally named "w"
+        return token.text.lower()
+    raise ParseError(f"expected an attribute name, found {token.text!r}", token.position)
+
+
+def _parse_number(stream: _TokenStream) -> float:
+    token = stream.expect("NUMBER")
+    return float(token.text)
+
+
+def _parse_value(stream: _TokenStream) -> float | str:
+    token = stream.next()
+    if token.kind == "NUMBER":
+        return float(token.text)
+    if token.kind == "STRING":
+        return token.text[1:-1].replace("\\'", "'")
+    if token.kind in ("IDENT", "QUOTED_IDENT"):
+        text = token.text
+        if token.kind == "QUOTED_IDENT":
+            text = text[1:-1]
+        return text
+    raise ParseError(f"expected a literal value, found {token.text!r}", token.position)

@@ -1,0 +1,493 @@
+"""Workloads, domain partitioning and the matrix representation.
+
+Section 5 of the paper represents a workload counting query by a matrix
+``W`` of shape ``L x |dom_W(R)|``: the full domain is partitioned so that each
+predicate is a union of partitions, the data becomes a histogram ``x`` over
+the partitions, and the true answers are ``W @ x``.  The workload sensitivity
+``||W||_1`` (maximum column L1 norm) drives the noise scale of every
+mechanism.
+
+Two analysis paths are provided:
+
+* **exact domain analysis** -- for workloads whose predicates are structured
+  comparisons over categorical / numeric attributes.  Per-attribute elementary
+  atoms are derived from the constants appearing in the workload (plus the
+  categorical domain values), the cross-product of atoms forms candidate
+  domain cells, and cells are grouped by their predicate signature.  This is
+  data independent and yields the exact matrix and sensitivity.
+* **structural analysis** -- fallback for workloads containing opaque
+  predicates (e.g. string-similarity predicates in the entity-resolution case
+  study).  The matrix is the identity over predicates and the sensitivity is
+  either declared by the caller (``disjoint=True`` => 1) or conservatively set
+  to ``L``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import PredicateError, QueryError
+from repro.data.schema import AttributeKind, Schema
+from repro.data.table import Table
+from repro.queries.predicates import (
+    Between,
+    CellValue,
+    Comparison,
+    In,
+    Interval,
+    IsNull,
+    Predicate,
+)
+
+__all__ = ["Workload", "WorkloadMatrix", "DomainPartition"]
+
+#: Hard cap on the number of candidate domain cells enumerated by the exact
+#: analysis; beyond this the workload must use structural analysis.
+MAX_DOMAIN_CELLS = 2_000_000
+
+
+class Workload:
+    """An ordered collection of named predicates ``{phi_1, ..., phi_L}``."""
+
+    def __init__(
+        self,
+        predicates: Sequence[Predicate],
+        names: Sequence[str] | None = None,
+    ) -> None:
+        preds = list(predicates)
+        if not preds:
+            raise QueryError("a workload needs at least one predicate")
+        if names is None:
+            names = [p.describe() for p in preds]
+        names = [str(n) for n in names]
+        if len(names) != len(preds):
+            raise QueryError(
+                f"{len(names)} names provided for {len(preds)} predicates"
+            )
+        self._predicates = tuple(preds)
+        self._names = tuple(names)
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._predicates)
+
+    def __iter__(self):
+        return iter(self._predicates)
+
+    def __getitem__(self, index: int) -> Predicate:
+        return self._predicates[index]
+
+    @property
+    def predicates(self) -> tuple[Predicate, ...]:
+        return self._predicates
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    @property
+    def size(self) -> int:
+        """The workload size ``L``."""
+        return len(self._predicates)
+
+    def name_of(self, index: int) -> str:
+        return self._names[index]
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._names.index(name)
+        except ValueError as exc:
+            raise QueryError(f"workload has no predicate named {name!r}") from exc
+
+    def attributes(self) -> frozenset[str]:
+        """All attributes referenced anywhere in the workload."""
+        out: frozenset[str] = frozenset()
+        for pred in self._predicates:
+            out = out | pred.attributes()
+        return out
+
+    @property
+    def supports_domain_analysis(self) -> bool:
+        return all(p.supports_domain_analysis for p in self._predicates)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        """Boolean membership matrix of shape ``(n_rows, L)``."""
+        masks = [pred.evaluate(table) for pred in self._predicates]
+        if not masks:
+            return np.zeros((len(table), 0), dtype=bool)
+        return np.column_stack(masks)
+
+    def true_answers(self, table: Table) -> np.ndarray:
+        """True counts ``c_phi_i(D)`` for every predicate, as a float vector."""
+        return self.evaluate(table).sum(axis=0).astype(float)
+
+    # -- analysis ---------------------------------------------------------------
+
+    def analyze(
+        self,
+        schema: Schema | None = None,
+        *,
+        disjoint: bool | None = None,
+        sensitivity: float | None = None,
+    ) -> "WorkloadMatrix":
+        """Compute the matrix representation of this workload.
+
+        Parameters
+        ----------
+        schema:
+            Required for exact domain analysis (structured predicates).
+        disjoint:
+            Declare that the predicates are mutually exclusive (sensitivity 1)
+            and skip the exact domain enumeration.
+        sensitivity:
+            An explicit sensitivity override; also skips the exact domain
+            enumeration (useful for huge cross-attribute workloads such as the
+            QT2/QT4 benchmarks, where the sensitivity is known structurally).
+        """
+        structural_hint = disjoint is not None or sensitivity is not None
+        if self.supports_domain_analysis and schema is not None and not structural_hint:
+            return WorkloadMatrix.from_domain_analysis(self, schema)
+        return WorkloadMatrix.from_structure(
+            self, disjoint=bool(disjoint), sensitivity=sensitivity
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Workload(size={self.size})"
+
+
+@dataclass(frozen=True)
+class DomainPartition:
+    """One partition of ``dom_W(R)``: a predicate signature plus a description."""
+
+    signature: tuple[bool, ...]
+    description: str = ""
+
+    @property
+    def weight(self) -> int:
+        """Number of workload predicates covering this partition."""
+        return int(sum(self.signature))
+
+
+class WorkloadMatrix:
+    """The matrix form ``W`` of a workload together with its partitioning.
+
+    Attributes
+    ----------
+    matrix:
+        ``L x P`` 0/1 matrix; row ``i`` marks the partitions whose tuples
+        satisfy predicate ``phi_i``.
+    partitions:
+        The ``P`` domain partitions (signatures).
+    sensitivity:
+        ``||W||_1``, the maximum column L1 norm (monotonically, the largest
+        number of predicates any single tuple can satisfy).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        matrix: np.ndarray,
+        partitions: Sequence[DomainPartition],
+        *,
+        exact: bool,
+    ) -> None:
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise QueryError("workload matrix must be two-dimensional")
+        if matrix.shape[0] != workload.size:
+            raise QueryError(
+                f"matrix has {matrix.shape[0]} rows, workload has {workload.size} "
+                "predicates"
+            )
+        if matrix.shape[1] != len(partitions):
+            raise QueryError(
+                f"matrix has {matrix.shape[1]} columns, {len(partitions)} partitions "
+                "were provided"
+            )
+        self._workload = workload
+        self._matrix = matrix
+        self._partitions = tuple(partitions)
+        self._exact = exact
+        self._histogram_cache: tuple[int, np.ndarray] | None = None
+        if matrix.size:
+            self._sensitivity = float(np.abs(matrix).sum(axis=0).max())
+        else:
+            self._sensitivity = 0.0
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def from_domain_analysis(cls, workload: Workload, schema: Schema) -> "WorkloadMatrix":
+        """Exact, data-independent matrix via domain-cell enumeration."""
+        if not workload.supports_domain_analysis:
+            raise QueryError(
+                "workload contains opaque predicates; use structural analysis"
+            )
+        atoms = _attribute_atoms(workload, schema)
+        n_cells = math.prod(len(v) for v in atoms.values()) if atoms else 1
+        if n_cells > MAX_DOMAIN_CELLS:
+            raise QueryError(
+                f"domain analysis would enumerate {n_cells} cells "
+                f"(limit {MAX_DOMAIN_CELLS}); use structural analysis instead"
+            )
+        signature_to_partition: dict[tuple[bool, ...], DomainPartition] = {}
+        attr_names = list(atoms)
+        for combo in itertools.product(*(atoms[a] for a in attr_names)):
+            cell: dict[str, CellValue] = dict(zip(attr_names, combo))
+            signature = tuple(
+                pred.evaluate_cell(cell) for pred in workload.predicates
+            )
+            if not any(signature):
+                continue
+            if signature not in signature_to_partition:
+                signature_to_partition[signature] = DomainPartition(
+                    signature=signature, description=_describe_cell(cell)
+                )
+        partitions = sorted(
+            signature_to_partition.values(), key=lambda p: p.signature, reverse=True
+        )
+        matrix = _signatures_to_matrix(workload.size, partitions)
+        return cls(workload, matrix, partitions, exact=True)
+
+    @classmethod
+    def from_structure(
+        cls,
+        workload: Workload,
+        *,
+        disjoint: bool = False,
+        sensitivity: float | None = None,
+    ) -> "WorkloadMatrix":
+        """Identity matrix over predicates with a declared/conservative sensitivity."""
+        size = workload.size
+        partitions = [
+            DomainPartition(
+                signature=tuple(i == j for j in range(size)),
+                description=workload.name_of(i),
+            )
+            for i in range(size)
+        ]
+        matrix = np.eye(size)
+        instance = cls(workload, matrix, partitions, exact=False)
+        if sensitivity is not None:
+            if sensitivity <= 0:
+                raise QueryError("an explicit sensitivity must be positive")
+            instance._sensitivity = float(sensitivity)
+        elif disjoint:
+            instance._sensitivity = 1.0
+        else:
+            instance._sensitivity = float(size)
+        return instance
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def workload(self) -> Workload:
+        return self._workload
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._matrix
+
+    @property
+    def partitions(self) -> tuple[DomainPartition, ...]:
+        return self._partitions
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self._partitions)
+
+    @property
+    def sensitivity(self) -> float:
+        """The L1 sensitivity ``||W||_1`` of the workload."""
+        return self._sensitivity
+
+    @property
+    def exact(self) -> bool:
+        """True when the matrix came from exact domain analysis."""
+        return self._exact
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._matrix.shape  # type: ignore[return-value]
+
+    # -- data-facing operations --------------------------------------------------
+
+    def partition_histogram(self, table: Table) -> np.ndarray:
+        """The histogram ``x`` of ``table`` over the workload partitions.
+
+        Each row is assigned to the partition matching its predicate
+        signature; rows satisfying no predicate fall outside ``dom_W(R)`` and
+        are ignored (they contribute to no count).  The histogram is cached per
+        table identity because repeated mechanism runs re-use it unchanged.
+        """
+        cached = self._histogram_cache
+        if cached is not None and cached[0] == id(table):
+            return cached[1]
+        membership = self._workload.evaluate(table)
+        histogram = np.zeros(self.n_partitions, dtype=float)
+        if membership.size == 0:
+            return histogram
+        index_of_signature = {
+            partition.signature: j for j, partition in enumerate(self._partitions)
+        }
+        signatures, counts = np.unique(membership, axis=0, return_counts=True)
+        for signature_row, count in zip(signatures, counts):
+            signature = tuple(bool(v) for v in signature_row)
+            if not any(signature):
+                continue
+            j = index_of_signature.get(signature)
+            if j is None:
+                if self._exact:
+                    raise QueryError(
+                        "a row matched a predicate signature that the exact "
+                        "domain analysis did not enumerate; the table contains "
+                        "values outside the declared attribute domains: "
+                        f"signature={signature}"
+                    )
+                # Structural matrices use one unit partition per predicate, so
+                # spreading the row into each matching unit partition keeps
+                # W @ x equal to the true per-predicate counts.
+                for i, flag in enumerate(signature):
+                    if flag:
+                        histogram[i] += count
+                continue
+            histogram[j] += count
+        self._histogram_cache = (id(table), histogram)
+        return histogram
+
+    def true_answers(self, table: Table) -> np.ndarray:
+        """True per-predicate counts (equals ``matrix @ partition_histogram``)."""
+        return self._workload.true_answers(table)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkloadMatrix(L={self.shape[0]}, partitions={self.shape[1]}, "
+            f"sensitivity={self.sensitivity}, exact={self._exact})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Exact domain analysis helpers
+# ---------------------------------------------------------------------------
+
+
+def _attribute_atoms(
+    workload: Workload, schema: Schema
+) -> dict[str, list[CellValue]]:
+    """Elementary per-attribute cell values induced by the workload.
+
+    Categorical attributes contribute one atom per domain value (plus NULL if
+    referenced by an ``IS NULL`` condition); numeric attributes are cut at
+    every constant appearing in a comparison, yielding elementary intervals.
+    Attributes never mentioned by the workload are omitted entirely -- they
+    cannot influence any predicate signature.
+    """
+    referenced = workload.attributes()
+    atoms: dict[str, list[CellValue]] = {}
+    for name in sorted(referenced):
+        attribute = schema[name]
+        conditions = [
+            cond
+            for pred in workload.predicates
+            for cond in pred.atomic_comparisons()
+            if name in cond.attributes()
+        ]
+        needs_null = attribute.nullable or any(
+            isinstance(c, IsNull) for c in conditions
+        )
+        if attribute.kind is AttributeKind.CATEGORICAL:
+            values: list[CellValue] = list(attribute.domain.values)  # type: ignore[union-attr]
+            # Constants referenced by the workload but absent from the domain
+            # still form valid (empty-on-any-data) cells; include them so the
+            # signature space is complete.
+            for cond in conditions:
+                if isinstance(cond, Comparison) and not cond.is_numeric:
+                    if str(cond.value) not in values:
+                        values.append(str(cond.value))
+                elif isinstance(cond, In):
+                    for v in cond.values:
+                        if v not in values:
+                            values.append(v)
+        elif attribute.kind is AttributeKind.NUMERIC:
+            values = _numeric_atoms(name, conditions, attribute)
+        else:
+            # Text attributes only appear through IS NULL conditions in the
+            # structured benchmarks; represent them by a single non-null atom.
+            values = [Interval(-math.inf, math.inf)]
+        if needs_null:
+            values = list(values) + [None]
+        atoms[name] = values
+    return atoms
+
+
+def _numeric_atoms(
+    name: str, conditions: Sequence[Predicate], attribute
+) -> list[CellValue]:
+    """Cut the numeric line at every constant referenced for this attribute."""
+    cuts: set[float] = set()
+    domain = attribute.domain
+    low = getattr(domain, "low", -math.inf)
+    high = getattr(domain, "high", math.inf)
+    for cond in conditions:
+        if isinstance(cond, Comparison) and cond.is_numeric:
+            cuts.add(float(cond.value))  # type: ignore[arg-type]
+        elif isinstance(cond, Between):
+            cuts.add(float(cond.low))
+            cuts.add(float(cond.high))
+    cuts = {c for c in cuts if math.isfinite(c) and low <= c <= high}
+    sorted_cuts = sorted(cuts)
+    atoms: list[CellValue] = []
+    edges = [low] + sorted_cuts + [high]
+    for left, right in zip(edges[:-1], edges[1:]):
+        if left < right:
+            atoms.append(Interval(left, right, low_inclusive=False, high_inclusive=False))
+    for cut in sorted_cuts:
+        atoms.append(Interval(cut, cut, low_inclusive=True, high_inclusive=True))
+    if math.isfinite(low):
+        atoms.append(Interval(low, low, low_inclusive=True, high_inclusive=True))
+    if math.isfinite(high):
+        atoms.append(Interval(high, high, low_inclusive=True, high_inclusive=True))
+    if not atoms:
+        atoms.append(Interval(low, high, low_inclusive=True, high_inclusive=True))
+    # Deduplicate point atoms that may coincide with the domain bounds.
+    unique: list[CellValue] = []
+    seen: set[tuple[float, float]] = set()
+    for atom in atoms:
+        assert isinstance(atom, Interval)
+        key = (atom.low, atom.high)
+        if key not in seen:
+            seen.add(key)
+            unique.append(atom)
+    return unique
+
+
+def _describe_cell(cell: Mapping[str, CellValue]) -> str:
+    parts = []
+    for name, value in cell.items():
+        if value is None:
+            parts.append(f"{name} IS NULL")
+        elif isinstance(value, Interval):
+            parts.append(f"{name} in {value!r}")
+        else:
+            parts.append(f"{name} = {value!r}")
+    return " AND ".join(parts)
+
+
+def _signatures_to_matrix(
+    n_predicates: int, partitions: Iterable[DomainPartition]
+) -> np.ndarray:
+    partitions = list(partitions)
+    matrix = np.zeros((n_predicates, len(partitions)), dtype=float)
+    for j, partition in enumerate(partitions):
+        for i, flag in enumerate(partition.signature):
+            if flag:
+                matrix[i, j] = 1.0
+    return matrix

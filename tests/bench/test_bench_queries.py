@@ -1,0 +1,83 @@
+"""Tests for the Table 1 query query_benchmark construction."""
+
+import pytest
+
+from repro.bench.queries import build_benchmark
+from repro.queries.query import QueryKind
+
+
+@pytest.fixture(scope="module")
+def query_benchmark():
+    return build_benchmark(adult_rows=3_000, nytaxi_rows=5_000, seed=0)
+
+
+class TestBenchmarkStructure:
+    def test_twelve_queries(self, query_benchmark):
+        assert len(query_benchmark) == 12
+        assert query_benchmark.names == [
+            "QW1", "QW2", "QW3", "QW4", "QI1", "QI2", "QI3", "QI4",
+            "QT1", "QT2", "QT3", "QT4",
+        ]
+
+    def test_kinds(self, query_benchmark):
+        assert [entry.kind for entry in query_benchmark] == (
+            ["WCQ"] * 4 + ["ICQ"] * 4 + ["TCQ"] * 4
+        )
+        assert len(query_benchmark.of_kind("ICQ")) == 4
+
+    def test_datasets(self, query_benchmark):
+        adult_queries = {e.name for e in query_benchmark if e.dataset == "Adult"}
+        assert adult_queries == {"QW1", "QW2", "QI1", "QI2", "QT1", "QT2"}
+
+    def test_table_binding(self, query_benchmark):
+        assert query_benchmark.table_for(query_benchmark["QW1"]) is query_benchmark.adult
+        assert query_benchmark.table_for(query_benchmark["QW3"]) is query_benchmark.nytaxi
+
+    def test_lookup_by_name(self, query_benchmark):
+        assert query_benchmark["QT1"].query.kind is QueryKind.TCQ
+
+    def test_workload_sizes_are_100(self, query_benchmark):
+        for name in ("QW1", "QW2", "QI2", "QT1", "QT2", "QT3", "QT4"):
+            assert query_benchmark[name].query.workload_size == 100
+
+
+class TestBenchmarkSensitivities:
+    def test_histogram_queries_have_unit_sensitivity(self, query_benchmark):
+        schema = query_benchmark.adult.schema
+        assert query_benchmark["QW1"].query.sensitivity(schema) == 1.0
+        assert query_benchmark["QW4"].query.sensitivity(query_benchmark.nytaxi.schema) == 1.0
+
+    def test_cumulative_histogram_has_high_sensitivity(self, query_benchmark):
+        assert query_benchmark["QW2"].query.sensitivity(query_benchmark.adult.schema) == 100.0
+
+    def test_prefix_iceberg_has_high_sensitivity(self, query_benchmark):
+        assert query_benchmark["QI1"].query.sensitivity(query_benchmark.adult.schema) == 100.0
+
+    def test_multi_attribute_topk_sensitivity(self, query_benchmark):
+        assert query_benchmark["QT2"].query.sensitivity(query_benchmark.adult.schema) == 74.0
+        assert query_benchmark["QT4"].query.sensitivity(query_benchmark.nytaxi.schema) == 74.0
+
+    def test_iceberg_thresholds_scale_with_data(self, query_benchmark):
+        assert query_benchmark["QI1"].query.threshold == pytest.approx(0.1 * len(query_benchmark.adult))
+        assert query_benchmark["QI3"].query.threshold == pytest.approx(0.1 * len(query_benchmark.nytaxi))
+
+    def test_topk_k_default(self, query_benchmark):
+        assert query_benchmark["QT1"].query.k == 10
+
+
+class TestBenchmarkAnswers:
+    def test_true_answers_computable(self, query_benchmark):
+        for entry in query_benchmark:
+            table = query_benchmark.table_for(entry)
+            answer = entry.query.true_answer(table)
+            assert answer is not None
+
+    def test_wcq_counts_bounded_by_table_size(self, query_benchmark):
+        for name in ("QW1", "QW2"):
+            counts = query_benchmark[name].query.true_counts(query_benchmark.adult)
+            assert counts.max() <= len(query_benchmark.adult)
+
+    def test_reusing_prebuilt_tables(self, query_benchmark):
+        rebuilt = build_benchmark(adult=query_benchmark.adult, nytaxi=query_benchmark.nytaxi)
+        assert rebuilt.adult is query_benchmark.adult
+        assert len(rebuilt) == 12

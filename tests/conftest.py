@@ -1,0 +1,122 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small (a few thousand rows at most) so the whole
+suite stays fast; statistical tests that need more samples build their own
+data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import AccuracySpec
+from repro.data.adult import generate_adult
+from repro.data.citations import generate_citation_pairs, pairs_to_table
+from repro.data.nytaxi import generate_nytaxi
+from repro.data.schema import Attribute, CategoricalDomain, NumericDomain, Schema
+from repro.data.table import Table
+from repro.queries.builders import histogram_workload, prefix_workload
+from repro.queries.query import (
+    IcebergCountingQuery,
+    TopKCountingQuery,
+    WorkloadCountingQuery,
+)
+
+
+@pytest.fixture(scope="session")
+def adult_small() -> Table:
+    """A 5,000-row synthetic Adult table shared across the suite."""
+    return generate_adult(n_rows=5_000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def nytaxi_small() -> Table:
+    """A 10,000-row synthetic NYTaxi table shared across the suite."""
+    return generate_nytaxi(n_rows=10_000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def citation_table() -> Table:
+    """A 600-pair labelled citation table for the ER tests."""
+    return pairs_to_table(generate_citation_pairs(600, seed=7))
+
+
+@pytest.fixture()
+def toy_schema() -> Schema:
+    """A tiny schema with one categorical and two numeric attributes."""
+    return Schema(
+        [
+            Attribute("state", CategoricalDomain(["A", "B", "C"])),
+            Attribute("age", NumericDomain(0, 100, integral=True)),
+            Attribute("income", NumericDomain(0, 10_000)),
+        ],
+        name="Toy",
+    )
+
+
+@pytest.fixture()
+def toy_table(toy_schema: Schema) -> Table:
+    """A fixed 12-row table over the toy schema."""
+    rows = [
+        {"state": "A", "age": 10, "income": 100},
+        {"state": "A", "age": 20, "income": 200},
+        {"state": "A", "age": 30, "income": 300},
+        {"state": "B", "age": 40, "income": 400},
+        {"state": "B", "age": 50, "income": 500},
+        {"state": "B", "age": 60, "income": 600},
+        {"state": "B", "age": 70, "income": 700},
+        {"state": "C", "age": 80, "income": 800},
+        {"state": "C", "age": 90, "income": 900},
+        {"state": "C", "age": 15, "income": 1_000},
+        {"state": "C", "age": 25, "income": 1_100},
+        {"state": "C", "age": 35, "income": None},
+    ]
+    return Table.from_rows(toy_schema, rows)
+
+
+@pytest.fixture()
+def accuracy_default(adult_small: Table) -> AccuracySpec:
+    """The paper's default accuracy shape: alpha = 0.08|D|, beta = 5e-4."""
+    return AccuracySpec(alpha=0.08 * len(adult_small), beta=5e-4)
+
+
+@pytest.fixture()
+def capital_gain_histogram_query() -> WorkloadCountingQuery:
+    return WorkloadCountingQuery(
+        histogram_workload("capital_gain", start=0, stop=5000, bins=20),
+        name="capital-gain-histogram",
+    )
+
+
+@pytest.fixture()
+def capital_gain_prefix_query() -> WorkloadCountingQuery:
+    return WorkloadCountingQuery(
+        prefix_workload("capital_gain", [250.0 * i for i in range(1, 21)]),
+        name="capital-gain-prefix",
+    )
+
+
+@pytest.fixture()
+def capital_gain_iceberg_query(adult_small: Table) -> IcebergCountingQuery:
+    return IcebergCountingQuery(
+        histogram_workload("capital_gain", start=0, stop=5000, bins=20),
+        threshold=0.1 * len(adult_small),
+        name="capital-gain-iceberg",
+    )
+
+
+@pytest.fixture()
+def age_topk_query() -> TopKCountingQuery:
+    from repro.queries.builders import point_workload
+
+    return TopKCountingQuery(
+        point_workload("age", [float(a) for a in range(17, 91)]),
+        k=5,
+        name="age-top5",
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

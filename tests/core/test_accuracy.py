@@ -1,0 +1,59 @@
+"""Tests for the AccuracySpec value object."""
+
+import pytest
+
+from repro.core.accuracy import AccuracySpec
+from repro.core.exceptions import AccuracyError
+
+
+class TestValidation:
+    def test_valid(self):
+        spec = AccuracySpec(alpha=10, beta=0.01)
+        assert spec.alpha == 10
+        assert spec.confidence == pytest.approx(0.99)
+
+    def test_default_beta_matches_paper(self):
+        assert AccuracySpec(alpha=1).beta == pytest.approx(5e-4)
+
+    @pytest.mark.parametrize("alpha", [0, -1, -0.5])
+    def test_non_positive_alpha_rejected(self, alpha):
+        with pytest.raises(AccuracyError):
+            AccuracySpec(alpha=alpha)
+
+    @pytest.mark.parametrize("beta", [0, 1, -0.1, 1.5])
+    def test_beta_out_of_range_rejected(self, beta):
+        with pytest.raises(AccuracyError):
+            AccuracySpec(alpha=1, beta=beta)
+
+
+class TestDerived:
+    def test_relative(self):
+        spec = AccuracySpec.relative(0.08, 4_000)
+        assert spec.alpha == pytest.approx(320)
+
+    def test_relative_validation(self):
+        with pytest.raises(AccuracyError):
+            AccuracySpec.relative(0.08, 0)
+        with pytest.raises(AccuracyError):
+            AccuracySpec.relative(0, 100)
+
+    def test_scaled(self):
+        spec = AccuracySpec(alpha=10, beta=0.01).scaled(2)
+        assert spec.alpha == 20 and spec.beta == 0.01
+
+    def test_scaled_invalid(self):
+        with pytest.raises(AccuracyError):
+            AccuracySpec(alpha=10).scaled(0)
+
+    def test_with_beta(self):
+        spec = AccuracySpec(alpha=10, beta=0.01).with_beta(0.05)
+        assert spec.beta == 0.05 and spec.alpha == 10
+
+    def test_str(self):
+        assert "ERROR 10" in str(AccuracySpec(alpha=10, beta=0.05))
+
+    def test_immutable_and_hashable(self):
+        spec = AccuracySpec(alpha=10)
+        assert hash(spec) == hash(AccuracySpec(alpha=10))
+        with pytest.raises(AttributeError):
+            spec.alpha = 5  # type: ignore[misc]

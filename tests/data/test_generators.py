@@ -1,0 +1,153 @@
+"""Tests for the synthetic Adult, NYTaxi and citation-pair generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.adult import ADULT_SCHEMA, generate_adult
+from repro.data.citations import (
+    CITATION_PAIR_SCHEMA,
+    ER_ATTRIBUTE_PAIRS,
+    generate_citation_pairs,
+    generate_citation_records,
+    pairs_to_table,
+)
+from repro.data.nytaxi import NYTAXI_SCHEMA, generate_nytaxi
+
+
+class TestAdult:
+    def test_default_size_matches_paper(self):
+        # do not generate the full table here; just check the default argument
+        assert generate_adult.__defaults__[0] == 32_561
+
+    def test_schema_and_rows(self, adult_small):
+        assert adult_small.schema is ADULT_SCHEMA
+        assert len(adult_small) == 5_000
+
+    def test_deterministic_for_seed(self):
+        a = generate_adult(n_rows=500, seed=3)
+        b = generate_adult(n_rows=500, seed=3)
+        assert np.array_equal(a.column("age"), b.column("age"))
+        assert list(a.column("sex")) == list(b.column("sex"))
+
+    def test_different_seed_differs(self):
+        a = generate_adult(n_rows=500, seed=3)
+        b = generate_adult(n_rows=500, seed=4)
+        assert not np.array_equal(a.column("capital_gain"), b.column("capital_gain"))
+
+    def test_capital_gain_is_skewed(self, adult_small):
+        gains = adult_small.column("capital_gain").astype(float)
+        assert (gains == 0).mean() > 0.8
+        assert gains.max() > 5_000
+
+    def test_age_range(self, adult_small):
+        ages = adult_small.column("age").astype(float)
+        assert ages.min() >= 17
+        assert ages.max() <= 90
+
+    def test_values_respect_domains(self, adult_small):
+        for attr in ADULT_SCHEMA.categorical_attributes():
+            values = set(adult_small.column(attr.name))
+            assert values <= set(attr.domain.values)
+
+    def test_sex_marginal_roughly_two_thirds_male(self, adult_small):
+        fraction_male = (adult_small.column("sex") == "M").mean()
+        assert 0.6 < fraction_male < 0.75
+
+
+class TestNYTaxi:
+    def test_schema_and_rows(self, nytaxi_small):
+        assert nytaxi_small.schema is NYTAXI_SCHEMA
+        assert len(nytaxi_small) == 10_000
+
+    def test_deterministic_for_seed(self):
+        a = generate_nytaxi(n_rows=500, seed=1)
+        b = generate_nytaxi(n_rows=500, seed=1)
+        assert np.allclose(a.column("trip_distance"), b.column("trip_distance"))
+
+    def test_total_amount_exceeds_fare(self, nytaxi_small):
+        fares = nytaxi_small.column("fare_amount").astype(float)
+        totals = nytaxi_small.column("total_amount").astype(float)
+        assert (totals >= fares).mean() > 0.99
+
+    def test_zone_ids_in_range(self, nytaxi_small):
+        for column in ("PUID", "DOID"):
+            zones = nytaxi_small.column(column).astype(float)
+            assert zones.min() >= 1
+            assert zones.max() <= 265
+
+    def test_passenger_count_mostly_one(self, nytaxi_small):
+        passengers = nytaxi_small.column("passenger_count").astype(float)
+        assert (passengers == 1).mean() > 0.5
+
+    def test_hours_valid(self, nytaxi_small):
+        hours = nytaxi_small.column("pickup_hour").astype(float)
+        assert hours.min() >= 0 and hours.max() <= 23
+
+
+class TestCitations:
+    def test_pair_count_and_schema(self):
+        pairs = generate_citation_pairs(200, seed=0)
+        assert len(pairs) == 200
+        table = pairs_to_table(pairs)
+        assert table.schema is CITATION_PAIR_SCHEMA
+        assert len(table) == 200
+
+    def test_match_fraction(self):
+        pairs = generate_citation_pairs(1_000, match_fraction=0.2, seed=0)
+        matches = sum(1 for p in pairs if p.is_match)
+        assert abs(matches - 200) <= 1
+
+    def test_invalid_match_fraction(self):
+        with pytest.raises(ValueError):
+            generate_citation_pairs(100, match_fraction=1.5)
+
+    def test_labels_consistent(self):
+        pairs = generate_citation_pairs(100, seed=0)
+        for pair in pairs:
+            assert pair.label == ("MATCH" if pair.is_match else "NON-MATCH")
+
+    def test_deterministic(self):
+        a = pairs_to_table(generate_citation_pairs(100, seed=5))
+        b = pairs_to_table(generate_citation_pairs(100, seed=5))
+        assert list(a.column("title_l")) == list(b.column("title_l"))
+        assert list(a.column("label")) == list(b.column("label"))
+
+    def test_matches_are_more_similar_than_nonmatches(self, citation_table):
+        """MATCH pairs should overlap far more in title vocabulary."""
+        labels = np.array([v == "MATCH" for v in citation_table.column("label")])
+
+        def mean_overlap(mask):
+            lefts = citation_table.column("title_l")[mask]
+            rights = citation_table.column("title_r")[mask]
+            scores = []
+            for left, right in zip(lefts, rights):
+                if left is None or right is None:
+                    continue
+                a, b = set(left.split()), set(right.split())
+                if not a or not b:
+                    continue
+                scores.append(len(a & b) / len(a | b))
+            return np.mean(scores)
+
+        assert mean_overlap(labels) > mean_overlap(~labels) + 0.3
+
+    def test_attribute_pairs_reference_schema(self):
+        for _, left, right in ER_ATTRIBUTE_PAIRS:
+            assert left in CITATION_PAIR_SCHEMA
+            assert right in CITATION_PAIR_SCHEMA
+
+    def test_title_has_fewest_nulls(self):
+        table = pairs_to_table(generate_citation_pairs(2_000, seed=0))
+        null_counts = {
+            logical: table.null_count(left) + table.null_count(right)
+            for logical, left, right in ER_ATTRIBUTE_PAIRS
+        }
+        assert null_counts["title"] < null_counts["venue"]
+        assert null_counts["title"] < null_counts["year"]
+
+    def test_record_generation(self):
+        rng = np.random.default_rng(0)
+        records = generate_citation_records(50, rng)
+        assert len(records) == 50
+        titled = [r for r in records if r.title is not None]
+        assert titled and all(r.title == r.title.lower() for r in titled)

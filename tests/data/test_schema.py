@@ -1,0 +1,166 @@
+"""Tests for attribute domains and schemas."""
+
+import math
+
+import pytest
+
+from repro.core.exceptions import SchemaError
+from repro.data.schema import (
+    Attribute,
+    AttributeKind,
+    CategoricalDomain,
+    NumericDomain,
+    Schema,
+    TextDomain,
+)
+
+
+class TestCategoricalDomain:
+    def test_size_and_membership(self):
+        domain = CategoricalDomain(["a", "b", "c"])
+        assert domain.size == 3
+        assert "a" in domain
+        assert "z" not in domain
+
+    def test_values_are_stringified(self):
+        domain = CategoricalDomain([1, 2, 3])
+        assert domain.values == ("1", "2", "3")
+        assert 1 in domain
+
+    def test_index_of(self):
+        domain = CategoricalDomain(["x", "y"])
+        assert domain.index_of("y") == 1
+
+    def test_index_of_unknown_raises(self):
+        domain = CategoricalDomain(["x"])
+        with pytest.raises(SchemaError):
+            domain.index_of("nope")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            CategoricalDomain([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SchemaError):
+            CategoricalDomain(["a", "a"])
+
+    def test_kind(self):
+        assert CategoricalDomain(["a"]).kind is AttributeKind.CATEGORICAL
+
+
+class TestNumericDomain:
+    def test_membership_bounds(self):
+        domain = NumericDomain(0, 10)
+        assert 0 in domain
+        assert 10 in domain
+        assert 10.5 not in domain
+        assert -1 not in domain
+
+    def test_integral_restriction(self):
+        domain = NumericDomain(0, 10, integral=True)
+        assert 5 in domain
+        assert 5.5 not in domain
+
+    def test_nan_not_member(self):
+        assert float("nan") not in NumericDomain(0, 10)
+
+    def test_non_numeric_not_member(self):
+        assert "abc" not in NumericDomain(0, 10)
+
+    def test_unbounded_default(self):
+        domain = NumericDomain()
+        assert not domain.bounded
+        assert 1e12 in domain
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(SchemaError):
+            NumericDomain(10, 5)
+
+    def test_nan_bounds_rejected(self):
+        with pytest.raises(SchemaError):
+            NumericDomain(math.nan, 10)
+
+    def test_bin_edges(self):
+        edges = NumericDomain(0, 10).bin_edges(5)
+        assert edges == [0, 2, 4, 6, 8, 10]
+
+    def test_bin_edges_unbounded_needs_high(self):
+        with pytest.raises(SchemaError):
+            NumericDomain(0).bin_edges(5)
+        assert len(NumericDomain(0).bin_edges(5, high=50)) == 6
+
+    def test_bin_edges_invalid_count(self):
+        with pytest.raises(SchemaError):
+            NumericDomain(0, 10).bin_edges(0)
+
+
+class TestTextDomain:
+    def test_membership(self):
+        domain = TextDomain()
+        assert "hello" in domain
+        assert 5 not in domain
+
+    def test_max_length(self):
+        domain = TextDomain(max_length=3)
+        assert "abc" in domain
+        assert "abcd" not in domain
+
+    def test_kind(self):
+        assert TextDomain().kind is AttributeKind.TEXT
+
+
+class TestAttribute:
+    def test_validate_respects_domain(self):
+        attr = Attribute("age", NumericDomain(0, 100))
+        assert attr.validate(50)
+        assert not attr.validate(200)
+
+    def test_nullable(self):
+        nullable = Attribute("x", NumericDomain(0, 1), nullable=True)
+        strict = Attribute("x", NumericDomain(0, 1), nullable=False)
+        assert nullable.validate(None)
+        assert not strict.validate(None)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("  ", NumericDomain(0, 1))
+
+
+class TestSchema:
+    def test_lookup_and_len(self, toy_schema: Schema):
+        assert len(toy_schema) == 3
+        assert "age" in toy_schema
+        assert toy_schema["age"].kind is AttributeKind.NUMERIC
+
+    def test_unknown_attribute_raises(self, toy_schema: Schema):
+        with pytest.raises(SchemaError):
+            toy_schema["missing"]
+
+    def test_duplicate_names_rejected(self):
+        attr = Attribute("a", NumericDomain(0, 1))
+        with pytest.raises(SchemaError):
+            Schema([attr, attr])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_project(self, toy_schema: Schema):
+        projected = toy_schema.project(["income", "state"])
+        assert projected.attribute_names == ("income", "state")
+
+    def test_kind_views(self, toy_schema: Schema):
+        assert [a.name for a in toy_schema.categorical_attributes()] == ["state"]
+        assert [a.name for a in toy_schema.numeric_attributes()] == ["age", "income"]
+        assert toy_schema.text_attributes() == ()
+
+    def test_validate_row(self, toy_schema: Schema):
+        good = {"state": "A", "age": 10, "income": 5.0}
+        assert toy_schema.validate_row(good) == []
+        bad = {"state": "Z", "age": 10, "income": 5.0, "extra": 1}
+        problems = toy_schema.validate_row(bad)
+        assert "state" in problems and "extra" in problems
+
+    def test_validate_row_missing_is_null(self, toy_schema: Schema):
+        problems = toy_schema.validate_row({"state": "A", "age": 10})
+        assert problems == ["income"]

@@ -1,0 +1,154 @@
+"""Tests for the in-memory Table."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SchemaError
+from repro.data.schema import Attribute, CategoricalDomain, NumericDomain, Schema
+from repro.data.table import Table
+
+
+class TestConstruction:
+    def test_from_rows_counts(self, toy_table: Table):
+        assert len(toy_table) == 12
+        assert toy_table.n_rows == 12
+
+    def test_empty(self, toy_schema):
+        table = Table.empty(toy_schema)
+        assert len(table) == 0
+        assert table.count() == 0
+
+    def test_missing_column_rejected(self, toy_schema):
+        with pytest.raises(SchemaError):
+            Table(toy_schema, {"state": np.array(["A"], dtype=object)})
+
+    def test_extra_column_rejected(self, toy_schema):
+        columns = {
+            "state": np.array(["A"], dtype=object),
+            "age": np.array([1.0]),
+            "income": np.array([1.0]),
+            "bogus": np.array([1.0]),
+        }
+        with pytest.raises(SchemaError):
+            Table(toy_schema, columns)
+
+    def test_ragged_columns_rejected(self, toy_schema):
+        columns = {
+            "state": np.array(["A", "B"], dtype=object),
+            "age": np.array([1.0]),
+            "income": np.array([1.0, 2.0]),
+        }
+        with pytest.raises(SchemaError):
+            Table(toy_schema, columns)
+
+
+class TestAccess:
+    def test_column_read_only(self, toy_table: Table):
+        col = toy_table.column("age")
+        with pytest.raises(ValueError):
+            col[0] = 999
+
+    def test_unknown_column(self, toy_table: Table):
+        with pytest.raises(SchemaError):
+            toy_table.column("nope")
+
+    def test_getitem_alias(self, toy_table: Table):
+        assert np.array_equal(toy_table["age"], toy_table.column("age"))
+
+    def test_row_roundtrip(self, toy_table: Table):
+        row = toy_table.row(0)
+        assert row == {"state": "A", "age": 10.0, "income": 100.0}
+
+    def test_row_null_becomes_none(self, toy_table: Table):
+        assert toy_table.row(11)["income"] is None
+
+    def test_row_negative_index(self, toy_table: Table):
+        assert toy_table.row(-1)["state"] == "C"
+
+    def test_row_out_of_range(self, toy_table: Table):
+        with pytest.raises(IndexError):
+            toy_table.row(100)
+
+    def test_iter_rows_length(self, toy_table: Table):
+        assert len(list(toy_table.iter_rows())) == len(toy_table)
+
+
+class TestNulls:
+    def test_null_count_numeric(self, toy_table: Table):
+        assert toy_table.null_count("income") == 1
+        assert toy_table.null_count("age") == 0
+
+    def test_is_null_mask_shape(self, toy_table: Table):
+        assert toy_table.is_null("income").shape == (12,)
+
+    def test_null_categorical(self, toy_schema):
+        table = Table.from_rows(toy_schema, [{"age": 1, "income": 2}])
+        assert table.null_count("state") == 1
+
+
+class TestDerivedTables:
+    def test_filter(self, toy_table: Table):
+        mask = toy_table.column("age").astype(float) > 50
+        filtered = toy_table.filter(mask)
+        assert len(filtered) == int(mask.sum())
+
+    def test_filter_wrong_length(self, toy_table: Table):
+        with pytest.raises(SchemaError):
+            toy_table.filter(np.array([True, False]))
+
+    def test_take_order(self, toy_table: Table):
+        taken = toy_table.take([2, 0])
+        assert taken.row(0)["age"] == 30.0
+        assert taken.row(1)["age"] == 10.0
+
+    def test_sample_size_and_determinism(self, toy_table: Table):
+        a = toy_table.sample(5, rng=3)
+        b = toy_table.sample(5, rng=3)
+        assert len(a) == 5
+        assert [r["age"] for r in a.iter_rows()] == [r["age"] for r in b.iter_rows()]
+
+    def test_sample_too_large(self, toy_table: Table):
+        with pytest.raises(ValueError):
+            toy_table.sample(100)
+
+    def test_sample_negative(self, toy_table: Table):
+        with pytest.raises(ValueError):
+            toy_table.sample(-1)
+
+    def test_head(self, toy_table: Table):
+        assert len(toy_table.head(3)) == 3
+        assert len(toy_table.head(100)) == len(toy_table)
+
+    def test_project(self, toy_table: Table):
+        projected = toy_table.project(["age"])
+        assert projected.schema.attribute_names == ("age",)
+        assert len(projected) == len(toy_table)
+
+    def test_concat(self, toy_table: Table):
+        combined = toy_table.concat(toy_table)
+        assert len(combined) == 2 * len(toy_table)
+
+    def test_concat_schema_mismatch(self, toy_table: Table):
+        other_schema = Schema(
+            [
+                Attribute("x", NumericDomain(0, 1)),
+                Attribute("y", CategoricalDomain(["a"])),
+            ]
+        )
+        other = Table.from_rows(other_schema, [])
+        with pytest.raises(SchemaError):
+            toy_table.concat(other)
+
+
+class TestCounting:
+    def test_count_total(self, toy_table: Table):
+        assert toy_table.count() == 12
+
+    def test_count_with_mask(self, toy_table: Table):
+        mask = np.zeros(12, dtype=bool)
+        mask[:3] = True
+        assert toy_table.count(mask) == 3
+
+    def test_count_mask_wrong_length(self, toy_table: Table):
+        with pytest.raises(SchemaError):
+            toy_table.count(np.array([True]))

@@ -1,0 +1,107 @@
+"""Tests for the cleaner model (Appendix C, Table 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ApexError
+from repro.data.citations import ER_ATTRIBUTE_PAIRS
+from repro.er.cleaner import CleanerModel, CleanerProfile
+
+
+class TestCleanerProfile:
+    def test_default_profile_is_valid(self):
+        profile = CleanerModel.default_profile()
+        assert profile.n_attributes == 2
+        assert profile.style == "neutral"
+
+    def test_invalid_style_rejected(self):
+        with pytest.raises(ApexError):
+            CleanerProfile(
+                n_attributes=2, transforms=("space",), similarities=("jaccard",),
+                threshold_low=0.2, threshold_high=0.8, n_thresholds=3,
+                descending_thresholds=True, min_match_fraction=0.3,
+                max_nonmatch_fraction=0.1, relaxation_factor=2.0, style="bogus",
+            )
+
+    def test_invalid_threshold_range_rejected(self):
+        with pytest.raises(ApexError):
+            CleanerProfile(
+                n_attributes=2, transforms=("space",), similarities=("jaccard",),
+                threshold_low=0.8, threshold_high=0.2, n_thresholds=3,
+                descending_thresholds=True, min_match_fraction=0.3,
+                max_nonmatch_fraction=0.1, relaxation_factor=2.0, style="neutral",
+            )
+
+    def test_adjust_styles(self):
+        base = dict(
+            n_attributes=2, transforms=("space",), similarities=("jaccard",),
+            threshold_low=0.2, threshold_high=0.8, n_thresholds=3,
+            descending_thresholds=True, min_match_fraction=0.3,
+            max_nonmatch_fraction=0.1, relaxation_factor=2.0,
+        )
+        neutral = CleanerProfile(style="neutral", **base)
+        optimistic = CleanerProfile(style="optimistic", **base)
+        pessimistic = CleanerProfile(style="pessimistic", **base)
+        assert neutral.adjust(100, alpha=50) == 100
+        assert optimistic.adjust(100, alpha=50) == 110
+        assert pessimistic.adjust(100, alpha=50) == 90
+
+
+class TestCandidatePredicates:
+    def test_ordered_by_descending_threshold(self):
+        profile = CleanerModel.default_profile()
+        candidates = profile.candidate_predicates(list(ER_ATTRIBUTE_PAIRS[:2]))
+        thresholds = [spec.threshold for spec in candidates]
+        assert thresholds == sorted(thresholds, reverse=True)
+
+    def test_char_sims_use_identity_transform(self):
+        profile = CleanerModel.default_profile()
+        candidates = profile.candidate_predicates(list(ER_ATTRIBUTE_PAIRS[:2]))
+        for spec in candidates:
+            if spec.similarity in ("edit", "jaro", "smith_waterman"):
+                assert spec.transform == "identity"
+            if spec.similarity in ("jaccard", "cosine", "overlap"):
+                assert spec.transform in profile.transforms
+
+    def test_year_only_gets_diff(self):
+        profile = CleanerModel.default_profile()
+        candidates = profile.candidate_predicates(list(ER_ATTRIBUTE_PAIRS))
+        year_specs = [s for s in candidates if s.attribute == "year"]
+        assert year_specs and all(s.similarity == "diff" for s in year_specs)
+        text_specs = [s for s in candidates if s.attribute != "year"]
+        assert all(s.similarity != "diff" for s in text_specs)
+
+    def test_column_names_follow_attribute_pairs(self):
+        profile = CleanerModel.default_profile()
+        candidates = profile.candidate_predicates([ER_ATTRIBUTE_PAIRS[0]])
+        assert all(s.left_column == "title_l" and s.right_column == "title_r" for s in candidates)
+
+    def test_shuffle_is_deterministic_per_seed(self):
+        profile = CleanerModel.default_profile()
+        a = profile.candidate_predicates(list(ER_ATTRIBUTE_PAIRS[:2]), np.random.default_rng(1))
+        b = profile.candidate_predicates(list(ER_ATTRIBUTE_PAIRS[:2]), np.random.default_rng(1))
+        assert [s.describe() for s in a] == [s.describe() for s in b]
+
+
+class TestCleanerModel:
+    def test_sample_produces_valid_profiles(self):
+        model = CleanerModel(seed=0)
+        for _ in range(20):
+            profile = model.sample()
+            assert 2 <= profile.n_attributes <= 3
+            assert 0.05 <= profile.threshold_low < profile.threshold_high <= 0.95
+            assert profile.style in ("neutral", "optimistic", "pessimistic")
+            assert "diff" in profile.similarities
+            assert 0.2 <= profile.min_match_fraction <= 0.5
+            assert 0.1 <= profile.max_nonmatch_fraction <= 0.2
+
+    def test_sampling_is_deterministic_per_seed(self):
+        a = CleanerModel(seed=3).sample()
+        b = CleanerModel(seed=3).sample()
+        assert a.similarities == b.similarities
+        assert a.threshold_low == b.threshold_low
+
+    def test_distinct_samples(self):
+        model = CleanerModel(seed=1)
+        profiles = [model.sample() for _ in range(10)]
+        assert len({p.threshold_low for p in profiles}) > 1

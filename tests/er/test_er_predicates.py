@@ -1,0 +1,142 @@
+"""Tests for similarity predicates, the score cache and boolean formulas."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ApexError
+from repro.er.predicates import (
+    BooleanFormula,
+    SimilarityCache,
+    SimilarityPredicateSpec,
+    enumerate_thresholds,
+)
+
+
+@pytest.fixture()
+def title_spec() -> SimilarityPredicateSpec:
+    return SimilarityPredicateSpec(
+        attribute="title",
+        left_column="title_l",
+        right_column="title_r",
+        transform="2grams",
+        similarity="jaccard",
+        threshold=0.6,
+    )
+
+
+@pytest.fixture()
+def cache(citation_table) -> SimilarityCache:
+    return SimilarityCache(citation_table)
+
+
+class TestSimilarityCache:
+    def test_scores_shape_and_range(self, cache, title_spec, citation_table):
+        scores = cache.scores(title_spec)
+        assert scores.shape == (len(citation_table),)
+        assert (scores >= 0).all() and (scores <= 1).all()
+
+    def test_scores_cached_across_thresholds(self, cache, title_spec):
+        first = cache.scores(title_spec)
+        other_threshold = SimilarityPredicateSpec(
+            attribute="title", left_column="title_l", right_column="title_r",
+            transform="2grams", similarity="jaccard", threshold=0.9,
+        )
+        second = cache.scores(other_threshold)
+        assert first is second
+        assert cache.cached_keys() == [("title", "2grams", "jaccard")]
+
+    def test_mask_respects_threshold(self, cache, title_spec):
+        loose = cache.mask(title_spec)
+        strict_spec = SimilarityPredicateSpec(
+            attribute="title", left_column="title_l", right_column="title_r",
+            transform="2grams", similarity="jaccard", threshold=0.95,
+        )
+        strict = cache.mask(strict_spec)
+        assert strict.sum() <= loose.sum()
+
+    def test_null_values_score_zero(self, cache):
+        spec = SimilarityPredicateSpec(
+            attribute="venue", left_column="venue_l", right_column="venue_r",
+            transform="space", similarity="jaccard", threshold=0.0,
+        )
+        scores = cache.scores(spec)
+        nulls = cache.table.is_null("venue_l") | cache.table.is_null("venue_r")
+        assert (scores[nulls] == 0).all()
+
+    def test_predicate_wraps_mask(self, cache, title_spec, citation_table):
+        predicate = cache.predicate(title_spec)
+        mask = predicate.evaluate(citation_table)
+        assert np.array_equal(mask, cache.mask(title_spec))
+        assert not predicate.supports_domain_analysis
+
+    def test_predicate_on_other_table_rejected(self, cache, title_spec, toy_table):
+        predicate = cache.predicate(title_spec)
+        with pytest.raises(ApexError):
+            predicate.evaluate(toy_table)
+
+    def test_matches_score_higher(self, cache, title_spec, citation_table):
+        scores = cache.scores(title_spec)
+        labels = np.array([v == "MATCH" for v in citation_table.column("label")])
+        assert scores[labels].mean() > scores[~labels].mean() + 0.3
+
+
+class TestBooleanFormula:
+    def test_empty_disjunction_matches_nothing(self, cache, citation_table):
+        assert BooleanFormula.disjunction().evaluate(cache).sum() == 0
+
+    def test_empty_conjunction_matches_everything(self, cache, citation_table):
+        assert BooleanFormula.conjunction_of().evaluate(cache).sum() == len(citation_table)
+
+    def test_disjunction_grows_coverage(self, cache, title_spec):
+        authors_spec = SimilarityPredicateSpec(
+            attribute="authors", left_column="authors_l", right_column="authors_r",
+            transform="space", similarity="jaccard", threshold=0.6,
+        )
+        one = BooleanFormula.disjunction([title_spec])
+        two = one.with_predicate(authors_spec)
+        assert two.evaluate(cache).sum() >= one.evaluate(cache).sum()
+        assert len(two) == 2
+
+    def test_conjunction_shrinks_coverage(self, cache, title_spec):
+        authors_spec = SimilarityPredicateSpec(
+            attribute="authors", left_column="authors_l", right_column="authors_r",
+            transform="space", similarity="jaccard", threshold=0.3,
+        )
+        one = BooleanFormula.conjunction_of([title_spec])
+        two = one.with_predicate(authors_spec)
+        assert two.evaluate(cache).sum() <= one.evaluate(cache).sum()
+
+    def test_describe(self, title_spec):
+        formula = BooleanFormula.disjunction([title_spec])
+        assert "jaccard(2grams(title)) > 0.60" in formula.describe()
+        assert BooleanFormula.disjunction().describe() == "FALSE"
+        assert BooleanFormula.conjunction_of().describe() == "TRUE"
+
+    def test_predicate_view(self, cache, title_spec, citation_table):
+        formula = BooleanFormula.disjunction([title_spec])
+        predicate = formula.predicate(cache)
+        assert predicate.evaluate(citation_table).sum() == formula.evaluate(cache).sum()
+
+    def test_is_empty(self, title_spec):
+        assert BooleanFormula.disjunction().is_empty
+        assert not BooleanFormula.disjunction([title_spec]).is_empty
+
+
+class TestEnumerateThresholds:
+    def test_descending_by_default(self):
+        values = enumerate_thresholds(0.2, 0.8, 4)
+        assert values == sorted(values, reverse=True)
+        assert values[0] == 0.8 and values[-1] == 0.2
+
+    def test_ascending(self):
+        values = enumerate_thresholds(0.2, 0.8, 3, descending=False)
+        assert values == sorted(values)
+
+    def test_single_threshold_is_midpoint(self):
+        assert enumerate_thresholds(0.2, 0.8, 1) == [0.5]
+
+    def test_validation(self):
+        with pytest.raises(ApexError):
+            enumerate_thresholds(0.9, 0.2, 3)
+        with pytest.raises(ApexError):
+            enumerate_thresholds(0.1, 0.9, 0)

@@ -1,0 +1,86 @@
+"""Tests for the entity-resolution quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ApexError
+from repro.er.metrics import (
+    blocking_cost,
+    f1_score,
+    f1_sets,
+    precision_recall,
+    set_precision_recall,
+)
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        actual = np.array([True, False, True, False])
+        assert precision_recall(actual, actual) == (1.0, 1.0)
+
+    def test_half_recall(self):
+        predicted = np.array([True, False, False, False])
+        actual = np.array([True, True, False, False])
+        precision, recall = precision_recall(predicted, actual)
+        assert precision == 1.0 and recall == 0.5
+
+    def test_empty_prediction(self):
+        predicted = np.zeros(4, dtype=bool)
+        actual = np.array([True, False, True, False])
+        assert precision_recall(predicted, actual) == (0.0, 0.0)
+
+    def test_empty_truth(self):
+        predicted = np.array([True, False])
+        actual = np.zeros(2, dtype=bool)
+        precision, recall = precision_recall(predicted, actual)
+        assert precision == 0.0 and recall == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ApexError):
+            precision_recall(np.zeros(3, dtype=bool), np.zeros(4, dtype=bool))
+
+
+class TestF1:
+    def test_perfect(self):
+        mask = np.array([True, False, True])
+        assert f1_score(mask, mask) == 1.0
+
+    def test_zero_when_nothing_predicted(self):
+        assert f1_score(np.zeros(3, dtype=bool), np.array([True, False, False])) == 0.0
+
+    def test_harmonic_mean(self):
+        predicted = np.array([True, True, False, False])
+        actual = np.array([True, False, True, False])
+        # precision = recall = 0.5 -> F1 = 0.5
+        assert f1_score(predicted, actual) == pytest.approx(0.5)
+
+
+class TestBlockingCost:
+    def test_counts_kept_pairs(self):
+        assert blocking_cost(np.array([True, False, True, True])) == 3
+
+    def test_empty(self):
+        assert blocking_cost(np.zeros(5, dtype=bool)) == 0
+
+
+class TestSetMetrics:
+    def test_set_precision_recall(self):
+        precision, recall = set_precision_recall({"a", "b"}, {"b", "c", "d"})
+        assert precision == pytest.approx(0.5)
+        assert recall == pytest.approx(1 / 3)
+
+    def test_f1_sets_identical(self):
+        assert f1_sets(["a", "b"], ["b", "a"]) == 1.0
+
+    def test_f1_sets_disjoint(self):
+        assert f1_sets(["a"], ["b"]) == 0.0
+
+    def test_f1_sets_both_empty(self):
+        assert f1_sets([], []) == 1.0
+
+    def test_f1_sets_one_empty(self):
+        assert f1_sets([], ["a"]) == 0.0
+        assert f1_sets(["a"], []) == 0.0
+
+    def test_f1_sets_partial(self):
+        assert f1_sets(["a", "b", "c"], ["a", "b", "d"]) == pytest.approx(2 / 3)

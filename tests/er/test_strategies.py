@@ -1,0 +1,136 @@
+"""Tests for the blocking/matching exploration strategies (BS1, BS2, MS1, MS2)."""
+
+import pytest
+
+from repro.core.accuracy import AccuracySpec
+from repro.core.engine import APExEngine
+from repro.er.cleaner import CleanerModel
+from repro.er.predicates import SimilarityCache
+from repro.er.strategies import (
+    BlockingStrategyICQ,
+    BlockingStrategyWCQ,
+    MatchingStrategyICQ,
+    MatchingStrategyWCQ,
+)
+from repro.mechanisms.registry import default_registry
+
+STRATEGIES = [
+    BlockingStrategyWCQ,
+    BlockingStrategyICQ,
+    MatchingStrategyWCQ,
+    MatchingStrategyICQ,
+]
+
+
+@pytest.fixture(scope="module")
+def er_cache(citation_table) -> SimilarityCache:
+    return SimilarityCache(citation_table)
+
+
+@pytest.fixture()
+def profile():
+    return CleanerModel.default_profile()
+
+
+def _engine(table, budget: float) -> APExEngine:
+    return APExEngine(
+        table, budget=budget, seed=11, registry=default_registry(mc_samples=300)
+    )
+
+
+def _accuracy(table) -> AccuracySpec:
+    return AccuracySpec(alpha=0.08 * len(table))
+
+
+class TestStrategyMechanics:
+    @pytest.mark.parametrize("strategy_class", STRATEGIES)
+    def test_runs_within_budget(self, strategy_class, citation_table, er_cache, profile):
+        engine = _engine(citation_table, budget=1.0)
+        strategy = strategy_class(
+            citation_table, profile, _accuracy(citation_table), cache=er_cache, rng=5
+        )
+        outcome = strategy.run(engine)
+        assert outcome.epsilon_spent <= engine.budget + 1e-9
+        assert engine.transcript().is_valid(engine.budget)
+        assert 0.0 <= outcome.recall <= 1.0
+        assert 0.0 <= outcome.precision <= 1.0
+        assert outcome.queries_answered >= 1
+
+    @pytest.mark.parametrize("strategy_class", STRATEGIES)
+    def test_tiny_budget_yields_trivial_formula(self, strategy_class, citation_table,
+                                                er_cache, profile):
+        engine = _engine(citation_table, budget=1e-4)
+        strategy = strategy_class(
+            citation_table, profile, _accuracy(citation_table), cache=er_cache, rng=5
+        )
+        outcome = strategy.run(engine)
+        assert outcome.queries_answered == 0
+        assert len(outcome.formula) == 0
+
+    def test_blocking_formula_is_disjunction(self, citation_table, er_cache, profile):
+        engine = _engine(citation_table, budget=2.0)
+        outcome = BlockingStrategyWCQ(
+            citation_table, profile, _accuracy(citation_table), cache=er_cache, rng=5
+        ).run(engine)
+        assert not outcome.formula.conjunction
+        assert outcome.task == "blocking"
+
+    def test_matching_formula_is_conjunction(self, citation_table, er_cache, profile):
+        engine = _engine(citation_table, budget=2.0)
+        outcome = MatchingStrategyWCQ(
+            citation_table, profile, _accuracy(citation_table), cache=er_cache, rng=5
+        ).run(engine)
+        assert outcome.formula.conjunction
+        assert outcome.task == "matching"
+
+    def test_outcome_quality_property(self, citation_table, er_cache, profile):
+        engine = _engine(citation_table, budget=2.0)
+        blocking = BlockingStrategyWCQ(
+            citation_table, profile, _accuracy(citation_table), cache=er_cache, rng=5
+        ).run(engine)
+        assert blocking.quality == blocking.recall
+        engine = _engine(citation_table, budget=2.0)
+        matching = MatchingStrategyWCQ(
+            citation_table, profile, _accuracy(citation_table), cache=er_cache, rng=5
+        ).run(engine)
+        assert matching.quality == matching.f1
+
+
+class TestStrategyQuality:
+    """End-to-end behaviour the paper reports (Section 8.2)."""
+
+    def test_blocking_quality_improves_with_budget(self, citation_table, er_cache, profile):
+        small = BlockingStrategyWCQ(
+            citation_table, profile, _accuracy(citation_table), cache=er_cache, rng=5
+        ).run(_engine(citation_table, budget=0.15))
+        large = BlockingStrategyWCQ(
+            citation_table, profile, _accuracy(citation_table), cache=er_cache, rng=5
+        ).run(_engine(citation_table, budget=3.0))
+        assert large.recall >= small.recall
+
+    def test_blocking_reaches_good_recall_with_generous_budget(self, citation_table,
+                                                               er_cache, profile):
+        outcome = BlockingStrategyWCQ(
+            citation_table, profile, _accuracy(citation_table), cache=er_cache, rng=5
+        ).run(_engine(citation_table, budget=3.0))
+        assert outcome.recall > 0.6
+        assert outcome.blocking_cost < len(citation_table)
+
+    def test_matching_reaches_good_f1_with_generous_budget(self, citation_table,
+                                                           er_cache, profile):
+        outcome = MatchingStrategyWCQ(
+            citation_table, profile, _accuracy(citation_table), cache=er_cache, rng=5
+        ).run(_engine(citation_table, budget=3.0))
+        assert outcome.f1 > 0.6
+
+    def test_icq_strategy_answers_more_queries_per_budget(self, citation_table,
+                                                          er_cache, profile):
+        """BS2's ICQ/TCQ queries are cheaper, so more of them fit in the budget."""
+        budget = 2.0
+        wcq_outcome = BlockingStrategyWCQ(
+            citation_table, profile, _accuracy(citation_table), cache=er_cache, rng=5
+        ).run(_engine(citation_table, budget=budget))
+        icq_outcome = BlockingStrategyICQ(
+            citation_table, profile, _accuracy(citation_table), cache=er_cache, rng=5
+        ).run(_engine(citation_table, budget=budget))
+        assert icq_outcome.queries_answered >= wcq_outcome.queries_answered

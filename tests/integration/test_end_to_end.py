@@ -1,0 +1,170 @@
+"""End-to-end integration tests: full exploration sessions through the engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import AccuracySpec
+from repro.core.engine import APExEngine
+from repro.core.translator import SelectionMode
+from repro.mechanisms.registry import default_registry
+from repro.queries.builders import (
+    cumulative_histogram_workload,
+    histogram_workload,
+    point_workload,
+)
+from repro.queries.query import (
+    IcebergCountingQuery,
+    TopKCountingQuery,
+    WorkloadCountingQuery,
+)
+
+
+@pytest.fixture()
+def engine(adult_small):
+    return APExEngine(
+        adult_small, budget=5.0, seed=1, registry=default_registry(mc_samples=400)
+    )
+
+
+class TestMixedSession:
+    def test_adaptive_session_stays_valid(self, engine, adult_small):
+        """A realistic adaptive session: histogram -> CDF -> iceberg -> top-k."""
+        accuracy = AccuracySpec(alpha=0.05 * len(adult_small))
+
+        histogram = engine.explore(
+            WorkloadCountingQuery(
+                histogram_workload("capital_gain", start=0, stop=5000, bins=25),
+                name="histogram",
+            ),
+            accuracy,
+        )
+        assert not histogram.denied
+
+        # the analyst uses the histogram to pick a threshold for the iceberg query
+        threshold = float(np.sort(histogram.answer)[-3])
+        iceberg = engine.explore(
+            IcebergCountingQuery(
+                histogram_workload("capital_gain", start=0, stop=5000, bins=25),
+                threshold=threshold,
+                name="iceberg",
+            ),
+            accuracy,
+        )
+        assert not iceberg.denied
+
+        cdf = engine.explore(
+            WorkloadCountingQuery(
+                cumulative_histogram_workload("capital_gain", start=0, stop=5000, bins=25),
+                name="cdf",
+            ),
+            accuracy,
+        )
+        assert not cdf.denied
+        assert cdf.mechanism == "WCQ-SM"
+
+        top = engine.explore(
+            TopKCountingQuery(point_workload("state", schema=adult_small.schema), k=5,
+                              name="top-states"),
+            accuracy,
+        )
+        assert not top.denied
+        assert len(top.answer) == 5
+
+        transcript = engine.transcript()
+        assert len(transcript) == 4
+        assert transcript.is_valid(engine.budget)
+        assert engine.budget_spent == pytest.approx(transcript.total_epsilon())
+
+    def test_session_denies_once_budget_exhausted_then_recovers_for_cheaper_queries(
+        self, adult_small
+    ):
+        engine = APExEngine(adult_small, budget=0.08, seed=2)
+        expensive = WorkloadCountingQuery(
+            cumulative_histogram_workload("capital_gain", start=0, stop=5000, bins=50),
+            name="expensive",
+        )
+        cheap = WorkloadCountingQuery(
+            point_workload("sex", ["M", "F"]), name="cheap"
+        )
+        tight = AccuracySpec(alpha=0.02 * len(adult_small))
+        loose = AccuracySpec(alpha=0.3 * len(adult_small))
+
+        first = engine.explore(expensive, tight)
+        # whatever happened, a loose-accuracy cheap query should still fit
+        followup = engine.explore(cheap, loose)
+        assert not followup.denied
+        assert engine.transcript().is_valid(engine.budget)
+        assert engine.budget_spent <= engine.budget + 1e-9
+        _ = first
+
+    def test_accuracy_bounds_hold_across_session(self, adult_small):
+        engine = APExEngine(adult_small, budget=50.0, seed=3)
+        accuracy = AccuracySpec(alpha=0.04 * len(adult_small), beta=1e-3)
+        query = WorkloadCountingQuery(
+            histogram_workload("age", start=0, stop=100, bins=20), name="ages"
+        )
+        truth = query.true_counts(adult_small)
+        for _ in range(10):
+            result = engine.explore(query, accuracy)
+            assert not result.denied
+            assert np.abs(result.answer - truth).max() < accuracy.alpha
+
+    def test_text_interface_session(self, adult_small):
+        engine = APExEngine(adult_small, budget=2.0, seed=4)
+        alpha = 0.1 * len(adult_small)
+        queries = [
+            f"BIN D ON COUNT(*) WHERE W = {{sex = 'M', sex = 'F'}} ERROR {alpha} CONFIDENCE 0.9995;",
+            (
+                "BIN D ON COUNT(*) WHERE W = {age BETWEEN 17 AND 30, age BETWEEN 30 AND 50, "
+                f"age BETWEEN 50 AND 90}} ERROR {alpha} CONFIDENCE 0.9995;"
+            ),
+            (
+                "BIN D ON COUNT(*) WHERE W = {workclass = 'private', workclass = 'state-gov'} "
+                f"ORDER BY COUNT(*) LIMIT 1 ERROR {alpha} CONFIDENCE 0.9995;"
+            ),
+        ]
+        results = [engine.explore_text(text) for text in queries]
+        assert all(not result.denied for result in results)
+        assert results[2].answer == ["workclass = 'private'"]
+
+    def test_modes_agree_on_data_independent_queries(self, adult_small,
+                                                     capital_gain_histogram_query):
+        accuracy = AccuracySpec(alpha=0.05 * len(adult_small))
+        optimistic = APExEngine(
+            adult_small, budget=1.0, seed=5, mode=SelectionMode.OPTIMISTIC
+        ).explore(capital_gain_histogram_query, accuracy)
+        pessimistic = APExEngine(
+            adult_small, budget=1.0, seed=5, mode=SelectionMode.PESSIMISTIC
+        ).explore(capital_gain_histogram_query, accuracy)
+        assert optimistic.mechanism == pessimistic.mechanism == "WCQ-LM"
+        assert optimistic.epsilon_spent == pytest.approx(pessimistic.epsilon_spent)
+
+
+class TestPrivacyAccountingProperties:
+    def test_actual_charge_never_exceeds_admitted_bound(self, adult_small):
+        engine = APExEngine(adult_small, budget=1.0, seed=6)
+        accuracy = AccuracySpec(alpha=0.05 * len(adult_small))
+        query = IcebergCountingQuery(
+            histogram_workload("capital_gain", start=0, stop=5000, bins=20),
+            threshold=0.5 * len(adult_small),
+            name="icq",
+        )
+        for _ in range(10):
+            result = engine.explore(query, accuracy)
+            if result.denied:
+                break
+            assert result.epsilon_spent <= result.epsilon_upper + 1e-9
+        assert engine.transcript().is_valid(engine.budget)
+
+    def test_denied_queries_do_not_change_state(self, adult_small):
+        engine = APExEngine(adult_small, budget=0.01, seed=7)
+        accuracy = AccuracySpec(alpha=0.01 * len(adult_small))
+        query = WorkloadCountingQuery(
+            cumulative_histogram_workload("capital_gain", start=0, stop=5000, bins=50),
+            name="expensive",
+        )
+        before = engine.budget_spent
+        for _ in range(3):
+            assert engine.explore(query, accuracy).denied
+        assert engine.budget_spent == before
+        assert len(engine.transcript().denied()) == 3

@@ -1,0 +1,89 @@
+"""Empirical differential-privacy sanity checks on neighbouring databases.
+
+These tests do not prove DP (that is Theorem 6.2); they check the mechanics
+the proof relies on: noise scales derived from the declared sensitivity, and
+output distributions on neighbouring tables that overlap heavily (no
+give-away outputs), using simple likelihood-ratio style statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import AccuracySpec
+from repro.data.schema import Attribute, CategoricalDomain, Schema
+from repro.data.table import Table
+from repro.mechanisms.laplace import LaplaceMechanism
+from repro.mechanisms.noisy_topk import LaplaceTopKMechanism
+from repro.queries.builders import point_workload
+from repro.queries.query import TopKCountingQuery, WorkloadCountingQuery
+
+
+@pytest.fixture()
+def neighbouring_tables():
+    schema = Schema([Attribute("color", CategoricalDomain(["r", "g", "b"]))])
+    rows = [{"color": "r"}] * 40 + [{"color": "g"}] * 30 + [{"color": "b"}] * 30
+    table = Table.from_rows(schema, rows)
+    neighbour = Table.from_rows(schema, rows + [{"color": "r"}])
+    return table, neighbour
+
+
+class TestLaplaceOnNeighbours:
+    def test_noise_scale_matches_declared_epsilon(self, neighbouring_tables):
+        table, _ = neighbouring_tables
+        query = WorkloadCountingQuery(point_workload("color", ["r", "g", "b"]))
+        accuracy = AccuracySpec(alpha=5.0, beta=0.01)
+        mechanism = LaplaceMechanism()
+        translation = mechanism.translate(query, accuracy, table.schema)
+        rng = np.random.default_rng(0)
+        errors = []
+        for _ in range(2_000):
+            result = mechanism.run(query, accuracy, table, rng)
+            errors.extend(np.asarray(result.value) - query.true_counts(table))
+        observed_scale = np.mean(np.abs(errors))
+        expected_scale = translation.details["sensitivity"] / translation.epsilon_upper
+        assert observed_scale == pytest.approx(expected_scale, rel=0.1)
+
+    def test_output_distributions_overlap(self, neighbouring_tables):
+        """Means of noisy answers on D and D' differ by at most 1 (the true gap)."""
+        table, neighbour = neighbouring_tables
+        query = WorkloadCountingQuery(point_workload("color", ["r"]))
+        accuracy = AccuracySpec(alpha=10.0, beta=0.05)
+        mechanism = LaplaceMechanism()
+        rng = np.random.default_rng(1)
+        on_d = [float(mechanism.run(query, accuracy, table, rng).value[0]) for _ in range(1_500)]
+        on_d_prime = [
+            float(mechanism.run(query, accuracy, neighbour, rng).value[0]) for _ in range(1_500)
+        ]
+        assert abs(np.mean(on_d_prime) - np.mean(on_d) - 1.0) < 0.5
+        # empirical epsilon estimate from histogram likelihood ratios stays small
+        bins = np.linspace(min(on_d + on_d_prime), max(on_d + on_d_prime), 20)
+        hist_d, _ = np.histogram(on_d, bins=bins, density=True)
+        hist_dp, _ = np.histogram(on_d_prime, bins=bins, density=True)
+        mask = (hist_d > 0) & (hist_dp > 0)
+        ratios = np.abs(np.log(hist_d[mask] / hist_dp[mask]))
+        translation = mechanism.translate(query, accuracy, table.schema)
+        assert np.median(ratios) <= translation.epsilon_upper * 3 + 0.5
+
+
+class TestTopKOnNeighbours:
+    def test_selection_probabilities_are_close(self, neighbouring_tables):
+        table, neighbour = neighbouring_tables
+        query = TopKCountingQuery(point_workload("color", ["r", "g", "b"]), k=1)
+        accuracy = AccuracySpec(alpha=20.0, beta=0.05)
+        mechanism = LaplaceTopKMechanism()
+        rng = np.random.default_rng(2)
+        trials = 1_500
+
+        def selection_rate(data):
+            hits = 0
+            for _ in range(trials):
+                if mechanism.run(query, accuracy, data, rng).value == ["color = r"]:
+                    hits += 1
+            return hits / trials
+
+        rate_d = selection_rate(table)
+        rate_dp = selection_rate(neighbour)
+        translation = mechanism.translate(query, accuracy, table.schema)
+        bound = np.exp(translation.epsilon_upper)
+        assert rate_dp <= rate_d * bound + 0.05
+        assert rate_d <= rate_dp * bound + 0.05

@@ -1,0 +1,138 @@
+"""Tests for the Laplace top-k mechanism (TCQ-LTM, Algorithm 5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import AccuracySpec
+from repro.core.exceptions import MechanismError, TranslationError
+from repro.mechanisms.laplace import LaplaceMechanism
+from repro.mechanisms.noisy_topk import LaplaceTopKMechanism
+from repro.queries.builders import point_workload, prefix_workload
+from repro.queries.query import QueryKind, TopKCountingQuery, WorkloadCountingQuery
+
+
+@pytest.fixture()
+def mechanism() -> LaplaceTopKMechanism:
+    return LaplaceTopKMechanism()
+
+
+class TestTranslate:
+    def test_formula(self, mechanism, adult_small, age_topk_query):
+        accuracy = AccuracySpec(alpha=200, beta=1e-3)
+        translation = mechanism.translate(age_topk_query, accuracy, adult_small.schema)
+        L, k = age_topk_query.workload_size, age_topk_query.k
+        assert translation.epsilon_upper == pytest.approx(
+            2 * k * math.log(L / (2 * 1e-3)) / 200
+        )
+
+    def test_cost_independent_of_sensitivity(self, mechanism, adult_small):
+        """LTM's epsilon does not grow with the workload sensitivity (Fig. 4b)."""
+        accuracy = AccuracySpec(alpha=200)
+        low_sensitivity = TopKCountingQuery(
+            point_workload("age", [float(a) for a in range(20)]), k=3
+        )
+        high_sensitivity = TopKCountingQuery(
+            prefix_workload("capital_gain", [250.0 * i for i in range(1, 21)]), k=3
+        )
+        eps_low = mechanism.translate(low_sensitivity, accuracy, adult_small.schema)
+        eps_high = mechanism.translate(high_sensitivity, accuracy, adult_small.schema)
+        assert eps_low.epsilon_upper == pytest.approx(eps_high.epsilon_upper)
+
+    def test_cost_linear_in_k(self, mechanism, adult_small):
+        accuracy = AccuracySpec(alpha=200)
+        workload = point_workload("age", [float(a) for a in range(40)])
+        eps_k5 = mechanism.translate(
+            TopKCountingQuery(workload, k=5), accuracy, adult_small.schema
+        ).epsilon_upper
+        eps_k10 = mechanism.translate(
+            TopKCountingQuery(workload, k=10), accuracy, adult_small.schema
+        ).epsilon_upper
+        assert eps_k10 == pytest.approx(2 * eps_k5)
+
+    def test_beats_laplace_for_high_sensitivity_workloads(self, mechanism, adult_small):
+        accuracy = AccuracySpec(alpha=200)
+        query = TopKCountingQuery(
+            prefix_workload("capital_gain", [100.0 * i for i in range(1, 51)]), k=5
+        )
+        ltm = mechanism.translate(query, accuracy, adult_small.schema)
+        lm = LaplaceMechanism().translate(query, accuracy, adult_small.schema)
+        assert ltm.epsilon_upper < lm.epsilon_upper
+
+    def test_loses_to_laplace_for_disjoint_workloads(self, mechanism, adult_small):
+        """For sensitivity-1 workloads and k > 1 the baseline LM can win."""
+        accuracy = AccuracySpec(alpha=200)
+        query = TopKCountingQuery(
+            point_workload("age", [float(a) for a in range(17, 91)]), k=10
+        )
+        ltm = mechanism.translate(query, accuracy, adult_small.schema)
+        lm = LaplaceMechanism().translate(query, accuracy, adult_small.schema)
+        assert lm.epsilon_upper < ltm.epsilon_upper
+
+    def test_only_supports_tcq(self, mechanism):
+        wcq = WorkloadCountingQuery(point_workload("age", [1.0]))
+        assert not mechanism.supports(wcq)
+        with pytest.raises(MechanismError):
+            mechanism.translate(wcq, AccuracySpec(alpha=10))
+        assert mechanism.supported_kinds == frozenset({QueryKind.TCQ})
+
+    def test_loose_beta_rejected(self, mechanism, adult_small):
+        # a single-predicate workload with beta near 1 makes L/(2 beta) <= 1
+        query = TopKCountingQuery(point_workload("age", [1.0]), k=1)
+        with pytest.raises(TranslationError):
+            mechanism.translate(query, AccuracySpec(alpha=10, beta=0.99), adult_small.schema)
+
+
+class TestRun:
+    def test_returns_k_bin_ids(self, mechanism, adult_small, age_topk_query, rng):
+        accuracy = AccuracySpec(alpha=0.05 * len(adult_small))
+        result = mechanism.run(age_topk_query, accuracy, adult_small, rng)
+        assert len(result.value) == age_topk_query.k
+        assert set(result.value) <= set(age_topk_query.bin_names())
+
+    def test_counts_not_exposed(self, mechanism, adult_small, age_topk_query, rng):
+        accuracy = AccuracySpec(alpha=0.05 * len(adult_small))
+        result = mechanism.run(age_topk_query, accuracy, adult_small, rng)
+        assert result.noisy_counts is None
+
+    def test_spends_declared_epsilon(self, mechanism, adult_small, age_topk_query, rng):
+        accuracy = AccuracySpec(alpha=0.05 * len(adult_small))
+        translation = mechanism.translate(age_topk_query, accuracy, adult_small.schema)
+        result = mechanism.run(age_topk_query, accuracy, adult_small, rng)
+        assert result.epsilon_spent == pytest.approx(translation.epsilon_upper)
+
+    def test_accuracy_guarantee_statistical(self, adult_small):
+        """Mislabelled bins must lie within alpha of the k-th count (Thm 5.6)."""
+        mechanism = LaplaceTopKMechanism()
+        beta = 0.1
+        query = TopKCountingQuery(
+            point_workload("age", [float(a) for a in range(17, 67)]), k=5
+        )
+        accuracy = AccuracySpec(alpha=0.03 * len(adult_small), beta=beta)
+        truth = query.true_counts(adult_small)
+        names = list(query.bin_names())
+        kth = query.kth_largest_count(adult_small)
+        rng = np.random.default_rng(23)
+        trials, failures = 200, 0
+        for _ in range(trials):
+            reported = set(mechanism.run(query, accuracy, adult_small, rng).value)
+            bad = False
+            for index, name in enumerate(names):
+                if name in reported and truth[index] < kth - accuracy.alpha:
+                    bad = True
+                if name not in reported and truth[index] > kth + accuracy.alpha:
+                    bad = True
+            failures += bad
+        assert failures / trials <= beta * 1.5
+
+    def test_accurate_with_tight_alpha(self, mechanism, adult_small, rng):
+        """With a small alpha the reported set equals the true top-k."""
+        query = TopKCountingQuery(
+            point_workload("state", ["A"]), k=1
+        )
+        # use a query with an unambiguous winner: sex has two values
+        query = TopKCountingQuery(point_workload("sex", ["M", "F"]), k=1)
+        accuracy = AccuracySpec(alpha=0.01 * len(adult_small))
+        result = mechanism.run(query, accuracy, adult_small, rng)
+        assert result.value == ["sex = M"]

@@ -1,0 +1,75 @@
+"""Tests for the mechanism registry and its default wiring."""
+
+import pytest
+
+from repro.core.exceptions import MechanismError
+from repro.mechanisms.laplace import LaplaceMechanism
+from repro.mechanisms.registry import MechanismRegistry, default_registry
+from repro.queries.builders import point_workload
+from repro.queries.query import (
+    IcebergCountingQuery,
+    QueryKind,
+    TopKCountingQuery,
+    WorkloadCountingQuery,
+)
+
+
+@pytest.fixture()
+def registry() -> MechanismRegistry:
+    return default_registry(mc_samples=200)
+
+
+class TestDefaultRegistry:
+    def test_contains_papers_suite(self, registry):
+        expected = {"WCQ-LM", "WCQ-SM", "ICQ-LM", "ICQ-SM", "ICQ-MPM", "TCQ-LM", "TCQ-LTM"}
+        assert {m.name for m in registry} == expected
+
+    def test_wcq_mechanisms(self, registry):
+        query = WorkloadCountingQuery(point_workload("age", [1.0, 2.0]))
+        names = {m.name for m in registry.for_query(query)}
+        assert names == {"WCQ-LM", "WCQ-SM"}
+
+    def test_icq_mechanisms(self, registry):
+        query = IcebergCountingQuery(point_workload("age", [1.0, 2.0]), threshold=5)
+        names = {m.name for m in registry.for_query(query)}
+        assert names == {"ICQ-LM", "ICQ-SM", "ICQ-MPM"}
+
+    def test_tcq_mechanisms(self, registry):
+        query = TopKCountingQuery(point_workload("age", [1.0, 2.0]), k=1)
+        names = {m.name for m in registry.for_query(query)}
+        assert names == {"TCQ-LM", "TCQ-LTM"}
+
+    def test_for_kind(self, registry):
+        assert len(registry.for_kind(QueryKind.ICQ)) == 3
+
+    def test_get_by_name(self, registry):
+        assert registry.get("WCQ-SM").name == "WCQ-SM"
+        with pytest.raises(MechanismError):
+            registry.get("nope")
+
+    def test_contains(self, registry):
+        assert "ICQ-MPM" in registry
+        assert "nope" not in registry
+
+    def test_len(self, registry):
+        assert len(registry) == 7
+
+
+class TestRegistryMutation:
+    def test_register_duplicate_name_rejected(self):
+        registry = MechanismRegistry([LaplaceMechanism(name="LM")])
+        with pytest.raises(MechanismError):
+            registry.register(LaplaceMechanism(name="LM"))
+
+    def test_unregister(self):
+        registry = MechanismRegistry([LaplaceMechanism(name="LM")])
+        registry.unregister("LM")
+        assert len(registry) == 0
+        with pytest.raises(MechanismError):
+            registry.unregister("LM")
+
+    def test_custom_registration(self):
+        registry = MechanismRegistry()
+        registry.register(LaplaceMechanism(name="custom"))
+        query = WorkloadCountingQuery(point_workload("age", [1.0]))
+        assert [m.name for m in registry.for_query(query)] == ["custom"]

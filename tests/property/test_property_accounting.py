@@ -1,0 +1,112 @@
+"""Property-based tests for the privacy ledger and table operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.accounting import PrivacyLedger
+from repro.core.accuracy import AccuracySpec
+from repro.core.exceptions import BudgetExceededError
+from repro.data.schema import Attribute, CategoricalDomain, NumericDomain, Schema
+from repro.data.table import Table
+
+ACC = AccuracySpec(alpha=1.0)
+
+SCHEMA = Schema(
+    [
+        Attribute("cat", CategoricalDomain(["a", "b"])),
+        Attribute("num", NumericDomain(0, 10)),
+    ]
+)
+
+
+@st.composite
+def charge_sequences(draw):
+    """Sequences of (epsilon_upper, spend_fraction) charge attempts."""
+    n = draw(st.integers(1, 30))
+    return [
+        (
+            draw(st.floats(0.001, 0.5, allow_nan=False)),
+            draw(st.floats(0.0, 1.0, allow_nan=False)),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestLedgerProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(budget=st.floats(0.1, 5.0), charges=charge_sequences())
+    def test_spent_never_exceeds_budget(self, budget, charges):
+        ledger = PrivacyLedger(budget)
+        for upper, fraction in charges:
+            spent = upper * fraction
+            if ledger.can_afford(upper):
+                ledger.charge(
+                    query_name="q", query_kind="WCQ", accuracy=ACC, mechanism="LM",
+                    epsilon_upper=upper, epsilon_spent=spent, answer=None,
+                )
+            else:
+                ledger.deny(query_name="q", query_kind="WCQ", accuracy=ACC)
+                with pytest.raises(BudgetExceededError):
+                    ledger.charge(
+                        query_name="q", query_kind="WCQ", accuracy=ACC, mechanism="LM",
+                        epsilon_upper=upper, epsilon_spent=spent, answer=None,
+                    )
+        assert ledger.spent <= ledger.budget + 1e-9
+        assert ledger.transcript.is_valid(ledger.budget)
+        assert ledger.spent == pytest.approx(ledger.transcript.total_epsilon())
+
+    @settings(max_examples=50, deadline=None)
+    @given(budget=st.floats(0.1, 5.0), charges=charge_sequences())
+    def test_remaining_plus_spent_equals_budget(self, budget, charges):
+        ledger = PrivacyLedger(budget)
+        for upper, fraction in charges:
+            if ledger.can_afford(upper):
+                ledger.charge(
+                    query_name="q", query_kind="WCQ", accuracy=ACC, mechanism="LM",
+                    epsilon_upper=upper, epsilon_spent=upper * fraction, answer=None,
+                )
+        assert ledger.remaining + ledger.spent == pytest.approx(ledger.budget)
+
+
+@st.composite
+def row_lists(draw, max_rows=60):
+    n = draw(st.integers(0, max_rows))
+    return [
+        {
+            "cat": draw(st.sampled_from(["a", "b"])),
+            "num": draw(st.floats(0, 10, allow_nan=False)),
+        }
+        for _ in range(n)
+    ]
+
+
+class TestTableProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(rows=row_lists())
+    def test_filter_then_count_consistent(self, rows):
+        table = Table.from_rows(SCHEMA, rows)
+        mask = table.column("num").astype(float) > 5
+        assert len(table.filter(mask)) == table.count(mask)
+
+    @settings(max_examples=50, deadline=None)
+    @given(rows=row_lists())
+    def test_concat_preserves_counts(self, rows):
+        table = Table.from_rows(SCHEMA, rows)
+        doubled = table.concat(table)
+        assert len(doubled) == 2 * len(table)
+        assert doubled.null_count("num") == 2 * table.null_count("num")
+
+    @settings(max_examples=50, deadline=None)
+    @given(rows=row_lists(), seed=st.integers(0, 1000))
+    def test_sample_is_subset(self, rows, seed):
+        table = Table.from_rows(SCHEMA, rows)
+        if len(table) == 0:
+            return
+        rng = np.random.default_rng(seed)
+        size = int(rng.integers(0, len(table) + 1))
+        sample = table.sample(size, rng=rng)
+        assert len(sample) == size
+        original_values = list(table.column("num").astype(float))
+        for value in sample.column("num").astype(float):
+            assert value in original_values

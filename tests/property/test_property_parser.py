@@ -1,0 +1,116 @@
+"""Property-based tests for the query parser and predicate round trips."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data.schema import Attribute, CategoricalDomain, NumericDomain, Schema
+from repro.data.table import Table
+from repro.queries.parser import parse_predicate, parse_query
+from repro.queries.predicates import Comparison
+
+SCHEMA = Schema(
+    [
+        Attribute("num", NumericDomain(0, 100)),
+        Attribute("cat", CategoricalDomain(["x", "y", "z"])),
+    ]
+)
+
+identifiers = st.sampled_from(["num", "cat"])
+numbers = st.floats(0, 100, allow_nan=False, allow_infinity=False).map(lambda x: round(x, 3))
+
+
+@st.composite
+def comparison_texts(draw):
+    """Generate numeric comparison text together with the expected semantics."""
+    op = draw(st.sampled_from(["<", "<=", ">", ">=", "=", "!="]))
+    value = draw(numbers)
+    return f"num {op} {value}", op, value
+
+
+@st.composite
+def small_tables(draw):
+    n = draw(st.integers(0, 40))
+    rows = [
+        {"num": draw(numbers), "cat": draw(st.sampled_from(["x", "y", "z"]))}
+        for _ in range(n)
+    ]
+    return Table.from_rows(SCHEMA, rows)
+
+
+class TestPredicateRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(data=comparison_texts())
+    def test_parse_produces_comparison(self, data):
+        text, op, value = data
+        predicate = parse_predicate(text)
+        assert isinstance(predicate, Comparison)
+        assert predicate.value == value
+        expected_op = {"=": "==", "<>": "!="}.get(op, op)
+        assert predicate.op == expected_op
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=comparison_texts(), table=small_tables())
+    def test_parsed_predicate_matches_manual_evaluation(self, data, table):
+        text, op, value = data
+        predicate = parse_predicate(text)
+        column = table.column("num").astype(float)
+        expected_op = {"=": "==", "<>": "!="}.get(op, op)
+        expected = {
+            "==": column == value,
+            "!=": column != value,
+            "<": column < value,
+            "<=": column <= value,
+            ">": column > value,
+            ">=": column >= value,
+        }[expected_op]
+        assert np.array_equal(predicate.evaluate(table), expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        low=st.floats(0, 50, allow_nan=False).map(lambda x: round(x, 2)),
+        width=st.floats(0.5, 50, allow_nan=False).map(lambda x: round(x, 2)),
+        table=small_tables(),
+    )
+    def test_between_round_trip(self, low, width, table):
+        high = round(low + width, 2)
+        predicate = parse_predicate(f"num BETWEEN {low} AND {high}")
+        column = table.column("num").astype(float)
+        expected = (column >= low) & (column <= high)
+        assert np.array_equal(predicate.evaluate(table), expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(describe_seed=st.lists(comparison_texts(), min_size=1, max_size=4))
+    def test_describe_reparse_idempotent(self, describe_seed):
+        """describe() output parses back to an equivalent predicate."""
+        for text, _, _ in describe_seed:
+            predicate = parse_predicate(text)
+            reparsed = parse_predicate(predicate.describe())
+            assert reparsed.describe() == predicate.describe()
+
+
+class TestQueryRoundTrip:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        cuts=st.lists(numbers, min_size=1, max_size=6, unique=True),
+        alpha=st.floats(1, 500).map(lambda x: round(x, 2)),
+    )
+    def test_wcq_workload_size_matches_predicate_count(self, cuts, alpha):
+        body = ", ".join(f"num < {cut}" for cut in sorted(cuts))
+        query, accuracy = parse_query(
+            f"BIN D ON COUNT(*) WHERE W = {{{body}}} ERROR {alpha} CONFIDENCE 0.999;"
+        )
+        assert query.workload_size == len(cuts)
+        assert accuracy is not None
+        assert accuracy.alpha == alpha
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        k=st.integers(1, 5),
+        n_predicates=st.integers(5, 10),
+    )
+    def test_tcq_k_round_trip(self, k, n_predicates):
+        body = ", ".join(f"num < {10 * (i + 1)}" for i in range(n_predicates))
+        query, _ = parse_query(
+            f"BIN D ON COUNT(*) WHERE W = {{{body}}} ORDER BY COUNT(*) LIMIT {k};"
+        )
+        assert query.k == k

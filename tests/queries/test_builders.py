@@ -1,0 +1,107 @@
+"""Tests for the workload builder helpers."""
+
+import pytest
+
+from repro.core.exceptions import QueryError
+from repro.queries.builders import (
+    cross_workload,
+    cumulative_histogram_workload,
+    histogram_workload,
+    marginal_workload,
+    point_workload,
+    prefix_workload,
+    range_workload,
+)
+
+
+class TestRangeAndHistogram:
+    def test_range_bins(self, toy_table):
+        workload = range_workload("age", [0, 30, 60, 100])
+        assert workload.size == 3
+        # ages: 10,20,30,40,50,60,70,80,90,15,25,35
+        assert list(workload.true_answers(toy_table)) == [4, 4, 4]
+
+    def test_range_needs_two_edges(self):
+        with pytest.raises(QueryError):
+            range_workload("age", [1])
+
+    def test_range_monotone_edges(self):
+        with pytest.raises(QueryError):
+            range_workload("age", [0, 10, 5])
+
+    def test_histogram_bin_count(self):
+        workload = histogram_workload("age", start=0, stop=100, bins=10)
+        assert workload.size == 10
+
+    def test_histogram_invalid(self):
+        with pytest.raises(QueryError):
+            histogram_workload("age", start=0, stop=100, bins=0)
+        with pytest.raises(QueryError):
+            histogram_workload("age", start=10, stop=5, bins=2)
+
+    def test_histogram_covers_range_disjointly(self, toy_table):
+        workload = histogram_workload("age", start=0, stop=100, bins=5)
+        counts = workload.true_answers(toy_table)
+        ages = toy_table.column("age").astype(float)
+        assert counts.sum() == ((ages >= 0) & (ages < 100)).sum()
+
+
+class TestPrefixAndCumulative:
+    def test_prefix_counts_are_monotone(self, toy_table):
+        workload = prefix_workload("age", [20, 40, 60, 80, 100])
+        counts = list(workload.true_answers(toy_table))
+        assert counts == sorted(counts)
+
+    def test_prefix_needs_increasing_cuts(self):
+        with pytest.raises(QueryError):
+            prefix_workload("age", [10, 10])
+
+    def test_prefix_empty_rejected(self):
+        with pytest.raises(QueryError):
+            prefix_workload("age", [])
+
+    def test_cumulative_matches_prefix_at_edges(self, toy_table):
+        cumulative = cumulative_histogram_workload("age", start=0, stop=100, bins=5)
+        counts = list(cumulative.true_answers(toy_table))
+        assert counts == sorted(counts)
+        assert counts[-1] == 12  # all rows have age in [0, 100)
+
+
+class TestPointAndMarginal:
+    def test_point_from_schema(self, toy_schema):
+        workload = point_workload("state", schema=toy_schema)
+        assert workload.size == 3
+
+    def test_point_requires_values_or_schema(self):
+        with pytest.raises(QueryError):
+            point_workload("state")
+
+    def test_point_non_categorical_needs_values(self, toy_schema):
+        with pytest.raises(QueryError):
+            point_workload("age", schema=toy_schema)
+        assert point_workload("age", [1, 2, 3]).size == 3
+
+    def test_marginal_size_is_product(self, toy_schema):
+        marginal = marginal_workload(
+            point_workload("state", schema=toy_schema),
+            histogram_workload("age", start=0, stop=100, bins=4),
+        )
+        assert marginal.size == 12
+
+    def test_marginal_counts(self, toy_table, toy_schema):
+        marginal = marginal_workload(
+            point_workload("state", schema=toy_schema),
+            range_workload("age", [0, 50, 100]),
+        )
+        counts = marginal.true_answers(toy_table)
+        assert counts.sum() == 12
+
+    def test_cross_workload_concatenates(self, toy_schema):
+        combined = cross_workload(
+            [point_workload("state", schema=toy_schema), prefix_workload("age", [10, 20])]
+        )
+        assert combined.size == 5
+
+    def test_cross_workload_empty_rejected(self):
+        with pytest.raises(QueryError):
+            cross_workload([])

@@ -1,0 +1,202 @@
+"""Tests for the declarative query-language parser."""
+
+import pytest
+
+from repro.core.exceptions import ParseError
+from repro.queries.parser import parse_predicate, parse_query
+from repro.queries.predicates import (
+    And,
+    Between,
+    Comparison,
+    In,
+    IsNull,
+    Not,
+    Or,
+    TruePredicate,
+)
+from repro.queries.query import (
+    IcebergCountingQuery,
+    TopKCountingQuery,
+    WorkloadCountingQuery,
+)
+
+
+class TestParsePredicate:
+    def test_simple_comparison(self):
+        pred = parse_predicate("age > 50")
+        assert isinstance(pred, Comparison)
+        assert pred.op == ">" and pred.value == 50
+
+    def test_equality_aliases(self):
+        assert parse_predicate("age = 5").op == "=="
+        assert parse_predicate("age == 5").op == "=="
+        assert parse_predicate("age <> 5").op == "!="
+
+    def test_string_literal(self):
+        pred = parse_predicate("state = 'AL'")
+        assert pred.value == "AL"
+
+    def test_bare_word_value(self):
+        pred = parse_predicate("workclass = private")
+        assert pred.value == "private"
+
+    def test_quoted_identifier(self):
+        pred = parse_predicate('"capital gain" > 100')
+        assert pred.attribute == "capital gain"
+
+    def test_between_inclusive(self):
+        pred = parse_predicate("age BETWEEN 10 AND 20")
+        assert isinstance(pred, Between)
+        assert pred.low == 10 and pred.high == 20
+        assert pred.low_inclusive and pred.high_inclusive
+
+    def test_in_list(self):
+        pred = parse_predicate("state IN ('AL', 'WY')")
+        assert isinstance(pred, In)
+        assert pred.values == ("AL", "WY")
+
+    def test_is_null(self):
+        pred = parse_predicate("venue IS NULL")
+        assert isinstance(pred, IsNull) and not pred.negated
+
+    def test_is_not_null(self):
+        pred = parse_predicate("venue IS NOT NULL")
+        assert isinstance(pred, IsNull) and pred.negated
+
+    def test_and_or_precedence(self):
+        pred = parse_predicate("a > 1 AND b > 2 OR c > 3")
+        assert isinstance(pred, Or)
+        assert isinstance(pred.children[0], And)
+
+    def test_parentheses(self):
+        pred = parse_predicate("a > 1 AND (b > 2 OR c > 3)")
+        assert isinstance(pred, And)
+        assert isinstance(pred.children[1], Or)
+
+    def test_not(self):
+        pred = parse_predicate("NOT age > 5")
+        assert isinstance(pred, Not)
+
+    def test_true_literal(self):
+        assert isinstance(parse_predicate("TRUE"), TruePredicate)
+
+    def test_case_insensitive_keywords(self):
+        pred = parse_predicate("age between 1 and 2 and state is null")
+        assert isinstance(pred, And)
+
+    def test_negative_numbers(self):
+        assert parse_predicate("delta > -1.5").value == -1.5
+
+    def test_scientific_notation(self):
+        assert parse_predicate("x < 1e-3").value == pytest.approx(1e-3)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_predicate("age > 5 garbage garbage")
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse_predicate("age @ 5")
+
+    def test_missing_value_rejected(self):
+        with pytest.raises(ParseError):
+            parse_predicate("age >")
+
+
+class TestParseQuery:
+    WCQ = (
+        "BIN D ON COUNT(*) WHERE W = {age > 50 AND state = 'AL', age > 50 AND state = 'WY'};"
+    )
+
+    def test_wcq(self):
+        query, accuracy = parse_query(self.WCQ)
+        assert isinstance(query, WorkloadCountingQuery)
+        assert query.workload_size == 2
+        assert accuracy is None
+
+    def test_icq(self):
+        text = (
+            "BIN D ON COUNT(*) WHERE W = {state = 'AL', state = 'WY'} "
+            "HAVING COUNT(*) > 5000000;"
+        )
+        query, _ = parse_query(text)
+        assert isinstance(query, IcebergCountingQuery)
+        assert query.threshold == 5_000_000
+
+    def test_tcq(self):
+        text = (
+            "BIN D ON COUNT(*) WHERE W = {state = 'AL', state = 'WY', state = 'CA'} "
+            "ORDER BY COUNT(*) LIMIT 2;"
+        )
+        query, _ = parse_query(text)
+        assert isinstance(query, TopKCountingQuery)
+        assert query.k == 2
+
+    def test_accuracy_clause(self):
+        text = (
+            "BIN D ON COUNT(*) WHERE W = {age > 50} ERROR 100 CONFIDENCE 0.9995;"
+        )
+        _, accuracy = parse_query(text)
+        assert accuracy is not None
+        assert accuracy.alpha == 100
+        assert accuracy.beta == pytest.approx(5e-4)
+
+    def test_semicolon_optional(self):
+        query, _ = parse_query("BIN D ON COUNT(*) WHERE W = {age > 50}")
+        assert query.workload_size == 1
+
+    def test_semicolon_separator_in_workload(self):
+        query, _ = parse_query("BIN D ON COUNT(*) WHERE W = {age > 50; age > 60}")
+        assert query.workload_size == 2
+
+    def test_in_list_commas_not_split(self):
+        query, _ = parse_query(
+            "BIN D ON COUNT(*) WHERE W = {state IN ('AL', 'WY'), age > 5}"
+        )
+        assert query.workload_size == 2
+
+    def test_having_and_order_by_conflict(self):
+        text = (
+            "BIN D ON COUNT(*) WHERE W = {age > 5, age > 10} "
+            "HAVING COUNT(*) > 3 ORDER BY COUNT(*) LIMIT 1;"
+        )
+        with pytest.raises(ParseError):
+            parse_query(text)
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("BIN D ON COUNT(*) WHERE W = {};")
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("BIN D ON COUNT(*) WHERE W = {age > 5} ERROR 10 CONFIDENCE 2;")
+
+    def test_having_requires_greater_than(self):
+        with pytest.raises(ParseError):
+            parse_query(
+                "BIN D ON COUNT(*) WHERE W = {age > 5} HAVING COUNT(*) < 3;"
+            )
+
+    def test_missing_count_star_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("BIN D ON SUM(*) WHERE W = {age > 5};")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("BIN D ON COUNT(*) WHERE W = {age > 5}; extra")
+
+    def test_paper_example_parses(self):
+        text = """
+        BIN D ON COUNT(*)
+        WHERE W = {"capital gain" < 50, "capital gain" < 100, "capital gain" < 5000}
+        HAVING COUNT(*) > 3256
+        ERROR 651 CONFIDENCE 0.9995;
+        """
+        query, accuracy = parse_query(text)
+        assert isinstance(query, IcebergCountingQuery)
+        assert query.workload_size == 3
+        assert accuracy.beta == pytest.approx(5e-4)
+
+    def test_bin_names_are_descriptions(self):
+        query, _ = parse_query("BIN D ON COUNT(*) WHERE W = {age > 50, sex = 'M'}")
+        assert query.bin_names() == ("age > 50", "sex = 'M'")

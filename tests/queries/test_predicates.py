@@ -1,0 +1,215 @@
+"""Tests for the predicate algebra (row and cell evaluation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import PredicateError
+from repro.queries.predicates import (
+    And,
+    Between,
+    Comparison,
+    FalsePredicate,
+    FunctionPredicate,
+    In,
+    Interval,
+    IsNull,
+    Not,
+    Or,
+    TruePredicate,
+)
+
+
+class TestInterval:
+    def test_contains_half_open(self):
+        interval = Interval(0, 10)
+        assert interval.contains(0)
+        assert interval.contains(5)
+        assert not interval.contains(10)
+
+    def test_contains_closed(self):
+        interval = Interval(0, 10, high_inclusive=True)
+        assert interval.contains(10)
+
+    def test_point_interval(self):
+        point = Interval(5, 5, high_inclusive=True)
+        assert point.is_point
+        assert point.representative() == 5
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(PredicateError):
+            Interval(5, 3)
+
+    def test_representative_inside(self):
+        interval = Interval(2, 8)
+        assert interval.contains(interval.representative())
+
+
+class TestComparison:
+    def test_numeric_operators(self, toy_table):
+        assert Comparison("age", ">", 50).evaluate(toy_table).sum() == 4
+        assert Comparison("age", ">=", 50).evaluate(toy_table).sum() == 5
+        assert Comparison("age", "<", 20).evaluate(toy_table).sum() == 2
+        assert Comparison("age", "==", 40).evaluate(toy_table).sum() == 1
+        assert Comparison("age", "!=", 40).evaluate(toy_table).sum() == 11
+
+    def test_categorical_equality(self, toy_table):
+        assert Comparison("state", "==", "B").evaluate(toy_table).sum() == 4
+        assert Comparison("state", "!=", "B").evaluate(toy_table).sum() == 8
+
+    def test_categorical_inequality_rejected(self, toy_table):
+        with pytest.raises(PredicateError):
+            Comparison("state", "<", "B").evaluate(toy_table)
+
+    def test_null_never_matches(self, toy_table):
+        # income has one NULL row; comparisons must exclude it on both sides
+        above = Comparison("income", ">", 0).evaluate(toy_table).sum()
+        below = Comparison("income", "<=", 10_000).evaluate(toy_table).sum()
+        assert above == 11 and below == 11
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PredicateError):
+            Comparison("age", "~", 5)
+
+    def test_cell_evaluation_numeric(self):
+        pred = Comparison("age", ">", 50)
+        assert pred.evaluate_cell({"age": Interval(60, 70)})
+        assert not pred.evaluate_cell({"age": Interval(10, 20)})
+        assert not pred.evaluate_cell({"age": None})
+
+    def test_cell_evaluation_categorical(self):
+        pred = Comparison("state", "==", "A")
+        assert pred.evaluate_cell({"state": "A"})
+        assert not pred.evaluate_cell({"state": "B"})
+
+    def test_describe(self):
+        assert Comparison("age", "==", 5).describe() == "age = 5"
+        assert "'CA'" in Comparison("state", "==", "CA").describe()
+
+    def test_attributes(self):
+        assert Comparison("age", ">", 1).attributes() == frozenset({"age"})
+
+
+class TestBetween:
+    def test_half_open_semantics(self, toy_table):
+        # ages in table: 10,20,30,40,50,60,70,80,90,15,25,35 -> [20,40) = 20,25,30,35
+        assert Between("age", 20, 40).evaluate(toy_table).sum() == 4
+
+    def test_inclusive_bounds(self, toy_table):
+        assert Between("age", 20, 40, high_inclusive=True).evaluate(toy_table).sum() == 5
+
+    def test_null_excluded(self, toy_table):
+        assert Between("income", 0, 20_000).evaluate(toy_table).sum() == 11
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(PredicateError):
+            Between("age", 10, 5)
+
+    def test_cell_evaluation(self):
+        pred = Between("age", 20, 40)
+        assert pred.evaluate_cell({"age": Interval(25, 30)})
+        assert not pred.evaluate_cell({"age": Interval(50, 60)})
+
+
+class TestInAndNull:
+    def test_in(self, toy_table):
+        assert In("state", ["A", "C"]).evaluate(toy_table).sum() == 8
+
+    def test_in_empty_rejected(self):
+        with pytest.raises(PredicateError):
+            In("state", [])
+
+    def test_in_cell(self):
+        pred = In("state", ["A", "B"])
+        assert pred.evaluate_cell({"state": "A"})
+        assert not pred.evaluate_cell({"state": "C"})
+        assert not pred.evaluate_cell({"state": None})
+
+    def test_is_null(self, toy_table):
+        assert IsNull("income").evaluate(toy_table).sum() == 1
+        assert IsNull("income", negated=True).evaluate(toy_table).sum() == 11
+
+    def test_is_null_cell(self):
+        assert IsNull("x").evaluate_cell({"x": None})
+        assert not IsNull("x").evaluate_cell({"x": "v"})
+        assert IsNull("x", negated=True).evaluate_cell({"x": "v"})
+
+
+class TestBooleanCombinators:
+    def test_and(self, toy_table):
+        pred = And([Comparison("state", "==", "C"), Comparison("age", ">", 50)])
+        assert pred.evaluate(toy_table).sum() == 2  # ages 80, 90 in state C
+
+    def test_or(self, toy_table):
+        pred = Or([Comparison("state", "==", "A"), Comparison("age", ">", 80)])
+        assert pred.evaluate(toy_table).sum() == 4
+
+    def test_not(self, toy_table):
+        pred = Not(Comparison("state", "==", "A"))
+        assert pred.evaluate(toy_table).sum() == 9
+
+    def test_operator_sugar(self, toy_table):
+        pred = Comparison("state", "==", "A") | Comparison("state", "==", "B")
+        assert pred.evaluate(toy_table).sum() == 7
+        pred = Comparison("state", "==", "C") & Comparison("age", "<", 30)
+        assert pred.evaluate(toy_table).sum() == 2
+        assert (~TruePredicate()).evaluate(toy_table).sum() == 0
+
+    def test_flattening(self):
+        nested = And([And([Comparison("a", ">", 1), Comparison("b", ">", 2)]), Comparison("c", ">", 3)])
+        assert len(nested.children) == 3
+
+    def test_empty_children_rejected(self):
+        with pytest.raises(PredicateError):
+            And([])
+        with pytest.raises(PredicateError):
+            Or([])
+
+    def test_true_false(self, toy_table):
+        assert TruePredicate().evaluate(toy_table).all()
+        assert not FalsePredicate().evaluate(toy_table).any()
+        assert TruePredicate().evaluate_cell({})
+        assert not FalsePredicate().evaluate_cell({})
+
+    def test_attributes_union(self):
+        pred = And([Comparison("a", ">", 1), Or([Comparison("b", "==", "x"), IsNull("c")])])
+        assert pred.attributes() == frozenset({"a", "b", "c"})
+
+    def test_atomic_comparisons_collected(self):
+        pred = Not(And([Comparison("a", ">", 1), Between("b", 0, 5)]))
+        assert len(pred.atomic_comparisons()) == 2
+
+    def test_cell_evaluation_composed(self):
+        pred = And([Comparison("age", ">", 10), Not(Comparison("state", "==", "A"))])
+        assert pred.evaluate_cell({"age": Interval(20, 30), "state": "B"})
+        assert not pred.evaluate_cell({"age": Interval(20, 30), "state": "A"})
+
+    def test_supports_domain_analysis_propagates(self):
+        opaque = FunctionPredicate("f", lambda t: np.zeros(len(t), dtype=bool))
+        assert not And([Comparison("a", ">", 1), opaque]).supports_domain_analysis
+        assert And([Comparison("a", ">", 1)]).supports_domain_analysis
+
+
+class TestFunctionPredicate:
+    def test_evaluates_via_callable(self, toy_table):
+        pred = FunctionPredicate("even-rows", lambda t: np.arange(len(t)) % 2 == 0)
+        assert pred.evaluate(toy_table).sum() == 6
+
+    def test_wrong_shape_rejected(self, toy_table):
+        pred = FunctionPredicate("bad", lambda t: np.zeros(3, dtype=bool))
+        with pytest.raises(PredicateError):
+            pred.evaluate(toy_table)
+
+    def test_cell_evaluation_rejected(self):
+        pred = FunctionPredicate("f", lambda t: np.zeros(len(t), dtype=bool))
+        with pytest.raises(PredicateError):
+            pred.evaluate_cell({})
+
+    def test_not_callable_rejected(self):
+        with pytest.raises(PredicateError):
+            FunctionPredicate("f", "not-callable")  # type: ignore[arg-type]
+
+    def test_identity_equality(self):
+        fn = lambda t: np.zeros(len(t), dtype=bool)  # noqa: E731
+        a, b = FunctionPredicate("f", fn), FunctionPredicate("f", fn)
+        assert a == a
+        assert a != b
