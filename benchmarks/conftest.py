@@ -20,7 +20,6 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 from repro.bench.harness import ERExperimentConfig, ExperimentConfig  # noqa: E402
-from repro.bench.reporting import format_records, summarize_by  # noqa: E402
 
 
 @pytest.fixture(scope="session")
@@ -49,10 +48,3 @@ def er_config() -> ERExperimentConfig:
     )
     config.build_table()
     return config
-
-
-def report(title: str, records, group_keys, value_key) -> None:
-    """Print a paper-shaped summary table for one experiment."""
-    summary = summarize_by(records, group_keys, value_key)
-    print(f"\n=== {title} ===")
-    print(format_records(summary, columns=list(group_keys) + ["count", "median", "q25", "q75"]))

@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""CI entry point for the microbenchmark suite.
+
+Equivalent to ``python -m repro.bench``; kept next to the pytest benchmarks
+so the whole perf surface lives in one directory.  Usage::
+
+    python benchmarks/run_bench.py [--quick] [--output BENCH_1.json]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench.__main__ import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@ threshold and reports the total privacy spent.
 """
 
 import numpy as np
-from conftest import report
+from repro.bench.reporting import report
 
 from repro.core.accuracy import AccuracySpec
 from repro.core.engine import APExEngine

@@ -11,7 +11,7 @@ DESIGN.md calls out three knobs worth ablating:
 import time
 
 import numpy as np
-from conftest import report
+from repro.bench.reporting import report
 
 from repro.core.accuracy import AccuracySpec
 from repro.mechanisms.multi_poking import MultiPokingMechanism

@@ -8,7 +8,7 @@ answerable with empirical error < 0.1 at privacy cost < 0.1; on NYTaxi the
 same relative error costs orders of magnitude less because |D| is larger.
 """
 
-from conftest import report
+from repro.bench.reporting import report
 
 from repro.bench.harness import run_figure2
 from repro.bench.reporting import summarize_by

@@ -5,7 +5,7 @@ metric: as alpha grows (privacy cost shrinks) the F1 between the reported and
 true bin identifier sets degrades, and at tight alpha it is near 1.
 """
 
-from conftest import report
+from repro.bench.reporting import report
 
 from repro.bench.harness import run_figure3
 from repro.bench.reporting import summarize_by

@@ -6,7 +6,7 @@ the cumulative template (QW2, sensitivity L).  The strategy mechanism costs
 roughly the same on both templates and grows only logarithmically with L.
 """
 
-from conftest import report
+from repro.bench.reporting import report
 
 from repro.bench.harness import run_figure4a
 

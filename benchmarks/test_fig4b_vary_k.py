@@ -6,7 +6,7 @@ independent of the workload sensitivity, so the winner flips between the
 low-sensitivity QT3 and the high-sensitivity QT4 templates as k grows.
 """
 
-from conftest import report
+from repro.bench.reporting import report
 
 from repro.bench.harness import run_figure4b
 

@@ -8,7 +8,7 @@ and can even exceed the baseline -- the paper's argument for letting APEx
 choose per query.
 """
 
-from conftest import report
+from repro.bench.reporting import report
 
 from repro.bench.harness import run_figure4c
 

@@ -7,7 +7,7 @@ strategies (BS2/MS2) spend less per query than the WCQ-only ones, so they
 reach good quality at smaller budgets.
 """
 
-from conftest import report
+from repro.bench.reporting import report
 
 from repro.bench.harness import run_figure5
 from repro.bench.reporting import summarize_by

@@ -7,7 +7,7 @@ to steer the predicate selection -- so quality peaks at an intermediate alpha,
 the paper's "there exists an optimal alpha" observation.
 """
 
-from conftest import report
+from repro.bench.reporting import report
 
 from repro.bench.harness import run_figure6
 from repro.bench.reporting import summarize_by

@@ -5,7 +5,7 @@ alpha, so each query costs more and a larger budget is needed to reach the
 recall that |D| = 4000 achieves at B = 1 (paper Section 8.2, "Vary Data Size").
 """
 
-from conftest import report
+from repro.bench.reporting import report
 
 from repro.bench.harness import ERExperimentConfig, run_figure5
 

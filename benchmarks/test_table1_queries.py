@@ -6,7 +6,7 @@ benchmark queries -- and prints the per-query workload size and sensitivity
 exactly as Table 1 / Section 5 describe them.
 """
 
-from conftest import report
+from repro.bench.reporting import report
 
 
 def test_table1_workload_analysis(benchmark, query_config):

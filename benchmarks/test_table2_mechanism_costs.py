@@ -8,7 +8,7 @@ mechanism on high-sensitivity top-k workloads (QT2, QT4) -- which is exactly
 why APEx must pick per query.
 """
 
-from conftest import report
+from repro.bench.reporting import report
 
 from repro.bench.harness import run_table2
 

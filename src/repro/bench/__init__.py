@@ -8,6 +8,8 @@
   Table 2).
 * :mod:`repro.bench.reporting` -- plain-text rendering of the results in the
   shape the paper reports them.
+* :mod:`repro.bench.microbench` -- timed microbenchmarks for the vectorized
+  predicate / domain-analysis engine (run via ``python -m repro.bench``).
 """
 
 from repro.bench.queries import (
@@ -18,6 +20,8 @@ from repro.bench.queries import (
 from repro.bench.harness import (
     ERExperimentConfig,
     ExperimentConfig,
+    clear_run_timings,
+    last_run_timings,
     run_figure2,
     run_figure3,
     run_figure4a,
@@ -28,11 +32,14 @@ from repro.bench.harness import (
     run_figure7,
     run_table2,
 )
+from repro.bench.microbench import run_microbenchmarks
 from repro.bench.reporting import (
     format_records,
     format_table,
     records_to_csv,
+    report,
     summarize_by,
+    write_bench_json,
 )
 
 __all__ = [
@@ -54,4 +61,9 @@ __all__ = [
     "format_records",
     "records_to_csv",
     "summarize_by",
+    "report",
+    "write_bench_json",
+    "run_microbenchmarks",
+    "last_run_timings",
+    "clear_run_timings",
 ]

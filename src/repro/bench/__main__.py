@@ -1,0 +1,69 @@
+"""``python -m repro.bench``: run the microbenchmark suite, write BENCH JSON.
+
+Intended for CI smoke use (``--quick``) and for regenerating the perf
+trajectory after engine changes::
+
+    python -m repro.bench                 # full suite -> BENCH_1.json
+    python -m repro.bench --quick         # scaled down, same checks
+    python -m repro.bench --output out.json
+
+Exit status is non-zero when any parity or cache assertion fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.microbench import run_microbenchmarks
+from repro.bench.reporting import write_bench_json
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the vectorized-engine microbenchmarks.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="scaled-down run (20k rows, fewer repeats) for CI smoke tests",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_1.json",
+        help="path of the JSON payload (default: BENCH_1.json)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20190501, help="seed for the synthetic table"
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_microbenchmarks(quick=args.quick, seed=args.seed)
+    write_bench_json(args.output, payload)
+
+    mask = payload["mask_evaluation"]
+    domain = payload["domain_analysis"]
+    translation = payload["translation_cache"]
+    print(f"wrote {args.output}")
+    print(
+        f"mask evaluation: {mask['n_predicates']} predicates x {mask['n_rows']} rows: "
+        f"{mask['reference_seconds']:.4f}s -> {mask['vectorized_cold_seconds']:.4f}s "
+        f"({mask['speedup_cold']:.1f}x cold, {mask['speedup_warm']:.0f}x warm)"
+    )
+    print(
+        f"domain analysis: {domain['n_cells']} cells: "
+        f"{domain['reference_seconds']:.4f}s -> {domain['vectorized_seconds']:.4f}s "
+        f"({domain['speedup']:.1f}x)"
+    )
+    print(
+        f"translation cache: {translation['first_preview_seconds']:.4f}s -> "
+        f"{translation['second_preview_seconds']:.6f}s "
+        f"(hit={translation['translation_cache_hit']}, "
+        f"matrix_rebuilt={translation['matrix_rebuilt_on_second_call']})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,8 +18,10 @@ Empirical error definitions follow Section 7.1:
 
 from __future__ import annotations
 
+import functools
+import time
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -67,12 +69,43 @@ __all__ = [
     "run_figure6",
     "run_figure7",
     "empirical_error",
+    "last_run_timings",
+    "clear_run_timings",
 ]
 
 #: The alpha sweep used throughout Section 7 (fractions of |D|).
 PAPER_ALPHA_FRACTIONS = (0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64)
 #: The paper's default failure probability.
 PAPER_BETA = 5e-4
+
+#: Wall-clock seconds of the most recent invocation of each ``run_*``
+#: experiment, keyed by experiment name (``"figure2"``, ``"table2"``, ...).
+RUN_TIMINGS: dict[str, float] = {}
+
+
+def _timed(name: str) -> Callable:
+    """Record each run's wall-clock time under ``name`` in :data:`RUN_TIMINGS`."""
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            start = time.perf_counter()
+            result = fn(*args, **kwargs)
+            RUN_TIMINGS[name] = time.perf_counter() - start
+            return result
+
+        return wrapper
+
+    return decorate
+
+
+def last_run_timings() -> dict[str, float]:
+    """A copy of the per-experiment wall-clock timings recorded so far."""
+    return dict(RUN_TIMINGS)
+
+
+def clear_run_timings() -> None:
+    RUN_TIMINGS.clear()
 
 
 @dataclass
@@ -184,6 +217,7 @@ def empirical_error(
 # ---------------------------------------------------------------------------
 
 
+@_timed("figure2")
 def run_figure2(config: ExperimentConfig | None = None) -> list[dict[str, object]]:
     """Privacy cost and empirical error for the 12 queries across the alpha sweep."""
     config = config or ExperimentConfig()
@@ -220,6 +254,7 @@ def run_figure2(config: ExperimentConfig | None = None) -> list[dict[str, object
     return records
 
 
+@_timed("figure3")
 def run_figure3(
     config: ExperimentConfig | None = None,
     queries: Sequence[str] = ("QI4", "QT1"),
@@ -259,6 +294,7 @@ def run_figure3(
 # ---------------------------------------------------------------------------
 
 
+@_timed("table2")
 def run_table2(
     config: ExperimentConfig | None = None,
     alpha_fractions: Sequence[float] = (0.02, 0.08),
@@ -321,6 +357,7 @@ def _mechanism_costs(
 # ---------------------------------------------------------------------------
 
 
+@_timed("figure4a")
 def run_figure4a(
     config: ExperimentConfig | None = None,
     workload_sizes: Sequence[int] = (100, 200, 300, 400, 500),
@@ -362,6 +399,7 @@ def run_figure4a(
     return records
 
 
+@_timed("figure4b")
 def run_figure4b(
     config: ExperimentConfig | None = None,
     ks: Sequence[int] = (10, 20, 30, 40, 50),
@@ -402,6 +440,7 @@ def run_figure4b(
     return records
 
 
+@_timed("figure4c")
 def run_figure4c(
     config: ExperimentConfig | None = None,
     threshold_fractions: Sequence[float] = (
@@ -487,6 +526,7 @@ def _run_er_once(
     }
 
 
+@_timed("figure5")
 def run_figure5(config: ERExperimentConfig | None = None) -> list[dict[str, object]]:
     """ER task quality vs privacy budget B at fixed alpha (Figure 5)."""
     config = config or ERExperimentConfig()
@@ -514,6 +554,7 @@ def run_figure5(config: ERExperimentConfig | None = None) -> list[dict[str, obje
     return records
 
 
+@_timed("figure6")
 def run_figure6(config: ERExperimentConfig | None = None) -> list[dict[str, object]]:
     """ER task quality vs accuracy requirement alpha at fixed budget (Figure 6)."""
     config = config or ERExperimentConfig()
@@ -539,6 +580,7 @@ def run_figure6(config: ERExperimentConfig | None = None) -> list[dict[str, obje
     return records
 
 
+@_timed("figure7")
 def run_figure7(config: ERExperimentConfig | None = None) -> list[dict[str, object]]:
     """Figure 7: the blocking strategies on the smaller |D| = 1000 sample.
 

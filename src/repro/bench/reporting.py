@@ -10,10 +10,18 @@ disk.
 from __future__ import annotations
 
 import io
+import json
 import math
 from typing import Iterable, Mapping, Sequence
 
-__all__ = ["format_table", "format_records", "records_to_csv", "summarize_by"]
+__all__ = [
+    "format_table",
+    "format_records",
+    "records_to_csv",
+    "summarize_by",
+    "report",
+    "write_bench_json",
+]
 
 Record = Mapping[str, object]
 
@@ -135,3 +143,26 @@ def dump_records(
     records = list(records)
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(records_to_csv(records, columns))
+
+
+def report(title: str, records, group_keys, value_key) -> None:
+    """Print a paper-shaped summary table for one experiment.
+
+    Shared by every file in ``benchmarks/`` (it used to live in their
+    ``conftest.py``, where importing it clashed with the repository root
+    conftest during default collection).
+    """
+    summary = summarize_by(records, group_keys, value_key)
+    print(f"\n=== {title} ===")
+    print(
+        format_records(
+            summary, columns=list(group_keys) + ["count", "median", "q25", "q75"]
+        )
+    )
+
+
+def write_bench_json(path: str, payload: Mapping[str, object]) -> None:
+    """Write one benchmark payload (e.g. ``BENCH_1.json``) to disk."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -35,6 +35,7 @@ from repro.data.table import Table
 from repro.mechanisms.registry import MechanismRegistry
 from repro.queries.parser import parse_query
 from repro.queries.query import Query
+from repro.queries.workload import matrix_cache_stats
 
 __all__ = ["ExplorationResult", "APExEngine"]
 
@@ -136,6 +137,20 @@ class APExEngine:
     def transcript(self) -> Transcript:
         """The full transcript of interaction so far."""
         return self._ledger.transcript
+
+    def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss counters of the translation and workload-matrix caches.
+
+        ``translations`` counts memoised accuracy-to-privacy translation
+        lists (per this engine's translator); ``workload_matrices`` counts
+        the process-wide workload-matrix memo.  Useful for verifying that a
+        repeated ``preview_cost``/``explore`` of a structurally identical
+        query does not re-derive anything.
+        """
+        return {
+            "translations": self._translator.cache_stats,
+            "workload_matrices": matrix_cache_stats(),
+        }
 
     # -- analyst-facing API --------------------------------------------------------
 

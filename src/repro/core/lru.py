@@ -1,0 +1,62 @@
+"""A small bounded LRU mapping shared by the engine's cache layers.
+
+Three hot-path caches (per-table predicate masks, the workload-matrix memo,
+the translator's translation memo) need the same behavior: bounded size,
+least-recently-used eviction, and hit/miss counters for observability.  One
+implementation keeps them from drifting apart.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
+
+__all__ = ["LRUCache"]
+
+V = TypeVar("V")
+
+
+class LRUCache(Generic[V]):
+    """Bounded ``key -> value`` mapping with LRU eviction and counters.
+
+    ``get`` refreshes recency and counts a hit or miss; ``put`` inserts and
+    evicts the least recently used entry once ``max_entries`` is exceeded.
+    Values must not be ``None`` (a ``None`` return from ``get`` means *miss*).
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self._entries: "OrderedDict[Hashable, V]" = OrderedDict()
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> V | None:
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: V) -> V:
+        self._entries[key] = value
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}

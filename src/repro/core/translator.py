@@ -16,7 +16,12 @@ Algorithm 1, lines 4-10 of the paper.  Given an analyst query with an
      the paper's evaluation uses.
 
 The translator is deterministic and never looks at the data, which the
-privacy proof (Theorem 6.2) relies on.
+privacy proof (Theorem 6.2) relies on.  Determinism also makes translations
+safe to memoise: the translator keeps an LRU of translation lists keyed by
+the query's structural identity and the accuracy requirement, so the
+exploration strategies' relaxation loops (which re-ask structurally identical
+queries round after round) and repeated ``preview_cost`` calls stop paying
+for mechanism translation more than once.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from dataclasses import dataclass
 
 from repro.core.accuracy import AccuracySpec
 from repro.core.exceptions import TranslationError
+from repro.core.lru import LRUCache
 from repro.data.schema import Schema
 from repro.mechanisms.base import Mechanism, TranslationResult
 from repro.mechanisms.registry import MechanismRegistry, default_registry
@@ -62,6 +68,9 @@ class MechanismChoice:
 class AccuracyTranslator:
     """Chooses, per query, the mechanism that meets the accuracy bound cheapest."""
 
+    #: Maximum number of memoised translation lists per translator.
+    CACHE_MAX_ENTRIES = 512
+
     def __init__(
         self,
         registry: MechanismRegistry | None = None,
@@ -69,6 +78,9 @@ class AccuracyTranslator:
     ) -> None:
         self._registry = registry if registry is not None else default_registry()
         self._mode = mode
+        self._translation_cache: LRUCache[
+            list[tuple[Mechanism, TranslationResult]]
+        ] = LRUCache(self.CACHE_MAX_ENTRIES)
 
     @property
     def registry(self) -> MechanismRegistry:
@@ -77,6 +89,14 @@ class AccuracyTranslator:
     @property
     def mode(self) -> SelectionMode:
         return self._mode
+
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        """Hit/miss/size counters of the translation memo."""
+        return self._translation_cache.stats()
+
+    def clear_cache(self) -> None:
+        self._translation_cache.clear()
 
     # -- translation ---------------------------------------------------------------
 
@@ -89,8 +109,18 @@ class AccuracyTranslator:
         """Accuracy-to-privacy translations of every applicable mechanism.
 
         Mechanisms whose translation fails (e.g. the accuracy requirement is
-        too loose for their closed form) are skipped.
+        too loose for their closed form) are skipped.  Results are memoised
+        per (query structure, accuracy): translation is data independent and
+        deterministic, so a structurally identical repeat (a re-asked query,
+        a second ``preview_cost``) is answered from the cache.
         """
+        query_key = query.cache_key(schema)
+        cache_key = None
+        if query_key is not None:
+            cache_key = (query_key, accuracy.alpha, accuracy.beta)
+            cached = self._translation_cache.get(cache_key)
+            if cached is not None:
+                return list(cached)
         applicable = self._registry.for_query(query)
         if not applicable:
             raise TranslationError(
@@ -107,6 +137,8 @@ class AccuracyTranslator:
                 f"no mechanism could translate the accuracy requirement {accuracy} "
                 f"for query {query.name!r}"
             )
+        if cache_key is not None:
+            self._translation_cache.put(cache_key, list(out))
         return out
 
     def choose(

@@ -77,15 +77,24 @@ class CategoricalDomain:
         """Number of distinct values in the domain."""
         return len(self.values)
 
+    @property
+    def value_index(self) -> dict[str, int]:
+        """A cached ``value -> position`` map for O(1) membership and lookup."""
+        index = self.__dict__.get("_value_index")
+        if index is None:
+            index = {value: i for i, value in enumerate(self.values)}
+            object.__setattr__(self, "_value_index", index)
+        return index
+
     def __contains__(self, value: object) -> bool:
-        return str(value) in self.values
+        return str(value) in self.value_index
 
     def index_of(self, value: str) -> int:
         """Position of ``value`` in the domain (raises if absent)."""
-        try:
-            return self.values.index(str(value))
-        except ValueError as exc:
-            raise SchemaError(f"value {value!r} not in categorical domain") from exc
+        index = self.value_index.get(str(value))
+        if index is None:
+            raise SchemaError(f"value {value!r} not in categorical domain")
+        return index
 
 
 @dataclass(frozen=True)

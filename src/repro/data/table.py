@@ -9,6 +9,26 @@ The mechanisms in APEx only ever need two things from the sensitive dataset:
 those operations plus the usual conveniences (row access, filtering, sampling,
 construction from row dicts).  Numeric NULLs are represented as ``NaN`` and
 categorical/text NULLs as ``None``.
+
+Because tables are immutable, every derived per-column artifact is computed
+lazily once and cached for the table's lifetime:
+
+* **null masks** (:meth:`Table.null_mask`) -- one boolean array per column;
+* **float views** (:meth:`Table.numeric_values`) -- the float storage of a
+  numeric column (a zero-copy alias when the column is already ``float64``);
+* **interned category codes** (:meth:`Table.category_codes`) -- object columns
+  (categorical / text) are dictionary-encoded into an ``int32`` code array
+  plus a ``value -> code`` index, so predicates compare small integers instead
+  of Python objects; NULL is code ``-1``;
+* **predicate masks** (:attr:`Table.mask_cache`) -- an LRU of evaluated
+  predicate masks keyed by the predicate itself, shared by every query that
+  re-asks the same condition.
+
+The table freezes its column arrays at construction (``writeable = False``;
+it takes ownership of the arrays it is given -- copy first if you need to
+keep mutating yours) and every cached array is returned read-only, so any
+in-place mutation that would silently invalidate the caches fails loudly
+instead.
 """
 
 from __future__ import annotations
@@ -18,9 +38,17 @@ from typing import Iterable, Iterator, Mapping, Sequence
 import numpy as np
 
 from repro.core.exceptions import SchemaError
+from repro.core.lru import LRUCache
 from repro.data.schema import AttributeKind, Schema
 
 __all__ = ["Table"]
+
+#: Byte budget of the per-table predicate-mask LRU (masks are one byte per
+#: row, so the entry cap is ``budget // n_rows``): bounded memory regardless
+#: of table size.
+MASK_CACHE_BYTE_BUDGET = 64 * 1024 * 1024
+#: Entry-count ceiling of the mask LRU (reached only by small tables).
+MASK_CACHE_MAX_ENTRIES = 4096
 
 
 class Table:
@@ -44,11 +72,28 @@ class Table:
                 raise SchemaError(
                     f"column {attr.name!r} has {len(col)} rows, expected {n_rows}"
                 )
+            # The lazy caches below assume the data never changes; freezing
+            # the storage makes any later in-place write fail loudly.
+            col.flags.writeable = False
             self._columns[attr.name] = col
         extra = set(columns) - set(schema.attribute_names)
         if extra:
             raise SchemaError(f"columns not present in schema: {sorted(extra)}")
         self._n_rows = n_rows or 0
+        # Lazy per-column caches (the table is immutable, so these are safe to
+        # share between every consumer for the table's lifetime).
+        self._null_masks: dict[str, np.ndarray] = {}
+        self._float_values: dict[str, np.ndarray] = {}
+        self._category_codes: dict[str, tuple[np.ndarray, dict[str, int]]] = {}
+        self._mask_cache: LRUCache[np.ndarray] = LRUCache(
+            max(
+                16,
+                min(
+                    MASK_CACHE_MAX_ENTRIES,
+                    MASK_CACHE_BYTE_BUDGET // max(self._n_rows, 1),
+                ),
+            )
+        )
 
     # -- construction --------------------------------------------------------
 
@@ -122,15 +167,103 @@ class Table:
     def to_rows(self) -> list[dict[str, object]]:
         return list(self.iter_rows())
 
-    # -- null handling --------------------------------------------------------
+    # -- null handling and columnar caches ------------------------------------
 
     def is_null(self, name: str) -> np.ndarray:
-        """Boolean mask marking NULL values of the named attribute."""
+        """Boolean mask marking NULL values of the named attribute.
+
+        The mask is computed once per column and cached; the returned array is
+        read-only.
+        """
+        return self.null_mask(name)
+
+    def null_mask(self, name: str) -> np.ndarray:
+        """Cached, read-only NULL mask of the named attribute."""
+        cached = self._null_masks.get(name)
+        if cached is not None:
+            return cached
         attr = self._schema[name]
         col = self._columns[name]
         if attr.kind is AttributeKind.NUMERIC:
-            return np.isnan(col.astype(float))
-        return np.array([v is None for v in col], dtype=bool)
+            mask = np.isnan(self.numeric_values(name))
+        else:
+            mask = np.fromiter(
+                (v is None for v in col), dtype=bool, count=self._n_rows
+            )
+        mask.flags.writeable = False
+        self._null_masks[name] = mask
+        return mask
+
+    def numeric_values(self, name: str) -> np.ndarray:
+        """The named column as a cached, read-only float array.
+
+        For numeric attributes this is (at most) one conversion for the
+        table's lifetime; non-numeric columns raise whatever ``astype(float)``
+        raises, matching direct conversion of :meth:`column`.
+        """
+        cached = self._float_values.get(name)
+        if cached is not None:
+            return cached
+        if name not in self._columns:
+            raise SchemaError(
+                f"table has no column {name!r}; "
+                f"known columns: {list(self._columns)}"
+            )
+        col = self._columns[name]
+        values = col if col.dtype == np.float64 else col.astype(float)
+        view = values.view()
+        view.flags.writeable = False
+        self._float_values[name] = view
+        return view
+
+    def category_codes(self, name: str) -> tuple[np.ndarray, dict[str, int]]:
+        """Dictionary-encode an object (categorical/text) column.
+
+        Returns ``(codes, index)`` where ``codes`` is a read-only ``int32``
+        array with NULL encoded as ``-1`` and ``index`` maps each distinct
+        value to its code.  Built once per column; every categorical predicate
+        afterwards runs as integer comparisons.
+        """
+        cached = self._category_codes.get(name)
+        if cached is not None:
+            return cached
+        if name not in self._columns:
+            raise SchemaError(
+                f"table has no column {name!r}; "
+                f"known columns: {list(self._columns)}"
+            )
+        col = self._columns[name]
+        index: dict[str, int] = {}
+        codes = np.empty(self._n_rows, dtype=np.int32)
+        for i, value in enumerate(col):
+            if value is None:
+                codes[i] = -1
+                continue
+            code = index.get(value)
+            if code is None:
+                code = len(index)
+                index[value] = code
+            codes[i] = code
+        codes.flags.writeable = False
+        self._category_codes[name] = (codes, index)
+        return codes, index
+
+    @property
+    def mask_cache(self) -> LRUCache[np.ndarray]:
+        """The per-table LRU of evaluated predicate masks (see predicates.py)."""
+        return self._mask_cache
+
+    def cache_mask(self, key: object, mask: np.ndarray) -> np.ndarray:
+        """Freeze and insert one predicate mask into the LRU."""
+        mask.flags.writeable = False
+        return self._mask_cache.put(key, mask)
+
+    def clear_caches(self) -> None:
+        """Drop every lazily built cache (benchmarks use this for cold runs)."""
+        self._null_masks.clear()
+        self._float_values.clear()
+        self._category_codes.clear()
+        self._mask_cache.clear()
 
     def null_count(self, name: str) -> int:
         return int(self.is_null(name).sum())

@@ -62,6 +62,12 @@ class SimilarityCache:
     def __init__(self, table: Table) -> None:
         self._table = table
         self._scores: dict[tuple[str, str, str], np.ndarray] = {}
+        # FunctionPredicate compares by identity, so interning one predicate
+        # object per spec / formula lets every downstream structural cache
+        # (workload matrices, translations, strategy searches) recognise a
+        # re-asked condition.
+        self._spec_predicates: dict[SimilarityPredicateSpec, Predicate] = {}
+        self._formula_predicates: dict["BooleanFormula", Predicate] = {}
 
     @property
     def table(self) -> Table:
@@ -93,12 +99,35 @@ class SimilarityCache:
         return self.scores(spec) > spec.threshold
 
     def predicate(self, spec: SimilarityPredicateSpec) -> Predicate:
-        """The spec as an APEx query predicate (opaque function predicate)."""
-        return FunctionPredicate(
-            spec.describe(),
-            lambda table, spec=spec: self._mask_for(table, spec),
-            attributes=(spec.left_column, spec.right_column),
-        )
+        """The spec as an APEx query predicate (opaque function predicate).
+
+        Interned: the same spec always yields the same predicate object.
+        """
+        cached = self._spec_predicates.get(spec)
+        if cached is None:
+            cached = FunctionPredicate(
+                spec.describe(),
+                lambda table, spec=spec: self._mask_for(table, spec),
+                attributes=(spec.left_column, spec.right_column),
+            )
+            self._spec_predicates[spec] = cached
+        return cached
+
+    def formula_predicate(self, formula: "BooleanFormula") -> Predicate:
+        """One interned predicate object per distinct formula."""
+        cached = self._formula_predicates.get(formula)
+        if cached is None:
+            cached = FunctionPredicate(
+                formula.describe(),
+                lambda table, formula=formula: formula.evaluate(self),
+                attributes=frozenset(
+                    column
+                    for spec in formula.specs
+                    for column in (spec.left_column, spec.right_column)
+                ),
+            )
+            self._formula_predicates[formula] = cached
+        return cached
 
     def _mask_for(self, table: Table, spec: SimilarityPredicateSpec) -> np.ndarray:
         if table is not self._table and len(table) != len(self._table):
@@ -160,16 +189,8 @@ class BooleanFormula:
         return combined
 
     def predicate(self, cache: SimilarityCache) -> Predicate:
-        """The formula as an APEx query predicate."""
-        return FunctionPredicate(
-            self.describe(),
-            lambda table: self.evaluate(cache),
-            attributes=frozenset(
-                column
-                for spec in self.specs
-                for column in (spec.left_column, spec.right_column)
-            ),
-        )
+        """The formula as an APEx query predicate (interned per formula)."""
+        return cache.formula_predicate(self)
 
     def describe(self) -> str:
         if not self.specs:

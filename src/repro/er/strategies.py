@@ -108,6 +108,10 @@ class _ExplorationStrategy:
         self._queries_answered = 0
         self._queries_denied = 0
         self._budget_exhausted = False
+        # Query objects are memoised per (predicate, name, threshold) so a
+        # relaxation round that re-asks an identical screening query re-uses
+        # the same object -- and with it every cached matrix / translation.
+        self._query_memo: dict[tuple, WorkloadCountingQuery | IcebergCountingQuery] = {}
 
     # -- engine interaction ------------------------------------------------------------
 
@@ -173,19 +177,29 @@ class _ExplorationStrategy:
         return And(parts)
 
     def _single_count_query(self, predicate: Predicate, name: str) -> WorkloadCountingQuery:
-        return WorkloadCountingQuery(
-            Workload([predicate], [name]), name=name, sensitivity=1.0
-        )
+        key = ("wcq", predicate, name)
+        query = self._query_memo.get(key)
+        if query is None:
+            query = WorkloadCountingQuery(
+                Workload([predicate], [name]), name=name, sensitivity=1.0
+            )
+            self._query_memo[key] = query
+        return query  # type: ignore[return-value]
 
     def _single_iceberg_query(
         self, predicate: Predicate, threshold: float, name: str
     ) -> IcebergCountingQuery:
-        return IcebergCountingQuery(
-            Workload([predicate], [name]),
-            threshold=max(threshold, 0.0),
-            name=name,
-            sensitivity=1.0,
-        )
+        key = ("icq", predicate, name, max(threshold, 0.0))
+        query = self._query_memo.get(key)
+        if query is None:
+            query = IcebergCountingQuery(
+                Workload([predicate], [name]),
+                threshold=max(threshold, 0.0),
+                name=name,
+                sensitivity=1.0,
+            )
+            self._query_memo[key] = query
+        return query  # type: ignore[return-value]
 
     # -- attribute choice (c1) -------------------------------------------------------------
 

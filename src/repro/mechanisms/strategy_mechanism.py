@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.core.accuracy import AccuracySpec
 from repro.core.exceptions import TranslationError
+from repro.core.lru import LRUCache
 from repro.data.schema import Schema
 from repro.data.table import Table
 from repro.mechanisms.base import Mechanism, MechanismResult, TranslationResult
@@ -83,8 +84,12 @@ class StrategyMechanism(Mechanism):
         self._max_search_iterations = int(max_search_iterations)
         self._relative_tolerance = float(relative_tolerance)
         self._seed = seed
-        self._cache: dict[tuple[int, float, float], StrategyTranslation] = {}
-        self._cache_keepalive: list[WorkloadMatrix] = []
+        # Keyed by (matrix cache token, alpha, beta): the token identifies the
+        # matrix *values*, so structurally identical workloads (every
+        # single-predicate screening query of the ER strategies, every
+        # re-asked workload of a relaxation loop) share one Monte-Carlo
+        # epsilon search.  Tokens hold their referents, so ids never alias.
+        self._cache: LRUCache[StrategyTranslation] = LRUCache(256)
 
     # -- public API ---------------------------------------------------------------
 
@@ -159,7 +164,7 @@ class StrategyMechanism(Mechanism):
     def _translate_matrix(
         self, workload_matrix: WorkloadMatrix, alpha: float, beta: float
     ) -> StrategyTranslation:
-        cache_key = (id(workload_matrix), float(alpha), float(beta))
+        cache_key = (workload_matrix.cache_token, float(alpha), float(beta))
         cached = self._cache.get(cache_key)
         if cached is not None:
             return cached
@@ -182,8 +187,7 @@ class StrategyMechanism(Mechanism):
             mc_samples=self._mc_samples,
             search_iterations=iterations,
         )
-        self._cache[cache_key] = translation
-        self._cache_keepalive.append(workload_matrix)
+        self._cache.put(cache_key, translation)
         return translation
 
     def _build_strategy(self, workload_matrix: WorkloadMatrix) -> StrategyMatrix:

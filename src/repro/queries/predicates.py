@@ -8,7 +8,13 @@ Two evaluation modes are supported:
 
 * **row evaluation** (:meth:`Predicate.evaluate`) -- vectorised evaluation
   over a :class:`~repro.data.table.Table`, producing a boolean mask.  This is
-  what mechanisms use to obtain true counts.
+  what mechanisms use to obtain true counts.  Evaluation is array-native end
+  to end: numeric comparisons run over the table's cached float views,
+  categorical conditions compare interned ``int32`` codes
+  (:meth:`~repro.data.table.Table.category_codes`), and every evaluated mask
+  is memoised in the table's per-predicate LRU so the mechanisms' repeated
+  evaluations of the same condition are free.  Cached masks are read-only;
+  copy before mutating.
 * **cell evaluation** (:meth:`Predicate.evaluate_cell`) -- evaluation over a
   *domain cell* (one categorical value, or one elementary numeric interval per
   attribute).  This is what the workload-to-matrix transformation uses to
@@ -115,7 +121,19 @@ class Predicate:
     supports_domain_analysis: bool = True
 
     def evaluate(self, table: Table) -> np.ndarray:
-        """Boolean mask of rows of ``table`` satisfying the predicate."""
+        """Boolean mask of rows of ``table`` satisfying the predicate.
+
+        The mask is memoised in the table's predicate-mask LRU, keyed by the
+        predicate itself (value equality for structured predicates, identity
+        for :class:`FunctionPredicate`).  The returned array is read-only.
+        """
+        mask = table.mask_cache.get(self)
+        if mask is not None:
+            return mask
+        return table.cache_mask(self, self._evaluate_mask(table))
+
+    def _evaluate_mask(self, table: Table) -> np.ndarray:
+        """Uncached mask computation; implemented by every concrete predicate."""
         raise NotImplementedError
 
     def evaluate_cell(self, cell: Mapping[str, CellValue]) -> bool:
@@ -168,26 +186,27 @@ class Comparison(Predicate):
     def is_numeric(self) -> bool:
         return isinstance(self.value, (int, float)) and not isinstance(self.value, bool)
 
-    def evaluate(self, table: Table) -> np.ndarray:
+    def _evaluate_mask(self, table: Table) -> np.ndarray:
         attr = table.schema[self.attribute]
-        col = table.column(self.attribute)
         if attr.kind is AttributeKind.NUMERIC:
-            values = col.astype(float)
+            values = table.numeric_values(self.attribute)
             target = float(self.value)  # type: ignore[arg-type]
             with np.errstate(invalid="ignore"):
                 mask = _apply_op(values, self.op, target)
-            return mask & ~np.isnan(values)
-        # categorical / text: only equality-style comparisons are meaningful
-        str_target = str(self.value)
-        present = np.array([v is not None for v in col], dtype=bool)
+            return mask & ~table.null_mask(self.attribute)
+        # categorical / text: only equality-style comparisons are meaningful;
+        # compare interned codes instead of Python strings (NULL is code -1,
+        # an absent constant is code -2, so NULLs never match either way).
+        if self.op not in ("==", "!="):
+            raise PredicateError(
+                f"operator {self.op!r} is not supported on non-numeric attribute "
+                f"{self.attribute!r}"
+            )
+        codes, index = table.category_codes(self.attribute)
+        target_code = index.get(str(self.value), -2)
         if self.op == "==":
-            return present & np.array([v == str_target for v in col], dtype=bool)
-        if self.op == "!=":
-            return present & np.array([v != str_target for v in col], dtype=bool)
-        raise PredicateError(
-            f"operator {self.op!r} is not supported on non-numeric attribute "
-            f"{self.attribute!r}"
-        )
+            return codes == target_code
+        return (codes != target_code) & (codes >= 0)
 
     def evaluate_cell(self, cell: Mapping[str, CellValue]) -> bool:
         value = cell.get(self.attribute)
@@ -238,8 +257,8 @@ class Between(Predicate):
     def interval(self) -> Interval:
         return Interval(self.low, self.high, self.low_inclusive, self.high_inclusive)
 
-    def evaluate(self, table: Table) -> np.ndarray:
-        values = table.column(self.attribute).astype(float)
+    def _evaluate_mask(self, table: Table) -> np.ndarray:
+        values = table.numeric_values(self.attribute)
         with np.errstate(invalid="ignore"):
             lower = values >= self.low if self.low_inclusive else values > self.low
             upper = values <= self.high if self.high_inclusive else values < self.high
@@ -280,10 +299,19 @@ class In(Predicate):
         if not self.values:
             raise PredicateError("IN list must not be empty")
 
-    def evaluate(self, table: Table) -> np.ndarray:
-        col = table.column(self.attribute)
-        allowed = set(self.values)
-        return np.array([v is not None and v in allowed for v in col], dtype=bool)
+    def _evaluate_mask(self, table: Table) -> np.ndarray:
+        if table.schema[self.attribute].kind is AttributeKind.NUMERIC:
+            # The IN list holds strings, which never equal a float value, so
+            # the match is empty by construction -- and interning a numeric
+            # column's codes would build a dict of every distinct float.
+            return np.zeros(len(table), dtype=bool)
+        codes, index = table.category_codes(self.attribute)
+        allowed = [index[v] for v in self.values if v in index]
+        if not allowed:
+            return np.zeros(len(table), dtype=bool)
+        if len(allowed) == 1:
+            return codes == allowed[0]
+        return np.isin(codes, np.asarray(allowed, dtype=codes.dtype))
 
     def evaluate_cell(self, cell: Mapping[str, CellValue]) -> bool:
         value = cell.get(self.attribute)
@@ -309,8 +337,8 @@ class IsNull(Predicate):
     attribute: str
     negated: bool = False
 
-    def evaluate(self, table: Table) -> np.ndarray:
-        nulls = table.is_null(self.attribute)
+    def _evaluate_mask(self, table: Table) -> np.ndarray:
+        nulls = table.null_mask(self.attribute)
         return ~nulls if self.negated else nulls
 
     def evaluate_cell(self, cell: Mapping[str, CellValue]) -> bool:
@@ -348,7 +376,7 @@ class And(Predicate):
     def supports_domain_analysis(self) -> bool:  # type: ignore[override]
         return all(c.supports_domain_analysis for c in self.children)
 
-    def evaluate(self, table: Table) -> np.ndarray:
+    def _evaluate_mask(self, table: Table) -> np.ndarray:
         mask = self.children[0].evaluate(table)
         for child in self.children[1:]:
             mask = mask & child.evaluate(table)
@@ -394,7 +422,7 @@ class Or(Predicate):
     def supports_domain_analysis(self) -> bool:  # type: ignore[override]
         return all(c.supports_domain_analysis for c in self.children)
 
-    def evaluate(self, table: Table) -> np.ndarray:
+    def _evaluate_mask(self, table: Table) -> np.ndarray:
         mask = self.children[0].evaluate(table)
         for child in self.children[1:]:
             mask = mask | child.evaluate(table)
@@ -426,7 +454,7 @@ class Not(Predicate):
     def supports_domain_analysis(self) -> bool:  # type: ignore[override]
         return self.child.supports_domain_analysis
 
-    def evaluate(self, table: Table) -> np.ndarray:
+    def _evaluate_mask(self, table: Table) -> np.ndarray:
         return ~self.child.evaluate(table)
 
     def evaluate_cell(self, cell: Mapping[str, CellValue]) -> bool:
@@ -446,7 +474,7 @@ class Not(Predicate):
 class TruePredicate(Predicate):
     """Matches every row (the ``COUNT(*)`` bin with no condition)."""
 
-    def evaluate(self, table: Table) -> np.ndarray:
+    def _evaluate_mask(self, table: Table) -> np.ndarray:
         return np.ones(len(table), dtype=bool)
 
     def evaluate_cell(self, cell: Mapping[str, CellValue]) -> bool:
@@ -466,7 +494,7 @@ class TruePredicate(Predicate):
 class FalsePredicate(Predicate):
     """Matches no row."""
 
-    def evaluate(self, table: Table) -> np.ndarray:
+    def _evaluate_mask(self, table: Table) -> np.ndarray:
         return np.zeros(len(table), dtype=bool)
 
     def evaluate_cell(self, cell: Mapping[str, CellValue]) -> bool:
@@ -507,8 +535,13 @@ class FunctionPredicate(Predicate):
         self._fn = fn
         self._attributes = frozenset(attributes)
 
-    def evaluate(self, table: Table) -> np.ndarray:
-        mask = np.asarray(self._fn(table), dtype=bool)
+    def _evaluate_mask(self, table: Table) -> np.ndarray:
+        raw = self._fn(table)
+        mask = np.asarray(raw, dtype=bool)
+        if mask is raw:
+            # The callable may hold on to (and later mutate) the array it
+            # returned; take a copy so the table's mask cache can freeze it.
+            mask = mask.copy()
         if mask.shape != (len(table),):
             raise PredicateError(
                 f"function predicate {self._name!r} returned a mask of shape "

@@ -17,6 +17,7 @@ mechanisms can build the matrix representation.
 from __future__ import annotations
 
 import enum
+import weakref
 from typing import Sequence
 
 import numpy as np
@@ -24,7 +25,7 @@ import numpy as np
 from repro.core.exceptions import QueryError
 from repro.data.schema import Schema
 from repro.data.table import Table
-from repro.queries.workload import Workload, WorkloadMatrix
+from repro.queries.workload import Workload, WorkloadMatrix, _IdKey
 
 __all__ = [
     "QueryKind",
@@ -64,7 +65,7 @@ class Query:
         self._sensitivity_override = sensitivity
         self._matrix_cache: WorkloadMatrix | None = None
         self._matrix_schema: Schema | None = None
-        self._true_counts_cache: tuple[int, np.ndarray] | None = None
+        self._true_counts_cache: tuple[weakref.ref[Table], np.ndarray] | None = None
 
     # -- accessors -------------------------------------------------------------
 
@@ -99,6 +100,27 @@ class Query:
         self._matrix_schema = schema
         return matrix
 
+    def cache_key(self, schema: Schema | None = None) -> tuple | None:
+        """Hashable structural identity of this query, or ``None``.
+
+        Two queries with equal keys have the same kind, predicates, names,
+        analysis overrides and (identity-wise) schema, so accuracy-to-privacy
+        translations computed for one are valid for the other.  Subclasses
+        append their own parameters (ICQ threshold, TCQ k).
+        """
+        try:
+            hash(self._workload.predicates)
+        except TypeError:
+            return None
+        return (
+            self.kind.value,
+            self._workload.predicates,
+            self._workload.names,
+            self._disjoint,
+            self._sensitivity_override,
+            None if schema is None else _IdKey(schema),
+        )
+
     def sensitivity(self, schema: Schema | None = None) -> float:
         """The workload sensitivity ``||W||_1``."""
         return self.workload_matrix(schema).sensitivity
@@ -113,10 +135,10 @@ class Query:
         noise draw), and the predicate evaluation dominates the cost.
         """
         cache = self._true_counts_cache
-        if cache is not None and cache[0] == id(table):
+        if cache is not None and cache[0]() is table:
             return cache[1]
         counts = self._workload.true_answers(table)
-        self._true_counts_cache = (id(table), counts)
+        self._true_counts_cache = (weakref.ref(table), counts)
         return counts
 
     def true_answer(self, table: Table):
@@ -162,6 +184,10 @@ class IcebergCountingQuery(Query):
         """The HAVING threshold ``c``."""
         return self._threshold
 
+    def cache_key(self, schema: Schema | None = None) -> tuple | None:
+        base = super().cache_key(schema)
+        return None if base is None else base + (self._threshold,)
+
     def true_answer(self, table: Table) -> list[str]:
         counts = self.true_counts(table)
         names = self.bin_names()
@@ -204,6 +230,10 @@ class TopKCountingQuery(Query):
     def k(self) -> int:
         """The number of bins to report."""
         return self._k
+
+    def cache_key(self, schema: Schema | None = None) -> tuple | None:
+        base = super().cache_key(schema)
+        return None if base is None else base + (self._k,)
 
     def true_answer(self, table: Table) -> list[str]:
         counts = self.true_counts(table)

@@ -15,40 +15,107 @@ Two analysis paths are provided:
   categorical domain values), the cross-product of atoms forms candidate
   domain cells, and cells are grouped by their predicate signature.  This is
   data independent and yields the exact matrix and sensitivity.
+
+  The enumeration is fully vectorized: each atomic condition is evaluated once
+  per atom of its attribute (a tiny boolean vector), the predicate AST is then
+  combined over chunks of the cell cross-product by numpy broadcasting /
+  fancy indexing, and partitions are deduplicated with ``np.unique`` over
+  bit-packed signature rows.  No per-cell Python loop remains, which is what
+  allows :data:`MAX_DOMAIN_CELLS` to sit in the millions.
 * **structural analysis** -- fallback for workloads containing opaque
   predicates (e.g. string-similarity predicates in the entity-resolution case
   study).  The matrix is the identity over predicates and the sensitivity is
   either declared by the caller (``disjoint=True`` => 1) or conservatively set
   to ``L``.
+
+Because the exploration strategies (and the APEx relaxation loops in
+particular) re-ask structurally identical workloads many times,
+:meth:`Workload.analyze` memoises matrices in a module-level LRU keyed by the
+workload structure (predicates + names + schema identity + overrides); see
+:func:`matrix_cache_stats`.
 """
 
 from __future__ import annotations
 
-import itertools
 import math
+import weakref
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.exceptions import PredicateError, QueryError
+from repro.core.lru import LRUCache
 from repro.data.schema import AttributeKind, Schema
 from repro.data.table import Table
 from repro.queries.predicates import (
+    And,
     Between,
     CellValue,
     Comparison,
+    FalsePredicate,
     In,
     Interval,
     IsNull,
+    Not,
+    Or,
     Predicate,
+    TruePredicate,
 )
 
-__all__ = ["Workload", "WorkloadMatrix", "DomainPartition"]
+__all__ = [
+    "Workload",
+    "WorkloadMatrix",
+    "DomainPartition",
+    "matrix_cache_stats",
+    "clear_matrix_cache",
+]
 
 #: Hard cap on the number of candidate domain cells enumerated by the exact
-#: analysis; beyond this the workload must use structural analysis.
-MAX_DOMAIN_CELLS = 2_000_000
+#: analysis; beyond this the workload must use structural analysis.  The
+#: vectorized enumeration streams the cross product in bounded chunks, so the
+#: cap is a compute guard, not a memory guard.
+MAX_DOMAIN_CELLS = 8_000_000
+
+#: Target number of (cell, predicate) booleans materialised per enumeration
+#: chunk; the per-chunk cell count is ``max(_MIN_CHUNK_CELLS, _CELL_BUDGET // L)``.
+_CELL_BUDGET = 1 << 24
+#: Floor on the per-chunk cell count (tests shrink it to force multi-chunk runs).
+_MIN_CHUNK_CELLS = 4096
+
+
+class _IdKey:
+    """Identity-based dict key that keeps its referent alive.
+
+    Used to key caches by "this exact schema object" without the id-reuse
+    hazard of a raw ``id()`` (the strong reference pins the object, so its id
+    cannot be recycled while the key is held).
+    """
+
+    __slots__ = ("obj",)
+
+    def __init__(self, obj: object) -> None:
+        self.obj = obj
+
+    def __hash__(self) -> int:
+        return id(self.obj)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _IdKey) and other.obj is self.obj
+
+
+#: Process-wide LRU of :class:`WorkloadMatrix` keyed by workload structure.
+_MATRIX_CACHE: "LRUCache[WorkloadMatrix]" = LRUCache(128)
+
+
+def matrix_cache_stats() -> dict[str, int]:
+    """Hit/miss/size counters of the workload-matrix memo cache."""
+    return _MATRIX_CACHE.stats()
+
+
+def clear_matrix_cache() -> None:
+    """Drop every memoised workload matrix and reset the counters."""
+    _MATRIX_CACHE.clear()
 
 
 class Workload:
@@ -151,12 +218,50 @@ class Workload:
             An explicit sensitivity override; also skips the exact domain
             enumeration (useful for huge cross-attribute workloads such as the
             QT2/QT4 benchmarks, where the sensitivity is known structurally).
+
+        Results are memoised per workload structure: analysing a
+        structurally identical workload (equal predicates and names, same
+        schema object, same overrides) returns the previously built matrix
+        without re-deriving it.
         """
+        key = self._analysis_key(schema, disjoint, sensitivity)
+        if key is not None:
+            cached = _MATRIX_CACHE.get(key)
+            if cached is not None:
+                return cached
         structural_hint = disjoint is not None or sensitivity is not None
         if self.supports_domain_analysis and schema is not None and not structural_hint:
-            return WorkloadMatrix.from_domain_analysis(self, schema)
-        return WorkloadMatrix.from_structure(
-            self, disjoint=bool(disjoint), sensitivity=sensitivity
+            matrix = WorkloadMatrix.from_domain_analysis(self, schema)
+        else:
+            matrix = WorkloadMatrix.from_structure(
+                self, disjoint=bool(disjoint), sensitivity=sensitivity
+            )
+        if key is not None:
+            _MATRIX_CACHE.put(key, matrix)
+        return matrix
+
+    def _analysis_key(
+        self,
+        schema: Schema | None,
+        disjoint: bool | None,
+        sensitivity: float | None,
+    ) -> tuple | None:
+        """Hashable memo key for :meth:`analyze`; ``None`` disables caching.
+
+        Structured predicates hash by value; opaque function predicates hash
+        by identity, which still caches correctly for re-used predicate
+        objects (the entity-resolution strategies intern theirs).
+        """
+        try:
+            hash(self._predicates)
+        except TypeError:
+            return None
+        return (
+            self._predicates,
+            self._names,
+            None if schema is None else _IdKey(schema),
+            disjoint,
+            sensitivity,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -216,7 +321,8 @@ class WorkloadMatrix:
         self._matrix = matrix
         self._partitions = tuple(partitions)
         self._exact = exact
-        self._histogram_cache: tuple[int, np.ndarray] | None = None
+        self._histogram_cache: tuple[weakref.ref[Table], np.ndarray] | None = None
+        self._cache_token: object = ("id", _IdKey(self))
         if matrix.size:
             self._sensitivity = float(np.abs(matrix).sum(axis=0).max())
         else:
@@ -226,7 +332,16 @@ class WorkloadMatrix:
 
     @classmethod
     def from_domain_analysis(cls, workload: Workload, schema: Schema) -> "WorkloadMatrix":
-        """Exact, data-independent matrix via domain-cell enumeration."""
+        """Exact, data-independent matrix via vectorized domain-cell enumeration.
+
+        Each atomic condition is evaluated once per atom of its attribute,
+        then the predicate ASTs are combined over the cell cross-product by
+        indexing those per-attribute vectors with broadcast cell coordinates;
+        signatures are deduplicated chunk by chunk with bit packing and
+        ``np.unique``.  Semantics (including which cell describes each
+        partition: the first one in cross-product order) match the original
+        per-cell enumeration exactly.
+        """
         if not workload.supports_domain_analysis:
             raise QueryError(
                 "workload contains opaque predicates; use structural analysis"
@@ -238,24 +353,13 @@ class WorkloadMatrix:
                 f"domain analysis would enumerate {n_cells} cells "
                 f"(limit {MAX_DOMAIN_CELLS}); use structural analysis instead"
             )
-        signature_to_partition: dict[tuple[bool, ...], DomainPartition] = {}
-        attr_names = list(atoms)
-        for combo in itertools.product(*(atoms[a] for a in attr_names)):
-            cell: dict[str, CellValue] = dict(zip(attr_names, combo))
-            signature = tuple(
-                pred.evaluate_cell(cell) for pred in workload.predicates
-            )
-            if not any(signature):
-                continue
-            if signature not in signature_to_partition:
-                signature_to_partition[signature] = DomainPartition(
-                    signature=signature, description=_describe_cell(cell)
-                )
-        partitions = sorted(
-            signature_to_partition.values(), key=lambda p: p.signature, reverse=True
-        )
+        partitions = _enumerate_partitions(workload, atoms)
         matrix = _signatures_to_matrix(workload.size, partitions)
-        return cls(workload, matrix, partitions, exact=True)
+        instance = cls(workload, matrix, partitions, exact=True)
+        token = _structural_token(workload, schema)
+        if token is not None:
+            instance._cache_token = ("exact",) + token
+        return instance
 
     @classmethod
     def from_structure(
@@ -284,6 +388,10 @@ class WorkloadMatrix:
             instance._sensitivity = 1.0
         else:
             instance._sensitivity = float(size)
+        # Every structural matrix with the same size and sensitivity is the
+        # same identity matrix, so downstream strategy translations can be
+        # shared between them regardless of which predicates produced it.
+        instance._cache_token = ("structural", size, instance._sensitivity)
         return instance
 
     # -- accessors -------------------------------------------------------------
@@ -315,6 +423,17 @@ class WorkloadMatrix:
         return self._exact
 
     @property
+    def cache_token(self) -> object:
+        """Hashable token identifying this matrix's *values*.
+
+        Two matrices with equal tokens have identical ``matrix`` contents and
+        sensitivity, so derived artifacts (strategy translations, Monte-Carlo
+        epsilon searches) can be shared between them.  Falls back to an
+        identity token when the workload structure is not hashable.
+        """
+        return self._cache_token
+
+    @property
     def shape(self) -> tuple[int, int]:
         return self._matrix.shape  # type: ignore[return-value]
 
@@ -325,11 +444,13 @@ class WorkloadMatrix:
 
         Each row is assigned to the partition matching its predicate
         signature; rows satisfying no predicate fall outside ``dom_W(R)`` and
-        are ignored (they contribute to no count).  The histogram is cached per
-        table identity because repeated mechanism runs re-use it unchanged.
+        are ignored (they contribute to no count).  The histogram is cached
+        per table, held through a weak reference: identity can never alias a
+        recycled ``id()``, and a matrix parked in the module-level memo does
+        not pin a discarded table (and its mask cache) in memory.
         """
         cached = self._histogram_cache
-        if cached is not None and cached[0] == id(table):
+        if cached is not None and cached[0]() is table:
             return cached[1]
         membership = self._workload.evaluate(table)
         histogram = np.zeros(self.n_partitions, dtype=float)
@@ -360,7 +481,7 @@ class WorkloadMatrix:
                         histogram[i] += count
                 continue
             histogram[j] += count
-        self._histogram_cache = (id(table), histogram)
+        self._histogram_cache = (weakref.ref(table), histogram)
         return histogram
 
     def true_answers(self, table: Table) -> np.ndarray:
@@ -377,6 +498,168 @@ class WorkloadMatrix:
 # ---------------------------------------------------------------------------
 # Exact domain analysis helpers
 # ---------------------------------------------------------------------------
+
+
+def _structural_token(workload: Workload, schema: Schema) -> tuple | None:
+    """Hashable (predicates, schema) token shared by equal exact analyses."""
+    try:
+        hash(workload.predicates)
+    except TypeError:
+        return None
+    return (workload.predicates, _IdKey(schema))
+
+
+def _enumerate_partitions(
+    workload: Workload, atoms: "dict[str, list[CellValue]]"
+) -> list[DomainPartition]:
+    """Vectorized signature enumeration over the atom cross-product.
+
+    Streams the cross-product in chunks (bounded by :data:`_CELL_BUDGET`
+    booleans at a time), evaluates every predicate over each chunk by fancy
+    indexing per-leaf atom vectors, bit-packs the resulting signature rows and
+    deduplicates them with ``np.unique``.  Partition descriptions come from
+    the first cell (in cross-product order) carrying each signature, matching
+    the original ``itertools.product`` enumeration.
+    """
+    attr_names = list(atoms)
+    if not attr_names:
+        cell: dict[str, CellValue] = {}
+        signature = tuple(
+            bool(pred.evaluate_cell(cell)) for pred in workload.predicates
+        )
+        if not any(signature):
+            return []
+        return [DomainPartition(signature=signature, description=_describe_cell(cell))]
+
+    sizes = [len(atoms[name]) for name in attr_names]
+    n_cells = math.prod(sizes)
+    # Row-major strides so that flat order equals itertools.product order
+    # (last attribute varies fastest).
+    strides = [1] * len(sizes)
+    for j in range(len(sizes) - 2, -1, -1):
+        strides[j] = strides[j + 1] * sizes[j + 1]
+
+    leaf_vectors: dict[int, np.ndarray] = {}
+    for pred in workload.predicates:
+        _collect_leaf_vectors(pred, atoms, leaf_vectors)
+
+    n_predicates = workload.size
+    chunk_cells = max(_MIN_CHUNK_CELLS, _CELL_BUDGET // max(n_predicates, 1))
+    # signature bytes -> (signature tuple, first flat cell index)
+    found: dict[bytes, tuple[tuple[bool, ...], int]] = {}
+    for start in range(0, n_cells, chunk_cells):
+        end = min(start + chunk_cells, n_cells)
+        flat = np.arange(start, end, dtype=np.int64)
+        coordinates = {
+            name: (flat // strides[j]) % sizes[j]
+            for j, name in enumerate(attr_names)
+        }
+        columns = [
+            _evaluate_over_cells(
+                pred, coordinates, leaf_vectors, atoms, attr_names, end - start
+            )
+            for pred in workload.predicates
+        ]
+        signatures = np.ascontiguousarray(np.stack(columns, axis=1))
+        keep = signatures.any(axis=1)
+        if not keep.any():
+            continue
+        signatures = signatures[keep]
+        flat = flat[keep]
+        packed = np.packbits(signatures, axis=1)
+        _, first_rows = np.unique(packed, axis=0, return_index=True)
+        for row in first_rows:
+            key = packed[row].tobytes()
+            if key not in found:
+                signature = tuple(bool(v) for v in signatures[row])
+                found[key] = (signature, int(flat[row]))
+
+    partitions = []
+    for signature, cell_index in found.values():
+        cell = {
+            name: atoms[name][(cell_index // strides[j]) % sizes[j]]
+            for j, name in enumerate(attr_names)
+        }
+        partitions.append(
+            DomainPartition(signature=signature, description=_describe_cell(cell))
+        )
+    partitions.sort(key=lambda p: p.signature, reverse=True)
+    return partitions
+
+
+def _collect_leaf_vectors(
+    predicate: Predicate,
+    atoms: "dict[str, list[CellValue]]",
+    out: dict[int, np.ndarray],
+) -> None:
+    """Evaluate every atomic condition once per atom of its attribute."""
+    if isinstance(predicate, (And, Or)):
+        for child in predicate.children:
+            _collect_leaf_vectors(child, atoms, out)
+    elif isinstance(predicate, Not):
+        _collect_leaf_vectors(predicate.child, atoms, out)
+    elif isinstance(predicate, (TruePredicate, FalsePredicate)):
+        pass
+    elif isinstance(predicate, (Comparison, Between, In, IsNull)):
+        if id(predicate) in out:
+            return
+        attribute = next(iter(predicate.attributes()))
+        atom_list = atoms[attribute]
+        out[id(predicate)] = np.fromiter(
+            (bool(predicate.evaluate_cell({attribute: atom})) for atom in atom_list),
+            dtype=bool,
+            count=len(atom_list),
+        )
+    # Unknown predicate kinds fall back to per-cell evaluation downstream.
+
+
+def _evaluate_over_cells(
+    predicate: Predicate,
+    coordinates: Mapping[str, np.ndarray],
+    leaf_vectors: Mapping[int, np.ndarray],
+    atoms: "dict[str, list[CellValue]]",
+    attr_names: Sequence[str],
+    n: int,
+) -> np.ndarray:
+    """Boolean vector of ``predicate`` over one chunk of domain cells."""
+    if isinstance(predicate, And):
+        mask = _evaluate_over_cells(
+            predicate.children[0], coordinates, leaf_vectors, atoms, attr_names, n
+        )
+        for child in predicate.children[1:]:
+            mask = mask & _evaluate_over_cells(
+                child, coordinates, leaf_vectors, atoms, attr_names, n
+            )
+        return mask
+    if isinstance(predicate, Or):
+        mask = _evaluate_over_cells(
+            predicate.children[0], coordinates, leaf_vectors, atoms, attr_names, n
+        )
+        for child in predicate.children[1:]:
+            mask = mask | _evaluate_over_cells(
+                child, coordinates, leaf_vectors, atoms, attr_names, n
+            )
+        return mask
+    if isinstance(predicate, Not):
+        return ~_evaluate_over_cells(
+            predicate.child, coordinates, leaf_vectors, atoms, attr_names, n
+        )
+    if isinstance(predicate, TruePredicate):
+        return np.ones(n, dtype=bool)
+    if isinstance(predicate, FalsePredicate):
+        return np.zeros(n, dtype=bool)
+    vector = leaf_vectors.get(id(predicate))
+    if vector is not None:
+        attribute = next(iter(predicate.attributes()))
+        return vector[coordinates[attribute]]
+    # Exotic Predicate subclass: evaluate cell by cell (correct but slow).
+    out = np.empty(n, dtype=bool)
+    for i in range(n):
+        cell = {
+            name: atoms[name][int(coordinates[name][i])] for name in attr_names
+        }
+        out[i] = bool(predicate.evaluate_cell(cell))
+    return out
 
 
 def _attribute_atoms(
@@ -485,9 +768,7 @@ def _signatures_to_matrix(
     n_predicates: int, partitions: Iterable[DomainPartition]
 ) -> np.ndarray:
     partitions = list(partitions)
-    matrix = np.zeros((n_predicates, len(partitions)), dtype=float)
-    for j, partition in enumerate(partitions):
-        for i, flag in enumerate(partition.signature):
-            if flag:
-                matrix[i, j] = 1.0
-    return matrix
+    if not partitions:
+        return np.zeros((n_predicates, 0), dtype=float)
+    signatures = np.array([p.signature for p in partitions], dtype=float)
+    return np.ascontiguousarray(signatures.T)

@@ -1,0 +1,116 @@
+"""Tests for the microbenchmark suite and the timed harness plumbing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import RUN_TIMINGS, clear_run_timings, last_run_timings
+from repro.bench.microbench import (
+    bench_domain_analysis,
+    bench_mask_evaluation,
+    bench_schema,
+    bench_translation_cache,
+    build_bench_table,
+    build_bench_workload,
+)
+from repro.bench.reporting import report, write_bench_json
+
+
+@pytest.fixture(scope="module")
+def tiny_table():
+    return build_bench_table(800, seed=11)
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    return build_bench_workload(16, n_amount_cuts=6)
+
+
+class TestBenchInputs:
+    def test_table_shape_and_nulls(self, tiny_table):
+        assert len(tiny_table) == 800
+        # NULLs present in both a categorical and a numeric column
+        assert tiny_table.null_count("region") > 0
+        assert tiny_table.null_count("amount") > 0
+
+    def test_workload_supports_domain_analysis(self, tiny_workload):
+        assert tiny_workload.size == 16
+        assert tiny_workload.supports_domain_analysis
+
+    def test_workload_deterministic(self):
+        first = build_bench_workload(16, n_amount_cuts=6)
+        second = build_bench_workload(16, n_amount_cuts=6)
+        assert first.predicates == second.predicates
+
+
+class TestMicrobenchResults:
+    def test_mask_evaluation_payload(self, tiny_table, tiny_workload):
+        result = bench_mask_evaluation(tiny_table, tiny_workload, repeats=1)
+        assert result["n_rows"] == 800
+        assert result["n_predicates"] == 16
+        assert result["reference_seconds"] > 0
+        assert result["vectorized_cold_seconds"] > 0
+        assert result["speedup_warm"] >= result["speedup_cold"] * 0.5
+
+    def test_domain_analysis_payload(self, tiny_workload):
+        result = bench_domain_analysis(tiny_workload, bench_schema(), repeats=1)
+        assert result["parity"] is True
+        assert result["n_cells"] >= 1000
+        assert result["n_partitions"] > 0
+
+    def test_translation_cache_payload(self, tiny_table):
+        workload = build_bench_workload(8, n_amount_cuts=4)
+        result = bench_translation_cache(tiny_table, workload, mc_samples=200)
+        assert result["translation_cache_hit"] is True
+        assert result["matrix_rebuilt_on_second_call"] is False
+        assert result["matrix_reused"] is True
+        assert result["second_preview_seconds"] <= result["first_preview_seconds"]
+
+
+class TestReportingHelpers:
+    def test_write_bench_json_roundtrip(self, tmp_path):
+        path = tmp_path / "BENCH_test.json"
+        write_bench_json(str(path), {"bench": 1, "speedup": 12.5})
+        assert json.loads(path.read_text()) == {"bench": 1, "speedup": 12.5}
+
+    def test_report_prints_summary(self, capsys):
+        records = [
+            {"group": "a", "value": 1.0},
+            {"group": "a", "value": 3.0},
+            {"group": "b", "value": 2.0},
+        ]
+        report("demo", records, ["group"], "value")
+        out = capsys.readouterr().out
+        assert "=== demo ===" in out
+        assert "median" in out
+
+
+class TestRunTimings:
+    def test_timed_decorator_records_wall_clock(self):
+        from repro.bench.harness import _timed
+
+        clear_run_timings()
+
+        @_timed("unit-test")
+        def slow():
+            return sum(range(1000))
+
+        assert slow() == sum(range(1000))
+        timings = last_run_timings()
+        assert "unit-test" in timings
+        assert timings["unit-test"] >= 0.0
+        # last_run_timings returns a copy, not the live registry
+        timings["unit-test"] = -1.0
+        assert RUN_TIMINGS["unit-test"] >= 0.0
+        clear_run_timings()
+
+    def test_timings_empty_after_clear(self):
+        clear_run_timings()
+        assert last_run_timings() == {}
+
+
+def test_numpy_masks_from_bench_workload_are_boolean(tiny_table, tiny_workload):
+    membership = tiny_workload.evaluate(tiny_table)
+    assert membership.dtype == np.bool_
+    assert membership.shape == (len(tiny_table), tiny_workload.size)

@@ -1,0 +1,54 @@
+"""Tests for the shared bounded LRU used by the engine's cache layers."""
+
+import pytest
+
+from repro.core.lru import LRUCache
+
+
+class TestLRUCache:
+    def test_get_put_and_counters(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats() == {"hits": 1, "misses": 1, "size": 1}
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_len_and_clear(self):
+        cache = LRUCache(8)
+        for i in range(5):
+            cache.put(i, i)
+        assert len(cache) == 5
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_mask_budget_scales_with_rows(self):
+        from repro.data.table import (
+            MASK_CACHE_BYTE_BUDGET,
+            MASK_CACHE_MAX_ENTRIES,
+        )
+        from repro.queries.predicates import Comparison
+
+        from tests.queries.test_vectorized_parity import random_table
+        import numpy as np
+
+        table = random_table(np.random.default_rng(0), n_rows=500)
+        Comparison("kind", "==", "gold").evaluate(table)
+        assert table.mask_cache.max_entries == min(
+            MASK_CACHE_MAX_ENTRIES, max(16, MASK_CACHE_BYTE_BUDGET // 500)
+        )
+        assert len(table.mask_cache) == 1

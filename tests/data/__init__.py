@@ -1,0 +1,1 @@
+"""Test package (explicit so same-named test modules in sibling packages coexist)."""
