@@ -4,7 +4,8 @@
 Equivalent to ``python -m repro.bench``; kept next to the pytest benchmarks
 so the whole perf surface lives in one directory.  Usage::
 
-    python benchmarks/run_bench.py [--quick] [--output BENCH_1.json]
+    python benchmarks/run_bench.py [--quick] [--suite engine|service|all]
+    python benchmarks/run_bench.py --suite engine --output out.json
 """
 
 from __future__ import annotations

@@ -1,0 +1,21 @@
+"""Make ``import repro`` work for the examples without any setup.
+
+Every example starts with ``import _bootstrap`` (the script's own directory
+is always on ``sys.path``, so this resolves no matter where the example is
+launched from).  If ``repro`` is already importable — because the package was
+installed with ``pip install -e .`` or ``PYTHONPATH=src`` is set — this is a
+no-op; otherwise the sibling ``src/`` directory is prepended to ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:  # installed (pip install -e .) or PYTHONPATH already set
+    import repro  # noqa: F401
+except ImportError:  # fall back to the in-repo source tree
+    _SRC = Path(__file__).resolve().parent.parent / "src"
+    if _SRC.is_dir():
+        sys.path.insert(0, str(_SRC))
+    import repro  # noqa: F401

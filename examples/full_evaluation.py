@@ -15,6 +15,8 @@ Run with::
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (makes `import repro` work uninstalled)
+
 import argparse
 import os
 import time

@@ -14,6 +14,8 @@ Run with::
 
 from __future__ import annotations
 
+import _bootstrap  # noqa: F401  (makes `import repro` work uninstalled)
+
 import numpy as np
 
 import repro

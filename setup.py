@@ -6,6 +6,15 @@ isolation cannot download ``wheel`` (``pip install -e . --no-build-isolation
 --no-use-pep517``).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+# Mirror the pyproject metadata so legacy/no-PEP-517 installs resolve the
+# src layout without reading pyproject.toml.
+setup(
+    name="repro-apex",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

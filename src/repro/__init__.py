@@ -31,6 +31,9 @@ Public surface:
 * data substrates -- synthetic Adult / NYTaxi / citation-pair generators
 * entity resolution case study -- :mod:`repro.er`
 * benchmark harness -- :mod:`repro.bench`
+* concurrent multi-analyst service -- :class:`ExplorationService` and
+  :class:`BudgetPolicy` (see :mod:`repro.service`; ``python -m repro.service``
+  replays a scripted multi-analyst workload)
 """
 
 from repro.core import (
@@ -74,6 +77,7 @@ from repro.mechanisms import (
     default_registry,
 )
 from repro.extensions import AnalystSession, CostRecommendation, recommend_costs
+from repro.service import BudgetPolicy, ExplorationService
 from repro.queries import (
     IcebergCountingQuery,
     Query,
@@ -153,4 +157,7 @@ __all__ = [
     "AnalystSession",
     "CostRecommendation",
     "recommend_costs",
+    # service
+    "BudgetPolicy",
+    "ExplorationService",
 ]

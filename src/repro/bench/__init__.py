@@ -9,7 +9,8 @@
 * :mod:`repro.bench.reporting` -- plain-text rendering of the results in the
   shape the paper reports them.
 * :mod:`repro.bench.microbench` -- timed microbenchmarks for the vectorized
-  predicate / domain-analysis engine (run via ``python -m repro.bench``).
+  predicate / domain-analysis engine (``BENCH_1``) and the concurrent
+  multi-analyst service (``BENCH_2``), run via ``python -m repro.bench``.
 """
 
 from repro.bench.queries import (

@@ -1,13 +1,16 @@
-"""``python -m repro.bench``: run the microbenchmark suite, write BENCH JSON.
+"""``python -m repro.bench``: run the microbenchmark suites, write BENCH JSON.
 
 Intended for CI smoke use (``--quick``) and for regenerating the perf
 trajectory after engine changes::
 
-    python -m repro.bench                 # full suite -> BENCH_1.json
+    python -m repro.bench                 # both suites -> BENCH_1.json + BENCH_2.json
+    python -m repro.bench --suite engine  # vectorized-engine suite only
+    python -m repro.bench --suite service # concurrency/batching suite only
     python -m repro.bench --quick         # scaled down, same checks
-    python -m repro.bench --output out.json
+    python -m repro.bench --suite engine --output out.json
 
-Exit status is non-zero when any parity or cache assertion fails.
+Exit status is non-zero when any parity, cache, budget-safety or
+transcript-validity assertion fails.
 """
 
 from __future__ import annotations
@@ -15,37 +18,15 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.bench.microbench import run_microbenchmarks
+from repro.bench.microbench import run_microbenchmarks, run_service_microbenchmarks
 from repro.bench.reporting import write_bench_json
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.bench",
-        description="Run the vectorized-engine microbenchmarks.",
-    )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="scaled-down run (20k rows, fewer repeats) for CI smoke tests",
-    )
-    parser.add_argument(
-        "--output",
-        default="BENCH_1.json",
-        help="path of the JSON payload (default: BENCH_1.json)",
-    )
-    parser.add_argument(
-        "--seed", type=int, default=20190501, help="seed for the synthetic table"
-    )
-    args = parser.parse_args(argv)
-
-    payload = run_microbenchmarks(quick=args.quick, seed=args.seed)
-    write_bench_json(args.output, payload)
-
+def _print_engine_summary(payload: dict, output: str) -> None:
     mask = payload["mask_evaluation"]
     domain = payload["domain_analysis"]
     translation = payload["translation_cache"]
-    print(f"wrote {args.output}")
+    print(f"wrote {output}")
     print(
         f"mask evaluation: {mask['n_predicates']} predicates x {mask['n_rows']} rows: "
         f"{mask['reference_seconds']:.4f}s -> {mask['vectorized_cold_seconds']:.4f}s "
@@ -62,7 +43,85 @@ def main(argv: list[str] | None = None) -> int:
         f"(hit={translation['translation_cache_hit']}, "
         f"matrix_rebuilt={translation['matrix_rebuilt_on_second_call']})"
     )
-    return 0
+
+
+def _print_service_summary(payload: dict, output: str) -> int:
+    stress = payload["concurrent_budget_stress"]
+    batching = payload["request_batching"]
+    print(f"wrote {output}")
+    print(
+        f"budget stress: {stress['n_threads']} threads x {stress['n_requests']} "
+        f"requests: spent {stress['epsilon_spent']:.4f} of B={stress['budget']:.4f} "
+        f"(within_budget={stress['within_budget']}, "
+        f"valid={stress['transcript_valid']}, answered={stress['answered']}, "
+        f"denied={stress['denied']}, {stress['requests_per_second']:.0f} req/s)"
+    )
+    print(
+        f"request batching: {batching['n_threads']} identical cold previews: "
+        f"{batching['unbatched_estimate_seconds']:.3f}s unbatched -> "
+        f"{batching['batched_wall_seconds']:.3f}s batched "
+        f"({batching['speedup_vs_unbatched']:.1f}x, "
+        f"matrix_builds={batching['matrix_builds']}, "
+        f"coalesced={batching['coalesced_requests']})"
+    )
+    failures = 0
+    if not stress["within_budget"] or not stress["transcript_valid"]:
+        print("FAILURE: concurrent budget safety violated", file=sys.stderr)
+        failures += 1
+    if stress["errors"]:
+        print(f"FAILURE: stress thread errors: {stress['errors']}", file=sys.stderr)
+        failures += 1
+    if not batching["matrix_built_exactly_once"]:
+        print(
+            f"FAILURE: coalesced previews built the matrix "
+            f"{batching['matrix_builds']} times (expected once)",
+            file=sys.stderr,
+        )
+        failures += 1
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the engine and/or service microbenchmark suites.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="scaled-down run (20k rows, fewer repeats) for CI smoke tests",
+    )
+    parser.add_argument(
+        "--suite",
+        choices=("engine", "service", "all"),
+        default="all",
+        help="which suite to run (default: all)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="path of the JSON payload; only valid with a single --suite "
+        "(defaults: BENCH_1.json for engine, BENCH_2.json for service)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20190501, help="seed for the synthetic table"
+    )
+    args = parser.parse_args(argv)
+    if args.output is not None and args.suite == "all":
+        parser.error("--output requires --suite engine or --suite service")
+
+    failures = 0
+    if args.suite in ("engine", "all"):
+        output = args.output or "BENCH_1.json"
+        payload = run_microbenchmarks(quick=args.quick, seed=args.seed)
+        write_bench_json(output, payload)
+        _print_engine_summary(payload, output)
+    if args.suite in ("service", "all"):
+        output = args.output or "BENCH_2.json"
+        payload = run_service_microbenchmarks(quick=args.quick, seed=args.seed)
+        write_bench_json(output, payload)
+        failures += _print_service_summary(payload, output)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -1,8 +1,8 @@
-"""Microbenchmarks for the vectorized predicate / domain-analysis engine.
+"""Microbenchmarks for the vectorized engine and the concurrent service.
 
-Three measurements back the perf claims of the array-native rewrite, each
-against the preserved seed-semantics baselines in
-:mod:`repro.queries.reference`:
+Two suites live here.  The **engine suite** (``BENCH_1``) backs the perf
+claims of the array-native rewrite with three measurements, each against the
+preserved seed-semantics baselines in :mod:`repro.queries.reference`:
 
 * **mask evaluation** -- evaluate a 64-predicate workload over a 100k-row
   table, reference (per-row Python loops for categorical conditions) vs
@@ -14,10 +14,24 @@ against the preserved seed-semantics baselines in
   identical queries; the second must hit the translation memo and re-use the
   memoised workload matrix without rebuilding it.
 
-``run_microbenchmarks`` collects everything into one JSON-serialisable
-payload; the ``python -m repro.bench`` entry point (and
-``benchmarks/run_bench.py``) writes it to ``BENCH_1.json``.  All seeds are
-fixed, so CI can smoke the suite with ``--quick``.
+The **service suite** (``BENCH_2``) measures the concurrent multi-analyst
+layer of :mod:`repro.service`:
+
+* **concurrent budget stress** -- N threads hammer one
+  :class:`~repro.service.ExplorationService` with interleaved
+  ``preview_cost``/``explore`` against a deliberately tight shared budget;
+  the payload records that the total charged epsilon stayed within ``B`` and
+  that the merged transcript passes the Theorem 6.2 validity check;
+* **request batching** -- N threads concurrently issue a structurally
+  identical cold ``preview_cost``; the batcher must coalesce them so the
+  workload matrix is built exactly once, and the payload compares the
+  batched wall-clock against the unbatched one-build-per-thread baseline.
+
+``run_microbenchmarks`` / ``run_service_microbenchmarks`` collect each suite
+into one JSON-serialisable payload; the ``python -m repro.bench`` entry point
+(and ``benchmarks/run_bench.py``) writes them to ``BENCH_1.json`` and
+``BENCH_2.json``.  All seeds are fixed, so CI can smoke both suites with
+``--quick``.
 """
 
 from __future__ import annotations
@@ -64,7 +78,10 @@ __all__ = [
     "bench_mask_evaluation",
     "bench_domain_analysis",
     "bench_translation_cache",
+    "bench_concurrent_budget",
+    "bench_request_batching",
     "run_microbenchmarks",
+    "run_service_microbenchmarks",
 ]
 
 _REGIONS = tuple(f"region-{i:02d}" for i in range(12))
@@ -287,6 +304,226 @@ def bench_translation_cache(
         "matrix_rebuilt_on_second_call": matrix_misses > 0,
         "matrix_reused": bool(matrix_reused),
         "costs": {name: list(pair) for name, pair in first_costs.items()},
+    }
+
+
+def bench_concurrent_budget(
+    table: Table,
+    *,
+    n_threads: int = 8,
+    rounds_per_thread: int = 3,
+    mc_samples: int = 500,
+    target_answers: float = 6.5,
+) -> dict[str, object]:
+    """N threads hammer one service with mixed preview/explore requests.
+
+    The shared budget is sized to roughly ``target_answers`` explores, so the
+    threads race each other into denial territory -- the adversarial case for
+    admission control.  The payload records the two safety invariants the
+    service exists to protect: total charged epsilon within ``B`` and a
+    Theorem 6.2-valid merged transcript.
+    """
+    import threading
+
+    from repro.queries.builders import histogram_workload
+    from repro.service import BudgetPolicy, ExplorationService
+
+    alpha = max(0.01 * len(table), 1.0)
+    accuracy = AccuracySpec(alpha=alpha, beta=5e-4)
+
+    def query_for(thread_index: int) -> WorkloadCountingQuery:
+        bins = 8 + 2 * (thread_index % 4)
+        return WorkloadCountingQuery(
+            histogram_workload("amount", start=0, stop=10_000, bins=bins),
+            name=f"stress-hist-{bins}",
+        )
+
+    # Size B from the cheapest mechanism's worst case for the base query.
+    scratch = APExEngine(
+        table, budget=1e9, registry=default_registry(mc_samples=mc_samples), seed=0
+    )
+    costs = scratch.preview_cost(query_for(0), accuracy)
+    epsilon_unit = min(upper for _, upper in costs.values())
+    budget = target_answers * epsilon_unit
+
+    service = ExplorationService(
+        table,
+        budget=budget,
+        policy=BudgetPolicy.FIRST_COME,
+        registry=default_registry(mc_samples=mc_samples),
+        seed=11,
+        batch_window=0.0,
+    )
+    for i in range(n_threads):
+        service.register_analyst(f"stress-{i:02d}")
+
+    barrier = threading.Barrier(n_threads)
+    errors: list[str] = []
+
+    def hammer(thread_index: int) -> None:
+        analyst = f"stress-{thread_index:02d}"
+        query = query_for(thread_index)
+        try:
+            barrier.wait()
+            for _ in range(rounds_per_thread):
+                service.preview_cost(analyst, query, accuracy)
+                service.explore(analyst, query, accuracy)
+        except Exception as exc:  # noqa: BLE001 - reported in the payload
+            errors.append(f"{analyst}: {type(exc).__name__}: {exc}")
+
+    threads = [
+        threading.Thread(target=hammer, args=(i,), name=f"bench-stress-{i}")
+        for i in range(n_threads)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_seconds = time.perf_counter() - start
+
+    merged = service.merged_transcript()
+    spent = merged.total_epsilon()
+    n_requests = n_threads * rounds_per_thread * 2
+    return {
+        "n_threads": n_threads,
+        "rounds_per_thread": rounds_per_thread,
+        "n_requests": n_requests,
+        "budget": budget,
+        "epsilon_spent": spent,
+        "within_budget": bool(spent <= budget + 1e-9),
+        "transcript_valid": bool(service.validate()),
+        "answered": len(merged.answered()),
+        "denied": len(merged.denied()),
+        "errors": errors,
+        "wall_seconds": wall_seconds,
+        "requests_per_second": n_requests / max(wall_seconds, 1e-12),
+    }
+
+
+def bench_request_batching(
+    table: Table,
+    workload: Workload,
+    *,
+    n_threads: int = 8,
+    mc_samples: int = 500,
+    window: float = 0.01,
+) -> dict[str, object]:
+    """Concurrent identical cold previews must build the workload matrix once.
+
+    First measures one cold ``preview_cost`` (matrix build plus mechanism
+    translation) as the per-request baseline, then clears every memo and has
+    ``n_threads`` threads issue structurally identical previews through the
+    service's batching front door simultaneously.  The matrix-memo miss
+    counter pins down how many builds actually happened.
+    """
+    import threading
+
+    from repro.queries.workload import matrix_cache_stats
+    from repro.service import ExplorationService
+
+    accuracy = AccuracySpec(alpha=0.05 * len(table), beta=5e-4)
+
+    def make_query() -> WorkloadCountingQuery:
+        # Re-create the workload so every thread holds a structurally equal
+        # but distinct object, as independent analysts would.
+        return WorkloadCountingQuery(
+            Workload(list(workload.predicates), list(workload.names)),
+            name="batch-wcq",
+        )
+
+    # Cold single-request baseline.
+    clear_matrix_cache()
+    baseline_engine = APExEngine(
+        table, budget=10.0, registry=default_registry(mc_samples=mc_samples), seed=3
+    )
+    start = time.perf_counter()
+    baseline_engine.preview_cost(make_query(), accuracy)
+    cold_seconds = time.perf_counter() - start
+
+    # Batched concurrent run, fully cold again.
+    clear_matrix_cache()
+    service = ExplorationService(
+        table,
+        budget=10.0,
+        registry=default_registry(mc_samples=mc_samples),
+        seed=5,
+        batch_window=window,
+    )
+    for i in range(n_threads):
+        service.register_analyst(f"batch-{i:02d}")
+    misses_before = matrix_cache_stats()["misses"]
+    barrier = threading.Barrier(n_threads)
+    durations = [0.0] * n_threads
+    previews: list[dict[str, tuple[float, float]] | None] = [None] * n_threads
+
+    def ask(thread_index: int) -> None:
+        query = make_query()
+        barrier.wait()
+        begin = time.perf_counter()
+        previews[thread_index] = service.preview_cost(
+            f"batch-{thread_index:02d}", query, accuracy
+        )
+        durations[thread_index] = time.perf_counter() - begin
+
+    threads = [
+        threading.Thread(target=ask, args=(i,), name=f"bench-batch-{i}")
+        for i in range(n_threads)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    batched_wall = time.perf_counter() - start
+
+    matrix_builds = matrix_cache_stats()["misses"] - misses_before
+    if any(p != previews[0] for p in previews):
+        raise AssertionError("coalesced previews returned different answers")
+    stats = service.stats()["batching"]
+    return {
+        "n_threads": n_threads,
+        "window_seconds": window,
+        "cold_preview_seconds": cold_seconds,
+        "unbatched_estimate_seconds": cold_seconds * n_threads,
+        "batched_wall_seconds": batched_wall,
+        "speedup_vs_unbatched": (cold_seconds * n_threads) / max(batched_wall, 1e-12),
+        "matrix_builds": int(matrix_builds),
+        "matrix_built_exactly_once": bool(matrix_builds == 1),
+        "computed_flights": stats["computed"],
+        "coalesced_requests": stats["coalesced"],
+        "max_request_seconds": max(durations),
+    }
+
+
+def run_service_microbenchmarks(
+    quick: bool = False, seed: int = 20190501
+) -> dict[str, object]:
+    """Run the concurrency/batching suite and return the BENCH_2 payload."""
+    n_rows = 20_000 if quick else 100_000
+    n_amount_cuts = 12 if quick else 40
+    mc_samples = 300 if quick else 1_000
+    n_threads = 8
+    rounds = 2 if quick else 3
+
+    table = build_bench_table(n_rows, seed=seed)
+    workload = build_bench_workload(64, n_amount_cuts=n_amount_cuts)
+    stress = bench_concurrent_budget(
+        table,
+        n_threads=n_threads,
+        rounds_per_thread=rounds,
+        mc_samples=mc_samples,
+    )
+    batching = bench_request_batching(
+        table, workload, n_threads=n_threads, mc_samples=mc_samples
+    )
+    return {
+        "bench": 2,
+        "quick": quick,
+        "seed": seed,
+        "created_unix": time.time(),
+        "concurrent_budget_stress": stress,
+        "request_batching": batching,
     }
 
 

@@ -16,17 +16,37 @@ Two ingredients:
 a :class:`Transcript` whose entries mirror the paper's
 ``[(q_i, alpha_i, beta_i), (omega_i, epsilon_i)]`` alternating sequence,
 including denials.
+
+Concurrency
+-----------
+
+The ledger is thread-safe and supports a two-phase *reservation* protocol for
+concurrent exploration (:mod:`repro.service`):
+
+1. :meth:`PrivacyLedger.reserve` atomically checks admission against
+   ``remaining`` (which excludes everything currently reserved by in-flight
+   queries) and sets the worst-case loss ``epsilon_u`` aside;
+2. the mechanism runs *outside* any lock;
+3. :meth:`PrivacyLedger.charge` commits the actual loss and returns the
+   unused ``epsilon_u - epsilon_i`` headroom to the pool, or
+   :meth:`PrivacyLedger.release` returns all of it when the run failed.
+
+Because admission is checked against ``B - spent - reserved`` under a single
+lock, no interleaving of concurrent explores can jointly overspend ``B`` --
+the invariant ``spent + reserved <= B`` holds at every instant, and therefore
+every committed transcript is valid in the sense of Definition 6.1.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro.core.accuracy import AccuracySpec
 from repro.core.exceptions import ApexError, BudgetExceededError
 
-__all__ = ["TranscriptEntry", "Transcript", "PrivacyLedger"]
+__all__ = ["TranscriptEntry", "Transcript", "PrivacyLedger", "BudgetReservation"]
 
 _TOLERANCE = 1e-12
 
@@ -53,40 +73,60 @@ class TranscriptEntry:
 
 
 class Transcript:
-    """The analyst's view of the exploration: an append-only entry list."""
+    """The analyst's view of the exploration: an append-only entry list.
+
+    Appends and snapshot reads are individually atomic (a lock protects the
+    underlying list), so a transcript owned by a concurrently used ledger can
+    be iterated and validated while other threads keep exploring.
+    """
 
     def __init__(self) -> None:
         self._entries: list[TranscriptEntry] = []
+        self._lock = threading.Lock()
 
     def append(self, entry: TranscriptEntry) -> None:
-        self._entries.append(entry)
+        with self._lock:
+            self._entries.append(entry)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __iter__(self) -> Iterator[TranscriptEntry]:
-        return iter(self._entries)
+        return iter(self.entries)
 
     def __getitem__(self, index: int) -> TranscriptEntry:
-        return self._entries[index]
+        with self._lock:
+            return self._entries[index]
 
     @property
     def entries(self) -> tuple[TranscriptEntry, ...]:
-        return tuple(self._entries)
+        """An immutable snapshot of the entries recorded so far."""
+        with self._lock:
+            return tuple(self._entries)
 
     def answered(self) -> list[TranscriptEntry]:
-        return [entry for entry in self._entries if not entry.denied]
+        """The entries that were actually answered (``omega_i != bottom``)."""
+        return [entry for entry in self.entries if not entry.denied]
 
     def denied(self) -> list[TranscriptEntry]:
-        return [entry for entry in self._entries if entry.denied]
+        """The entries that were denied (cost no privacy)."""
+        return [entry for entry in self.entries if entry.denied]
 
     def total_epsilon(self) -> float:
-        return sum(entry.epsilon_spent for entry in self._entries)
+        """Total actual privacy loss of the transcript, by sequential composition."""
+        return sum(entry.epsilon_spent for entry in self.entries)
 
     def is_valid(self, budget: float) -> bool:
-        """Check the paper's valid-transcript conditions (Definition 6.1)."""
+        """Check the paper's valid-transcript conditions (Definition 6.1).
+
+        A transcript is valid for budget ``B`` when every answered entry was
+        admitted with ``B_{i-1} + epsilon_u <= B``, charged no more than its
+        worst case, and the running total never exceeds ``B``.  Theorem 6.2
+        reduces the end-to-end privacy guarantee to exactly this check.
+        """
         running = 0.0
-        for entry in self._entries:
+        for entry in self.entries:
             if entry.denied:
                 if entry.epsilon_spent != 0:
                     return False
@@ -102,25 +142,46 @@ class Transcript:
 
     def summary(self) -> dict[str, Any]:
         """Aggregate statistics for reporting."""
-        answered = self.answered()
+        entries = self.entries
+        answered = [e for e in entries if not e.denied]
         return {
-            "interactions": len(self._entries),
+            "interactions": len(entries),
             "answered": len(answered),
-            "denied": len(self._entries) - len(answered),
-            "epsilon_spent": self.total_epsilon(),
+            "denied": len(entries) - len(answered),
+            "epsilon_spent": sum(e.epsilon_spent for e in entries),
             "mechanisms": sorted({e.mechanism for e in answered if e.mechanism}),
         }
 
 
+@dataclass
+class BudgetReservation:
+    """Worst-case budget set aside for one in-flight mechanism run.
+
+    Produced by :meth:`PrivacyLedger.reserve` and consumed exactly once by
+    either :meth:`PrivacyLedger.charge` (commit) or
+    :meth:`PrivacyLedger.release` (abort).  While active, the reserved
+    ``epsilon_upper`` is excluded from :attr:`PrivacyLedger.remaining`, which
+    is what makes concurrent admission control sound.
+    """
+
+    epsilon_upper: float
+    active: bool = True
+
+
 class PrivacyLedger:
-    """Tracks the owner's budget ``B`` across a sequence of mechanism runs."""
+    """Tracks the owner's budget ``B`` across a sequence of mechanism runs.
+
+    :param budget: the owner-specified total privacy budget ``B``.
+    """
 
     def __init__(self, budget: float) -> None:
         if budget <= 0:
             raise ApexError(f"the privacy budget must be positive, got {budget}")
         self._budget = float(budget)
         self._spent = 0.0
+        self._reserved = 0.0
         self._transcript = Transcript()
+        self._lock = threading.RLock()
 
     # -- accessors ----------------------------------------------------------------
 
@@ -135,9 +196,15 @@ class PrivacyLedger:
         return self._spent
 
     @property
+    def reserved(self) -> float:
+        """Worst-case loss currently set aside for in-flight queries."""
+        return self._reserved
+
+    @property
     def remaining(self) -> float:
-        """Budget headroom used for admission control."""
-        return max(self._budget - self._spent, 0.0)
+        """Budget headroom used for admission control (excludes reservations)."""
+        with self._lock:
+            return max(self._budget - self._spent - self._reserved, 0.0)
 
     @property
     def transcript(self) -> Transcript:
@@ -156,6 +223,30 @@ class PrivacyLedger:
             raise ApexError("epsilon_upper must be positive")
         return epsilon_upper <= self.remaining + _TOLERANCE
 
+    def reserve(self, epsilon_upper: float) -> BudgetReservation | None:
+        """Atomically admit and set aside ``epsilon_upper``; ``None`` on refusal.
+
+        This is phase one of the two-phase charge used by concurrent
+        exploration: the check against :attr:`remaining` and the reservation
+        happen under one lock, so two in-flight queries can never both be
+        admitted against the same headroom.
+        """
+        if epsilon_upper <= 0:
+            raise ApexError("epsilon_upper must be positive")
+        with self._lock:
+            if epsilon_upper > self.remaining + _TOLERANCE:
+                return None
+            self._reserved += epsilon_upper
+            return BudgetReservation(epsilon_upper=float(epsilon_upper))
+
+    def release(self, reservation: BudgetReservation) -> None:
+        """Return an unused reservation to the pool (mechanism did not run)."""
+        with self._lock:
+            if not reservation.active:
+                return
+            reservation.active = False
+            self._reserved = max(self._reserved - reservation.epsilon_upper, 0.0)
+
     def charge(
         self,
         *,
@@ -166,36 +257,57 @@ class PrivacyLedger:
         epsilon_upper: float,
         epsilon_spent: float,
         answer: Any,
+        reservation: BudgetReservation | None = None,
     ) -> TranscriptEntry:
-        """Record an answered query and deduct its actual privacy loss."""
-        if not self.can_afford(epsilon_upper):
-            raise BudgetExceededError(
-                f"admitting {mechanism} (worst case {epsilon_upper:.6g}) would "
-                f"exceed the remaining budget {self.remaining:.6g}",
-                required=epsilon_upper,
-                remaining=self.remaining,
+        """Record an answered query and deduct its actual privacy loss.
+
+        Without a ``reservation`` the admission check and the charge happen
+        atomically here (the single-threaded fast path).  With one, the
+        admission already happened in :meth:`reserve`; the reservation is
+        consumed and only the actual loss is kept as spent.
+        """
+        with self._lock:
+            # Validate everything BEFORE consuming the reservation, so that a
+            # raise leaves the reservation active and the caller can release
+            # it (otherwise the reserved headroom would leak forever).
+            if epsilon_spent < 0 or epsilon_spent > epsilon_upper + _TOLERANCE:
+                raise ApexError(
+                    f"actual loss {epsilon_spent} must lie in [0, {epsilon_upper}]"
+                )
+            if reservation is not None:
+                if not reservation.active:
+                    raise ApexError("reservation was already committed or released")
+                if epsilon_upper > reservation.epsilon_upper + _TOLERANCE:
+                    raise ApexError(
+                        f"cannot charge epsilon_upper={epsilon_upper} against a "
+                        f"reservation of {reservation.epsilon_upper}"
+                    )
+                reservation.active = False
+                self._reserved = max(self._reserved - reservation.epsilon_upper, 0.0)
+            elif not self.can_afford(epsilon_upper):
+                raise BudgetExceededError(
+                    f"admitting {mechanism} (worst case {epsilon_upper:.6g}) would "
+                    f"exceed the remaining budget {self.remaining:.6g}",
+                    required=epsilon_upper,
+                    remaining=self.remaining,
+                )
+            before = self._spent
+            self._spent += epsilon_spent
+            entry = TranscriptEntry(
+                index=len(self._transcript),
+                query_name=query_name,
+                query_kind=query_kind,
+                accuracy=accuracy,
+                mechanism=mechanism,
+                epsilon_upper=epsilon_upper,
+                epsilon_spent=epsilon_spent,
+                denied=False,
+                answer=answer,
+                budget_before=before,
+                budget_after=self._spent,
             )
-        if epsilon_spent < 0 or epsilon_spent > epsilon_upper + _TOLERANCE:
-            raise ApexError(
-                f"actual loss {epsilon_spent} must lie in [0, {epsilon_upper}]"
-            )
-        before = self._spent
-        self._spent += epsilon_spent
-        entry = TranscriptEntry(
-            index=len(self._transcript),
-            query_name=query_name,
-            query_kind=query_kind,
-            accuracy=accuracy,
-            mechanism=mechanism,
-            epsilon_upper=epsilon_upper,
-            epsilon_spent=epsilon_spent,
-            denied=False,
-            answer=answer,
-            budget_before=before,
-            budget_after=self._spent,
-        )
-        self._transcript.append(entry)
-        return entry
+            self._transcript.append(entry)
+            return entry
 
     def deny(
         self,
@@ -206,19 +318,20 @@ class PrivacyLedger:
         reason: str = "no mechanism fits the remaining budget",
     ) -> TranscriptEntry:
         """Record a denied query (costs no privacy)."""
-        entry = TranscriptEntry(
-            index=len(self._transcript),
-            query_name=query_name,
-            query_kind=query_kind,
-            accuracy=accuracy,
-            mechanism=None,
-            epsilon_upper=0.0,
-            epsilon_spent=0.0,
-            denied=True,
-            answer=None,
-            budget_before=self._spent,
-            budget_after=self._spent,
-        )
-        self._transcript.append(entry)
-        _ = reason
-        return entry
+        with self._lock:
+            entry = TranscriptEntry(
+                index=len(self._transcript),
+                query_name=query_name,
+                query_kind=query_kind,
+                accuracy=accuracy,
+                mechanism=None,
+                epsilon_upper=0.0,
+                epsilon_spent=0.0,
+                denied=True,
+                answer=None,
+                budget_before=self._spent,
+                budget_after=self._spent,
+            )
+            self._transcript.append(entry)
+            _ = reason
+            return entry

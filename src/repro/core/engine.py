@@ -82,17 +82,35 @@ class APExEngine:
         ``"result"`` (default) returns a denied :class:`ExplorationResult`;
         ``"raise"`` raises :class:`~repro.core.exceptions.BudgetExceededError`
         instead.
+    ledger:
+        An externally minted :class:`~repro.core.accounting.PrivacyLedger`
+        (its budget wins over ``budget``).  This is how
+        :class:`repro.service.ExplorationService` hands each analyst a ledger
+        drawing on a shared budget pool.
+    translator:
+        An externally owned :class:`~repro.core.translator.AccuracyTranslator`
+        (its registry/mode win over ``registry``/``mode``).  Sharing one
+        translator between engines shares the translation memo, so analysts
+        asking structurally identical queries pay for translation once.
+
+    The engine is thread-safe when its ledger is: admission control and
+    charging follow a two-phase reservation protocol
+    (:meth:`~repro.core.accounting.PrivacyLedger.reserve` /
+    :meth:`~repro.core.accounting.PrivacyLedger.charge`), so concurrent
+    :meth:`explore` calls can never jointly overspend the budget.
     """
 
     def __init__(
         self,
         table: Table,
-        budget: float,
+        budget: float | None = None,
         *,
         mode: SelectionMode | str = SelectionMode.OPTIMISTIC,
         registry: MechanismRegistry | None = None,
         seed: int | np.random.Generator | None = None,
         deny_mode: str = "result",
+        ledger: PrivacyLedger | None = None,
+        translator: AccuracyTranslator | None = None,
     ) -> None:
         if not isinstance(table, Table):
             raise ApexError("APExEngine requires a repro.data.Table")
@@ -100,9 +118,20 @@ class APExEngine:
             mode = SelectionMode(mode.lower())
         if deny_mode not in ("result", "raise"):
             raise ApexError("deny_mode must be 'result' or 'raise'")
+        if ledger is None:
+            if budget is None:
+                raise ApexError("APExEngine needs a budget or an external ledger")
+            ledger = PrivacyLedger(budget)
+        elif budget is not None and float(budget) != ledger.budget:
+            raise ApexError(
+                f"budget {budget} conflicts with the external ledger's "
+                f"budget {ledger.budget}; pass one or the other"
+            )
         self._table = table
-        self._ledger = PrivacyLedger(budget)
-        self._translator = AccuracyTranslator(registry, mode)
+        self._ledger = ledger
+        self._translator = (
+            translator if translator is not None else AccuracyTranslator(registry, mode)
+        )
         self._rng = (
             seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
         )
@@ -155,26 +184,48 @@ class APExEngine:
     # -- analyst-facing API --------------------------------------------------------
 
     def explore(self, query: Query, accuracy: AccuracySpec) -> ExplorationResult:
-        """Answer one query under the given accuracy requirement (Algorithm 1)."""
-        choice = self._translator.choose(
-            query,
-            accuracy,
-            self._table.schema,
-            budget_remaining=self._ledger.remaining,
-        )
-        if choice is None:
-            return self._deny(query, accuracy)
+        """Answer one query under the given accuracy requirement (Algorithm 1).
 
-        result = choice.mechanism.run(query, accuracy, self._table, rng=self._rng)
-        entry = self._ledger.charge(
-            query_name=query.name,
-            query_kind=query.kind.value,
-            accuracy=accuracy,
-            mechanism=choice.mechanism.name,
-            epsilon_upper=choice.translation.epsilon_upper,
-            epsilon_spent=result.epsilon_spent,
-            answer=result.value,
-        )
+        Admission and charging follow the ledger's two-phase reservation
+        protocol: the chosen mechanism's worst-case loss is atomically set
+        aside before the mechanism runs (so concurrent explores cannot jointly
+        overspend), the mechanism runs outside any lock, and the actual loss
+        is committed afterwards.  When another thread depletes the budget
+        between selection and reservation, selection is retried against the
+        updated headroom -- a cheaper mechanism may still be admissible.
+        """
+        while True:
+            choice = self._translator.choose(
+                query,
+                accuracy,
+                self._table.schema,
+                budget_remaining=self._ledger.remaining,
+            )
+            if choice is None:
+                return self._deny(query, accuracy)
+            reservation = self._ledger.reserve(choice.translation.epsilon_upper)
+            if reservation is not None:
+                break
+
+        try:
+            result = choice.mechanism.run(query, accuracy, self._table, rng=self._rng)
+            entry = self._ledger.charge(
+                query_name=query.name,
+                query_kind=query.kind.value,
+                accuracy=accuracy,
+                mechanism=choice.mechanism.name,
+                epsilon_upper=choice.translation.epsilon_upper,
+                epsilon_spent=result.epsilon_spent,
+                answer=result.value,
+                reservation=reservation,
+            )
+        except BaseException:
+            # Covers both a failing mechanism run and a rejected charge (e.g.
+            # a mechanism reporting an out-of-range actual loss): the charge
+            # validates before consuming the reservation, so releasing here
+            # returns the reserved headroom instead of leaking it.
+            self._ledger.release(reservation)
+            raise
         return ExplorationResult(
             query_name=query.name,
             query_kind=query.kind.value,

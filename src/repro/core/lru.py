@@ -1,13 +1,22 @@
-"""A small bounded LRU mapping shared by the engine's cache layers.
+"""A small bounded, thread-safe LRU mapping shared by the engine's cache layers.
 
 Three hot-path caches (per-table predicate masks, the workload-matrix memo,
 the translator's translation memo) need the same behavior: bounded size,
 least-recently-used eviction, and hit/miss counters for observability.  One
 implementation keeps them from drifting apart.
+
+All three caches are reachable from multiple :class:`~repro.service.ExplorationService`
+worker threads at once (the matrix memo and, when sessions share an engine's
+translator, the translation memo are process-wide), so every operation takes
+an internal lock.  The critical sections are a handful of ``OrderedDict``
+operations -- far cheaper than the work the caches memoise -- and the lock
+guarantees that a concurrent ``get``/``put``/eviction interleaving can neither
+corrupt the recency order nor lose an update.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Generic, Hashable, TypeVar
 
@@ -22,41 +31,61 @@ class LRUCache(Generic[V]):
     ``get`` refreshes recency and counts a hit or miss; ``put`` inserts and
     evicts the least recently used entry once ``max_entries`` is exceeded.
     Values must not be ``None`` (a ``None`` return from ``get`` means *miss*).
+
+    The cache is safe for concurrent use: each operation is atomic under an
+    internal lock.  Note that atomicity covers single operations only -- a
+    get-miss-then-put sequence may still race with another thread computing
+    the same entry; both threads compute, one value wins, and (the values
+    being pure functions of the key) either outcome is correct.
     """
 
     def __init__(self, max_entries: int) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
         self._entries: "OrderedDict[Hashable, V]" = OrderedDict()
+        self._lock = threading.Lock()
         self.max_entries = int(max_entries)
         self.hits = 0
         self.misses = 0
 
     def get(self, key: Hashable) -> V | None:
-        value = self._entries.get(key)
-        if value is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        """Look up ``key``, refreshing its recency; ``None`` means miss."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: V) -> V:
-        self._entries[key] = value
-        if len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-        return value
+        """Insert ``key -> value``, evicting the LRU entry when over capacity."""
+        with self._lock:
+            self._entries[key] = value
+            if len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            return value
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
+        """A consistent snapshot of the hit/miss/size counters."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+            }

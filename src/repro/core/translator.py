@@ -98,6 +98,24 @@ class AccuracyTranslator:
     def clear_cache(self) -> None:
         self._translation_cache.clear()
 
+    def is_cached(
+        self,
+        query: Query,
+        accuracy: AccuracySpec,
+        schema: Schema | None = None,
+    ) -> bool:
+        """Whether :meth:`translations` would be answered from the memo.
+
+        A pure peek: neither recency nor the hit/miss counters change.  The
+        service's batching front door uses this to skip the coalescing window
+        for requests that are already warm (they cost microseconds; only cold
+        builds are worth batching).
+        """
+        query_key = query.cache_key(schema)
+        if query_key is None:
+            return False
+        return (query_key, accuracy.alpha, accuracy.beta) in self._translation_cache
+
     # -- translation ---------------------------------------------------------------
 
     def translations(

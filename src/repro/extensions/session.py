@@ -37,7 +37,16 @@ __all__ = ["AnalystSession", "CostRecommendation", "recommend_costs"]
 
 @dataclass(frozen=True)
 class CostRecommendation:
-    """Preview of what one candidate query would cost (data independent)."""
+    """Preview of what one candidate query would cost (data independent).
+
+    :ivar query_name: name of the candidate :class:`~repro.queries.query.Query`.
+    :ivar query_kind: its kind tag (``WCQ`` / ``ICQ`` / ``TCQ``).
+    :ivar best_mechanism: mechanism with the smallest worst-case loss.
+    :ivar epsilon_lower: that mechanism's best-case privacy loss.
+    :ivar epsilon_upper: its worst-case loss (the admission-control value).
+    :ivar fits_budget: whether ``epsilon_upper`` fits the engine's remaining
+        budget at preview time.
+    """
 
     query_name: str
     query_kind: str
@@ -53,8 +62,14 @@ def recommend_costs(
 ) -> list[CostRecommendation]:
     """The paper's future-work 'recommender': cost previews for candidate queries.
 
-    Purely data independent (uses only ``translate``), so it costs no privacy
-    and can be called as often as the analyst likes while planning a session.
+    Purely data independent (uses only
+    :meth:`~repro.core.engine.APExEngine.preview_cost`), so it costs no
+    privacy and can be called as often as the analyst likes while planning a
+    session.
+
+    :param engine: the engine whose budget and registry to preview against.
+    :param candidates: ``(query, accuracy)`` pairs to cost out.
+    :returns: one :class:`CostRecommendation` per candidate, in order.
     """
     recommendations = []
     for query, accuracy in candidates:
@@ -77,12 +92,18 @@ def recommend_costs(
 class AnalystSession:
     """Convenience front end for an analyst exploring one table through APEx.
 
-    Parameters
-    ----------
-    engine:
-        The engine handed over by the data owner.
-    default_accuracy:
-        Accuracy requirement used when a call does not pass one explicitly.
+    Every helper composes WCQ/ICQ/TCQ queries through the engine's public
+    API, so the privacy accounting of the underlying
+    :class:`~repro.core.accounting.Transcript` covers everything the session
+    does.  In a multi-analyst deployment, construct the session over the
+    engine held by an
+    :class:`~repro.service.exploration.AnalystSessionHandle`.
+
+    :param engine: the :class:`~repro.core.engine.APExEngine` handed over by
+        the data owner.
+    :param default_accuracy: the
+        :class:`~repro.core.accuracy.AccuracySpec` used when a call does not
+        pass one explicitly.
     """
 
     def __init__(self, engine: APExEngine, default_accuracy: AccuracySpec) -> None:
@@ -137,7 +158,15 @@ class AnalystSession:
         value_range: tuple[float, float] | None = None,
         accuracy: AccuracySpec | None = None,
     ) -> ExplorationResult:
-        """Noisy equal-width histogram of a numeric attribute (a WCQ)."""
+        """Noisy equal-width histogram of a numeric attribute (a WCQ).
+
+        :param attribute: name of a numeric attribute of the table's schema.
+        :param bins: number of equal-width bins.
+        :param value_range: ``(low, high)`` to bin over; defaults to the
+            attribute's public domain (must be finite).
+        :param accuracy: overrides the session default
+            :class:`~repro.core.accuracy.AccuracySpec`.
+        """
         low, high = self._value_range(attribute, value_range)
         query = WorkloadCountingQuery(
             histogram_workload(attribute, start=low, stop=high, bins=bins),
@@ -153,7 +182,12 @@ class AnalystSession:
         value_range: tuple[float, float] | None = None,
         accuracy: AccuracySpec | None = None,
     ) -> ExplorationResult:
-        """Noisy cumulative counts of a numeric attribute (a prefix WCQ)."""
+        """Noisy cumulative counts of a numeric attribute (a prefix WCQ).
+
+        Parameters are as for :meth:`histogram`; the workload is the prefix
+        (cumulative) variant, which is where the strategy mechanism's ``H2``
+        matrix shines.
+        """
         low, high = self._value_range(attribute, value_range)
         query = WorkloadCountingQuery(
             cumulative_histogram_workload(attribute, start=low, stop=high, bins=bins),
@@ -178,6 +212,13 @@ class AnalystSession:
         reaches ``q`` times the noisy total (the last cumulative count), plus
         the underlying exploration result.  ``None`` is returned when the
         query was denied.
+
+        :param attribute: numeric attribute to take the quantile of.
+        :param q: the quantile, strictly between 0 and 1.
+        :param bins: CDF resolution (more bins, finer quantile estimate).
+        :param value_range: see :meth:`histogram`.
+        :param accuracy: overrides the session default.
+        :raises ~repro.core.exceptions.QueryError: when ``q`` is out of range.
         """
         if not 0.0 < q < 1.0:
             raise QueryError("q must lie strictly between 0 and 1")
@@ -218,11 +259,19 @@ class AnalystSession:
     ) -> tuple[dict[str, float], list[ExplorationResult]]:
         """GROUP BY a categorical attribute, keeping groups above ``min_count``.
 
-        Implemented as the paper's two-step composition: an iceberg query
-        first finds the groups whose count clears the threshold, then a
-        counting query fetches noisy counts for those groups only.  Both steps
-        go through the engine, so the total cost is the sum of two
-        translations.
+        Implemented as the paper's two-step composition (Appendix E): an
+        :class:`~repro.queries.query.IcebergCountingQuery` first finds the
+        groups whose count clears the threshold, then a
+        :class:`~repro.queries.query.WorkloadCountingQuery` fetches noisy
+        counts for those groups only.  Both steps go through the engine, so
+        the total cost is the sum of two translations.
+
+        :param attribute: a categorical attribute to group by.
+        :param min_count: the ``HAVING COUNT(*) >`` threshold.
+        :param accuracy: overrides the session default (applies to both steps).
+        :returns: ``(counts, results)`` -- the surviving ``value -> noisy
+            count`` mapping (empty if either step was denied) and the one or
+            two underlying :class:`~repro.core.engine.ExplorationResult`\\ s.
         """
         attr = self._schema_attribute(attribute)
         if attr.kind is not AttributeKind.CATEGORICAL:

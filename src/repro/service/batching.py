@@ -1,0 +1,128 @@
+"""Single-flight request coalescing for the exploration service.
+
+Many analysts exploring the same table tend to issue *structurally identical*
+requests -- the ER relaxation loops re-ask the same workloads, dashboards
+refresh the same previews.  The expensive part of answering them
+(exact domain analysis building the workload matrix, the Monte-Carlo epsilon
+search of the strategy mechanisms) is a pure function of the request
+structure, so concurrent duplicates should share one computation instead of
+racing to rebuild it.
+
+:class:`RequestBatcher` implements the classic *single-flight* discipline
+with an optional collection window:
+
+* the first thread to present a key becomes the **leader**: it (optionally)
+  waits ``window`` seconds so that near-simultaneous duplicates can attach,
+  computes the result once, and publishes it;
+* every other thread presenting the same key while the computation is in
+  flight becomes a **follower**: it blocks on the leader's event and returns
+  the shared result without touching the compute path at all.
+
+Failures propagate: if the leader's computation raises, every follower of
+that flight re-raises the same exception, and the key is retired so a later
+request can retry.
+
+The batcher never caches results across flights -- that is the job of the
+LRU memo layers underneath (:mod:`repro.queries.workload`,
+:class:`~repro.core.translator.AccuracyTranslator`).  It only collapses
+*concurrent* duplicates, which is exactly the case the memos cannot help
+with: a cold matrix build takes long enough that every duplicate arriving
+meanwhile would also miss the cache and duplicate the work.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Hashable, TypeVar
+
+__all__ = ["RequestBatcher"]
+
+T = TypeVar("T")
+
+
+class _Flight:
+    """One in-flight computation: the leader's event plus the shared outcome."""
+
+    __slots__ = ("done", "result", "error", "followers")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: object = None
+        self.error: BaseException | None = None
+        self.followers = 0
+
+
+class RequestBatcher:
+    """Coalesce concurrent identical requests into one computation.
+
+    :param window: seconds the leader waits before computing, giving
+        near-simultaneous duplicates time to attach to the flight.  ``0``
+        disables the wait (pure single-flight); a couple of milliseconds is
+        plenty for requests arriving "at the same time" from a thread pool.
+
+    Thread-safe.  Statistics (:meth:`stats`) count flights (leader
+    computations), coalesced followers, and failures.
+    """
+
+    def __init__(self, window: float = 0.0) -> None:
+        if window < 0:
+            raise ValueError("the batching window cannot be negative")
+        self.window = float(window)
+        self._flights: dict[Hashable, _Flight] = {}
+        self._lock = threading.Lock()
+        self._computed = 0
+        self._coalesced = 0
+        self._failed = 0
+
+    def submit(self, key: Hashable, compute: Callable[[], T]) -> T:
+        """Return ``compute()`` for ``key``, sharing the call with duplicates.
+
+        Exactly one of the threads concurrently presenting ``key`` runs
+        ``compute``; the rest receive the same result (or the same raised
+        exception).  ``key`` must capture the full structural identity of the
+        request -- two requests with equal keys must be answerable by the
+        same value.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                flight.followers += 1
+                is_leader = False
+            else:
+                flight = _Flight()
+                self._flights[key] = flight
+                is_leader = True
+
+        if not is_leader:
+            flight.done.wait()
+            with self._lock:
+                self._coalesced += 1
+            if flight.error is not None:
+                raise flight.error
+            return flight.result  # type: ignore[return-value]
+
+        if self.window > 0:
+            time.sleep(self.window)
+        try:
+            flight.result = compute()
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                self._failed += 1
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+                self._computed += 1
+            flight.done.set()
+        return flight.result  # type: ignore[return-value]
+
+    def stats(self) -> dict[str, int]:
+        """Counters: ``computed`` flights, ``coalesced`` followers, ``failed``."""
+        with self._lock:
+            return {
+                "computed": self._computed,
+                "coalesced": self._coalesced,
+                "failed": self._failed,
+            }

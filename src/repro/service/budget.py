@@ -1,0 +1,257 @@
+"""Shared budget pool and per-analyst ledger minting policies.
+
+A production APEx deployment serves many analysts over one sensitive table,
+but the privacy guarantee is stated for the *owner's* total budget ``B``: no
+matter how the analysts interleave, the composed privacy loss of everything
+the service ever answers must stay within ``B``.  Two layers enforce that:
+
+* :class:`SharedBudgetPool` -- the single source of truth for ``B``.  Every
+  admission decision reserves worst-case loss from the pool under one lock
+  (the pool-wide invariant ``spent + reserved <= B`` holds at every instant),
+  and every commit appends the resulting
+  :class:`~repro.core.accounting.TranscriptEntry` to a *merged transcript* in
+  commit order, which is what the Theorem 6.2 validity check runs over.
+* :class:`SessionLedger` -- the :class:`~repro.core.accounting.PrivacyLedger`
+  handed to each analyst's engine.  It enforces the analyst's own share *and*
+  the pool jointly: a reservation must clear both, atomically.
+
+Two minting policies (:class:`BudgetPolicy`) are provided:
+
+* ``FIXED_SHARE`` -- each of ``max_analysts`` analysts gets an equal
+  ``B / max_analysts`` share.  Starvation-free: one greedy analyst can never
+  consume another's share.
+* ``FIRST_COME`` -- every analyst may draw on the full pool; admission is
+  first come, first served.  Maximises utilisation at the price of fairness.
+
+Either way the pool is authoritative, so the safety property (total charged
+epsilon ``<= B``) never depends on the policy arithmetic.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+
+from repro.core.accounting import (
+    BudgetReservation,
+    PrivacyLedger,
+    Transcript,
+    TranscriptEntry,
+)
+from repro.core.exceptions import ApexError
+
+__all__ = ["BudgetPolicy", "SharedBudgetPool", "SessionLedger"]
+
+_TOLERANCE = 1e-12
+
+
+class BudgetPolicy(enum.Enum):
+    """How :class:`repro.service.ExplorationService` splits ``B`` across analysts.
+
+    :attr:`FIXED_SHARE` mints each analyst an equal ``B / max_analysts``
+    share; :attr:`FIRST_COME` lets every analyst draw on the whole pool.
+    """
+
+    FIXED_SHARE = "fixed-share"
+    FIRST_COME = "first-come"
+
+
+class SharedBudgetPool:
+    """The owner's total budget ``B``, shared by every analyst session.
+
+    All mutation happens under one internal lock, maintaining the invariant
+    ``spent + reserved <= budget``.  The pool also owns the *merged
+    transcript*: every entry committed (or denial recorded) by any
+    :class:`SessionLedger` is appended here in commit order with a fresh
+    global index, so ``pool.merged_transcript.is_valid(pool.budget)`` is the
+    paper's Theorem 6.2 check over the whole multi-analyst interaction.
+
+    :param budget: the owner-specified total budget ``B``.
+    """
+
+    def __init__(self, budget: float) -> None:
+        if budget <= 0:
+            raise ApexError(f"the shared budget must be positive, got {budget}")
+        self._budget = float(budget)
+        self._spent = 0.0
+        self._reserved = 0.0
+        self._lock = threading.RLock()
+        self._merged = Transcript()
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def budget(self) -> float:
+        """The owner's total budget ``B``."""
+        return self._budget
+
+    @property
+    def spent(self) -> float:
+        """Actual privacy loss committed across every analyst."""
+        return self._spent
+
+    @property
+    def reserved(self) -> float:
+        """Worst-case loss currently reserved by in-flight queries."""
+        return self._reserved
+
+    @property
+    def remaining(self) -> float:
+        """Headroom available for new admissions (excludes reservations)."""
+        with self._lock:
+            return max(self._budget - self._spent - self._reserved, 0.0)
+
+    @property
+    def merged_transcript(self) -> Transcript:
+        """Cross-analyst transcript in commit order (Theorem 6.2 input)."""
+        return self._merged
+
+    # -- reservation protocol -----------------------------------------------------
+
+    def try_reserve(self, epsilon_upper: float) -> bool:
+        """Atomically set ``epsilon_upper`` aside; ``False`` when it cannot fit."""
+        if epsilon_upper <= 0:
+            raise ApexError("epsilon_upper must be positive")
+        with self._lock:
+            if epsilon_upper > self._budget - self._spent - self._reserved + _TOLERANCE:
+                return False
+            self._reserved += epsilon_upper
+            return True
+
+    def release(self, epsilon_upper: float) -> None:
+        """Return an unused reservation to the pool."""
+        with self._lock:
+            self._reserved = max(self._reserved - epsilon_upper, 0.0)
+
+    def commit(
+        self, epsilon_upper: float, entry: TranscriptEntry, analyst: str
+    ) -> TranscriptEntry:
+        """Convert a reservation into actual spend and record the entry.
+
+        The spend and the merged-transcript append happen under one lock
+        acquisition, so the merged transcript's order *is* the commit order
+        and its running epsilon prefix sums equal the pool's ``spent`` at
+        each commit -- the two facts the Theorem 6.2 validity argument needs.
+        """
+        with self._lock:
+            self._reserved = max(self._reserved - epsilon_upper, 0.0)
+            before = self._spent
+            self._spent += entry.epsilon_spent
+            return self._record_locked(entry, analyst, before)
+
+    def record_denial(self, entry: TranscriptEntry, analyst: str) -> TranscriptEntry:
+        """Append a denial to the merged transcript (no budget movement)."""
+        with self._lock:
+            return self._record_locked(entry, analyst, self._spent)
+
+    def _record_locked(
+        self, entry: TranscriptEntry, analyst: str, budget_before: float
+    ) -> TranscriptEntry:
+        """Append ``entry`` under the pool lock with a fresh global index.
+
+        The analyst's identity is prefixed onto the query name so the merged
+        transcript stays self-describing; the per-analyst entry is not
+        modified.
+        """
+        merged = TranscriptEntry(
+            index=len(self._merged),
+            query_name=f"{analyst}:{entry.query_name}",
+            query_kind=entry.query_kind,
+            accuracy=entry.accuracy,
+            mechanism=entry.mechanism,
+            epsilon_upper=entry.epsilon_upper,
+            epsilon_spent=entry.epsilon_spent,
+            denied=entry.denied,
+            answer=entry.answer,
+            budget_before=budget_before,
+            budget_after=self._spent,
+        )
+        self._merged.append(merged)
+        return merged
+
+    def stats(self) -> dict[str, float]:
+        """A consistent snapshot of the pool counters."""
+        with self._lock:
+            return {
+                "budget": self._budget,
+                "spent": self._spent,
+                "reserved": self._reserved,
+                "remaining": max(self._budget - self._spent - self._reserved, 0.0),
+            }
+
+
+class SessionLedger(PrivacyLedger):
+    """A per-analyst ledger that draws on a :class:`SharedBudgetPool`.
+
+    The ledger keeps the analyst's own transcript and share accounting (the
+    inherited :class:`~repro.core.accounting.PrivacyLedger` state, with
+    ``budget`` set to the analyst's share cap) and mirrors every reservation,
+    commit, release and denial into the pool.  A reservation succeeds only
+    when it fits *both* the analyst's share and the pool; the two checks are
+    performed share-first with rollback, so no interleaving can overdraw
+    either.
+
+    :param pool: the shared pool this ledger draws on.
+    :param share: the analyst's own cap (``B/N`` for fixed-share policies,
+        the full ``B`` for first-come).
+    :param analyst: identity used to label merged-transcript entries.
+    """
+
+    def __init__(self, pool: SharedBudgetPool, share: float, analyst: str) -> None:
+        super().__init__(share)
+        self._pool = pool
+        self._analyst = str(analyst)
+
+    @property
+    def pool(self) -> SharedBudgetPool:
+        return self._pool
+
+    @property
+    def analyst(self) -> str:
+        return self._analyst
+
+    @property
+    def remaining(self) -> float:
+        """Headroom: the tighter of the analyst's share and the pool."""
+        return min(super().remaining, self._pool.remaining)
+
+    def reserve(self, epsilon_upper: float) -> BudgetReservation | None:
+        """Reserve from the analyst's share, then from the pool (with rollback)."""
+        reservation = super().reserve(epsilon_upper)
+        if reservation is None:
+            return None
+        if not self._pool.try_reserve(epsilon_upper):
+            super().release(reservation)
+            return None
+        return reservation
+
+    def release(self, reservation: BudgetReservation) -> None:
+        """Release both the share-level and the pool-level reservation."""
+        if not reservation.active:
+            return
+        super().release(reservation)
+        self._pool.release(reservation.epsilon_upper)
+
+    def charge(self, **kwargs) -> TranscriptEntry:
+        """Commit an answered query to the analyst's transcript and the pool.
+
+        Requires a reservation (concurrent service use always has one): the
+        unreserved fast path of the base ledger would bypass the pool's
+        admission control.
+        """
+        reservation = kwargs.get("reservation")
+        if reservation is None:
+            raise ApexError(
+                "SessionLedger.charge requires a reservation; use "
+                "PrivacyLedger directly for single-threaded accounting"
+            )
+        epsilon_upper = float(reservation.epsilon_upper)
+        entry = super().charge(**kwargs)
+        self._pool.commit(epsilon_upper, entry, self._analyst)
+        return entry
+
+    def deny(self, **kwargs) -> TranscriptEntry:
+        """Record a denial in the analyst's transcript and the merged one."""
+        entry = super().deny(**kwargs)
+        self._pool.record_denial(entry, self._analyst)
+        return entry

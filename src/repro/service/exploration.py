@@ -1,0 +1,377 @@
+"""A thread-safe exploration server hosting many concurrent analyst sessions.
+
+:class:`ExplorationService` is the multi-tenant front end to the APEx engine:
+the data owner stands one up over the sensitive table(s) with a total privacy
+budget ``B``, and any number of analysts then register sessions and issue
+``preview_cost`` / ``explore`` calls concurrently.  The service guarantees:
+
+* **joint budget safety** -- admission control and charging go through a
+  :class:`~repro.service.budget.SharedBudgetPool` using the two-phase
+  reservation protocol of :class:`~repro.core.accounting.PrivacyLedger`, so
+  no interleaving of concurrent explores can spend more than ``B`` in total;
+* **transcript validity** -- every commit and denial is appended to a merged
+  cross-analyst transcript in commit order, on which
+  :meth:`ExplorationService.validate` runs the paper's Theorem 6.2 check;
+* **shared derivation** -- all sessions on a table share one
+  :class:`~repro.core.translator.AccuracyTranslator` (translation memo) and
+  the process-wide workload-matrix memo, and a
+  :class:`~repro.service.batching.RequestBatcher` coalesces structurally
+  identical requests arriving within a window so a cold workload-matrix
+  build happens once per batch rather than once per analyst.
+
+Every request's wall-clock latency is recorded as it completes: the most
+recent sample lands in the existing benchmark machinery
+(:data:`repro.bench.harness.RUN_TIMINGS`, keys ``service.preview_cost`` /
+``service.explore``; last-write-wins under concurrency), and the full
+per-request history is aggregated by
+:meth:`~ExplorationService.latency_stats` (count/mean/max).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field as dataclasses_field
+from typing import Mapping, Sequence
+
+from repro.core.accounting import Transcript
+from repro.core.accuracy import AccuracySpec
+from repro.core.engine import APExEngine, ExplorationResult
+from repro.core.exceptions import ApexError
+from repro.core.translator import AccuracyTranslator, SelectionMode
+from repro.data.table import Table
+from repro.mechanisms.registry import MechanismRegistry
+from repro.queries.parser import parse_query
+from repro.queries.query import Query
+from repro.queries.workload import matrix_cache_stats
+from repro.service.batching import RequestBatcher
+from repro.service.budget import BudgetPolicy, SessionLedger, SharedBudgetPool
+
+__all__ = ["AnalystSessionHandle", "ExplorationService"]
+
+
+def _record_latency(kind: str, seconds: float) -> None:
+    """Publish one request's latency into the bench harness's RUN_TIMINGS."""
+    # Imported lazily so importing the service never drags the full benchmark
+    # harness (and its experiment configs) into memory-constrained servers.
+    from repro.bench.harness import RUN_TIMINGS
+
+    RUN_TIMINGS[f"service.{kind}"] = seconds
+
+
+@dataclass(frozen=True)
+class AnalystSessionHandle:
+    """What :meth:`ExplorationService.register_analyst` returns.
+
+    :ivar analyst: the session's identity (unique within the service).
+    :ivar table: name of the table the session explores.
+    :ivar engine: the session's :class:`~repro.core.engine.APExEngine`; its
+        ledger is a :class:`~repro.service.budget.SessionLedger` drawing on
+        the service's shared pool.  Use the service's ``explore`` /
+        ``preview_cost`` entry points rather than the engine directly to get
+        batching, per-session serialization and latency accounting.
+    """
+
+    analyst: str
+    table: str
+    engine: APExEngine
+    #: Serializes this session's mechanism runs: an analyst is a sequential
+    #: agent, and the engine's noise generator is not safe for concurrent
+    #: draws.  (dataclass field with a per-instance default)
+    run_lock: threading.Lock = dataclasses_field(default_factory=threading.Lock)
+
+    @property
+    def ledger(self) -> SessionLedger:
+        """The session's pooled ledger (`engine`'s ledger, typed)."""
+        return self.engine._ledger  # noqa: SLF001 - handle owns the engine
+
+    def transcript(self) -> Transcript:
+        """The analyst's own (single-session) transcript."""
+        return self.engine.transcript()
+
+
+class ExplorationService:
+    """Host concurrent :class:`AnalystSessionHandle` sessions over shared tables.
+
+    :param tables: named sensitive tables (e.g. ``{"adult": ..., "taxi": ...}``).
+    :param budget: the owner's total privacy budget ``B``, shared by every
+        analyst across every table.
+    :param policy: how ``B`` is split across analysts
+        (:class:`~repro.service.budget.BudgetPolicy`).
+    :param max_analysts: required for ``FIXED_SHARE``: the number of equal
+        shares to mint.  Registration beyond this count is refused.
+    :param mode: mechanism selection mode shared by every session.
+    :param registry: mechanism suite; defaults per engine to the paper's.
+    :param seed: base seed; session ``i`` gets ``seed + i`` so runs are
+        reproducible yet sessions draw independent noise.
+    :param batch_window: collection window (seconds) of the request batcher;
+        ``0`` disables batching delays but keeps single-flight coalescing.
+
+    All public methods are safe to call from any thread; requests issued for
+    the *same* analyst serialize on that session's lock (see
+    :meth:`explore`), while different analysts proceed in parallel.
+    """
+
+    def __init__(
+        self,
+        tables: Mapping[str, Table] | Table,
+        budget: float,
+        *,
+        policy: BudgetPolicy | str = BudgetPolicy.FIRST_COME,
+        max_analysts: int | None = None,
+        mode: SelectionMode | str = SelectionMode.OPTIMISTIC,
+        registry: MechanismRegistry | None = None,
+        seed: int | None = None,
+        batch_window: float = 0.002,
+    ) -> None:
+        if isinstance(tables, Table):
+            tables = {"default": tables}
+        if not tables:
+            raise ApexError("ExplorationService needs at least one table")
+        if isinstance(policy, str):
+            policy = BudgetPolicy(policy.lower())
+        if policy is BudgetPolicy.FIXED_SHARE:
+            if max_analysts is None or max_analysts <= 0:
+                raise ApexError(
+                    "the fixed-share policy needs max_analysts (> 0) to size "
+                    "each analyst's share"
+                )
+        if isinstance(mode, str):
+            mode = SelectionMode(mode.lower())
+        self._tables = dict(tables)
+        self._pool = SharedBudgetPool(budget)
+        self._policy = policy
+        self._max_analysts = max_analysts
+        self._mode = mode
+        self._registry = registry
+        self._seed = seed
+        self._translator = AccuracyTranslator(registry, mode)
+        self._batcher = RequestBatcher(window=batch_window)
+        self._sessions: dict[str, AnalystSessionHandle] = {}
+        self._lock = threading.RLock()
+        self._session_counter = itertools.count()
+        self._latencies: dict[str, list[float]] = {"preview_cost": [], "explore": []}
+
+    # -- owner-facing accessors ---------------------------------------------------
+
+    @property
+    def pool(self) -> SharedBudgetPool:
+        """The shared budget pool (source of truth for ``B``)."""
+        return self._pool
+
+    @property
+    def policy(self) -> BudgetPolicy:
+        return self._policy
+
+    @property
+    def tables(self) -> Mapping[str, Table]:
+        return dict(self._tables)
+
+    @property
+    def budget(self) -> float:
+        return self._pool.budget
+
+    @property
+    def budget_spent(self) -> float:
+        return self._pool.spent
+
+    @property
+    def budget_remaining(self) -> float:
+        return self._pool.remaining
+
+    def merged_transcript(self) -> Transcript:
+        """The cross-analyst transcript in commit order."""
+        return self._pool.merged_transcript
+
+    def validate(self) -> bool:
+        """Theorem 6.2: is the merged transcript valid for the owner's ``B``?"""
+        return self._pool.merged_transcript.is_valid(self._pool.budget)
+
+    def stats(self) -> dict[str, object]:
+        """Budget, batching, cache and per-session counters in one snapshot."""
+        with self._lock:
+            sessions = {
+                name: {
+                    "table": handle.table,
+                    "share": handle.ledger.budget,
+                    "spent": handle.ledger.spent,
+                }
+                for name, handle in self._sessions.items()
+            }
+        return {
+            "budget": self._pool.stats(),
+            "policy": self._policy.value,
+            "sessions": sessions,
+            "batching": self._batcher.stats(),
+            "translations": self._translator.cache_stats,
+            "workload_matrices": matrix_cache_stats(),
+        }
+
+    def latency_stats(self) -> dict[str, dict[str, float]]:
+        """Per-entry-point request latency aggregates (count/mean/max seconds)."""
+        out: dict[str, dict[str, float]] = {}
+        with self._lock:
+            for kind, values in self._latencies.items():
+                if values:
+                    out[kind] = {
+                        "count": float(len(values)),
+                        "mean_seconds": sum(values) / len(values),
+                        "max_seconds": max(values),
+                    }
+                else:
+                    out[kind] = {"count": 0.0, "mean_seconds": 0.0, "max_seconds": 0.0}
+        return out
+
+    # -- session management -------------------------------------------------------
+
+    def register_analyst(
+        self, analyst: str | None = None, *, table: str | None = None
+    ) -> AnalystSessionHandle:
+        """Mint a new analyst session with its policy-determined budget share.
+
+        :param analyst: session identity; autogenerated when omitted.  Must be
+            unique within the service.
+        :param table: which table the session explores; may be omitted when
+            the service hosts exactly one.
+        :raises ApexError: on duplicate identity, unknown table, or when a
+            fixed-share service is already at ``max_analysts``.
+        """
+        with self._lock:
+            index = next(self._session_counter)
+            if analyst is None:
+                analyst = f"analyst-{index}"
+            analyst = str(analyst)
+            if analyst in self._sessions:
+                raise ApexError(f"analyst {analyst!r} is already registered")
+            if table is None:
+                if len(self._tables) != 1:
+                    raise ApexError(
+                        f"the service hosts {sorted(self._tables)}; pass table=..."
+                    )
+                table = next(iter(self._tables))
+            if table not in self._tables:
+                raise ApexError(
+                    f"unknown table {table!r}; service hosts {sorted(self._tables)}"
+                )
+            if self._policy is BudgetPolicy.FIXED_SHARE:
+                assert self._max_analysts is not None
+                if len(self._sessions) >= self._max_analysts:
+                    raise ApexError(
+                        f"fixed-share service is full ({self._max_analysts} analysts)"
+                    )
+                share = self._pool.budget / self._max_analysts
+            else:
+                share = self._pool.budget
+            ledger = SessionLedger(self._pool, share, analyst)
+            engine = APExEngine(
+                self._tables[table],
+                mode=self._mode,
+                registry=self._registry,
+                seed=None if self._seed is None else self._seed + index,
+                ledger=ledger,
+                translator=self._translator,
+            )
+            handle = AnalystSessionHandle(analyst=analyst, table=table, engine=engine)
+            self._sessions[analyst] = handle
+            return handle
+
+    def session(self, analyst: str) -> AnalystSessionHandle:
+        """Look up a registered session by identity."""
+        with self._lock:
+            try:
+                return self._sessions[analyst]
+            except KeyError as exc:
+                raise ApexError(f"no session registered for {analyst!r}") from exc
+
+    def sessions(self) -> Sequence[AnalystSessionHandle]:
+        """Snapshot of every registered session."""
+        with self._lock:
+            return tuple(self._sessions.values())
+
+    # -- analyst-facing entry points ----------------------------------------------
+
+    def preview_cost(
+        self, analyst: str, query: Query, accuracy: AccuracySpec
+    ) -> dict[str, tuple[float, float]]:
+        """Data-independent cost preview, batched across concurrent duplicates.
+
+        Structurally identical previews arriving within the batch window are
+        answered by one translation (and, cold, one workload-matrix build);
+        see :class:`~repro.service.batching.RequestBatcher`.  Costs no
+        privacy; the analyst only needs to be registered.
+        """
+        handle = self.session(analyst)
+        start = time.perf_counter()
+        key = self._batch_key(handle, query, accuracy)
+        schema = self._tables[handle.table].schema
+        if key is None or self._translator.is_cached(query, accuracy, schema):
+            # Unbatchable, or already warm: the memo answers in microseconds,
+            # so paying the coalescing window would only add latency.
+            result = handle.engine.preview_cost(query, accuracy)
+        else:
+            result = self._batcher.submit(
+                key, lambda: handle.engine.preview_cost(query, accuracy)
+            )
+        self._note_latency("preview_cost", time.perf_counter() - start)
+        # Each caller gets its own copy: coalesced followers share the
+        # leader's flight result, and a mutable dict crossing analyst
+        # boundaries would let one analyst corrupt another's preview.
+        result = dict(result)
+        return result
+
+    def explore(
+        self, analyst: str, query: Query, accuracy: AccuracySpec
+    ) -> ExplorationResult:
+        """Answer one query for ``analyst`` (Algorithm 1, jointly budget-safe).
+
+        The mechanism run and the privacy charge are individual to the
+        analyst (each answer draws fresh noise and is charged to the
+        analyst's ledger and the shared pool); only the data-independent
+        derivations underneath are shared.  Requests for the *same* analyst
+        are serialized on the session's lock -- an analyst is a sequential
+        agent, and the engine's noise generator must not be shared by
+        concurrent draws; requests for different analysts run fully in
+        parallel.
+        """
+        handle = self.session(analyst)
+        start = time.perf_counter()
+        with handle.run_lock:
+            result = handle.engine.explore(query, accuracy)
+        self._note_latency("explore", time.perf_counter() - start)
+        return result
+
+    def explore_text(
+        self, analyst: str, query_text: str, accuracy: AccuracySpec | None = None
+    ) -> ExplorationResult:
+        """Parse and answer a declarative-language query for ``analyst``."""
+        query, parsed_accuracy = parse_query(query_text)
+        spec = accuracy if accuracy is not None else parsed_accuracy
+        if spec is None:
+            raise ApexError(
+                "the query text has no ERROR/CONFIDENCE clause and no accuracy "
+                "was supplied"
+            )
+        return self.explore(analyst, query, spec)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _batch_key(
+        self, handle: AnalystSessionHandle, query: Query, accuracy: AccuracySpec
+    ) -> tuple | None:
+        """Structural identity of a preview request; ``None`` disables batching."""
+        schema = self._tables[handle.table].schema
+        query_key = query.cache_key(schema)
+        if query_key is None:
+            return None
+        return ("preview", handle.table, query_key, accuracy.alpha, accuracy.beta)
+
+    def _note_latency(self, kind: str, seconds: float) -> None:
+        _record_latency(kind, seconds)
+        with self._lock:
+            bucket = self._latencies[kind]
+            bucket.append(seconds)
+            # Bound the in-memory latency log; the aggregates keep only the
+            # most recent 10k requests, which is plenty for monitoring.
+            if len(bucket) > 10_000:
+                del bucket[: len(bucket) - 10_000]

@@ -1,0 +1,106 @@
+"""Single-flight request coalescing."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.batching import RequestBatcher
+
+
+class TestRequestBatcher:
+    def test_concurrent_identical_requests_compute_once(self):
+        batcher = RequestBatcher(window=0.02)
+        n_threads = 8
+        calls = []
+        barrier = threading.Barrier(n_threads)
+        results = [None] * n_threads
+
+        def compute():
+            calls.append(threading.get_ident())
+            return "answer"
+
+        def ask(i):
+            barrier.wait()
+            results[i] = batcher.submit("key", compute)
+
+        threads = [threading.Thread(target=ask, args=(i,)) for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(calls) == 1
+        assert results == ["answer"] * n_threads
+        stats = batcher.stats()
+        assert stats["computed"] == 1
+        assert stats["coalesced"] == n_threads - 1
+
+    def test_distinct_keys_do_not_coalesce(self):
+        batcher = RequestBatcher(window=0.0)
+        assert batcher.submit("a", lambda: 1) == 1
+        assert batcher.submit("b", lambda: 2) == 2
+        assert batcher.stats()["computed"] == 2
+        assert batcher.stats()["coalesced"] == 0
+
+    def test_sequential_requests_recompute(self):
+        """The batcher is not a cache: flights end when the leader finishes."""
+        batcher = RequestBatcher(window=0.0)
+        values = iter([10, 20])
+        assert batcher.submit("k", lambda: next(values)) == 10
+        assert batcher.submit("k", lambda: next(values)) == 20
+
+    def test_leader_failure_propagates_to_followers(self):
+        batcher = RequestBatcher(window=0.05)
+        n_threads = 4
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def compute():
+            raise ValueError("boom")
+
+        def ask():
+            barrier.wait()
+            try:
+                batcher.submit("key", compute)
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=ask) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == ["boom"] * n_threads
+        assert batcher.stats()["failed"] == 1
+        # The key is retired: a retry computes fresh.
+        assert batcher.submit("key", lambda: "ok") == "ok"
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            RequestBatcher(window=-0.1)
+
+    def test_window_zero_still_coalesces_in_flight_requests(self):
+        batcher = RequestBatcher(window=0.0)
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow():
+            started.set()
+            release.wait(timeout=5)
+            return "slow"
+
+        out = []
+        leader = threading.Thread(target=lambda: out.append(batcher.submit("k", slow)))
+        leader.start()
+        assert started.wait(timeout=5)
+        follower = threading.Thread(
+            target=lambda: out.append(batcher.submit("k", lambda: "fast"))
+        )
+        follower.start()
+        time.sleep(0.02)  # let the follower attach to the flight
+        release.set()
+        leader.join()
+        follower.join()
+        assert out == ["slow", "slow"]

@@ -1,0 +1,191 @@
+"""Shared budget pool, session ledgers and the reservation protocol."""
+
+import pytest
+
+from repro.core.accounting import PrivacyLedger
+from repro.core.accuracy import AccuracySpec
+from repro.core.exceptions import ApexError
+from repro.service.budget import BudgetPolicy, SessionLedger, SharedBudgetPool
+
+ACC = AccuracySpec(alpha=10.0, beta=1e-3)
+
+
+def charge_kwargs(ledger, epsilon_upper, epsilon_spent, name="q"):
+    reservation = ledger.reserve(epsilon_upper)
+    assert reservation is not None
+    return dict(
+        query_name=name,
+        query_kind="WCQ",
+        accuracy=ACC,
+        mechanism="LM",
+        epsilon_upper=epsilon_upper,
+        epsilon_spent=epsilon_spent,
+        answer=None,
+        reservation=reservation,
+    )
+
+
+class TestPrivacyLedgerReservations:
+    def test_reserve_excludes_headroom(self):
+        ledger = PrivacyLedger(1.0)
+        reservation = ledger.reserve(0.6)
+        assert reservation is not None
+        assert ledger.remaining == pytest.approx(0.4)
+        assert ledger.reserve(0.5) is None
+
+    def test_release_returns_headroom(self):
+        ledger = PrivacyLedger(1.0)
+        reservation = ledger.reserve(0.6)
+        ledger.release(reservation)
+        assert ledger.remaining == pytest.approx(1.0)
+        # Double release is a no-op.
+        ledger.release(reservation)
+        assert ledger.remaining == pytest.approx(1.0)
+
+    def test_charge_with_reservation_keeps_only_actual_loss(self):
+        ledger = PrivacyLedger(1.0)
+        reservation = ledger.reserve(0.6)
+        ledger.charge(
+            query_name="q",
+            query_kind="WCQ",
+            accuracy=ACC,
+            mechanism="MPM",
+            epsilon_upper=0.6,
+            epsilon_spent=0.25,
+            answer=None,
+            reservation=reservation,
+        )
+        assert ledger.spent == pytest.approx(0.25)
+        assert ledger.reserved == pytest.approx(0.0)
+        assert ledger.remaining == pytest.approx(0.75)
+
+    def test_committed_reservation_cannot_be_reused(self):
+        ledger = PrivacyLedger(1.0)
+        reservation = ledger.reserve(0.3)
+        kwargs = dict(
+            query_name="q",
+            query_kind="WCQ",
+            accuracy=ACC,
+            mechanism="LM",
+            epsilon_upper=0.3,
+            epsilon_spent=0.3,
+            answer=None,
+            reservation=reservation,
+        )
+        ledger.charge(**kwargs)
+        with pytest.raises(ApexError):
+            ledger.charge(**kwargs)
+
+    def test_rejected_charge_leaves_reservation_releasable(self):
+        """A charge with an out-of-range actual loss must not leak headroom."""
+        ledger = PrivacyLedger(1.0)
+        reservation = ledger.reserve(0.4)
+        with pytest.raises(ApexError, match="must lie in"):
+            ledger.charge(
+                query_name="q",
+                query_kind="WCQ",
+                accuracy=ACC,
+                mechanism="LM",
+                epsilon_upper=0.4,
+                epsilon_spent=0.5,  # above the worst case: rejected
+                answer=None,
+                reservation=reservation,
+            )
+        assert reservation.active  # validation happens before consumption
+        ledger.release(reservation)
+        assert ledger.remaining == pytest.approx(1.0)
+        assert ledger.spent == pytest.approx(0.0)
+
+    def test_unreserved_charge_still_enforces_admission(self):
+        ledger = PrivacyLedger(0.5)
+        ledger.charge(
+            query_name="q",
+            query_kind="WCQ",
+            accuracy=ACC,
+            mechanism="LM",
+            epsilon_upper=0.5,
+            epsilon_spent=0.5,
+            answer=None,
+        )
+        assert ledger.exhausted
+
+
+class TestSharedBudgetPool:
+    def test_reserve_commit_release_accounting(self):
+        pool = SharedBudgetPool(1.0)
+        assert pool.try_reserve(0.7)
+        assert not pool.try_reserve(0.4)
+        pool.release(0.7)
+        assert pool.remaining == pytest.approx(1.0)
+
+    def test_merged_transcript_commit_order(self):
+        pool = SharedBudgetPool(2.0)
+        alice = SessionLedger(pool, 2.0, "alice")
+        bob = SessionLedger(pool, 2.0, "bob")
+        alice.charge(**charge_kwargs(alice, 0.5, 0.5, name="qa"))
+        bob.charge(**charge_kwargs(bob, 0.25, 0.25, name="qb"))
+        bob.deny(query_name="qd", query_kind="WCQ", accuracy=ACC)
+        merged = pool.merged_transcript
+        assert [e.query_name for e in merged] == ["alice:qa", "bob:qb", "bob:qd"]
+        assert merged.is_valid(pool.budget)
+        assert merged.total_epsilon() == pytest.approx(0.75)
+        assert pool.spent == pytest.approx(0.75)
+
+
+class TestSessionLedger:
+    def test_fixed_share_cap_binds_before_pool(self):
+        pool = SharedBudgetPool(1.0)
+        ledger = SessionLedger(pool, 0.25, "alice")
+        assert ledger.reserve(0.3) is None
+        reservation = ledger.reserve(0.25)
+        assert reservation is not None
+        ledger.release(reservation)
+
+    def test_pool_refusal_rolls_back_share_reservation(self):
+        pool = SharedBudgetPool(0.5)
+        greedy = SessionLedger(pool, 0.5, "greedy")
+        other = SessionLedger(pool, 0.5, "other")
+        greedy.charge(**charge_kwargs(greedy, 0.4, 0.4))
+        # other's own share would allow 0.3, but the pool only has 0.1 left.
+        assert other.reserve(0.3) is None
+        # The failed attempt must not leak a share-level reservation.
+        assert other.reserve(0.1) is not None
+
+    def test_rejected_charge_does_not_leak_pool_reservation(self):
+        pool = SharedBudgetPool(1.0)
+        ledger = SessionLedger(pool, 1.0, "alice")
+        reservation = ledger.reserve(0.4)
+        with pytest.raises(ApexError, match="must lie in"):
+            ledger.charge(
+                query_name="q",
+                query_kind="WCQ",
+                accuracy=ACC,
+                mechanism="LM",
+                epsilon_upper=0.4,
+                epsilon_spent=9.9,
+                answer=None,
+                reservation=reservation,
+            )
+        # The engine releases on a failed charge; both layers must recover.
+        ledger.release(reservation)
+        assert pool.reserved == pytest.approx(0.0)
+        assert pool.remaining == pytest.approx(1.0)
+        assert ledger.remaining == pytest.approx(1.0)
+
+    def test_charge_requires_reservation(self):
+        pool = SharedBudgetPool(1.0)
+        ledger = SessionLedger(pool, 1.0, "alice")
+        with pytest.raises(ApexError, match="requires a reservation"):
+            ledger.charge(
+                query_name="q",
+                query_kind="WCQ",
+                accuracy=ACC,
+                mechanism="LM",
+                epsilon_upper=0.1,
+                epsilon_spent=0.1,
+                answer=None,
+            )
+
+    def test_policy_values(self):
+        assert BudgetPolicy("fixed-share") is BudgetPolicy.FIXED_SHARE
+        assert BudgetPolicy("first-come") is BudgetPolicy.FIRST_COME
