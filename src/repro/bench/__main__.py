@@ -3,14 +3,15 @@
 Intended for CI smoke use (``--quick``) and for regenerating the perf
 trajectory after engine changes::
 
-    python -m repro.bench                 # both suites -> BENCH_1.json + BENCH_2.json
+    python -m repro.bench                 # all suites -> BENCH_1/2/3.json
     python -m repro.bench --suite engine  # vectorized-engine suite only
     python -m repro.bench --suite service # concurrency/batching suite only
+    python -m repro.bench --suite shards  # sharded/versioned backend suite only
     python -m repro.bench --quick         # scaled down, same checks
     python -m repro.bench --suite engine --output out.json
 
-Exit status is non-zero when any parity, cache, budget-safety or
-transcript-validity assertion fails.
+Exit status is non-zero when any parity, cache, budget-safety,
+transcript-validity or staleness-invalidation assertion fails.
 """
 
 from __future__ import annotations
@@ -18,7 +19,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.bench.microbench import run_microbenchmarks, run_service_microbenchmarks
+from repro.bench.microbench import (
+    run_microbenchmarks,
+    run_service_microbenchmarks,
+    run_shard_microbenchmarks,
+)
 from repro.bench.reporting import write_bench_json
 
 
@@ -81,6 +86,53 @@ def _print_service_summary(payload: dict, output: str) -> int:
     return failures
 
 
+def _print_shard_summary(payload: dict, output: str) -> int:
+    domain = payload["sharded_domain_analysis"]
+    masks = payload["sharded_mask_evaluation"]
+    streaming = payload["streaming_invalidation"]
+    print(f"wrote {output}")
+    print(
+        f"sharded domain analysis: {domain['n_cells']} cells at "
+        f"{domain['workers']} workers (host has {domain['cpu_count']} cores): "
+        f"{domain['reference_seconds']:.4f}s single-shard reference -> "
+        f"{domain['parallel_seconds']:.4f}s ({domain['speedup']:.1f}x, "
+        f"parity={domain['parity']}, "
+        f"vs sequential vectorized {domain['parallel_vs_sequential_vectorized']:.2f}x)"
+    )
+    print(
+        f"sharded mask evaluation: {masks['n_shards']} shards x "
+        f"{masks['n_rows']} rows, +{masks['append_rows']} appended: "
+        f"incremental re-eval {masks['incremental_after_append_seconds']:.4f}s vs "
+        f"{masks['grown_cold_seconds']:.4f}s cold "
+        f"({masks['incremental_speedup']:.1f}x, parity={masks['parity']})"
+    )
+    print(
+        f"streaming invalidation: append between previews -> "
+        f"matrix_rebuilt={streaming['post_append_rebuilt_matrix']}, "
+        f"counts_match={streaming['post_append_counts_match_reference']}, "
+        f"no_stale_reuse={streaming['no_stale_reuse']}"
+    )
+    failures = 0
+    if not domain["parity"] or not masks["parity"]:
+        print("FAILURE: sharded evaluation parity violated", file=sys.stderr)
+        failures += 1
+    if domain["speedup"] < 3.0:
+        print(
+            f"FAILURE: sharded domain analysis speedup {domain['speedup']:.2f}x "
+            "is below the 3x target",
+            file=sys.stderr,
+        )
+        failures += 1
+    if not streaming["no_stale_reuse"]:
+        print(
+            "FAILURE: a version-keyed cache served a stale artifact across "
+            "append_rows",
+            file=sys.stderr,
+        )
+        failures += 1
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -93,7 +145,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("engine", "service", "all"),
+        choices=("engine", "service", "shards", "all"),
         default="all",
         help="which suite to run (default: all)",
     )
@@ -101,7 +153,8 @@ def main(argv: list[str] | None = None) -> int:
         "--output",
         default=None,
         help="path of the JSON payload; only valid with a single --suite "
-        "(defaults: BENCH_1.json for engine, BENCH_2.json for service)",
+        "(defaults: BENCH_1.json for engine, BENCH_2.json for service, "
+        "BENCH_3.json for shards)",
     )
     parser.add_argument(
         "--seed", type=int, default=20190501, help="seed for the synthetic table"
@@ -121,6 +174,11 @@ def main(argv: list[str] | None = None) -> int:
         payload = run_service_microbenchmarks(quick=args.quick, seed=args.seed)
         write_bench_json(output, payload)
         failures += _print_service_summary(payload, output)
+    if args.suite in ("shards", "all"):
+        output = args.output or "BENCH_3.json"
+        payload = run_shard_microbenchmarks(quick=args.quick, seed=args.seed)
+        write_bench_json(output, payload)
+        failures += _print_shard_summary(payload, output)
     return 1 if failures else 0
 
 

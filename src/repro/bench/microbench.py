@@ -27,11 +27,33 @@ layer of :mod:`repro.service`:
   workload matrix is built exactly once, and the payload compares the
   batched wall-clock against the unbatched one-build-per-thread baseline.
 
-``run_microbenchmarks`` / ``run_service_microbenchmarks`` collect each suite
-into one JSON-serialisable payload; the ``python -m repro.bench`` entry point
-(and ``benchmarks/run_bench.py``) writes them to ``BENCH_1.json`` and
-``BENCH_2.json``.  All seeds are fixed, so CI can smoke both suites with
-``--quick``.
+The **shards suite** (``BENCH_3``) measures the sharded, versioned table
+backend and the :class:`~repro.core.parallel.ParallelExecutor`:
+
+* **sharded domain analysis** -- the chunk-parallel exact matrix build at
+  ``N`` workers against the single-shard seed-reference cell loop (the same
+  baseline convention as BENCH_1's ``domain_analysis.speedup``), with a
+  parity assertion and a per-worker scaling table (``cpu_count`` is recorded:
+  thread scaling is only visible on multi-core hosts -- numpy releases the
+  GIL, but one core is one core);
+* **sharded mask evaluation** -- shard-parallel workload evaluation over a
+  multi-shard table, parity-checked against the reference masks on the
+  equivalent single-shard table, plus the *incremental append* win: after
+  ``append_rows`` only the new shard is evaluated (old shard views keep
+  their warm masks), measured against a cold full re-evaluation;
+* **streaming invalidation** -- a service-level scenario: ``append_rows``
+  lands between two structurally identical ``preview_cost`` calls and the
+  payload records that the second call misses every version-keyed cache
+  (translation memo, workload-matrix memo) and that post-append true counts
+  match the reference semantics on the grown data -- no stale artifact
+  survives the mutation.
+
+``run_microbenchmarks`` / ``run_service_microbenchmarks`` /
+``run_shard_microbenchmarks`` collect each suite into one JSON-serialisable
+payload; the ``python -m repro.bench`` entry point (and
+``benchmarks/run_bench.py``) writes them to ``BENCH_1.json``,
+``BENCH_2.json`` and ``BENCH_3.json``.  All seeds are fixed, so CI can smoke
+every suite with ``--quick``.
 """
 
 from __future__ import annotations
@@ -80,8 +102,12 @@ __all__ = [
     "bench_translation_cache",
     "bench_concurrent_budget",
     "bench_request_batching",
+    "bench_sharded_domain_analysis",
+    "bench_sharded_mask_evaluation",
+    "bench_streaming_invalidation",
     "run_microbenchmarks",
     "run_service_microbenchmarks",
+    "run_shard_microbenchmarks",
 ]
 
 _REGIONS = tuple(f"region-{i:02d}" for i in range(12))
@@ -493,6 +519,323 @@ def bench_request_batching(
         "computed_flights": stats["computed"],
         "coalesced_requests": stats["coalesced"],
         "max_request_seconds": max(durations),
+    }
+
+
+def bench_sharded_domain_analysis(
+    workload: Workload,
+    schema: Schema,
+    *,
+    workers: int = 4,
+    repeats: int = 2,
+) -> dict[str, object]:
+    """Chunk-parallel exact domain analysis vs the single-shard references.
+
+    Parity first: the matrix, partition signatures and descriptions produced
+    with the executor must be bit-identical to the seed-reference cell loop.
+    The headline ``speedup`` follows BENCH_1's convention -- the parallel
+    build at ``workers`` workers against the single-shard reference
+    implementation; ``scaling`` additionally reports the vectorized build at
+    1/2/``workers`` workers so thread scaling (or the lack of it on a
+    single-core host -- see ``cpu_count``) is measured rather than assumed.
+    """
+    import os
+
+    from repro.core.parallel import ParallelExecutor
+
+    reference_matrix, reference_partitions = reference_domain_matrix(workload, schema)
+    with ParallelExecutor(workers) as executor:
+        parallel = WorkloadMatrix.from_domain_analysis(
+            workload, schema, executor=executor
+        )
+        if not np.array_equal(reference_matrix, parallel.matrix):
+            raise AssertionError(
+                "parallel domain analysis diverges from the reference matrix"
+            )
+        if [(p.signature, p.description) for p in reference_partitions] != [
+            (p.signature, p.description) for p in parallel.partitions
+        ]:
+            raise AssertionError(
+                "parallel domain-analysis partitions diverge from the reference"
+            )
+
+        atoms = _attribute_atoms(workload, schema)
+        n_cells = math.prod(len(v) for v in atoms.values()) if atoms else 1
+
+        reference_seconds = _best_of(
+            repeats, lambda: reference_domain_matrix(workload, schema)
+        )
+        sequential_seconds = _best_of(
+            repeats, lambda: WorkloadMatrix.from_domain_analysis(workload, schema)
+        )
+        scaling: dict[str, float] = {}
+        for n_workers in sorted({1, 2, workers}):
+            with ParallelExecutor(n_workers) as scaled:
+                scaling[str(n_workers)] = _best_of(
+                    repeats,
+                    lambda: WorkloadMatrix.from_domain_analysis(
+                        workload, schema, executor=scaled
+                    ),
+                )
+        parallel_seconds = scaling[str(workers)]
+    return {
+        "n_predicates": workload.size,
+        "n_cells": int(n_cells),
+        "n_partitions": parallel.n_partitions,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "reference_seconds": reference_seconds,
+        "sequential_vectorized_seconds": sequential_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": reference_seconds / max(parallel_seconds, 1e-12),
+        "speedup_baseline": "single-shard reference cell loop (BENCH_1 convention)",
+        "parallel_vs_sequential_vectorized": (
+            sequential_seconds / max(parallel_seconds, 1e-12)
+        ),
+        "worker_scaling_seconds": scaling,
+        "parity": True,
+    }
+
+
+def bench_sharded_mask_evaluation(
+    *,
+    n_rows: int = 100_000,
+    n_shards: int = 4,
+    append_rows: int = 10_000,
+    workers: int = 4,
+    n_predicates: int = 64,
+    n_amount_cuts: int = 40,
+    seed: int = 20190501,
+) -> dict[str, object]:
+    """Shard-parallel workload evaluation and the incremental-append win.
+
+    Builds an ``n_shards``-shard table by repeated ``append_columns``,
+    parity-checks the shard-parallel masks against the reference evaluation
+    on the equivalent single-shard table, then appends one more chunk and
+    measures re-evaluation: the old shards' views keep their warm masks, so
+    only the new chunk is evaluated -- compared against a cold full
+    re-evaluation of the grown data (what a version-oblivious engine would
+    have to do after any mutation, and exactly what the single-shard layout
+    costs).
+    """
+    from repro.core.parallel import ParallelExecutor
+    from repro.queries.predicates import evaluate_sharded
+
+    workload = build_bench_workload(n_predicates, n_amount_cuts=n_amount_cuts)
+    schema = bench_schema()
+    chunk = max(n_rows // n_shards, 1)
+    # Snapshot each piece's columns up front: the sharded table and the flat
+    # reference are built from the same immutable chunks.
+    chunks = [
+        {
+            name: build_bench_table(chunk, seed=seed + i).column(name)
+            for name in schema.attribute_names
+        }
+        for i in range(n_shards)
+    ]
+    table = Table(schema, dict(chunks[0]))
+    for columns in chunks[1:]:
+        table.append_columns(columns)
+    flat = Table(
+        schema,
+        {
+            name: np.concatenate([columns[name] for columns in chunks])
+            for name in schema.attribute_names
+        },
+    )
+
+    with ParallelExecutor(workers) as executor:
+        # Parity: shard-parallel masks == reference masks on the flat table.
+        for predicate in workload.predicates:
+            expected = reference_mask(predicate, flat)
+            actual = evaluate_sharded(predicate, table, executor)
+            if not np.array_equal(expected, actual):
+                raise AssertionError(
+                    f"sharded mask diverges from reference for "
+                    f"{predicate.describe()!r}"
+                )
+
+        def run_sharded_cold() -> None:
+            table.clear_caches()
+            for view in table.shard_tables():
+                view.clear_caches()
+            workload.evaluate(table, executor)
+
+        def run_flat_cold() -> None:
+            flat.clear_caches()
+            workload.evaluate(flat)
+
+        sharded_cold = _best_of(2, run_sharded_cold)
+        flat_cold = _best_of(2, run_flat_cold)
+
+        # Incremental append: warm every shard view, append one chunk, and
+        # re-evaluate -- only the new shard pays.
+        workload.evaluate(table, executor)
+        extra = build_bench_table(append_rows, seed=seed + n_shards)
+        table.append_columns(
+            {name: extra.column(name) for name in table.schema.attribute_names}
+        )
+        start = time.perf_counter()
+        workload.evaluate(table, executor)
+        incremental_seconds = time.perf_counter() - start
+
+        grown_flat = flat.concat(extra)
+
+        def run_grown_cold() -> None:
+            grown_flat.clear_caches()
+            workload.evaluate(grown_flat)
+
+        grown_cold = _best_of(2, run_grown_cold)
+
+        # The incremental result must still be exact on the grown data.
+        incremental_counts = workload.true_answers(table, executor)
+        expected_counts = np.array(
+            [reference_mask(p, grown_flat).sum() for p in workload.predicates],
+            dtype=float,
+        )
+        if not np.array_equal(incremental_counts, expected_counts):
+            raise AssertionError("incremental sharded counts diverge from reference")
+
+    return {
+        "n_rows": len(flat),
+        "n_shards": n_shards,
+        "append_rows": append_rows,
+        "n_predicates": workload.size,
+        "workers": workers,
+        "sharded_cold_seconds": sharded_cold,
+        "single_shard_cold_seconds": flat_cold,
+        "incremental_after_append_seconds": incremental_seconds,
+        "grown_cold_seconds": grown_cold,
+        "incremental_speedup": grown_cold / max(incremental_seconds, 1e-12),
+        "parity": True,
+    }
+
+
+def bench_streaming_invalidation(
+    table: Table, workload: Workload, *, mc_samples: int = 500
+) -> dict[str, object]:
+    """Append rows between two identical previews; no stale artifact survives.
+
+    The adversarial scenario for every cache this stack grew: a structurally
+    identical ``preview_cost`` before and after ``append_rows``.  The payload
+    pins (a) the warm repeat *before* the append hits the translation memo,
+    (b) the repeat *after* the append misses the translation memo *and*
+    rebuilds the workload matrix (version-token miss), and (c) post-append
+    true counts equal the reference row-at-a-time semantics on the grown
+    data.
+    """
+    from repro.service import ExplorationService
+
+    clear_matrix_cache()
+    service = ExplorationService(
+        table,
+        budget=10.0,
+        registry=default_registry(mc_samples=mc_samples),
+        seed=13,
+        batch_window=0.0,
+    )
+    service.register_analyst("stream")
+    accuracy = AccuracySpec(alpha=0.05 * len(table), beta=5e-4)
+
+    def make_query() -> WorkloadCountingQuery:
+        return WorkloadCountingQuery(
+            Workload(list(workload.predicates), list(workload.names)),
+            name="stream-wcq",
+        )
+
+    def snapshot() -> tuple[int, int]:
+        stats = service.stats()
+        return (
+            stats["translations"]["hits"],
+            stats["workload_matrices"]["misses"],
+        )
+
+    start = time.perf_counter()
+    service.preview_cost("stream", make_query(), accuracy)
+    cold_seconds = time.perf_counter() - start
+    hits_0, misses_0 = snapshot()
+
+    start = time.perf_counter()
+    service.preview_cost("stream", make_query(), accuracy)
+    warm_seconds = time.perf_counter() - start
+    hits_1, misses_1 = snapshot()
+
+    n_before = len(table)
+    extra = build_bench_table(max(len(table) // 10, 100), seed=99)
+    service.append_rows(
+        "default",
+        [extra.row(i) for i in range(min(len(extra), 2_000))],
+    )
+
+    start = time.perf_counter()
+    service.preview_cost("stream", make_query(), accuracy)
+    post_append_seconds = time.perf_counter() - start
+    hits_2, misses_2 = snapshot()
+
+    query = make_query()
+    post_counts = query.true_counts(table)
+    expected = np.array(
+        [reference_mask(p, table).sum() for p in workload.predicates], dtype=float
+    )
+    counts_match = bool(np.array_equal(post_counts, expected))
+
+    return {
+        "n_rows_before": n_before,
+        "n_rows_after": len(table),
+        "table_version": table.version_token.ordinal,
+        "cold_preview_seconds": cold_seconds,
+        "warm_preview_seconds": warm_seconds,
+        "post_append_preview_seconds": post_append_seconds,
+        "warm_repeat_hit_translation_memo": bool(hits_1 > hits_0),
+        "warm_repeat_rebuilt_matrix": bool(misses_1 > misses_0),
+        "post_append_hit_translation_memo": bool(hits_2 > hits_1),
+        "post_append_rebuilt_matrix": bool(misses_2 > misses_1),
+        "post_append_counts_match_reference": counts_match,
+        "no_stale_reuse": bool(
+            hits_1 > hits_0  # warm repeat is served by the memo...
+            and misses_1 == misses_0  # ...without rebuilding anything
+            and hits_2 == hits_1  # the post-append request misses the memo...
+            and misses_2 > misses_1  # ...and rebuilds against the new version
+            and counts_match
+        ),
+    }
+
+
+def run_shard_microbenchmarks(
+    quick: bool = False, seed: int = 20190501
+) -> dict[str, object]:
+    """Run the sharded/versioned-backend suite and return the BENCH_3 payload."""
+    import os
+
+    n_rows = 20_000 if quick else 100_000
+    n_amount_cuts = 12 if quick else 40
+    mc_samples = 300 if quick else 1_000
+    append = 2_000 if quick else 10_000
+
+    workload = build_bench_workload(64, n_amount_cuts=n_amount_cuts)
+    schema = bench_schema()
+    domain = bench_sharded_domain_analysis(
+        workload, schema, workers=4, repeats=1 if quick else 2
+    )
+    masks = bench_sharded_mask_evaluation(
+        n_rows=n_rows,
+        n_shards=4,
+        append_rows=append,
+        workers=4,
+        n_amount_cuts=n_amount_cuts,
+        seed=seed,
+    )
+    table = build_bench_table(n_rows, seed=seed)
+    streaming = bench_streaming_invalidation(table, workload, mc_samples=mc_samples)
+    return {
+        "bench": 3,
+        "quick": quick,
+        "seed": seed,
+        "created_unix": time.time(),
+        "cpu_count": os.cpu_count(),
+        "sharded_domain_analysis": domain,
+        "sharded_mask_evaluation": masks,
+        "streaming_invalidation": streaming,
     }
 
 

@@ -140,6 +140,16 @@ class APExEngine:
     # -- owner-facing accessors ---------------------------------------------------
 
     @property
+    def table(self) -> Table:
+        """The sensitive table this engine answers over.
+
+        Mutating it (``table.append_rows`` / ``table.refresh``) advances its
+        version token; the engine picks the new token up on the next request,
+        so every version-keyed cache underneath misses and rebuilds.
+        """
+        return self._table
+
+    @property
     def budget(self) -> float:
         return self._ledger.budget
 
@@ -200,6 +210,7 @@ class APExEngine:
                 accuracy,
                 self._table.schema,
                 budget_remaining=self._ledger.remaining,
+                version=self._table.version_token,
             )
             if choice is None:
                 return self._deny(query, accuracy)
@@ -273,7 +284,7 @@ class APExEngine:
         budget an exploration session without spending any privacy.
         """
         translations = self._translator.translations(
-            query, accuracy, self._table.schema
+            query, accuracy, self._table.schema, version=self._table.version_token
         )
         return {
             mechanism.name: (t.epsilon_lower, t.epsilon_upper)

@@ -1,0 +1,128 @@
+"""A small thread-pool facade for shard- and chunk-parallel fan-out.
+
+The hot loops this executor feeds are numpy-dominated (predicate masks over
+row shards, domain-cell signature evaluation over cell chunks), and numpy
+releases the GIL inside its ufunc/indexing/sort inner loops, so plain threads
+scale on multi-core hosts without any pickling or process start-up cost.  The
+work units are coarse (one shard / one cell chunk each), which keeps the
+per-task Python overhead negligible against the array work.
+
+Design points:
+
+* :meth:`ParallelExecutor.map` preserves input order and propagates the first
+  worker exception to the caller (the remaining tasks still run to completion
+  -- the pool is shared, cancellation is not worth the complexity for
+  chunk-sized work items);
+* a ``max_workers=1`` executor (or a one-element task list) runs inline on
+  the calling thread, so callers can thread an executor through
+  unconditionally and still pay nothing in the sequential case;
+* :func:`set_default_executor` installs a process-wide default that the
+  evaluation paths (:func:`repro.queries.predicates.evaluate_sharded`,
+  :meth:`repro.queries.workload.WorkloadMatrix.from_domain_analysis`) pick up
+  when no explicit executor is passed -- this is how a deployment turns on
+  multi-core evaluation without threading a handle through every call site.
+
+Parallelism never changes results: every parallel path merges its partials
+into exactly the artifact the sequential path produces (pinned by the parity
+tests in ``tests/queries/test_sharded_parity.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = [
+    "ParallelExecutor",
+    "get_default_executor",
+    "set_default_executor",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class ParallelExecutor:
+    """An order-preserving thread pool for shard/chunk evaluation.
+
+    :param max_workers: pool size; defaults to the host's CPU count (capped
+        at 8 -- the work units are coarse, more threads only add contention).
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is None:
+            max_workers = min(os.cpu_count() or 1, 8)
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self._max_workers = int(max_workers)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        # Lazily built so constructing an executor (e.g. a module-level
+        # default) costs nothing until the first parallel map.
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-parallel",
+                )
+            return self._pool
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item, in order; inline when sequential.
+
+        The first exception raised by any task propagates to the caller once
+        every submitted task has settled.
+        """
+        tasks: Sequence[T] = list(items)
+        if self._max_workers == 1 or len(tasks) <= 1:
+            return [fn(item) for item in tasks]
+        pool = self._ensure_pool()
+        return list(pool.map(fn, tasks))
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release the pool threads (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ParallelExecutor(max_workers={self._max_workers})"
+
+
+_default_lock = threading.Lock()
+_default_executor: ParallelExecutor | None = None
+
+
+def get_default_executor() -> ParallelExecutor | None:
+    """The process-wide default executor, or ``None`` (sequential)."""
+    return _default_executor
+
+
+def set_default_executor(
+    executor: ParallelExecutor | None,
+) -> ParallelExecutor | None:
+    """Install (or clear, with ``None``) the process-wide default executor.
+
+    Returns the previously installed executor so callers can restore it; the
+    caller keeps ownership of both (no implicit shutdown).
+    """
+    global _default_executor
+    with _default_lock:
+        previous = _default_executor
+        _default_executor = executor
+        return previous

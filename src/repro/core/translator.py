@@ -103,6 +103,8 @@ class AccuracyTranslator:
         query: Query,
         accuracy: AccuracySpec,
         schema: Schema | None = None,
+        *,
+        version: object | None = None,
     ) -> bool:
         """Whether :meth:`translations` would be answered from the memo.
 
@@ -111,7 +113,7 @@ class AccuracyTranslator:
         for requests that are already warm (they cost microseconds; only cold
         builds are worth batching).
         """
-        query_key = query.cache_key(schema)
+        query_key = query.cache_key(schema, version)
         if query_key is None:
             return False
         return (query_key, accuracy.alpha, accuracy.beta) in self._translation_cache
@@ -123,16 +125,20 @@ class AccuracyTranslator:
         query: Query,
         accuracy: AccuracySpec,
         schema: Schema | None = None,
+        *,
+        version: object | None = None,
     ) -> list[tuple[Mechanism, TranslationResult]]:
         """Accuracy-to-privacy translations of every applicable mechanism.
 
         Mechanisms whose translation fails (e.g. the accuracy requirement is
         too loose for their closed form) are skipped.  Results are memoised
-        per (query structure, accuracy): translation is data independent and
-        deterministic, so a structurally identical repeat (a re-asked query,
-        a second ``preview_cost``) is answered from the cache.
+        per (query structure, accuracy, table version): translation is data
+        independent and deterministic, so a structurally identical repeat (a
+        re-asked query, a second ``preview_cost``) is answered from the
+        cache -- until the table mutates, which advances the version token
+        and forces a rebuild.
         """
-        query_key = query.cache_key(schema)
+        query_key = query.cache_key(schema, version)
         cache_key = None
         if query_key is not None:
             cache_key = (query_key, accuracy.alpha, accuracy.beta)
@@ -147,7 +153,12 @@ class AccuracyTranslator:
         out: list[tuple[Mechanism, TranslationResult]] = []
         for mechanism in applicable:
             try:
-                out.append((mechanism, mechanism.translate(query, accuracy, schema)))
+                out.append(
+                    (
+                        mechanism,
+                        mechanism.translate(query, accuracy, schema, version=version),
+                    )
+                )
             except TranslationError:
                 continue
         if not out:
@@ -166,13 +177,14 @@ class AccuracyTranslator:
         schema: Schema | None = None,
         *,
         budget_remaining: float | None = None,
+        version: object | None = None,
     ) -> MechanismChoice | None:
         """Pick the cheapest admissible mechanism; ``None`` when M* is empty.
 
         ``budget_remaining`` enables the admission filter of Algorithm 1
         (line 5); leave it ``None`` to translate without budget constraints.
         """
-        translations = self.translations(query, accuracy, schema)
+        translations = self.translations(query, accuracy, schema, version=version)
         if budget_remaining is not None:
             admissible = [
                 (mechanism, translation)

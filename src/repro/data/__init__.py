@@ -4,9 +4,10 @@ The APEx paper assumes a single-table relational schema ``R(A1, ..., Ad)``
 whose attribute domains are public.  This subpackage provides that substrate:
 
 * :mod:`repro.data.schema` -- attribute domain descriptions and table schemas.
-* :mod:`repro.data.table` -- an immutable in-memory table backed by numpy
-  arrays, with the small set of query operations the mechanisms need
-  (predicate evaluation and histogram counting).
+* :mod:`repro.data.table` -- a sharded, versioned in-memory table backed by
+  numpy arrays, with the small set of query operations the mechanisms need
+  (predicate evaluation and histogram counting); mutation goes through
+  ``append_rows``/``refresh``, which advance the table's ``version_token``.
 * :mod:`repro.data.adult`, :mod:`repro.data.nytaxi` -- synthetic stand-ins for
   the Adult census and NYC taxi datasets used in the paper's evaluation.
 * :mod:`repro.data.citations` -- a synthetic labelled-pairs corpus for the
@@ -21,7 +22,7 @@ from repro.data.schema import (
     Schema,
     TextDomain,
 )
-from repro.data.table import Table
+from repro.data.table import Table, TableVersion
 from repro.data.adult import generate_adult, ADULT_SCHEMA
 from repro.data.nytaxi import generate_nytaxi, NYTAXI_SCHEMA
 from repro.data.citations import (
@@ -40,6 +41,7 @@ __all__ = [
     "TextDomain",
     "Schema",
     "Table",
+    "TableVersion",
     "generate_adult",
     "ADULT_SCHEMA",
     "generate_nytaxi",

@@ -1,4 +1,4 @@
-"""An immutable, column-oriented in-memory table.
+"""A column-oriented in-memory table with sharded, versioned storage.
 
 The mechanisms in APEx only ever need two things from the sensitive dataset:
 
@@ -10,29 +10,44 @@ those operations plus the usual conveniences (row access, filtering, sampling,
 construction from row dicts).  Numeric NULLs are represented as ``NaN`` and
 categorical/text NULLs as ``None``.
 
-Because tables are immutable, every derived per-column artifact is computed
-lazily once and cached for the table's lifetime:
+Storage is a list of immutable **row shards** (one frozen column-chunk dict
+per shard) behind the existing columnar API: :meth:`Table.column` lazily
+concatenates the shard chunks, and :meth:`Table.shard_tables` exposes each
+shard as its own single-shard ``Table`` view so evaluation can fan out over
+shards in parallel (:mod:`repro.core.parallel`).
 
-* **null masks** (:meth:`Table.null_mask`) -- one boolean array per column;
-* **float views** (:meth:`Table.numeric_values`) -- the float storage of a
-  numeric column (a zero-copy alias when the column is already ``float64``);
-* **interned category codes** (:meth:`Table.category_codes`) -- object columns
-  (categorical / text) are dictionary-encoded into an ``int32`` code array
-  plus a ``value -> code`` index, so predicates compare small integers instead
-  of Python objects; NULL is code ``-1``;
-* **predicate masks** (:attr:`Table.mask_cache`) -- an LRU of evaluated
-  predicate masks keyed by the predicate itself, shared by every query that
-  re-asks the same condition.
+Tables are *versioned*, not frozen: :meth:`Table.append_rows` adds a new
+shard and :meth:`Table.refresh` replaces the contents wholesale.  Both
+advance the table's :attr:`Table.version_token` -- an immutable, hashable
+:class:`TableVersion` that uniquely identifies one state of one table.  Every
+cache keyed on "this table" anywhere in the stack (the predicate-mask LRU
+below, the workload-matrix memo, the translator memo, WCQ-SM's Monte-Carlo
+search, the histogram/true-count caches) incorporates the version token, so a
+mutation can never resurrect a stale artifact: post-append lookups simply
+miss and recompute against the grown table.
 
-The table freezes its column arrays at construction (``writeable = False``;
-it takes ownership of the arrays it is given -- copy first if you need to
-keep mutating yours) and every cached array is returned read-only, so any
-in-place mutation that would silently invalidate the caches fails loudly
-instead.
+Within one version the storage is immutable: shard arrays are frozen at
+construction (``writeable = False``; the table takes ownership of the arrays
+it is given -- copy first if you need to keep mutating yours) and every
+cached array is returned read-only, so in-place mutation that would bypass
+the version protocol fails loudly.  Per-version derived artifacts (null
+masks, float views, interned category codes, materialised concatenations,
+predicate masks) are computed lazily and dropped on every version advance.
+
+Mutations are atomic with respect to the version token (a mutation lock
+orders shard append, row count and token advance), but a reader that is
+mid-evaluation while an append lands may observe columns of different
+lengths -- the shape checks in the evaluation paths then raise rather than
+silently mixing versions.  The supported concurrent pattern is the service's:
+mutate *between* requests and let the version-keyed caches do the
+invalidation.
 """
 
 from __future__ import annotations
 
+import itertools
+import threading
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -41,7 +56,7 @@ from repro.core.exceptions import SchemaError
 from repro.core.lru import LRUCache
 from repro.data.schema import AttributeKind, Schema
 
-__all__ = ["Table"]
+__all__ = ["Table", "TableVersion"]
 
 #: Byte budget of the per-table predicate-mask LRU (masks are one byte per
 #: row, so the entry cap is ``budget // n_rows``): bounded memory regardless
@@ -50,19 +65,78 @@ MASK_CACHE_BYTE_BUDGET = 64 * 1024 * 1024
 #: Entry-count ceiling of the mask LRU (reached only by small tables).
 MASK_CACHE_MAX_ENTRIES = 4096
 
+#: Process-wide source of unique table identities (the first half of every
+#: :class:`TableVersion`); an ever-increasing counter can never alias the way
+#: a recycled ``id()`` could.
+_TABLE_UIDS = itertools.count()
+
+
+@dataclass(frozen=True)
+class TableVersion:
+    """Immutable identity of one state of one table.
+
+    ``table_uid`` is unique per :class:`Table` instance for the process
+    lifetime, ``ordinal`` counts that table's mutations.  Tokens are
+    hashable and totally ordered within a table, so they slot directly into
+    cache keys; equal tokens guarantee "same table object, same contents".
+    """
+
+    table_uid: int
+    ordinal: int
+
+    def advanced(self) -> "TableVersion":
+        """The token of the next version of the same table."""
+        return TableVersion(self.table_uid, self.ordinal + 1)
+
 
 class Table:
-    """A fixed set of rows conforming to a :class:`~repro.data.schema.Schema`.
+    """A set of rows conforming to a :class:`~repro.data.schema.Schema`.
 
-    Instances are conceptually immutable: all "mutating" operations
-    (:meth:`filter`, :meth:`sample`, :meth:`take`) return new tables.
+    Derivation methods (:meth:`filter`, :meth:`sample`, :meth:`take`) return
+    new tables; in-place growth goes through :meth:`append_rows` /
+    :meth:`refresh`, which advance :attr:`version_token`.
     """
 
     def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]) -> None:
         self._schema = schema
-        self._columns: dict[str, np.ndarray] = {}
+        shard, n_rows = self._freeze_shard(columns)
+        self._shards: list[dict[str, np.ndarray]] = [shard]
+        self._shard_sizes: list[int] = [n_rows]
+        self._n_rows = n_rows
+        self._version = TableVersion(next(_TABLE_UIDS), 0)
+        #: Orders mutation (shard append + version advance) and lazy
+        #: materialisation; per-version reads stay lock-free.
+        self._mutation_lock = threading.RLock()
+        #: Lazily built single-shard Table views (for parallel evaluation);
+        #: index-aligned with ``_shards``.  Existing views stay valid across
+        #: appends because shards are immutable.
+        self._shard_views: list["Table | None"] = [None]
+        # Lazy per-version caches (dropped on every version advance).
+        self._materialized: dict[str, np.ndarray] = dict(shard)
+        self._null_masks: dict[str, np.ndarray] = {}
+        self._float_values: dict[str, np.ndarray] = {}
+        self._category_codes: dict[str, tuple[np.ndarray, dict[str, int]]] = {}
+        self._mask_cache: LRUCache[np.ndarray] = LRUCache(
+            self._mask_cache_capacity()
+        )
+
+    def _mask_cache_capacity(self) -> int:
+        """Entry cap keeping the mask LRU within its byte budget at ``n_rows``."""
+        return max(
+            16,
+            min(
+                MASK_CACHE_MAX_ENTRIES,
+                MASK_CACHE_BYTE_BUDGET // max(self._n_rows, 1),
+            ),
+        )
+
+    def _freeze_shard(
+        self, columns: Mapping[str, np.ndarray]
+    ) -> tuple[dict[str, np.ndarray], int]:
+        """Validate one column-chunk against the schema and freeze its arrays."""
+        shard: dict[str, np.ndarray] = {}
         n_rows: int | None = None
-        for attr in schema.attributes:
+        for attr in self._schema.attributes:
             if attr.name not in columns:
                 raise SchemaError(f"missing column {attr.name!r}")
             col = np.asarray(columns[attr.name])
@@ -72,28 +146,14 @@ class Table:
                 raise SchemaError(
                     f"column {attr.name!r} has {len(col)} rows, expected {n_rows}"
                 )
-            # The lazy caches below assume the data never changes; freezing
-            # the storage makes any later in-place write fail loudly.
+            # The per-version caches assume the stored data never changes;
+            # freezing the storage makes any later in-place write fail loudly.
             col.flags.writeable = False
-            self._columns[attr.name] = col
-        extra = set(columns) - set(schema.attribute_names)
+            shard[attr.name] = col
+        extra = set(columns) - set(self._schema.attribute_names)
         if extra:
             raise SchemaError(f"columns not present in schema: {sorted(extra)}")
-        self._n_rows = n_rows or 0
-        # Lazy per-column caches (the table is immutable, so these are safe to
-        # share between every consumer for the table's lifetime).
-        self._null_masks: dict[str, np.ndarray] = {}
-        self._float_values: dict[str, np.ndarray] = {}
-        self._category_codes: dict[str, tuple[np.ndarray, dict[str, int]]] = {}
-        self._mask_cache: LRUCache[np.ndarray] = LRUCache(
-            max(
-                16,
-                min(
-                    MASK_CACHE_MAX_ENTRIES,
-                    MASK_CACHE_BYTE_BUDGET // max(self._n_rows, 1),
-                ),
-            )
-        )
+        return shard, n_rows or 0
 
     # -- construction --------------------------------------------------------
 
@@ -106,17 +166,106 @@ class Table:
         Missing keys become NULL (``NaN`` for numeric attributes, ``None``
         otherwise).
         """
-        rows = list(rows)
-        columns: dict[str, np.ndarray] = {}
-        for attr in schema.attributes:
-            values = [row.get(attr.name) for row in rows]
-            columns[attr.name] = _coerce_column(attr.kind, values)
-        return cls(schema, columns)
+        return cls(schema, _rows_to_columns(schema, rows))
 
     @classmethod
     def empty(cls, schema: Schema) -> "Table":
         """A table with zero rows."""
         return cls.from_rows(schema, [])
+
+    # -- versioning and shards ------------------------------------------------
+
+    @property
+    def version_token(self) -> TableVersion:
+        """The immutable token identifying this table's current state.
+
+        Advances on every :meth:`append_rows` / :meth:`refresh`; any cache
+        keyed by this token can never serve an artifact derived from a
+        different state of the data.
+        """
+        return self._version
+
+    @property
+    def n_shards(self) -> int:
+        """Number of row shards currently backing the table."""
+        return len(self._shards)
+
+    @property
+    def shard_sizes(self) -> tuple[int, ...]:
+        """Row count of each shard, in storage order."""
+        return tuple(self._shard_sizes)
+
+    def shard_tables(self) -> tuple["Table", ...]:
+        """Each row shard as its own single-shard table view.
+
+        Views share the parent's schema and (zero-copy) its frozen shard
+        arrays, but carry their own identity, version and caches.  Because
+        shards are immutable, a view built before an append remains valid --
+        and keeps its warm per-shard caches -- afterwards; only new shards
+        need fresh evaluation.  This is the unit of work for shard-parallel
+        evaluation (:func:`repro.queries.predicates.evaluate_sharded`).
+        """
+        with self._mutation_lock:
+            shards = list(self._shards)
+            views = self._shard_views
+        out: list[Table] = []
+        for i, shard in enumerate(shards):
+            view = views[i]
+            if view is None:
+                view = Table(self._schema, shard)
+                views[i] = view
+            out.append(view)
+        return tuple(out)
+
+    def append_rows(self, rows: Iterable[Mapping[str, object]]) -> TableVersion:
+        """Append rows as a new shard and advance the version token.
+
+        Missing keys become NULL, exactly as in :meth:`from_rows`.  Returns
+        the new :attr:`version_token`.  Every per-version cache (and every
+        external cache keyed by the token) misses afterwards.
+        """
+        return self.append_columns(_rows_to_columns(self._schema, rows))
+
+    def append_columns(self, columns: Mapping[str, np.ndarray]) -> TableVersion:
+        """Append a pre-built column chunk as a new shard (see ``append_rows``)."""
+        shard, n_new = self._freeze_shard(columns)
+        with self._mutation_lock:
+            self._shards.append(shard)
+            self._shard_sizes.append(n_new)
+            self._shard_views.append(None)
+            self._n_rows += n_new
+            self._advance_version_locked()
+        return self._version
+
+    def refresh(self, rows: Iterable[Mapping[str, object]]) -> TableVersion:
+        """Replace the table contents wholesale and advance the version token.
+
+        Models a base-table reload (new extract, corrected data): the schema
+        stays, every row and every derived artifact is dropped.
+        """
+        columns = _rows_to_columns(self._schema, rows)
+        shard, n_rows = self._freeze_shard(columns)
+        with self._mutation_lock:
+            self._shards = [shard]
+            self._shard_sizes = [n_rows]
+            self._shard_views = [None]
+            self._n_rows = n_rows
+            self._advance_version_locked()
+        return self._version
+
+    def _advance_version_locked(self) -> None:
+        """Bump the token and drop every per-version cache (mutation lock held)."""
+        self._version = self._version.advanced()
+        self._materialized = (
+            dict(self._shards[0]) if len(self._shards) == 1 else {}
+        )
+        self._null_masks = {}
+        self._float_values = {}
+        self._category_codes = {}
+        # Versioned keys already make old entries unreachable; a fresh LRU
+        # frees the memory immediately and re-derives the entry cap from the
+        # new row count, keeping the byte budget honest as the table grows.
+        self._mask_cache = LRUCache(self._mask_cache_capacity())
 
     # -- basic accessors ------------------------------------------------------
 
@@ -131,14 +280,31 @@ class Table:
     def n_rows(self) -> int:
         return self._n_rows
 
-    def column(self, name: str) -> np.ndarray:
-        """The values of one attribute as a numpy array (read-only view)."""
-        if name not in self._columns:
+    def _column_data(self, name: str) -> np.ndarray:
+        """The full (cross-shard) frozen storage array of one attribute."""
+        col = self._materialized.get(name)
+        if col is not None:
+            return col
+        if name not in self._schema.attribute_names:
             raise SchemaError(
                 f"table has no column {name!r}; "
-                f"known columns: {list(self._columns)}"
+                f"known columns: {list(self._schema.attribute_names)}"
             )
-        col = self._columns[name]
+        with self._mutation_lock:
+            col = self._materialized.get(name)
+            if col is not None:
+                return col
+            if len(self._shards) == 1:
+                col = self._shards[0][name]
+            else:
+                col = np.concatenate([shard[name] for shard in self._shards])
+                col.flags.writeable = False
+            self._materialized[name] = col
+            return col
+
+    def column(self, name: str) -> np.ndarray:
+        """The values of one attribute as a numpy array (read-only view)."""
+        col = self._column_data(name)
         view = col.view()
         view.flags.writeable = False
         return view
@@ -152,7 +318,7 @@ class Table:
             raise IndexError(f"row index {index} out of range for {self._n_rows} rows")
         out: dict[str, object] = {}
         for attr in self._schema.attributes:
-            value = self._columns[attr.name][index]
+            value = self._column_data(attr.name)[index]
             if attr.kind is AttributeKind.NUMERIC:
                 fval = float(value)
                 out[attr.name] = None if np.isnan(fval) else fval
@@ -172,8 +338,8 @@ class Table:
     def is_null(self, name: str) -> np.ndarray:
         """Boolean mask marking NULL values of the named attribute.
 
-        The mask is computed once per column and cached; the returned array is
-        read-only.
+        The mask is computed once per column per version and cached; the
+        returned array is read-only.
         """
         return self.null_mask(name)
 
@@ -183,12 +349,12 @@ class Table:
         if cached is not None:
             return cached
         attr = self._schema[name]
-        col = self._columns[name]
+        col = self._column_data(name)
         if attr.kind is AttributeKind.NUMERIC:
             mask = np.isnan(self.numeric_values(name))
         else:
             mask = np.fromiter(
-                (v is None for v in col), dtype=bool, count=self._n_rows
+                (v is None for v in col), dtype=bool, count=len(col)
             )
         mask.flags.writeable = False
         self._null_masks[name] = mask
@@ -197,19 +363,14 @@ class Table:
     def numeric_values(self, name: str) -> np.ndarray:
         """The named column as a cached, read-only float array.
 
-        For numeric attributes this is (at most) one conversion for the
-        table's lifetime; non-numeric columns raise whatever ``astype(float)``
-        raises, matching direct conversion of :meth:`column`.
+        For numeric attributes this is (at most) one conversion per table
+        version; non-numeric columns raise whatever ``astype(float)`` raises,
+        matching direct conversion of :meth:`column`.
         """
         cached = self._float_values.get(name)
         if cached is not None:
             return cached
-        if name not in self._columns:
-            raise SchemaError(
-                f"table has no column {name!r}; "
-                f"known columns: {list(self._columns)}"
-            )
-        col = self._columns[name]
+        col = self._column_data(name)
         values = col if col.dtype == np.float64 else col.astype(float)
         view = values.view()
         view.flags.writeable = False
@@ -221,20 +382,15 @@ class Table:
 
         Returns ``(codes, index)`` where ``codes`` is a read-only ``int32``
         array with NULL encoded as ``-1`` and ``index`` maps each distinct
-        value to its code.  Built once per column; every categorical predicate
-        afterwards runs as integer comparisons.
+        value to its code.  Built once per column per version; every
+        categorical predicate afterwards runs as integer comparisons.
         """
         cached = self._category_codes.get(name)
         if cached is not None:
             return cached
-        if name not in self._columns:
-            raise SchemaError(
-                f"table has no column {name!r}; "
-                f"known columns: {list(self._columns)}"
-            )
-        col = self._columns[name]
+        col = self._column_data(name)
         index: dict[str, int] = {}
-        codes = np.empty(self._n_rows, dtype=np.int32)
+        codes = np.empty(len(col), dtype=np.int32)
         for i, value in enumerate(col):
             if value is None:
                 codes[i] = -1
@@ -250,20 +406,62 @@ class Table:
 
     @property
     def mask_cache(self) -> LRUCache[np.ndarray]:
-        """The per-table LRU of evaluated predicate masks (see predicates.py)."""
+        """The per-table LRU of evaluated predicate masks (see predicates.py).
+
+        Entries are keyed by ``(version_token, predicate)`` -- see
+        :meth:`mask_key` -- so a mask evaluated before an append can never be
+        served afterwards.
+        """
         return self._mask_cache
 
-    def cache_mask(self, key: object, mask: np.ndarray) -> np.ndarray:
-        """Freeze and insert one predicate mask into the LRU."""
+    def mask_key(
+        self, predicate: object, version: TableVersion | None = None
+    ) -> tuple[TableVersion, object]:
+        """The versioned mask-LRU key of one predicate.
+
+        ``version`` defaults to the current token; evaluation paths pass the
+        token they captured *before* computing, so a mask whose evaluation
+        straddled a mutation can never be stored under the new version.
+        """
+        return (version if version is not None else self._version, predicate)
+
+    def cached_mask(
+        self, predicate: object, version: TableVersion | None = None
+    ) -> np.ndarray | None:
+        """The memoised mask of ``predicate`` at the given version, if any."""
+        return self._mask_cache.get(self.mask_key(predicate, version))
+
+    def cache_mask(
+        self,
+        predicate: object,
+        mask: np.ndarray,
+        version: TableVersion | None = None,
+    ) -> np.ndarray:
+        """Freeze and insert one predicate mask into the LRU (versioned key).
+
+        Callers that computed ``mask`` over a possibly mutating table must
+        pass the token captured before the evaluation: inserting under an
+        old token is harmless (the key is unreachable at newer versions),
+        whereas stamping a stale mask with the *current* token would poison
+        the new version's cache.
+        """
         mask.flags.writeable = False
-        return self._mask_cache.put(key, mask)
+        return self._mask_cache.put(self.mask_key(predicate, version), mask)
 
     def clear_caches(self) -> None:
-        """Drop every lazily built cache (benchmarks use this for cold runs)."""
-        self._null_masks.clear()
-        self._float_values.clear()
-        self._category_codes.clear()
-        self._mask_cache.clear()
+        """Drop every lazily built cache (benchmarks use this for cold runs).
+
+        Purely a recompute trigger: the version token does *not* advance
+        (the data is unchanged, so externally cached artifacts stay valid).
+        """
+        with self._mutation_lock:
+            self._null_masks.clear()
+            self._float_values.clear()
+            self._category_codes.clear()
+            self._mask_cache.clear()
+            self._materialized = (
+                dict(self._shards[0]) if len(self._shards) == 1 else {}
+            )
 
     def null_count(self, name: str) -> int:
         return int(self.is_null(name).sum())
@@ -277,13 +475,19 @@ class Table:
             raise SchemaError(
                 f"mask has length {len(mask)}, table has {self._n_rows} rows"
             )
-        columns = {name: col[mask] for name, col in self._columns.items()}
+        columns = {
+            name: self._column_data(name)[mask]
+            for name in self._schema.attribute_names
+        }
         return Table(self._schema, columns)
 
     def take(self, indices: Sequence[int]) -> "Table":
         """A new table containing the rows at ``indices`` (in that order)."""
         idx = np.asarray(indices, dtype=int)
-        columns = {name: col[idx] for name, col in self._columns.items()}
+        columns = {
+            name: self._column_data(name)[idx]
+            for name in self._schema.attribute_names
+        }
         return Table(self._schema, columns)
 
     def sample(self, n: int, rng: np.random.Generator | int | None = None) -> "Table":
@@ -304,7 +508,7 @@ class Table:
     def project(self, names: Sequence[str]) -> "Table":
         """A new table restricted to the named attributes."""
         schema = self._schema.project(names)
-        columns = {name: self._columns[name] for name in names}
+        columns = {name: self._column_data(name) for name in names}
         return Table(schema, columns)
 
     def concat(self, other: "Table") -> "Table":
@@ -312,7 +516,9 @@ class Table:
         if other.schema.attribute_names != self._schema.attribute_names:
             raise SchemaError("cannot concatenate tables with different schemas")
         columns = {
-            name: np.concatenate([self._columns[name], other._columns[name]])
+            name: np.concatenate(
+                [self._column_data(name), other._column_data(name)]
+            )
             for name in self._schema.attribute_names
         }
         return Table(self._schema, columns)
@@ -333,8 +539,21 @@ class Table:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Table(schema={self._schema.name!r}, rows={self._n_rows}, "
+            f"shards={len(self._shards)}, version={self._version.ordinal}, "
             f"attributes={list(self._schema.attribute_names)})"
         )
+
+
+def _rows_to_columns(
+    schema: Schema, rows: Iterable[Mapping[str, object]]
+) -> dict[str, np.ndarray]:
+    """Coerce row dicts into one storage array per schema attribute."""
+    rows = list(rows)
+    columns: dict[str, np.ndarray] = {}
+    for attr in schema.attributes:
+        values = [row.get(attr.name) for row in rows]
+        columns[attr.name] = _coerce_column(attr.kind, values)
+    return columns
 
 
 def _coerce_column(kind: AttributeKind, values: list[object]) -> np.ndarray:

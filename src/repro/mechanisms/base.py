@@ -121,8 +121,18 @@ class Mechanism(abc.ABC):
         query: Query,
         accuracy: AccuracySpec,
         schema: Schema | None = None,
+        *,
+        version: object | None = None,
     ) -> TranslationResult:
-        """Privacy loss bounds needed to meet ``accuracy`` for ``query``."""
+        """Privacy loss bounds needed to meet ``accuracy`` for ``query``.
+
+        ``version`` is the :attr:`~repro.data.table.Table.version_token` of
+        the table the translation is requested for; mechanisms that memoise
+        per-workload artifacts (the strategy mechanisms' Monte-Carlo search)
+        key them by it, so translations never survive a table mutation.
+        Translation itself stays data independent -- the token only names a
+        table state, it reveals nothing about the rows.
+        """
 
     @abc.abstractmethod
     def run(

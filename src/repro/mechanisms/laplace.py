@@ -85,9 +85,11 @@ class LaplaceMechanism(Mechanism):
         query: Query,
         accuracy: AccuracySpec,
         schema: Schema | None = None,
+        *,
+        version: object | None = None,
     ) -> TranslationResult:
         self._check_supported(query)
-        sensitivity = query.sensitivity(schema)
+        sensitivity = query.sensitivity(schema, version)
         epsilon = laplace_epsilon_for_accuracy(
             query.kind, sensitivity, query.workload_size, accuracy
         )
@@ -112,7 +114,9 @@ class LaplaceMechanism(Mechanism):
         self._check_supported(query)
         generator = self._rng(rng)
         schema = table.schema
-        translation = self.translate(query, accuracy, schema)
+        translation = self.translate(
+            query, accuracy, schema, version=table.version_token
+        )
         epsilon = translation.epsilon_upper
         sensitivity = translation.details["sensitivity"]
         scale = sensitivity / epsilon

@@ -62,9 +62,11 @@ class MultiPokingMechanism(Mechanism):
         query: Query,
         accuracy: AccuracySpec,
         schema: Schema | None = None,
+        *,
+        version: object | None = None,
     ) -> TranslationResult:
         self._check_supported(query)
-        sensitivity = query.sensitivity(schema)
+        sensitivity = query.sensitivity(schema, version)
         epsilon_max = self._epsilon_max(
             sensitivity, query.workload_size, accuracy.alpha, accuracy.beta
         )
@@ -107,7 +109,7 @@ class MultiPokingMechanism(Mechanism):
         schema: Schema = table.schema
         alpha, beta = accuracy.alpha, accuracy.beta
         m = self._n_pokes
-        sensitivity = query.sensitivity(schema)
+        sensitivity = query.sensitivity(schema, table.version_token)
         workload_size = query.workload_size
         epsilon_max = self._epsilon_max(sensitivity, workload_size, alpha, beta)
 

@@ -43,6 +43,8 @@ class LaplaceTopKMechanism(Mechanism):
         query: Query,
         accuracy: AccuracySpec,
         schema: Schema | None = None,
+        *,
+        version: object | None = None,
     ) -> TranslationResult:
         self._check_supported(query)
         assert isinstance(query, TopKCountingQuery)
@@ -80,7 +82,9 @@ class LaplaceTopKMechanism(Mechanism):
         self._check_supported(query)
         assert isinstance(query, TopKCountingQuery)
         generator = self._rng(rng)
-        translation = self.translate(query, accuracy, table.schema)
+        translation = self.translate(
+            query, accuracy, table.schema, version=table.version_token
+        )
         epsilon = translation.epsilon_upper
         scale = query.k / epsilon
 

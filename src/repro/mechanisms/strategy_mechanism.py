@@ -85,10 +85,13 @@ class StrategyMechanism(Mechanism):
         self._relative_tolerance = float(relative_tolerance)
         self._seed = seed
         # Keyed by (matrix cache token, alpha, beta): the token identifies the
-        # matrix *values*, so structurally identical workloads (every
-        # single-predicate screening query of the ER strategies, every
-        # re-asked workload of a relaxation loop) share one Monte-Carlo
-        # epsilon search.  Tokens hold their referents, so ids never alias.
+        # matrix *values* plus the table version it was derived for, so
+        # structurally identical workloads (every single-predicate screening
+        # query of the ER strategies, every re-asked workload of a relaxation
+        # loop) share one Monte-Carlo epsilon search -- while a table
+        # mutation (new version token) forces a fresh search instead of
+        # resurrecting a stale one.  Tokens hold their referents, so ids
+        # never alias.
         self._cache: LRUCache[StrategyTranslation] = LRUCache(256)
 
     # -- public API ---------------------------------------------------------------
@@ -98,10 +101,12 @@ class StrategyMechanism(Mechanism):
         query: Query,
         accuracy: AccuracySpec,
         schema: Schema | None = None,
+        *,
+        version: object | None = None,
     ) -> TranslationResult:
         self._check_supported(query)
         translation = self._translate_matrix(
-            query.workload_matrix(schema), accuracy.alpha, accuracy.beta
+            query.workload_matrix(schema, version), accuracy.alpha, accuracy.beta
         )
         return TranslationResult(
             mechanism=self.name,
@@ -125,7 +130,7 @@ class StrategyMechanism(Mechanism):
     ) -> MechanismResult:
         self._check_supported(query)
         generator = self._rng(rng)
-        workload_matrix = query.workload_matrix(table.schema)
+        workload_matrix = query.workload_matrix(table.schema, table.version_token)
         translation = self._translate_matrix(
             workload_matrix, accuracy.alpha, accuracy.beta
         )
@@ -303,10 +308,12 @@ class IcebergStrategyMechanism(Mechanism):
         query: Query,
         accuracy: AccuracySpec,
         schema: Schema | None = None,
+        *,
+        version: object | None = None,
     ) -> TranslationResult:
         self._check_supported(query)
         translation = self._inner._translate_matrix(
-            query.workload_matrix(schema),
+            query.workload_matrix(schema, version),
             accuracy.alpha,
             self._wcq_accuracy(accuracy).beta,
         )
@@ -331,7 +338,7 @@ class IcebergStrategyMechanism(Mechanism):
         self._check_supported(query)
         assert isinstance(query, IcebergCountingQuery)
         generator = self._rng(rng)
-        workload_matrix = query.workload_matrix(table.schema)
+        workload_matrix = query.workload_matrix(table.schema, table.version_token)
         translation = self._inner._translate_matrix(
             workload_matrix, accuracy.alpha, self._wcq_accuracy(accuracy).beta
         )

@@ -40,6 +40,7 @@ from repro.data.table import Table
 __all__ = [
     "Interval",
     "CellValue",
+    "evaluate_sharded",
     "Predicate",
     "Comparison",
     "Between",
@@ -124,13 +125,24 @@ class Predicate:
         """Boolean mask of rows of ``table`` satisfying the predicate.
 
         The mask is memoised in the table's predicate-mask LRU, keyed by the
-        predicate itself (value equality for structured predicates, identity
-        for :class:`FunctionPredicate`).  The returned array is read-only.
+        table's ``version_token`` plus the predicate itself (value equality
+        for structured predicates, identity for
+        :class:`FunctionPredicate`); a mask evaluated before ``append_rows``
+        can therefore never be served afterwards.  The token is captured
+        before computing, and an evaluation that straddles a concurrent
+        mutation is returned uncached -- it describes a newer state than the
+        captured version, and stamping it with either token would poison
+        that key.  The returned array is read-only.
         """
-        mask = table.mask_cache.get(self)
+        version = table.version_token
+        mask = table.cached_mask(self, version)
         if mask is not None:
             return mask
-        return table.cache_mask(self, self._evaluate_mask(table))
+        mask = self._evaluate_mask(table)
+        if table.version_token == version:
+            return table.cache_mask(self, mask, version)
+        mask.flags.writeable = False
+        return mask
 
     def _evaluate_mask(self, table: Table) -> np.ndarray:
         """Uncached mask computation; implemented by every concrete predicate."""
@@ -568,6 +580,55 @@ class FunctionPredicate(Predicate):
 
     def __hash__(self) -> int:
         return id(self)
+
+
+def evaluate_sharded(
+    predicate: Predicate,
+    table: Table,
+    executor: "ParallelExecutor | None" = None,
+) -> np.ndarray:
+    """Evaluate ``predicate`` shard-parallel and concatenate the partial masks.
+
+    Each row shard of ``table`` is evaluated as its own single-shard view
+    (:meth:`~repro.data.table.Table.shard_tables`), fanning the numpy work out
+    over ``executor``'s threads; the concatenated mask is bit-identical to
+    :meth:`Predicate.evaluate` on the whole table and is memoised in the
+    parent table's versioned mask LRU.  Falls back to the sequential path
+    when the table has one shard or no executor is available (``executor``
+    argument, else the process default from :mod:`repro.core.parallel`).
+
+    Shard views keep their own caches, so after an ``append_rows`` only the
+    new shard pays for evaluation -- the old shards' masks are still warm.
+
+    Only row-local predicates may be split: an opaque
+    :class:`FunctionPredicate` callable sees a whole table and may compute
+    cross-row state (a mean, a rank), so splitting it per shard would
+    silently change its result.  ``supports_domain_analysis`` is the
+    row-locality witness (it is ``False`` exactly when an opaque node
+    appears anywhere in the predicate tree); such predicates fall back to
+    whole-table evaluation.
+    """
+    from repro.core.parallel import get_default_executor
+
+    if executor is None:
+        executor = get_default_executor()
+    version = table.version_token
+    cached = table.cached_mask(predicate, version)
+    if cached is not None:
+        return cached
+    shards = table.shard_tables()
+    if (
+        executor is None
+        or len(shards) <= 1
+        or not predicate.supports_domain_analysis
+    ):
+        return predicate.evaluate(table)
+    parts = executor.map(predicate.evaluate, shards)
+    mask = np.concatenate(parts)
+    if table.version_token == version:
+        return table.cache_mask(predicate, mask, version)
+    mask.flags.writeable = False
+    return mask
 
 
 def _apply_op(values: np.ndarray | float, op: str, target: float) -> np.ndarray | bool:

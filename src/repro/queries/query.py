@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.core.exceptions import QueryError
 from repro.data.schema import Schema
-from repro.data.table import Table
+from repro.data.table import Table, TableVersion
 from repro.queries.workload import Workload, WorkloadMatrix, _IdKey
 
 __all__ = [
@@ -65,7 +65,10 @@ class Query:
         self._sensitivity_override = sensitivity
         self._matrix_cache: WorkloadMatrix | None = None
         self._matrix_schema: Schema | None = None
-        self._true_counts_cache: tuple[weakref.ref[Table], np.ndarray] | None = None
+        self._matrix_version: TableVersion | None = None
+        self._true_counts_cache: (
+            tuple[weakref.ref[Table], TableVersion, np.ndarray] | None
+        ) = None
 
     # -- accessors -------------------------------------------------------------
 
@@ -87,26 +90,47 @@ class Query:
 
     # -- matrix representation ---------------------------------------------------
 
-    def workload_matrix(self, schema: Schema | None = None) -> WorkloadMatrix:
-        """The (cached) matrix representation of the query workload."""
-        if self._matrix_cache is not None and schema is self._matrix_schema:
+    def workload_matrix(
+        self,
+        schema: Schema | None = None,
+        version: TableVersion | None = None,
+    ) -> WorkloadMatrix:
+        """The (cached) matrix representation of the query workload.
+
+        ``version`` is the state token of the table the matrix is requested
+        for (:attr:`~repro.data.table.Table.version_token`); both the
+        per-query memo here and the module-level matrix memo key on it, so a
+        table mutation forces a rebuild instead of reusing a stale matrix.
+        """
+        if (
+            self._matrix_cache is not None
+            and schema is self._matrix_schema
+            and version == self._matrix_version
+        ):
             return self._matrix_cache
         matrix = self._workload.analyze(
             schema,
             disjoint=self._disjoint,
             sensitivity=self._sensitivity_override,
+            version=version,
         )
         self._matrix_cache = matrix
         self._matrix_schema = schema
+        self._matrix_version = version
         return matrix
 
-    def cache_key(self, schema: Schema | None = None) -> tuple | None:
+    def cache_key(
+        self,
+        schema: Schema | None = None,
+        version: TableVersion | None = None,
+    ) -> tuple | None:
         """Hashable structural identity of this query, or ``None``.
 
         Two queries with equal keys have the same kind, predicates, names,
-        analysis overrides and (identity-wise) schema, so accuracy-to-privacy
-        translations computed for one are valid for the other.  Subclasses
-        append their own parameters (ICQ threshold, TCQ k).
+        analysis overrides, (identity-wise) schema and table version, so
+        accuracy-to-privacy translations computed for one are valid for the
+        other.  Subclasses append their own parameters (ICQ threshold, TCQ
+        k).
         """
         try:
             hash(self._workload.predicates)
@@ -119,26 +143,39 @@ class Query:
             self._disjoint,
             self._sensitivity_override,
             None if schema is None else _IdKey(schema),
+            version,
         )
 
-    def sensitivity(self, schema: Schema | None = None) -> float:
+    def sensitivity(
+        self,
+        schema: Schema | None = None,
+        version: TableVersion | None = None,
+    ) -> float:
         """The workload sensitivity ``||W||_1``."""
-        return self.workload_matrix(schema).sensitivity
+        return self.workload_matrix(schema, version).sensitivity
 
     # -- exact answers -------------------------------------------------------------
 
     def true_counts(self, table: Table) -> np.ndarray:
         """Exact per-bin counts on ``table`` (no privacy).
 
-        The result is cached per table identity: mechanisms and the benchmark
-        harness evaluate the same query on the same table many times (once per
-        noise draw), and the predicate evaluation dominates the cost.
+        The result is cached per (table identity, version token): mechanisms
+        and the benchmark harness evaluate the same query on the same table
+        many times (once per noise draw), and the predicate evaluation
+        dominates the cost; an ``append_rows`` advances the token, so grown
+        tables recount instead of serving stale totals.
         """
+        version = table.version_token
         cache = self._true_counts_cache
-        if cache is not None and cache[0]() is table:
-            return cache[1]
+        if cache is not None and cache[0]() is table and cache[1] == version:
+            return cache[2]
         counts = self._workload.true_answers(table)
-        self._true_counts_cache = (weakref.ref(table), counts)
+        if table.version_token == version:
+            # Only cache when the evaluation did not straddle a mutation;
+            # otherwise the counts belong to a newer state than ``version``
+            # and caching them under it would be exactly the staleness bug
+            # the token exists to prevent.
+            self._true_counts_cache = (weakref.ref(table), version, counts)
         return counts
 
     def true_answer(self, table: Table):
@@ -184,8 +221,12 @@ class IcebergCountingQuery(Query):
         """The HAVING threshold ``c``."""
         return self._threshold
 
-    def cache_key(self, schema: Schema | None = None) -> tuple | None:
-        base = super().cache_key(schema)
+    def cache_key(
+        self,
+        schema: Schema | None = None,
+        version: TableVersion | None = None,
+    ) -> tuple | None:
+        base = super().cache_key(schema, version)
         return None if base is None else base + (self._threshold,)
 
     def true_answer(self, table: Table) -> list[str]:
@@ -231,8 +272,12 @@ class TopKCountingQuery(Query):
         """The number of bins to report."""
         return self._k
 
-    def cache_key(self, schema: Schema | None = None) -> tuple | None:
-        base = super().cache_key(schema)
+    def cache_key(
+        self,
+        schema: Schema | None = None,
+        version: TableVersion | None = None,
+    ) -> tuple | None:
+        base = super().cache_key(schema, version)
         return None if base is None else base + (self._k,)
 
     def true_answer(self, table: Table) -> list[str]:

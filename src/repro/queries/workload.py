@@ -31,8 +31,14 @@ Two analysis paths are provided:
 Because the exploration strategies (and the APEx relaxation loops in
 particular) re-ask structurally identical workloads many times,
 :meth:`Workload.analyze` memoises matrices in a module-level LRU keyed by the
-workload structure (predicates + names + schema identity + overrides); see
-:func:`matrix_cache_stats`.
+workload structure (predicates + names + schema identity + overrides + table
+version token); see :func:`matrix_cache_stats`.  The version token is what
+keeps the memo honest under table growth: an ``append_rows`` advances the
+token, so the next analysis for that table misses instead of resurrecting a
+matrix derived for the previous state.  The chunked cell enumeration and the
+per-table predicate evaluation both accept a
+:class:`~repro.core.parallel.ParallelExecutor` to fan the numpy work out over
+threads (partials merge deterministically; results are bit-identical).
 """
 
 from __future__ import annotations
@@ -46,8 +52,9 @@ import numpy as np
 
 from repro.core.exceptions import PredicateError, QueryError
 from repro.core.lru import LRUCache
+from repro.core.parallel import ParallelExecutor, get_default_executor
 from repro.data.schema import AttributeKind, Schema
-from repro.data.table import Table
+from repro.data.table import Table, TableVersion
 from repro.queries.predicates import (
     And,
     Between,
@@ -61,6 +68,7 @@ from repro.queries.predicates import (
     Or,
     Predicate,
     TruePredicate,
+    evaluate_sharded,
 )
 
 __all__ = [
@@ -185,16 +193,34 @@ class Workload:
 
     # -- evaluation -------------------------------------------------------------
 
-    def evaluate(self, table: Table) -> np.ndarray:
-        """Boolean membership matrix of shape ``(n_rows, L)``."""
-        masks = [pred.evaluate(table) for pred in self._predicates]
+    def evaluate(
+        self, table: Table, executor: ParallelExecutor | None = None
+    ) -> np.ndarray:
+        """Boolean membership matrix of shape ``(n_rows, L)``.
+
+        With an executor (argument, else the process default) and a
+        multi-shard table, every predicate evaluates shard-parallel
+        (:func:`~repro.queries.predicates.evaluate_sharded`); the result is
+        bit-identical to the sequential path.
+        """
+        if executor is None:
+            executor = get_default_executor()
+        if executor is not None and table.n_shards > 1:
+            masks = [
+                evaluate_sharded(pred, table, executor)
+                for pred in self._predicates
+            ]
+        else:
+            masks = [pred.evaluate(table) for pred in self._predicates]
         if not masks:
             return np.zeros((len(table), 0), dtype=bool)
         return np.column_stack(masks)
 
-    def true_answers(self, table: Table) -> np.ndarray:
+    def true_answers(
+        self, table: Table, executor: ParallelExecutor | None = None
+    ) -> np.ndarray:
         """True counts ``c_phi_i(D)`` for every predicate, as a float vector."""
-        return self.evaluate(table).sum(axis=0).astype(float)
+        return self.evaluate(table, executor).sum(axis=0).astype(float)
 
     # -- analysis ---------------------------------------------------------------
 
@@ -204,6 +230,8 @@ class Workload:
         *,
         disjoint: bool | None = None,
         sensitivity: float | None = None,
+        version: TableVersion | None = None,
+        executor: ParallelExecutor | None = None,
     ) -> "WorkloadMatrix":
         """Compute the matrix representation of this workload.
 
@@ -218,20 +246,32 @@ class Workload:
             An explicit sensitivity override; also skips the exact domain
             enumeration (useful for huge cross-attribute workloads such as the
             QT2/QT4 benchmarks, where the sensitivity is known structurally).
+        version:
+            The :attr:`~repro.data.table.Table.version_token` of the table the
+            analysis is performed for.  Part of the memo key: after
+            ``append_rows``/``refresh`` a structurally identical analysis
+            misses and rebuilds rather than resurrecting a matrix derived for
+            a previous state of the data.
+        executor:
+            Optional :class:`~repro.core.parallel.ParallelExecutor` for
+            chunk-parallel domain-cell enumeration (speed only, never part of
+            the memo key).
 
         Results are memoised per workload structure: analysing a
         structurally identical workload (equal predicates and names, same
-        schema object, same overrides) returns the previously built matrix
-        without re-deriving it.
+        schema object, same overrides, same table version) returns the
+        previously built matrix without re-deriving it.
         """
-        key = self._analysis_key(schema, disjoint, sensitivity)
+        key = self._analysis_key(schema, disjoint, sensitivity, version)
         if key is not None:
             cached = _MATRIX_CACHE.get(key)
             if cached is not None:
                 return cached
         structural_hint = disjoint is not None or sensitivity is not None
         if self.supports_domain_analysis and schema is not None and not structural_hint:
-            matrix = WorkloadMatrix.from_domain_analysis(self, schema)
+            matrix = WorkloadMatrix.from_domain_analysis(
+                self, schema, version=version, executor=executor
+            )
         else:
             matrix = WorkloadMatrix.from_structure(
                 self, disjoint=bool(disjoint), sensitivity=sensitivity
@@ -245,6 +285,7 @@ class Workload:
         schema: Schema | None,
         disjoint: bool | None,
         sensitivity: float | None,
+        version: TableVersion | None,
     ) -> tuple | None:
         """Hashable memo key for :meth:`analyze`; ``None`` disables caching.
 
@@ -262,6 +303,7 @@ class Workload:
             None if schema is None else _IdKey(schema),
             disjoint,
             sensitivity,
+            version,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -321,7 +363,9 @@ class WorkloadMatrix:
         self._matrix = matrix
         self._partitions = tuple(partitions)
         self._exact = exact
-        self._histogram_cache: tuple[weakref.ref[Table], np.ndarray] | None = None
+        self._histogram_cache: (
+            tuple[weakref.ref[Table], TableVersion, np.ndarray] | None
+        ) = None
         self._cache_token: object = ("id", _IdKey(self))
         if matrix.size:
             self._sensitivity = float(np.abs(matrix).sum(axis=0).max())
@@ -331,16 +375,30 @@ class WorkloadMatrix:
     # -- constructors -----------------------------------------------------------
 
     @classmethod
-    def from_domain_analysis(cls, workload: Workload, schema: Schema) -> "WorkloadMatrix":
+    def from_domain_analysis(
+        cls,
+        workload: Workload,
+        schema: Schema,
+        *,
+        version: TableVersion | None = None,
+        executor: ParallelExecutor | None = None,
+    ) -> "WorkloadMatrix":
         """Exact, data-independent matrix via vectorized domain-cell enumeration.
 
         Each atomic condition is evaluated once per atom of its attribute,
         then the predicate ASTs are combined over the cell cross-product by
         indexing those per-attribute vectors with broadcast cell coordinates;
         signatures are deduplicated chunk by chunk with bit packing and
-        ``np.unique``.  Semantics (including which cell describes each
-        partition: the first one in cross-product order) match the original
-        per-cell enumeration exactly.
+        ``np.unique``.  With an ``executor`` the chunk loop fans out over the
+        pool and the per-chunk partials are merged by minimal cell index,
+        which reproduces the sequential first-occurrence semantics exactly.
+        Semantics (including which cell describes each partition: the first
+        one in cross-product order) match the original per-cell enumeration.
+
+        ``version`` stamps the matrix's :attr:`cache_token` with the table
+        state the analysis was requested for, so version-aware consumers
+        (the WCQ-SM Monte-Carlo search in particular) never share artifacts
+        across table mutations.
         """
         if not workload.supports_domain_analysis:
             raise QueryError(
@@ -353,12 +411,12 @@ class WorkloadMatrix:
                 f"domain analysis would enumerate {n_cells} cells "
                 f"(limit {MAX_DOMAIN_CELLS}); use structural analysis instead"
             )
-        partitions = _enumerate_partitions(workload, atoms)
+        partitions = _enumerate_partitions(workload, atoms, executor=executor)
         matrix = _signatures_to_matrix(workload.size, partitions)
         instance = cls(workload, matrix, partitions, exact=True)
         token = _structural_token(workload, schema)
         if token is not None:
-            instance._cache_token = ("exact",) + token
+            instance._cache_token = ("exact",) + token + (version,)
         return instance
 
     @classmethod
@@ -439,20 +497,25 @@ class WorkloadMatrix:
 
     # -- data-facing operations --------------------------------------------------
 
-    def partition_histogram(self, table: Table) -> np.ndarray:
+    def partition_histogram(
+        self, table: Table, executor: ParallelExecutor | None = None
+    ) -> np.ndarray:
         """The histogram ``x`` of ``table`` over the workload partitions.
 
         Each row is assigned to the partition matching its predicate
         signature; rows satisfying no predicate fall outside ``dom_W(R)`` and
         are ignored (they contribute to no count).  The histogram is cached
-        per table, held through a weak reference: identity can never alias a
-        recycled ``id()``, and a matrix parked in the module-level memo does
-        not pin a discarded table (and its mask cache) in memory.
+        per (table, version token), held through a weak reference: identity
+        can never alias a recycled ``id()``, the version token makes a
+        histogram computed before ``append_rows`` unservable afterwards, and
+        a matrix parked in the module-level memo does not pin a discarded
+        table (and its mask cache) in memory.
         """
+        version = table.version_token
         cached = self._histogram_cache
-        if cached is not None and cached[0]() is table:
-            return cached[1]
-        membership = self._workload.evaluate(table)
+        if cached is not None and cached[0]() is table and cached[1] == version:
+            return cached[2]
+        membership = self._workload.evaluate(table, executor)
         histogram = np.zeros(self.n_partitions, dtype=float)
         if membership.size == 0:
             return histogram
@@ -481,12 +544,17 @@ class WorkloadMatrix:
                         histogram[i] += count
                 continue
             histogram[j] += count
-        self._histogram_cache = (weakref.ref(table), histogram)
+        if table.version_token == version:
+            # Don't cache an evaluation that straddled a mutation: the
+            # histogram would describe a newer state than ``version``.
+            self._histogram_cache = (weakref.ref(table), version, histogram)
         return histogram
 
-    def true_answers(self, table: Table) -> np.ndarray:
+    def true_answers(
+        self, table: Table, executor: ParallelExecutor | None = None
+    ) -> np.ndarray:
         """True per-predicate counts (equals ``matrix @ partition_histogram``)."""
-        return self._workload.true_answers(table)
+        return self._workload.true_answers(table, executor)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -510,16 +578,22 @@ def _structural_token(workload: Workload, schema: Schema) -> tuple | None:
 
 
 def _enumerate_partitions(
-    workload: Workload, atoms: "dict[str, list[CellValue]]"
+    workload: Workload,
+    atoms: "dict[str, list[CellValue]]",
+    executor: ParallelExecutor | None = None,
 ) -> list[DomainPartition]:
     """Vectorized signature enumeration over the atom cross-product.
 
     Streams the cross-product in chunks (bounded by :data:`_CELL_BUDGET`
     booleans at a time), evaluates every predicate over each chunk by fancy
     indexing per-leaf atom vectors, bit-packs the resulting signature rows and
-    deduplicates them with ``np.unique``.  Partition descriptions come from
-    the first cell (in cross-product order) carrying each signature, matching
-    the original ``itertools.product`` enumeration.
+    deduplicates them with ``np.unique``.  Each chunk produces an independent
+    partial (``signature -> first flat cell index``); partials merge by
+    *minimal* cell index, which equals the sequential first-occurrence rule,
+    so the chunks can run in any order -- including concurrently on
+    ``executor`` -- without changing the result.  Partition descriptions come
+    from the first cell (in cross-product order) carrying each signature,
+    matching the original ``itertools.product`` enumeration.
     """
     attr_names = list(atoms)
     if not attr_names:
@@ -545,10 +619,17 @@ def _enumerate_partitions(
 
     n_predicates = workload.size
     chunk_cells = max(_MIN_CHUNK_CELLS, _CELL_BUDGET // max(n_predicates, 1))
-    # signature bytes -> (signature tuple, first flat cell index)
-    found: dict[bytes, tuple[tuple[bool, ...], int]] = {}
-    for start in range(0, n_cells, chunk_cells):
-        end = min(start + chunk_cells, n_cells)
+    if executor is not None and executor.max_workers > 1:
+        # Split fine enough to keep every worker busy (a few chunks each),
+        # but never below the floor that keeps per-chunk numpy work coarse.
+        per_worker_target = -(-n_cells // (4 * executor.max_workers))
+        chunk_cells = max(_MIN_CHUNK_CELLS, min(chunk_cells, per_worker_target))
+
+    def chunk_partial(
+        bounds: tuple[int, int]
+    ) -> dict[bytes, tuple[tuple[bool, ...], int]]:
+        """signature bytes -> (signature tuple, first flat cell index)."""
+        start, end = bounds
         flat = np.arange(start, end, dtype=np.int64)
         coordinates = {
             name: (flat // strides[j]) % sizes[j]
@@ -562,17 +643,36 @@ def _enumerate_partitions(
         ]
         signatures = np.ascontiguousarray(np.stack(columns, axis=1))
         keep = signatures.any(axis=1)
+        partial: dict[bytes, tuple[tuple[bool, ...], int]] = {}
         if not keep.any():
-            continue
+            return partial
         signatures = signatures[keep]
         flat = flat[keep]
         packed = np.packbits(signatures, axis=1)
+        # np.unique's return_index is the first occurrence, i.e. the minimal
+        # flat index within the chunk.
         _, first_rows = np.unique(packed, axis=0, return_index=True)
         for row in first_rows:
             key = packed[row].tobytes()
-            if key not in found:
-                signature = tuple(bool(v) for v in signatures[row])
-                found[key] = (signature, int(flat[row]))
+            signature = tuple(bool(v) for v in signatures[row])
+            partial[key] = (signature, int(flat[row]))
+        return partial
+
+    ranges = [
+        (start, min(start + chunk_cells, n_cells))
+        for start in range(0, n_cells, chunk_cells)
+    ]
+    if executor is not None and len(ranges) > 1:
+        partials = executor.map(chunk_partial, ranges)
+    else:
+        partials = [chunk_partial(bounds) for bounds in ranges]
+
+    found: dict[bytes, tuple[tuple[bool, ...], int]] = {}
+    for partial in partials:
+        for key, (signature, cell_index) in partial.items():
+            known = found.get(key)
+            if known is None or cell_index < known[1]:
+                found[key] = (signature, cell_index)
 
     partitions = []
     for signature, cell_index in found.values():

@@ -11,58 +11,87 @@ racing to rebuild it.
 :class:`RequestBatcher` implements the classic *single-flight* discipline
 with an optional collection window:
 
-* the first thread to present a key becomes the **leader**: it (optionally)
-  waits ``window`` seconds so that near-simultaneous duplicates can attach,
-  computes the result once, and publishes it;
-* every other thread presenting the same key while the computation is in
-  flight becomes a **follower**: it blocks on the leader's event and returns
-  the shared result without touching the compute path at all.
+* the first thread to present a key becomes the **leader**: it computes the
+  result immediately and publishes it through the flight's event;
+* every thread presenting the same key while the computation is in flight
+  becomes a **follower**: it blocks on the leader's event and returns the
+  shared result without touching the compute path at all;
+* with a positive ``window``, a completed flight *lingers* for ``window``
+  seconds: a duplicate arriving just after a fast computation finished still
+  attaches to the published result instead of recomputing.
+
+The leader never sleeps before computing (earlier revisions parked the
+leader for the full window up front, taxing every request -- including a
+lone warm caller -- with the window's latency); collection now happens
+passively, during the computation and the post-completion linger, so a
+single caller's latency is exactly its compute time.  Followers wake through
+the flight's event the moment the result is published.
 
 Failures propagate: if the leader's computation raises, every follower of
-that flight re-raises the same exception, and the key is retired so a later
-request can retry.
+that flight re-raises a per-follower *copy* of the exception (chained to the
+leader's original via ``__cause__``) -- re-raising the shared object from
+several threads would make the racing ``raise`` statements fight over one
+``__traceback__``.  Failed flights are retired immediately (no linger), so a
+later request retries.
 
-The batcher never caches results across flights -- that is the job of the
-LRU memo layers underneath (:mod:`repro.queries.workload`,
+The batcher never caches results beyond the linger window -- lasting reuse
+is the job of the LRU memo layers underneath
+(:mod:`repro.queries.workload`,
 :class:`~repro.core.translator.AccuracyTranslator`).  It only collapses
-*concurrent* duplicates, which is exactly the case the memos cannot help
-with: a cold matrix build takes long enough that every duplicate arriving
-meanwhile would also miss the cache and duplicate the work.
+*near-simultaneous* duplicates, which is exactly the case the memos cannot
+help with: a cold matrix build takes long enough that every duplicate
+arriving meanwhile would also miss the cache and duplicate the work.  Keys
+must therefore capture the full structural identity of the request --
+including the table's version token (see
+``ExplorationService._batch_key``), so requests straddling an
+``append_rows`` never share a flight.
 """
 
 from __future__ import annotations
 
+import copy
 import threading
 import time
-from typing import Callable, Hashable, TypeVar
+from typing import Callable, Hashable, NoReturn, TypeVar
 
 __all__ = ["RequestBatcher"]
 
 T = TypeVar("T")
 
+#: Flight-map size above which completed-but-lingering flights are swept
+#: eagerly (they are otherwise replaced lazily, key by key).
+_PURGE_THRESHOLD = 128
+
 
 class _Flight:
     """One in-flight computation: the leader's event plus the shared outcome."""
 
-    __slots__ = ("done", "result", "error", "followers")
+    __slots__ = ("done", "result", "error", "followers", "expires_at")
 
     def __init__(self) -> None:
         self.done = threading.Event()
         self.result: object = None
         self.error: BaseException | None = None
         self.followers = 0
+        #: Monotonic deadline until which a *successful* flight keeps serving
+        #: late duplicates; ``None`` while the computation is in flight (and
+        #: forever for failed flights, which are retired immediately).
+        self.expires_at: float | None = None
 
 
 class RequestBatcher:
     """Coalesce concurrent identical requests into one computation.
 
-    :param window: seconds the leader waits before computing, giving
-        near-simultaneous duplicates time to attach to the flight.  ``0``
-        disables the wait (pure single-flight); a couple of milliseconds is
-        plenty for requests arriving "at the same time" from a thread pool.
+    :param window: seconds a completed flight lingers so that
+        near-simultaneous duplicates of a *fast* computation still coalesce.
+        ``0`` disables the linger (pure single-flight: only duplicates
+        arriving while the computation is actually running share it).  The
+        leader never waits on the window -- it only bounds how long a
+        published result keeps serving stragglers.
 
-    Thread-safe.  Statistics (:meth:`stats`) count flights (leader
-    computations), coalesced followers, and failures.
+    Thread-safe.  Statistics (:meth:`stats`) count successful flights
+    (``computed``), coalesced followers (including linger hits), and
+    ``failed`` flights; a failed flight counts only as ``failed``.
     """
 
     def __init__(self, window: float = 0.0) -> None:
@@ -79,13 +108,16 @@ class RequestBatcher:
         """Return ``compute()`` for ``key``, sharing the call with duplicates.
 
         Exactly one of the threads concurrently presenting ``key`` runs
-        ``compute``; the rest receive the same result (or the same raised
-        exception).  ``key`` must capture the full structural identity of the
-        request -- two requests with equal keys must be answerable by the
-        same value.
+        ``compute``; the rest receive the same result (or a per-follower copy
+        of the same raised exception).  ``key`` must capture the full
+        structural identity of the request -- two requests with equal keys
+        must be answerable by the same value.
         """
         with self._lock:
             flight = self._flights.get(key)
+            if flight is not None and self._expired(flight):
+                self._flights.pop(key, None)
+                flight = None
             if flight is not None:
                 flight.followers += 1
                 is_leader = False
@@ -99,27 +131,65 @@ class RequestBatcher:
             with self._lock:
                 self._coalesced += 1
             if flight.error is not None:
-                raise flight.error
+                self._reraise_copy(flight.error)
             return flight.result  # type: ignore[return-value]
 
-        if self.window > 0:
-            time.sleep(self.window)
         try:
             flight.result = compute()
         except BaseException as exc:
             flight.error = exc
             with self._lock:
-                self._failed += 1
-            raise
-        finally:
-            with self._lock:
+                # Failed flights retire immediately: a later request must
+                # retry, never inherit a stale failure.
                 self._flights.pop(key, None)
-                self._computed += 1
+                self._failed += 1
             flight.done.set()
+            raise
+        with self._lock:
+            self._computed += 1
+            if self.window > 0:
+                flight.expires_at = time.monotonic() + self.window
+                if len(self._flights) > _PURGE_THRESHOLD:
+                    self._purge_expired_locked()
+            else:
+                self._flights.pop(key, None)
+        flight.done.set()
         return flight.result  # type: ignore[return-value]
 
+    @staticmethod
+    def _expired(flight: _Flight) -> bool:
+        return (
+            flight.expires_at is not None
+            and time.monotonic() >= flight.expires_at
+        )
+
+    def _purge_expired_locked(self) -> None:
+        """Drop every lingering flight past its deadline (lock held)."""
+        expired = [key for key, flight in self._flights.items() if self._expired(flight)]
+        for key in expired:
+            del self._flights[key]
+
+    @staticmethod
+    def _reraise_copy(error: BaseException) -> NoReturn:
+        """Raise a per-caller copy of the leader's exception.
+
+        Each follower must raise a distinct exception object: concurrent
+        ``raise`` statements on one shared instance would all mutate its
+        ``__traceback__``.  The copy is chained to the original (``raise ...
+        from``) so the leader's traceback stays reachable; if the exception
+        type resists copying, the original is raised as a last resort.
+        """
+        try:
+            copied = copy.copy(error)
+        except Exception:
+            copied = None
+        if isinstance(copied, BaseException) and copied is not error:
+            raise copied from error
+        raise error
+
     def stats(self) -> dict[str, int]:
-        """Counters: ``computed`` flights, ``coalesced`` followers, ``failed``."""
+        """Counters: successful ``computed`` flights, ``coalesced`` followers
+        (waiters and linger hits), ``failed`` flights."""
         with self._lock:
             return {
                 "computed": self._computed,

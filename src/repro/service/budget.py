@@ -88,12 +88,14 @@ class SharedBudgetPool:
     @property
     def spent(self) -> float:
         """Actual privacy loss committed across every analyst."""
-        return self._spent
+        with self._lock:
+            return self._spent
 
     @property
     def reserved(self) -> float:
         """Worst-case loss currently reserved by in-flight queries."""
-        return self._reserved
+        with self._lock:
+            return self._reserved
 
     @property
     def remaining(self) -> float:
@@ -103,8 +105,15 @@ class SharedBudgetPool:
 
     @property
     def merged_transcript(self) -> Transcript:
-        """Cross-analyst transcript in commit order (Theorem 6.2 input)."""
-        return self._merged
+        """Cross-analyst transcript in commit order (Theorem 6.2 input).
+
+        Like every accessor on the pool, the read happens under the pool
+        lock; the returned :class:`~repro.core.accounting.Transcript` is
+        itself internally locked, so iterating it while other analysts keep
+        committing is safe.
+        """
+        with self._lock:
+            return self._merged
 
     # -- reservation protocol -----------------------------------------------------
 
@@ -119,9 +128,16 @@ class SharedBudgetPool:
             return True
 
     def release(self, epsilon_upper: float) -> None:
-        """Return an unused reservation to the pool."""
+        """Return an unused reservation to the pool.
+
+        Releasing more than is currently reserved raises
+        :class:`~repro.core.exceptions.ApexError`: an over-release means a
+        reservation was returned twice (or never taken), and silently
+        clamping at zero would let the accounting bug masquerade as spare
+        headroom.
+        """
         with self._lock:
-            self._reserved = max(self._reserved - epsilon_upper, 0.0)
+            self._consume_reserved_locked(epsilon_upper, "release")
 
     def commit(
         self, epsilon_upper: float, entry: TranscriptEntry, analyst: str
@@ -132,12 +148,22 @@ class SharedBudgetPool:
         acquisition, so the merged transcript's order *is* the commit order
         and its running epsilon prefix sums equal the pool's ``spent`` at
         each commit -- the two facts the Theorem 6.2 validity argument needs.
+        Committing more than is reserved raises, like :meth:`release`.
         """
         with self._lock:
-            self._reserved = max(self._reserved - epsilon_upper, 0.0)
+            self._consume_reserved_locked(epsilon_upper, "commit")
             before = self._spent
             self._spent += entry.epsilon_spent
             return self._record_locked(entry, analyst, before)
+
+    def _consume_reserved_locked(self, epsilon_upper: float, action: str) -> None:
+        """Subtract a reservation, refusing to go below zero (lock held)."""
+        if epsilon_upper > self._reserved + _TOLERANCE:
+            raise ApexError(
+                f"cannot {action} {epsilon_upper:.6g}: only {self._reserved:.6g} "
+                "is reserved -- a reservation was double-released or never taken"
+            )
+        self._reserved = max(self._reserved - epsilon_upper, 0.0)
 
     def record_denial(self, entry: TranscriptEntry, analyst: str) -> TranscriptEntry:
         """Append a denial to the merged transcript (no budget movement)."""

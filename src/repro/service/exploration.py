@@ -40,7 +40,7 @@ from repro.core.accuracy import AccuracySpec
 from repro.core.engine import APExEngine, ExplorationResult
 from repro.core.exceptions import ApexError
 from repro.core.translator import AccuracyTranslator, SelectionMode
-from repro.data.table import Table
+from repro.data.table import Table, TableVersion
 from repro.mechanisms.registry import MechanismRegistry
 from repro.queries.parser import parse_query
 from repro.queries.query import Query
@@ -184,6 +184,43 @@ class ExplorationService:
         """The cross-analyst transcript in commit order."""
         return self._pool.merged_transcript
 
+    # -- owner-facing table mutation ------------------------------------------------
+
+    def append_rows(
+        self, table: str, rows: Sequence[Mapping[str, object]]
+    ) -> TableVersion:
+        """Append rows to a hosted table (streaming ingest between requests).
+
+        Advances the table's version token, which every request-path cache
+        (batch key, translation memo, workload-matrix memo, WCQ-SM search,
+        mask LRU, histogram/true-count caches) keys on -- the next
+        structurally identical request misses everywhere and rebuilds against
+        the grown table.  Requests admitted after this call observe the new
+        version.  A request still *evaluating* when the append lands is not
+        isolated from it: the evaluation reads live storage, so it either
+        completes against a single consistent version or fails loudly on a
+        column-length mismatch (never silently mixes versions -- and the
+        straddle guards keep such a result out of every cache).  Callers
+        that cannot tolerate that loud failure should sequence appends
+        between requests, as the replay scripts and the streaming benchmark
+        do; transparent in-flight snapshots are a ROADMAP open item.
+        """
+        return self._mutable_table(table).append_rows(rows)
+
+    def refresh_table(
+        self, table: str, rows: Sequence[Mapping[str, object]]
+    ) -> TableVersion:
+        """Replace a hosted table's contents wholesale (see ``append_rows``)."""
+        return self._mutable_table(table).refresh(rows)
+
+    def _mutable_table(self, table: str) -> Table:
+        with self._lock:
+            if table not in self._tables:
+                raise ApexError(
+                    f"unknown table {table!r}; service hosts {sorted(self._tables)}"
+                )
+            return self._tables[table]
+
     def validate(self) -> bool:
         """Theorem 6.2: is the merged transcript valid for the owner's ``B``?"""
         return self._pool.merged_transcript.is_valid(self._pool.budget)
@@ -203,6 +240,14 @@ class ExplorationService:
             "budget": self._pool.stats(),
             "policy": self._policy.value,
             "sessions": sessions,
+            "tables": {
+                name: {
+                    "rows": len(tbl),
+                    "shards": tbl.n_shards,
+                    "version": tbl.version_token.ordinal,
+                }
+                for name, tbl in self._tables.items()
+            },
             "batching": self._batcher.stats(),
             "translations": self._translator.cache_stats,
             "workload_matrices": matrix_cache_stats(),
@@ -304,8 +349,10 @@ class ExplorationService:
         handle = self.session(analyst)
         start = time.perf_counter()
         key = self._batch_key(handle, query, accuracy)
-        schema = self._tables[handle.table].schema
-        if key is None or self._translator.is_cached(query, accuracy, schema):
+        table = self._tables[handle.table]
+        if key is None or self._translator.is_cached(
+            query, accuracy, table.schema, version=table.version_token
+        ):
             # Unbatchable, or already warm: the memo answers in microseconds,
             # so paying the coalescing window would only add latency.
             result = handle.engine.preview_cost(query, accuracy)
@@ -359,9 +406,15 @@ class ExplorationService:
     def _batch_key(
         self, handle: AnalystSessionHandle, query: Query, accuracy: AccuracySpec
     ) -> tuple | None:
-        """Structural identity of a preview request; ``None`` disables batching."""
-        schema = self._tables[handle.table].schema
-        query_key = query.cache_key(schema)
+        """Structural identity of a preview request; ``None`` disables batching.
+
+        Includes the table's version token: previews issued before and after
+        an ``append_rows`` are *different* requests, so a post-append
+        duplicate can never coalesce onto (or be answered by) a pre-append
+        flight.
+        """
+        table = self._tables[handle.table]
+        query_key = query.cache_key(table.schema, table.version_token)
         if query_key is None:
             return None
         return ("preview", handle.table, query_key, accuracy.alpha, accuracy.beta)

@@ -49,19 +49,29 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ScriptRequest:
-    """One scripted request: an operation plus a text-language query.
+    """One scripted request: an operation plus its payload.
 
-    :ivar op: ``"explore"`` (spends privacy) or ``"preview"`` (cost only).
-    :ivar text: the query in the declarative language, including its
-        ``ERROR ... CONFIDENCE ...`` clause.
+    :ivar op: ``"explore"`` (spends privacy), ``"preview"`` (cost only), or
+        ``"append_rows"`` (streaming ingest: the owner grows the table
+        between analyst requests, advancing its version token).
+    :ivar text: for ``explore``/``preview``, the query in the declarative
+        language, including its ``ERROR ... CONFIDENCE ...`` clause.
+    :ivar rows: for ``append_rows``, the ``{attribute: value}`` dicts to
+        append (missing keys become NULL).
     """
 
     op: str
-    text: str
+    text: str = ""
+    rows: tuple[dict, ...] = ()
 
     def __post_init__(self) -> None:
-        if self.op not in ("explore", "preview"):
+        if self.op not in ("explore", "preview", "append_rows"):
             raise ApexError(f"unknown script op {self.op!r}")
+        if self.op == "append_rows":
+            if not self.rows:
+                raise ApexError("an append_rows request needs a non-empty 'rows' list")
+        elif not self.text:
+            raise ApexError(f"a {self.op!r} request needs a query 'text'")
 
 
 @dataclass(frozen=True)
@@ -240,7 +250,12 @@ def load_script(path: str) -> list[AnalystScript]:
     scripts = []
     for spec in payload.get("analysts", []):
         requests = tuple(
-            ScriptRequest(op=r["op"], text=r["text"]) for r in spec["requests"]
+            ScriptRequest(
+                op=r["op"],
+                text=r.get("text", ""),
+                rows=tuple(dict(row) for row in r.get("rows", ())),
+            )
+            for r in spec["requests"]
         )
         scripts.append(
             AnalystScript(
@@ -279,6 +294,23 @@ def replay(
         for request in script.requests:
             outcome: RequestOutcome
             try:
+                if request.op == "append_rows":
+                    version = service.append_rows(script.table, request.rows)
+                    with report_lock:
+                        report.outcomes.append(
+                            RequestOutcome(
+                                analyst=script.analyst,
+                                op=request.op,
+                                query_name=(
+                                    f"append_rows[{len(request.rows)} rows -> "
+                                    f"v{version.ordinal}]"
+                                ),
+                                denied=False,
+                                mechanism=None,
+                                epsilon_spent=0.0,
+                            )
+                        )
+                    continue  # no query to parse; outcome already recorded
                 query, accuracy = parse_query(request.text)
                 if accuracy is None:
                     raise ApexError("scripted queries must carry ERROR/CONFIDENCE")

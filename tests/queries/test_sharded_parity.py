@@ -1,0 +1,284 @@
+"""Sharded/parallel evaluation matches the single-shard reference semantics.
+
+Parallelism must never change results: shard-parallel predicate masks and
+chunk-parallel domain analysis are required to be bit-identical to the
+row-at-a-time / cell-at-a-time reference implementations in
+:mod:`repro.queries.reference`, including SQL NULL handling and
+inclusive/exclusive interval bounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import (
+    ParallelExecutor,
+    get_default_executor,
+    set_default_executor,
+)
+from repro.data.schema import (
+    Attribute,
+    CategoricalDomain,
+    NumericDomain,
+    Schema,
+)
+from repro.data.table import Table
+from repro.queries.predicates import (
+    And,
+    Between,
+    Comparison,
+    In,
+    IsNull,
+    Not,
+    Or,
+    evaluate_sharded,
+)
+from repro.queries.reference import reference_domain_matrix, reference_mask
+from repro.queries.workload import Workload, WorkloadMatrix
+
+
+def parity_schema() -> Schema:
+    return Schema(
+        [
+            Attribute("state", CategoricalDomain(("CA", "NY", "TX", "WA")), nullable=True),
+            Attribute("kind", CategoricalDomain(("gold", "silver")), nullable=True),
+            Attribute("score", NumericDomain(0, 100), nullable=True),
+        ],
+        name="ShardParity",
+    )
+
+
+def random_rows(rng: np.random.Generator, n: int) -> list[dict]:
+    states = ("CA", "NY", "TX", "WA")
+    kinds = ("gold", "silver")
+    rows = []
+    for _ in range(n):
+        rows.append(
+            {
+                "state": None if rng.random() < 0.15 else states[rng.integers(4)],
+                "kind": None if rng.random() < 0.1 else kinds[rng.integers(2)],
+                "score": None if rng.random() < 0.2 else float(rng.integers(0, 101)),
+            }
+        )
+    return rows
+
+
+def sharded_and_flat(rng: np.random.Generator, shard_sizes=(40, 25, 35)):
+    """One multi-shard table plus its single-shard equivalent."""
+    schema = parity_schema()
+    chunks = [random_rows(rng, n) for n in shard_sizes]
+    table = Table.from_rows(schema, chunks[0])
+    for chunk in chunks[1:]:
+        table.append_rows(chunk)
+    flat = Table.from_rows(schema, [row for chunk in chunks for row in chunk])
+    return table, flat
+
+
+EDGE_PREDICATES = [
+    Comparison("state", "==", "CA"),
+    Comparison("state", "!=", "CA"),
+    In("state", ["NY", "TX"]),
+    IsNull("score"),
+    IsNull("score", negated=True),
+    Between("score", 10.0, 50.0, low_inclusive=True, high_inclusive=True),
+    Between("score", 10.0, 50.0, low_inclusive=False, high_inclusive=False),
+    Comparison("score", ">=", 50.0),
+    Comparison("score", ">", 50.0),
+    Comparison("score", "==", 50.0),
+    And([Comparison("kind", "==", "gold"), Between("score", 0.0, 25.0)]),
+    Or([IsNull("state"), Comparison("score", "<", 5.0)]),
+    Not(Or([Comparison("state", "==", "TX"), IsNull("kind")])),
+]
+
+
+class TestShardedMaskParity:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_edge_predicates_bit_identical(self, workers):
+        rng = np.random.default_rng(42)
+        table, flat = sharded_and_flat(rng)
+        with ParallelExecutor(workers) as executor:
+            for predicate in EDGE_PREDICATES:
+                expected = reference_mask(predicate, flat)
+                actual = evaluate_sharded(predicate, table, executor)
+                assert np.array_equal(expected, actual), predicate.describe()
+
+    def test_workload_evaluate_matches_flat_membership(self):
+        rng = np.random.default_rng(7)
+        table, flat = sharded_and_flat(rng)
+        workload = Workload(EDGE_PREDICATES)
+        with ParallelExecutor(3) as executor:
+            sharded = workload.evaluate(table, executor)
+        assert np.array_equal(sharded, workload.evaluate(flat))
+        assert np.array_equal(
+            workload.true_answers(table), workload.true_answers(flat)
+        )
+
+    def test_sharded_evaluation_after_append_includes_new_rows(self):
+        rng = np.random.default_rng(9)
+        table, flat = sharded_and_flat(rng)
+        workload = Workload(EDGE_PREDICATES)
+        with ParallelExecutor(2) as executor:
+            workload.evaluate(table, executor)  # warm every shard view
+            extra = random_rows(rng, 30)
+            table.append_rows(extra)
+            grown_flat = Table.from_rows(
+                parity_schema(), flat.to_rows() + extra
+            )
+            sharded = workload.evaluate(table, executor)
+        expected = np.column_stack(
+            [reference_mask(p, grown_flat) for p in workload.predicates]
+        )
+        assert np.array_equal(sharded, expected)
+
+    def test_non_row_local_function_predicates_are_not_split(self):
+        """An opaque callable may compute cross-row state (here: a mean), so
+        shard-splitting it would silently change the result; it must be
+        evaluated over the whole table."""
+        from repro.queries.predicates import FunctionPredicate
+
+        rng = np.random.default_rng(13)
+        table, flat = sharded_and_flat(rng)
+
+        def above_global_mean(t):
+            scores = t.numeric_values("score")
+            return scores > np.nanmean(scores)
+
+        predicate = FunctionPredicate(
+            "score > mean(score)", above_global_mean, attributes=("score",)
+        )
+        expected = predicate.evaluate(flat)
+        with ParallelExecutor(4) as executor:
+            sharded = evaluate_sharded(predicate, table, executor)
+            in_workload = Workload([predicate, Comparison("state", "==", "CA")]).evaluate(
+                table, executor
+            )
+        assert np.array_equal(sharded, expected)
+        assert np.array_equal(in_workload[:, 0], expected)
+
+    def test_straddling_evaluation_is_not_cached_under_either_version(self):
+        """A mutation landing during a mask evaluation must not poison the
+        mask LRU: the computed mask describes a newer state than the
+        captured token."""
+        from repro.queries.predicates import FunctionPredicate
+
+        rng = np.random.default_rng(17)
+        table, _ = sharded_and_flat(rng)
+        appended = []
+
+        def append_mid_evaluation(t):
+            if not appended:  # only on the first (straddling) evaluation
+                appended.append(t.append_rows(random_rows(rng, 10)))
+            return np.ones(len(t), dtype=bool)
+
+        predicate = FunctionPredicate("straddler", append_mid_evaluation)
+        v0 = table.version_token
+        mask = predicate.evaluate(table)
+        assert len(mask) == len(table)  # evaluated over the grown rows
+        assert table.version_token != v0
+        # Neither the old nor the new version may serve the straddling mask.
+        assert table.cached_mask(predicate) is None
+        assert table.cached_mask(predicate, v0) is None
+        # A clean re-evaluation caches normally under the new version.
+        again = predicate.evaluate(table)
+        assert table.cached_mask(predicate) is again
+
+    def test_default_executor_is_picked_up(self):
+        rng = np.random.default_rng(11)
+        table, flat = sharded_and_flat(rng)
+        predicate = Between("score", 20.0, 80.0)
+        executor = ParallelExecutor(2)
+        previous = set_default_executor(executor)
+        try:
+            assert get_default_executor() is executor
+            actual = evaluate_sharded(predicate, table)
+            assert np.array_equal(actual, reference_mask(predicate, flat))
+        finally:
+            set_default_executor(previous)
+            executor.shutdown()
+
+
+class TestParallelDomainAnalysisParity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_workloads_bit_identical(self, seed):
+        from tests.queries.test_vectorized_parity import (
+            parity_schema as reference_schema,
+            random_predicate,
+        )
+
+        rng = np.random.default_rng(500 + seed)
+        schema = reference_schema()
+        workload = Workload(
+            [random_predicate(rng) for _ in range(int(rng.integers(3, 9)))]
+        )
+        expected_matrix, expected_partitions = reference_domain_matrix(
+            workload, schema
+        )
+        with ParallelExecutor(4) as executor:
+            analysis = WorkloadMatrix.from_domain_analysis(
+                workload, schema, executor=executor
+            )
+        assert np.array_equal(analysis.matrix, expected_matrix)
+        assert [(p.signature, p.description) for p in analysis.partitions] == [
+            (p.signature, p.description) for p in expected_partitions
+        ]
+
+    def test_forced_multi_chunk_parallel_parity(self, monkeypatch):
+        """Tiny chunks + a pool: cross-chunk min-index merge must reproduce
+        the sequential first-occurrence descriptions exactly."""
+        import repro.queries.workload as workload_module
+
+        from tests.queries.test_vectorized_parity import (
+            parity_schema as reference_schema,
+            random_predicate,
+        )
+
+        monkeypatch.setattr(workload_module, "_CELL_BUDGET", 1)
+        monkeypatch.setattr(workload_module, "_MIN_CHUNK_CELLS", 5)
+        rng = np.random.default_rng(321)
+        schema = reference_schema()
+        workload = Workload([random_predicate(rng) for _ in range(8)])
+        expected_matrix, expected_partitions = reference_domain_matrix(
+            workload, schema
+        )
+        with ParallelExecutor(4) as executor:
+            analysis = WorkloadMatrix.from_domain_analysis(
+                workload, schema, executor=executor
+            )
+        assert np.array_equal(analysis.matrix, expected_matrix)
+        assert [(p.signature, p.description) for p in analysis.partitions] == [
+            (p.signature, p.description) for p in expected_partitions
+        ]
+
+
+class TestParallelExecutor:
+    def test_map_preserves_order(self):
+        with ParallelExecutor(4) as executor:
+            assert executor.map(lambda x: x * x, range(20)) == [
+                x * x for x in range(20)
+            ]
+
+    def test_single_worker_runs_inline(self):
+        import threading
+
+        with ParallelExecutor(1) as executor:
+            idents = executor.map(lambda _: threading.get_ident(), range(5))
+        assert set(idents) == {threading.get_ident()}
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            if x == 3:
+                raise ValueError("boom")
+            return x
+
+        with ParallelExecutor(4) as executor:
+            with pytest.raises(ValueError, match="boom"):
+                executor.map(boom, range(8))
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(0)
+
+    def test_shutdown_is_idempotent(self):
+        executor = ParallelExecutor(2)
+        executor.map(lambda x: x, range(4))
+        executor.shutdown()
+        executor.shutdown()

@@ -10,24 +10,34 @@ from repro.service.batching import RequestBatcher
 
 class TestRequestBatcher:
     def test_concurrent_identical_requests_compute_once(self):
-        batcher = RequestBatcher(window=0.02)
+        batcher = RequestBatcher(window=0.0)
         n_threads = 8
         calls = []
-        barrier = threading.Barrier(n_threads)
+        started = threading.Event()
+        release = threading.Event()
         results = [None] * n_threads
 
         def compute():
             calls.append(threading.get_ident())
+            started.set()
+            release.wait(timeout=5)
             return "answer"
 
         def ask(i):
-            barrier.wait()
             results[i] = batcher.submit("key", compute)
 
-        threads = [threading.Thread(target=ask, args=(i,)) for i in range(n_threads)]
-        for t in threads:
+        leader = threading.Thread(target=ask, args=(0,))
+        leader.start()
+        assert started.wait(timeout=5)
+        followers = [
+            threading.Thread(target=ask, args=(i,)) for i in range(1, n_threads)
+        ]
+        for t in followers:
             t.start()
-        for t in threads:
+        time.sleep(0.05)  # let every follower attach to the in-flight computation
+        release.set()
+        leader.join()
+        for t in followers:
             t.join()
 
         assert len(calls) == 1
@@ -50,32 +60,117 @@ class TestRequestBatcher:
         assert batcher.submit("k", lambda: next(values)) == 10
         assert batcher.submit("k", lambda: next(values)) == 20
 
+    def test_window_lingers_published_result_for_stragglers(self):
+        """Within the window a duplicate of a *completed* fast flight still
+        coalesces instead of recomputing (the window moved from a leader
+        pre-sleep to a post-completion linger)."""
+        batcher = RequestBatcher(window=30.0)
+        values = iter([10, 20])
+        assert batcher.submit("k", lambda: next(values)) == 10
+        assert batcher.submit("k", lambda: next(values)) == 10  # linger hit
+        stats = batcher.stats()
+        assert stats["computed"] == 1
+        assert stats["coalesced"] == 1
+
+    def test_window_expiry_recomputes(self):
+        batcher = RequestBatcher(window=0.02)
+        values = iter([10, 20])
+        assert batcher.submit("k", lambda: next(values)) == 10
+        time.sleep(0.03)
+        assert batcher.submit("k", lambda: next(values)) == 20
+        assert batcher.stats()["computed"] == 2
+
+    def test_leader_never_sleeps_before_computing(self):
+        """A lone caller's latency is its compute time, not the window."""
+        batcher = RequestBatcher(window=5.0)
+        start = time.perf_counter()
+        assert batcher.submit("k", lambda: "warm") == "warm"
+        assert time.perf_counter() - start < 1.0
+
     def test_leader_failure_propagates_to_followers(self):
-        batcher = RequestBatcher(window=0.05)
-        n_threads = 4
-        barrier = threading.Barrier(n_threads)
+        batcher = RequestBatcher(window=0.0)
+        n_followers = 3
+        started = threading.Event()
+        release = threading.Event()
         errors = []
 
         def compute():
+            started.set()
+            release.wait(timeout=5)
             raise ValueError("boom")
 
         def ask():
-            barrier.wait()
             try:
                 batcher.submit("key", compute)
             except ValueError as exc:
-                errors.append(str(exc))
+                errors.append(exc)
 
-        threads = [threading.Thread(target=ask) for _ in range(n_threads)]
-        for t in threads:
+        leader = threading.Thread(target=ask)
+        leader.start()
+        assert started.wait(timeout=5)
+        followers = [threading.Thread(target=ask) for _ in range(n_followers)]
+        for t in followers:
             t.start()
-        for t in threads:
+        time.sleep(0.05)  # let every follower attach to the flight
+        release.set()
+        leader.join()
+        for t in followers:
             t.join()
 
-        assert errors == ["boom"] * n_threads
-        assert batcher.stats()["failed"] == 1
-        # The key is retired: a retry computes fresh.
+        assert [str(e) for e in errors] == ["boom"] * (n_followers + 1)
+        stats = batcher.stats()
+        assert stats["failed"] == 1
+        # A failed flight is not a computation.
+        assert stats["computed"] == 0
+        # The key is retired immediately (no linger for failures): a retry
+        # computes fresh.
         assert batcher.submit("key", lambda: "ok") == "ok"
+
+    def test_followers_raise_distinct_exception_copies(self):
+        """Concurrent re-raises must not fight over one shared traceback."""
+        batcher = RequestBatcher(window=0.0)
+        n_followers = 3
+        started = threading.Event()
+        release = threading.Event()
+        errors = []
+        errors_lock = threading.Lock()
+
+        def compute():
+            started.set()
+            release.wait(timeout=5)
+            raise ValueError("boom")
+
+        def ask():
+            try:
+                batcher.submit("key", compute)
+            except ValueError as exc:
+                with errors_lock:
+                    errors.append(exc)
+
+        leader = threading.Thread(target=ask)
+        leader.start()
+        assert started.wait(timeout=5)
+        followers = [threading.Thread(target=ask) for _ in range(n_followers)]
+        for t in followers:
+            t.start()
+        time.sleep(0.05)
+        release.set()
+        leader.join()
+        for t in followers:
+            t.join()
+
+        assert len(errors) == n_followers + 1
+        # Every raised object is distinct; followers chain to the leader's
+        # original, whose traceback stays that of the leader's raise.
+        assert len({id(e) for e in errors}) == n_followers + 1
+        originals = [e for e in errors if e.__cause__ is None]
+        assert len(originals) == 1
+        original = originals[0]
+        for copy_exc in errors:
+            if copy_exc is original:
+                continue
+            assert copy_exc.__cause__ is original
+            assert str(copy_exc) == "boom"
 
     def test_negative_window_rejected(self):
         with pytest.raises(ValueError):

@@ -118,6 +118,58 @@ class TestSharedBudgetPool:
         pool.release(0.7)
         assert pool.remaining == pytest.approx(1.0)
 
+    def test_over_release_raises_instead_of_clamping(self):
+        """A double release means broken reservation accounting; clamping at
+        zero would silently mask it as spare headroom."""
+        pool = SharedBudgetPool(1.0)
+        assert pool.try_reserve(0.7)
+        pool.release(0.7)
+        with pytest.raises(ApexError, match="double-released or never taken"):
+            pool.release(0.7)
+        assert pool.reserved == pytest.approx(0.0)
+        assert pool.remaining == pytest.approx(1.0)
+
+    def test_release_without_reservation_raises(self):
+        pool = SharedBudgetPool(1.0)
+        with pytest.raises(ApexError):
+            pool.release(0.1)
+
+    def test_locked_accessors_are_consistent_under_concurrency(self):
+        """spent/reserved/remaining read under the pool lock: a racing
+        reader can never observe torn accounting (e.g. spent and reserved
+        both counting the same epsilon)."""
+        import threading
+
+        pool = SharedBudgetPool(1_000.0)
+        ledger = SessionLedger(pool, 1_000.0, "racer")
+        stop = threading.Event()
+        violations = []
+
+        def reader():
+            while not stop.is_set():
+                stats = pool.stats()
+                total = stats["spent"] + stats["reserved"]
+                if total > pool.budget + 1e-9:
+                    violations.append(total)
+                # Property reads must agree with the invariant too.
+                if pool.spent + pool.reserved > pool.budget + 1e-9:
+                    violations.append((pool.spent, pool.reserved))
+
+        def writer():
+            for i in range(300):
+                ledger.charge(**charge_kwargs(ledger, 0.01, 0.005, name=f"q{i}"))
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        writer()
+        stop.set()
+        for t in threads:
+            t.join()
+        assert violations == []
+        assert pool.spent == pytest.approx(300 * 0.005)
+        assert pool.reserved == pytest.approx(0.0)
+
     def test_merged_transcript_commit_order(self):
         pool = SharedBudgetPool(2.0)
         alice = SessionLedger(pool, 2.0, "alice")
