@@ -4,7 +4,7 @@
 Equivalent to ``python -m repro.bench``; kept next to the pytest benchmarks
 so the whole perf surface lives in one directory.  Usage::
 
-    python benchmarks/run_bench.py [--quick] [--suite engine|service|all]
+    python benchmarks/run_bench.py [--quick] [--suite engine|service|shards|snapshots|all]
     python benchmarks/run_bench.py --suite engine --output out.json
 """
 

@@ -51,6 +51,7 @@ from repro.core import (
 )
 from repro.data import (
     Table,
+    TableSnapshot,
     Schema,
     Attribute,
     CategoricalDomain,
@@ -114,6 +115,7 @@ __all__ = [
     "BudgetExceededError",
     # data
     "Table",
+    "TableSnapshot",
     "Schema",
     "Attribute",
     "CategoricalDomain",

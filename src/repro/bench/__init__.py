@@ -9,8 +9,10 @@
 * :mod:`repro.bench.reporting` -- plain-text rendering of the results in the
   shape the paper reports them.
 * :mod:`repro.bench.microbench` -- timed microbenchmarks for the vectorized
-  predicate / domain-analysis engine (``BENCH_1``) and the concurrent
-  multi-analyst service (``BENCH_2``), run via ``python -m repro.bench``.
+  predicate / domain-analysis engine (``BENCH_1``), the concurrent
+  multi-analyst service (``BENCH_2``), the sharded/versioned backend
+  (``BENCH_3``) and the snapshot/compaction/interning layer (``BENCH_4``),
+  run via ``python -m repro.bench``.
 """
 
 from repro.bench.queries import (

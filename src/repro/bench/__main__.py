@@ -3,15 +3,17 @@
 Intended for CI smoke use (``--quick``) and for regenerating the perf
 trajectory after engine changes::
 
-    python -m repro.bench                 # all suites -> BENCH_1/2/3.json
+    python -m repro.bench                 # all suites -> BENCH_1/2/3/4.json
     python -m repro.bench --suite engine  # vectorized-engine suite only
     python -m repro.bench --suite service # concurrency/batching suite only
     python -m repro.bench --suite shards  # sharded/versioned backend suite only
+    python -m repro.bench --suite snapshots  # snapshot/compaction/interning suite
     python -m repro.bench --quick         # scaled down, same checks
     python -m repro.bench --suite engine --output out.json
 
 Exit status is non-zero when any parity, cache, budget-safety,
-transcript-validity or staleness-invalidation assertion fails.
+transcript-validity, staleness-invalidation or snapshot-isolation assertion
+fails.
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ from repro.bench.microbench import (
     run_microbenchmarks,
     run_service_microbenchmarks,
     run_shard_microbenchmarks,
+    run_snapshot_microbenchmarks,
 )
 from repro.bench.reporting import write_bench_json
 
@@ -133,6 +136,76 @@ def _print_shard_summary(payload: dict, output: str) -> int:
     return failures
 
 
+def _print_snapshot_summary(payload: dict, output: str) -> int:
+    wait_free = payload["wait_free_reads"]
+    compaction = payload["compaction"]
+    interning = payload["shared_interning"]
+    print(f"wrote {output}")
+    print(
+        f"wait-free reads: {wait_free['reads_completed']} snapshot reads while "
+        f"{wait_free['n_appends']} x {wait_free['rows_per_append']} rows "
+        f"appended ({wait_free['n_rows_start']} -> {wait_free['n_rows_end']} "
+        f"rows): errors={len(wait_free['reader_errors'])}, "
+        f"pinned_reread_identical={wait_free['pinned_reread_identical']}, "
+        f"pinned_matches_reference={wait_free['pinned_matches_reference']}"
+    )
+    print(
+        f"compaction: {compaction['n_shards_before']} -> "
+        f"{compaction['n_shards_after']} shards: cold eval "
+        f"{compaction['fragmented_cold_seconds']:.4f}s -> "
+        f"{compaction['compacted_cold_seconds']:.4f}s "
+        f"({compaction['speedup']:.2f}x, parity={compaction['parity']}, "
+        f"version_unchanged={compaction['version_token_unchanged']})"
+    )
+    print(
+        f"shared interning: +{interning['append_rows']} rows on "
+        f"{interning['n_rows']}: incremental "
+        f"{interning['incremental_seconds']:.4f}s vs full re-intern "
+        f"{interning['full_reintern_seconds']:.4f}s "
+        f"({interning['speedup']:.1f}x, parity={interning['parity']})"
+    )
+    failures = 0
+    if not wait_free["wait_free"]:
+        print(
+            f"FAILURE: snapshot readers hit errors under a concurrent "
+            f"appender: {wait_free['reader_errors']}",
+            file=sys.stderr,
+        )
+        failures += 1
+    if not (
+        wait_free["pinned_reread_identical"]
+        and wait_free["pinned_matches_reference"]
+    ):
+        print(
+            "FAILURE: a pinned snapshot's answers drifted under appends",
+            file=sys.stderr,
+        )
+        failures += 1
+    if not compaction["parity"] or not compaction["version_token_unchanged"]:
+        print(
+            "FAILURE: compaction changed more than the physical layout",
+            file=sys.stderr,
+        )
+        failures += 1
+    if compaction["n_shards_after"] >= compaction["n_shards_before"]:
+        print("FAILURE: compaction did not reduce the shard count", file=sys.stderr)
+        failures += 1
+    if not interning["parity"]:
+        print(
+            "FAILURE: shared-dictionary codes diverge from a full re-intern",
+            file=sys.stderr,
+        )
+        failures += 1
+    if interning["speedup"] < 2.0:
+        print(
+            f"FAILURE: shared-dictionary interning speedup "
+            f"{interning['speedup']:.2f}x is below the 2x target",
+            file=sys.stderr,
+        )
+        failures += 1
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -145,7 +218,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("engine", "service", "shards", "all"),
+        choices=("engine", "service", "shards", "snapshots", "all"),
         default="all",
         help="which suite to run (default: all)",
     )
@@ -154,14 +227,14 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="path of the JSON payload; only valid with a single --suite "
         "(defaults: BENCH_1.json for engine, BENCH_2.json for service, "
-        "BENCH_3.json for shards)",
+        "BENCH_3.json for shards, BENCH_4.json for snapshots)",
     )
     parser.add_argument(
         "--seed", type=int, default=20190501, help="seed for the synthetic table"
     )
     args = parser.parse_args(argv)
     if args.output is not None and args.suite == "all":
-        parser.error("--output requires --suite engine or --suite service")
+        parser.error("--output requires a single --suite")
 
     failures = 0
     if args.suite in ("engine", "all"):
@@ -179,6 +252,11 @@ def main(argv: list[str] | None = None) -> int:
         payload = run_shard_microbenchmarks(quick=args.quick, seed=args.seed)
         write_bench_json(output, payload)
         failures += _print_shard_summary(payload, output)
+    if args.suite in ("snapshots", "all"):
+        output = args.output or "BENCH_4.json"
+        payload = run_snapshot_microbenchmarks(quick=args.quick, seed=args.seed)
+        write_bench_json(output, payload)
+        failures += _print_snapshot_summary(payload, output)
     return 1 if failures else 0
 
 

@@ -48,11 +48,27 @@ backend and the :class:`~repro.core.parallel.ParallelExecutor`:
   match the reference semantics on the grown data -- no stale artifact
   survives the mutation.
 
+The **snapshots suite** (``BENCH_4``) measures the snapshot-isolated read
+path, shard compaction and the shared category dictionary:
+
+* **wait-free reads** -- a reader pinning a snapshot per read while a
+  background thread appends chunks; the payload records zero reader errors
+  (the pre-snapshot engine raised shape-check errors here), that a pinned
+  snapshot re-reads bit-for-bit identically after every append, and that
+  pinned counts match the row-at-a-time reference semantics;
+* **compaction** -- cold shard-parallel workload evaluation over a
+  deliberately fragmented layout (auto-compaction off, many tiny appends)
+  before and after ``Table.compact()``, with the layout-only contract
+  pinned: same version token, bit-identical counts, fewer shards;
+* **shared interning** -- post-append dictionary encoding: per-shard
+  interning plus concatenation vs an honest full re-intern of the grown
+  column from scratch.
+
 ``run_microbenchmarks`` / ``run_service_microbenchmarks`` /
-``run_shard_microbenchmarks`` collect each suite into one JSON-serialisable
-payload; the ``python -m repro.bench`` entry point (and
-``benchmarks/run_bench.py``) writes them to ``BENCH_1.json``,
-``BENCH_2.json`` and ``BENCH_3.json``.  All seeds are fixed, so CI can smoke
+``run_shard_microbenchmarks`` / ``run_snapshot_microbenchmarks`` collect
+each suite into one JSON-serialisable payload; the ``python -m repro.bench``
+entry point (and ``benchmarks/run_bench.py``) writes them to
+``BENCH_1.json`` ... ``BENCH_4.json``.  All seeds are fixed, so CI can smoke
 every suite with ``--quick``.
 """
 
@@ -105,9 +121,13 @@ __all__ = [
     "bench_sharded_domain_analysis",
     "bench_sharded_mask_evaluation",
     "bench_streaming_invalidation",
+    "bench_wait_free_reads",
+    "bench_compaction",
+    "bench_shared_interning",
     "run_microbenchmarks",
     "run_service_microbenchmarks",
     "run_shard_microbenchmarks",
+    "run_snapshot_microbenchmarks",
 ]
 
 _REGIONS = tuple(f"region-{i:02d}" for i in range(12))
@@ -798,6 +818,279 @@ def bench_streaming_invalidation(
             and misses_2 > misses_1  # ...and rebuilds against the new version
             and counts_match
         ),
+    }
+
+
+def bench_wait_free_reads(
+    *,
+    n_rows: int = 100_000,
+    n_appends: int = 40,
+    rows_per_append: int = 500,
+    append_interval_seconds: float = 0.003,
+    n_predicates: int = 32,
+    n_amount_cuts: int = 20,
+    seed: int = 20190501,
+) -> dict[str, object]:
+    """A reader hammering snapshots while a background appender grows the table.
+
+    The adversarial scenario for the snapshot read path: ``append_rows``
+    lands *during* evaluation, not between requests.  The appender paces its
+    chunks by ``append_interval_seconds`` (modelling a stream that arrives
+    over time, and guaranteeing genuine interleaving even on fast hosts);
+    the reader pins a snapshot per read and counts the workload.  The
+    payload records that no read ever failed (the pre-snapshot engine raised
+    shape-check errors here), that a pinned snapshot re-read after all
+    appends is bit-for-bit identical to its first read, and that the pinned
+    counts match the row-at-a-time reference semantics for the pinned rows.
+    """
+    import threading
+
+    workload = build_bench_workload(n_predicates, n_amount_cuts=n_amount_cuts)
+    table = build_bench_table(n_rows, seed=seed)
+    append_source = build_bench_table(rows_per_append * n_appends, seed=seed + 1)
+    append_chunks = [
+        {
+            name: append_source.column(name)[
+                i * rows_per_append : (i + 1) * rows_per_append
+            ]
+            for name in table.schema.attribute_names
+        }
+        for i in range(n_appends)
+    ]
+
+    pinned = table.snapshot()
+    pinned_first = workload.true_answers(pinned).copy()
+
+    errors: list[str] = []
+    reads = 0
+    read_seconds: list[float] = []
+    stop = threading.Event()
+
+    def appender() -> None:
+        try:
+            for chunk in append_chunks:
+                table.append_columns(dict(chunk))
+                if append_interval_seconds:
+                    time.sleep(append_interval_seconds)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(f"appender: {exc!r}")
+        finally:
+            stop.set()
+
+    thread = threading.Thread(target=appender)
+    wall_start = time.perf_counter()
+    thread.start()
+    try:
+        while not stop.is_set():
+            start = time.perf_counter()
+            try:
+                snap = table.snapshot()
+                counts = workload.true_answers(snap)
+                if len(counts) != workload.size:
+                    errors.append("reader: short counts vector")
+            except BaseException as exc:
+                errors.append(f"reader: {exc!r}")
+                break
+            read_seconds.append(time.perf_counter() - start)
+            reads += 1
+    finally:
+        thread.join()
+    wall_seconds = time.perf_counter() - wall_start
+
+    pinned_again = workload.true_answers(pinned)
+    pinned_stable = bool(np.array_equal(pinned_first, pinned_again))
+    reference_counts = np.array(
+        [reference_mask(p, pinned).sum() for p in workload.predicates],
+        dtype=float,
+    )
+    pinned_matches_reference = bool(np.array_equal(pinned_first, reference_counts))
+
+    return {
+        "n_rows_start": n_rows,
+        "n_rows_end": len(table),
+        "n_appends": n_appends,
+        "rows_per_append": rows_per_append,
+        "append_interval_seconds": append_interval_seconds,
+        "n_predicates": workload.size,
+        "reads_completed": reads,
+        "wall_seconds": wall_seconds,
+        "mean_read_seconds": (
+            sum(read_seconds) / len(read_seconds) if read_seconds else 0.0
+        ),
+        "max_read_seconds": max(read_seconds, default=0.0),
+        "reader_errors": errors,
+        "wait_free": bool(not errors),
+        "pinned_reread_identical": pinned_stable,
+        "pinned_matches_reference": pinned_matches_reference,
+        "final_n_shards": table.n_shards,
+    }
+
+
+def bench_compaction(
+    *,
+    n_rows: int = 100_000,
+    n_appends: int = 150,
+    rows_per_append: int = 100,
+    n_predicates: int = 32,
+    n_amount_cuts: int = 20,
+    workers: int = 4,
+    seed: int = 20190501,
+) -> dict[str, object]:
+    """Cold shard-parallel evaluation before and after :meth:`Table.compact`.
+
+    Builds a deliberately fragmented table (auto-compaction off, many tiny
+    appends), measures a cold shard-parallel workload evaluation over the
+    fragmented layout, compacts, and measures again.  The payload pins that
+    compaction changed only the layout: same version token, bit-identical
+    counts, fewer shards.
+    """
+    from repro.core.parallel import ParallelExecutor
+
+    workload = build_bench_workload(n_predicates, n_amount_cuts=n_amount_cuts)
+    base = build_bench_table(n_rows, seed=seed)
+    table = Table(
+        base.schema,
+        {name: base.column(name) for name in base.schema.attribute_names},
+        auto_compact=False,
+    )
+    extra = build_bench_table(rows_per_append * n_appends, seed=seed + 1)
+    for i in range(n_appends):
+        table.append_columns(
+            {
+                name: extra.column(name)[
+                    i * rows_per_append : (i + 1) * rows_per_append
+                ]
+                for name in table.schema.attribute_names
+            }
+        )
+
+    def run_cold(executor) -> float:
+        table.clear_caches()
+        for view in table.shard_tables():
+            view.clear_caches()
+        start = time.perf_counter()
+        workload.evaluate(table, executor)
+        return time.perf_counter() - start
+
+    with ParallelExecutor(workers) as executor:
+        shards_before = table.n_shards
+        fragmented_seconds = min(run_cold(executor) for _ in range(2))
+        counts_before = workload.true_answers(table, executor).copy()
+        version_before = table.version_token
+
+        compacted = table.compact()
+        shards_after = table.n_shards
+        compacted_seconds = min(run_cold(executor) for _ in range(2))
+        counts_after = workload.true_answers(table, executor)
+
+    return {
+        "n_rows": len(table),
+        "n_appends": n_appends,
+        "rows_per_append": rows_per_append,
+        "n_predicates": workload.size,
+        "workers": workers,
+        "compacted": bool(compacted),
+        "n_shards_before": shards_before,
+        "n_shards_after": shards_after,
+        "fragmented_cold_seconds": fragmented_seconds,
+        "compacted_cold_seconds": compacted_seconds,
+        "speedup": fragmented_seconds / max(compacted_seconds, 1e-12),
+        "version_token_unchanged": bool(table.version_token == version_before),
+        "parity": bool(np.array_equal(counts_before, counts_after)),
+    }
+
+
+def bench_shared_interning(
+    *,
+    n_rows: int = 200_000,
+    append_rows: int = 1_000,
+    seed: int = 20190501,
+) -> dict[str, object]:
+    """Post-append dictionary encoding: per-shard interning vs full re-intern.
+
+    Before the shared append-only dictionary, every version advance dropped
+    the interned category codes and the next categorical predicate re-ran
+    the Python interning loop over the *whole* column.  Now old shards keep
+    their code arrays and only the appended shard is interned, so the
+    post-append cost is ``O(append_rows)`` plus one concatenation.  The
+    baseline is measured honestly: a fresh table over the same grown column,
+    interned from scratch.
+    """
+    table = build_bench_table(n_rows, seed=seed)
+    extra = build_bench_table(append_rows, seed=seed + 1)
+    column = "region"
+
+    table.category_codes(column)  # warm the per-shard codes
+    table.append_columns(
+        {name: extra.column(name) for name in table.schema.attribute_names}
+    )
+    start = time.perf_counter()
+    incremental_codes, incremental_index = table.category_codes(column)
+    incremental_seconds = time.perf_counter() - start
+
+    flat = Table(
+        table.schema,
+        {name: table.column(name) for name in table.schema.attribute_names},
+    )
+    start = time.perf_counter()
+    full_codes, full_index = flat.category_codes(column)
+    full_seconds = time.perf_counter() - start
+
+    # Codes may be numbered differently; the decoded values must agree.
+    incremental_inverse = {c: v for v, c in incremental_index.items()}
+    full_inverse = {c: v for v, c in full_index.items()}
+    parity = len(incremental_codes) == len(full_codes) and all(
+        incremental_inverse.get(int(a)) == full_inverse.get(int(b))
+        for a, b in zip(incremental_codes, full_codes)
+    )
+
+    return {
+        "n_rows": n_rows,
+        "append_rows": append_rows,
+        "column": column,
+        "incremental_seconds": incremental_seconds,
+        "full_reintern_seconds": full_seconds,
+        "speedup": full_seconds / max(incremental_seconds, 1e-12),
+        "parity": bool(parity),
+    }
+
+
+def run_snapshot_microbenchmarks(
+    quick: bool = False, seed: int = 20190501
+) -> dict[str, object]:
+    """Run the snapshot/compaction/interning suite; returns the BENCH_4 payload."""
+    import os
+
+    n_rows = 20_000 if quick else 100_000
+    n_amount_cuts = 10 if quick else 20
+    wait_free = bench_wait_free_reads(
+        n_rows=n_rows,
+        n_appends=15 if quick else 40,
+        rows_per_append=200 if quick else 500,
+        n_amount_cuts=n_amount_cuts,
+        seed=seed,
+    )
+    compaction = bench_compaction(
+        n_rows=n_rows,
+        n_appends=60 if quick else 150,
+        rows_per_append=20 if quick else 100,
+        n_amount_cuts=n_amount_cuts,
+        seed=seed,
+    )
+    interning = bench_shared_interning(
+        n_rows=40_000 if quick else 200_000,
+        append_rows=500 if quick else 1_000,
+        seed=seed,
+    )
+    return {
+        "bench": 4,
+        "quick": quick,
+        "seed": seed,
+        "created_unix": time.time(),
+        "cpu_count": os.cpu_count(),
+        "wait_free_reads": wait_free,
+        "compaction": compaction,
+        "shared_interning": interning,
     }
 
 

@@ -31,7 +31,7 @@ from repro.core.accounting import PrivacyLedger, Transcript
 from repro.core.accuracy import AccuracySpec
 from repro.core.exceptions import ApexError, BudgetExceededError
 from repro.core.translator import AccuracyTranslator, SelectionMode
-from repro.data.table import Table
+from repro.data.table import Table, TableSnapshot
 from repro.mechanisms.registry import MechanismRegistry
 from repro.queries.parser import parse_query
 from repro.queries.query import Query
@@ -144,8 +144,10 @@ class APExEngine:
         """The sensitive table this engine answers over.
 
         Mutating it (``table.append_rows`` / ``table.refresh``) advances its
-        version token; the engine picks the new token up on the next request,
-        so every version-keyed cache underneath misses and rebuilds.
+        version token; each request pins a fresh snapshot at admission, so
+        in-flight requests keep answering for their pinned version while the
+        next request observes the new one (and every version-keyed cache
+        underneath misses and rebuilds).
         """
         return self._table
 
@@ -193,8 +195,22 @@ class APExEngine:
 
     # -- analyst-facing API --------------------------------------------------------
 
-    def explore(self, query: Query, accuracy: AccuracySpec) -> ExplorationResult:
+    def explore(
+        self,
+        query: Query,
+        accuracy: AccuracySpec,
+        *,
+        snapshot: TableSnapshot | None = None,
+    ) -> ExplorationResult:
         """Answer one query under the given accuracy requirement (Algorithm 1).
+
+        The request is admitted on a pinned
+        :class:`~repro.data.table.TableSnapshot` (``snapshot`` argument, else
+        one taken here): translation keys on the snapshot's version token and
+        the mechanism evaluates the snapshot's frozen shards, so a
+        long-running explore is fully wait-free against concurrent
+        ``append_rows``/``refresh`` and its answer describes exactly the
+        admitted version.
 
         Admission and charging follow the ledger's two-phase reservation
         protocol: the chosen mechanism's worst-case loss is atomically set
@@ -204,13 +220,14 @@ class APExEngine:
         between selection and reservation, selection is retried against the
         updated headroom -- a cheaper mechanism may still be admissible.
         """
+        snap = self._pin_snapshot(snapshot)
         while True:
             choice = self._translator.choose(
                 query,
                 accuracy,
-                self._table.schema,
+                snap.schema,
                 budget_remaining=self._ledger.remaining,
-                version=self._table.version_token,
+                version=snap.version_token,
             )
             if choice is None:
                 return self._deny(query, accuracy)
@@ -219,7 +236,7 @@ class APExEngine:
                 break
 
         try:
-            result = choice.mechanism.run(query, accuracy, self._table, rng=self._rng)
+            result = choice.mechanism.run(query, accuracy, snap, rng=self._rng)
             entry = self._ledger.charge(
                 query_name=query.name,
                 query_kind=query.kind.value,
@@ -276,15 +293,22 @@ class APExEngine:
         return self.explore(query, spec)
 
     def preview_cost(
-        self, query: Query, accuracy: AccuracySpec
+        self,
+        query: Query,
+        accuracy: AccuracySpec,
+        *,
+        snapshot: TableSnapshot | None = None,
     ) -> dict[str, tuple[float, float]]:
         """The (epsilon_lower, epsilon_upper) of every applicable mechanism.
 
         This is a purely data-independent computation: it lets the analyst
-        budget an exploration session without spending any privacy.
+        budget an exploration session without spending any privacy.  Like
+        :meth:`explore`, it is admitted on a pinned snapshot so the
+        translation memo keys on one stable version token.
         """
+        snap = self._pin_snapshot(snapshot)
         translations = self._translator.translations(
-            query, accuracy, self._table.schema, version=self._table.version_token
+            query, accuracy, snap.schema, version=snap.version_token
         )
         return {
             mechanism.name: (t.epsilon_lower, t.epsilon_upper)
@@ -292,6 +316,20 @@ class APExEngine:
         }
 
     # -- internals ------------------------------------------------------------------
+
+    def _pin_snapshot(self, snapshot: TableSnapshot | None) -> TableSnapshot:
+        """The snapshot this request is admitted on (validated when injected)."""
+        if snapshot is None:
+            return self._table.snapshot()
+        if (
+            snapshot.version_token.table_uid
+            != self._table.version_token.table_uid
+        ):
+            raise ApexError(
+                "the injected snapshot pins a different table than this "
+                "engine answers over"
+            )
+        return snapshot
 
     def _deny(self, query: Query, accuracy: AccuracySpec) -> ExplorationResult:
         self._ledger.deny(

@@ -24,6 +24,15 @@ class QueryError(ApexError):
     """A query is malformed (e.g. ICQ without a threshold, TCQ with k <= 0)."""
 
 
+class SnapshotError(ApexError):
+    """A mutation was attempted on an immutable :class:`TableSnapshot`.
+
+    Snapshots pin one version of a table for wait-free reading; writes must
+    go to the live ``Table`` (``append_rows`` / ``refresh``), never to a
+    snapshot handle.
+    """
+
+
 class ParseError(QueryError):
     """The SQL-like query text could not be parsed."""
 

@@ -47,8 +47,14 @@ R = TypeVar("R")
 class ParallelExecutor:
     """An order-preserving thread pool for shard/chunk evaluation.
 
+    The executor is safe to share across threads and across the snapshot
+    read path: the work items it receives (single-shard table views, cell
+    chunks) are immutable, so concurrent maps never contend on data.
+
     :param max_workers: pool size; defaults to the host's CPU count (capped
-        at 8 -- the work units are coarse, more threads only add contention).
+        at 8 -- the work units are coarse, more threads only add
+        contention).
+    :raises ValueError: when ``max_workers`` is less than 1.
     """
 
     def __init__(self, max_workers: int | None = None) -> None:
@@ -78,8 +84,18 @@ class ParallelExecutor:
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         """Apply ``fn`` to every item, in order; inline when sequential.
 
-        The first exception raised by any task propagates to the caller once
-        every submitted task has settled.
+        :param fn: the per-item work function (typically GIL-releasing
+            numpy over one shard or one cell chunk).
+        :param items: the work items; consumed eagerly into a list.
+        :returns: ``[fn(item) for item in items]``, in input order.
+        :raises BaseException: the first exception raised by any task, once
+            every submitted task has settled (the remaining tasks still run
+            to completion -- the pool is shared, cancellation is not worth
+            the complexity for chunk-sized work items).
+
+        A ``max_workers=1`` executor (or a zero/one-element task list) runs
+        inline on the calling thread, so callers thread an executor through
+        unconditionally and pay nothing in the sequential case.
         """
         tasks: Sequence[T] = list(items)
         if self._max_workers == 1 or len(tasks) <= 1:
@@ -88,7 +104,12 @@ class ParallelExecutor:
         return list(pool.map(fn, tasks))
 
     def shutdown(self, wait: bool = True) -> None:
-        """Release the pool threads (idempotent)."""
+        """Release the pool threads (idempotent).
+
+        :param wait: block until in-flight tasks finish.  A later
+            :meth:`map` lazily rebuilds the pool, so shutdown is a pause,
+            not an end-of-life.
+        """
         with self._pool_lock:
             pool, self._pool = self._pool, None
         if pool is not None:
@@ -109,7 +130,12 @@ _default_executor: ParallelExecutor | None = None
 
 
 def get_default_executor() -> ParallelExecutor | None:
-    """The process-wide default executor, or ``None`` (sequential)."""
+    """The process-wide default executor, or ``None`` (sequential).
+
+    :returns: the executor installed by :func:`set_default_executor`, picked
+        up automatically by every evaluation path that is not handed an
+        explicit executor.
+    """
     return _default_executor
 
 
@@ -118,8 +144,10 @@ def set_default_executor(
 ) -> ParallelExecutor | None:
     """Install (or clear, with ``None``) the process-wide default executor.
 
-    Returns the previously installed executor so callers can restore it; the
-    caller keeps ownership of both (no implicit shutdown).
+    :param executor: the executor to install, or ``None`` to return the
+        process to sequential evaluation.
+    :returns: the previously installed executor so callers can restore it;
+        the caller keeps ownership of both (no implicit shutdown).
     """
     global _default_executor
     with _default_lock:

@@ -7,7 +7,8 @@ whose attribute domains are public.  This subpackage provides that substrate:
 * :mod:`repro.data.table` -- a sharded, versioned in-memory table backed by
   numpy arrays, with the small set of query operations the mechanisms need
   (predicate evaluation and histogram counting); mutation goes through
-  ``append_rows``/``refresh``, which advance the table's ``version_token``.
+  ``append_rows``/``refresh``, which advance the table's ``version_token``,
+  and readers pin wait-free ``TableSnapshot`` views via ``snapshot()``.
 * :mod:`repro.data.adult`, :mod:`repro.data.nytaxi` -- synthetic stand-ins for
   the Adult census and NYC taxi datasets used in the paper's evaluation.
 * :mod:`repro.data.citations` -- a synthetic labelled-pairs corpus for the
@@ -22,7 +23,7 @@ from repro.data.schema import (
     Schema,
     TextDomain,
 )
-from repro.data.table import Table, TableVersion
+from repro.data.table import Table, TableSnapshot, TableVersion
 from repro.data.adult import generate_adult, ADULT_SCHEMA
 from repro.data.nytaxi import generate_nytaxi, NYTAXI_SCHEMA
 from repro.data.citations import (
@@ -41,6 +42,7 @@ __all__ = [
     "TextDomain",
     "Schema",
     "Table",
+    "TableSnapshot",
     "TableVersion",
     "generate_adult",
     "ADULT_SCHEMA",

@@ -1,4 +1,4 @@
-"""A column-oriented in-memory table with sharded, versioned storage.
+"""A column-oriented in-memory table with sharded, versioned, snapshot storage.
 
 The mechanisms in APEx only ever need two things from the sensitive dataset:
 
@@ -10,11 +10,12 @@ those operations plus the usual conveniences (row access, filtering, sampling,
 construction from row dicts).  Numeric NULLs are represented as ``NaN`` and
 categorical/text NULLs as ``None``.
 
-Storage is a list of immutable **row shards** (one frozen column-chunk dict
-per shard) behind the existing columnar API: :meth:`Table.column` lazily
-concatenates the shard chunks, and :meth:`Table.shard_tables` exposes each
-shard as its own single-shard ``Table`` view so evaluation can fan out over
-shards in parallel (:mod:`repro.core.parallel`).
+Storage is a list of immutable **row shards** (one frozen column-chunk
+:class:`_Shard` per chunk) behind the existing columnar API:
+:meth:`Table.column` lazily concatenates the shard chunks, and
+:meth:`Table.shard_tables` exposes each shard as its own single-shard
+``Table`` view so evaluation can fan out over shards in parallel
+(:mod:`repro.core.parallel`).
 
 Tables are *versioned*, not frozen: :meth:`Table.append_rows` adds a new
 shard and :meth:`Table.refresh` replaces the contents wholesale.  Both
@@ -24,39 +25,66 @@ cache keyed on "this table" anywhere in the stack (the predicate-mask LRU
 below, the workload-matrix memo, the translator memo, WCQ-SM's Monte-Carlo
 search, the histogram/true-count caches) incorporates the version token, so a
 mutation can never resurrect a stale artifact: post-append lookups simply
-miss and recompute against the grown table.
+miss and recompute against the grown table.  The full contract -- which
+cache keys on what, and which regression test pins it -- is tabulated in
+``docs/consistency.md``.
+
+Three mechanisms ride on the shard structure:
+
+**Snapshots.** :meth:`Table.snapshot` returns a :class:`TableSnapshot`: an
+immutable table view that pins the shard list *and* the version token at the
+moment of the call.  Shards are frozen, so the snapshot is zero-copy, and a
+reader holding it is completely isolated from concurrent ``append_rows`` /
+``refresh`` -- the wait-free read path every evaluation consumer
+(:meth:`repro.queries.predicates.Predicate.evaluate`,
+:meth:`repro.queries.workload.Workload.evaluate`,
+:meth:`repro.core.engine.APExEngine.explore`) routes through.  Snapshots are
+memoised per version: every reader admitted at the same version shares one
+snapshot object, which is what keeps the identity-keyed data caches
+(true counts, partition histograms) warm across requests.
+
+**Compaction.** Streaming appends accumulate shards; many tiny shards
+degrade evaluation through per-shard fixed costs.  :meth:`Table.compact`
+(automatic after ``append_columns`` unless ``auto_compact=False``) merges
+adjacent undersized shards when the table has more than
+:data:`COMPACT_MAX_SHARDS` shards or its smallest shard holds less than
+:data:`COMPACT_MIN_FRACTION` of the rows.  Compaction rewrites the physical
+layout only: row order, contents and the version token are unchanged (so
+every version-keyed cache stays valid), untouched shards keep their warm
+views, and snapshots taken earlier keep their own pinned shard lists.
+
+**Shared category dictionary.** Categorical columns are dictionary-encoded
+once per *shard* against a per-table, append-only ``value -> code`` index
+shared by the table, its shard views and its snapshots.  After an append the
+parent concatenates the per-shard code arrays instead of re-interning the
+whole column; refresh and compaction keep the index (codes are only ever
+added, never renumbered), so a value's code is stable for the table's
+lifetime.
 
 Within one version the storage is immutable: shard arrays are frozen at
 construction (``writeable = False``; the table takes ownership of the arrays
 it is given -- copy first if you need to keep mutating yours) and every
 cached array is returned read-only, so in-place mutation that would bypass
 the version protocol fails loudly.  Per-version derived artifacts (null
-masks, float views, interned category codes, materialised concatenations,
+masks, float views, concatenated category codes, materialised concatenations,
 predicate masks) are computed lazily and dropped on every version advance.
-
-Mutations are atomic with respect to the version token (a mutation lock
-orders shard append, row count and token advance), but a reader that is
-mid-evaluation while an append lands may observe columns of different
-lengths -- the shape checks in the evaluation paths then raise rather than
-silently mixing versions.  The supported concurrent pattern is the service's:
-mutate *between* requests and let the version-keyed caches do the
-invalidation.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.exceptions import SchemaError
+from repro.core.exceptions import SchemaError, SnapshotError
 from repro.core.lru import LRUCache
 from repro.data.schema import AttributeKind, Schema
 
-__all__ = ["Table", "TableVersion"]
+__all__ = ["Table", "TableSnapshot", "TableVersion"]
 
 #: Byte budget of the per-table predicate-mask LRU (masks are one byte per
 #: row, so the entry cap is ``budget // n_rows``): bounded memory regardless
@@ -64,6 +92,12 @@ __all__ = ["Table", "TableVersion"]
 MASK_CACHE_BYTE_BUDGET = 64 * 1024 * 1024
 #: Entry-count ceiling of the mask LRU (reached only by small tables).
 MASK_CACHE_MAX_ENTRIES = 4096
+
+#: Compaction trigger: merge shards once the table has more than this many.
+COMPACT_MAX_SHARDS = 64
+#: Compaction trigger: merge shards once the smallest shard holds less than
+#: this fraction of the table's rows.
+COMPACT_MIN_FRACTION = 0.01
 
 #: Process-wide source of unique table identities (the first half of every
 #: :class:`TableVersion`); an ever-increasing counter can never alias the way
@@ -79,6 +113,9 @@ class TableVersion:
     lifetime, ``ordinal`` counts that table's mutations.  Tokens are
     hashable and totally ordered within a table, so they slot directly into
     cache keys; equal tokens guarantee "same table object, same contents".
+    A :class:`TableSnapshot` carries the token of the version it pinned, so
+    artifacts derived through a snapshot are addressable under exactly the
+    same keys as live-table reads admitted at that version.
     """
 
     table_uid: int
@@ -89,36 +126,79 @@ class TableVersion:
         return TableVersion(self.table_uid, self.ordinal + 1)
 
 
+@dataclass(eq=False)
+class _Shard:
+    """One immutable row chunk plus its lazily derived per-shard artifacts.
+
+    ``columns`` maps attribute name to a frozen storage array; ``codes``
+    holds per-column ``int32`` dictionary codes interned against the owning
+    table's shared category index; ``view`` is the memoised single-shard
+    ``Table`` view used by shard-parallel evaluation.  Shard objects are
+    shared freely between a table, its snapshots and its compacted
+    descendants -- the arrays are read-only, and ``codes``/``view`` only
+    ever gain entries (guarded by the table's intern lock), so sharing can
+    never observe a torn state.
+    """
+
+    columns: dict[str, np.ndarray]
+    n_rows: int
+    codes: dict[str, np.ndarray] = field(default_factory=dict)
+    view: "Table | None" = None
+
+
 class Table:
     """A set of rows conforming to a :class:`~repro.data.schema.Schema`.
 
     Derivation methods (:meth:`filter`, :meth:`sample`, :meth:`take`) return
     new tables; in-place growth goes through :meth:`append_rows` /
-    :meth:`refresh`, which advance :attr:`version_token`.
+    :meth:`refresh`, which advance :attr:`version_token`.  Wait-free readers
+    pin a :class:`TableSnapshot` via :meth:`snapshot`.
+
+    :param schema: the table's schema; every column chunk is validated
+        against it.
+    :param columns: mapping of attribute name to storage array.  The table
+        takes ownership and freezes the arrays (``writeable = False``).
+    :param auto_compact: when true (the default), :meth:`append_columns`
+        triggers :meth:`compact` whenever the compaction policy fires.
+        Benchmarks disable it to measure fragmented layouts.
     """
 
-    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]) -> None:
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Mapping[str, np.ndarray],
+        *,
+        auto_compact: bool = True,
+    ) -> None:
         self._schema = schema
-        shard, n_rows = self._freeze_shard(columns)
-        self._shards: list[dict[str, np.ndarray]] = [shard]
-        self._shard_sizes: list[int] = [n_rows]
-        self._n_rows = n_rows
+        shard = self._freeze_shard(columns)
+        self._shards: list[_Shard] = [shard]
+        self._n_rows = shard.n_rows
         self._version = TableVersion(next(_TABLE_UIDS), 0)
         #: Orders mutation (shard append + version advance) and lazy
         #: materialisation; per-version reads stay lock-free.
         self._mutation_lock = threading.RLock()
-        #: Lazily built single-shard Table views (for parallel evaluation);
-        #: index-aligned with ``_shards``.  Existing views stay valid across
-        #: appends because shards are immutable.
-        self._shard_views: list["Table | None"] = [None]
+        #: Guards shard-level lazy derivation (dictionary interning, view
+        #: construction).  Shared with snapshots and shard views, and
+        #: deliberately separate from the mutation lock so a reader interning
+        #: a large shard never blocks an appender.
+        self._intern_lock = threading.RLock()
+        #: The shared append-only ``column -> (value -> code)`` dictionary.
+        #: Created once per table lineage and *never* rebound: codes are
+        #: stable for the lifetime of the table, so per-shard code arrays
+        #: survive appends, refreshes and compaction unchanged.
+        self._category_index: dict[str, dict[str, int]] = {}
         # Lazy per-version caches (dropped on every version advance).
-        self._materialized: dict[str, np.ndarray] = dict(shard)
+        self._materialized: dict[str, np.ndarray] = dict(shard.columns)
         self._null_masks: dict[str, np.ndarray] = {}
         self._float_values: dict[str, np.ndarray] = {}
         self._category_codes: dict[str, tuple[np.ndarray, dict[str, int]]] = {}
         self._mask_cache: LRUCache[np.ndarray] = LRUCache(
             self._mask_cache_capacity()
         )
+        #: Memoised :class:`TableSnapshot` of the current version.
+        self._snapshot: "TableSnapshot | None" = None
+        self._auto_compact = bool(auto_compact)
 
     def _mask_cache_capacity(self) -> int:
         """Entry cap keeping the mask LRU within its byte budget at ``n_rows``."""
@@ -130,9 +210,7 @@ class Table:
             ),
         )
 
-    def _freeze_shard(
-        self, columns: Mapping[str, np.ndarray]
-    ) -> tuple[dict[str, np.ndarray], int]:
+    def _freeze_shard(self, columns: Mapping[str, np.ndarray]) -> _Shard:
         """Validate one column-chunk against the schema and freeze its arrays."""
         shard: dict[str, np.ndarray] = {}
         n_rows: int | None = None
@@ -153,7 +231,7 @@ class Table:
         extra = set(columns) - set(self._schema.attribute_names)
         if extra:
             raise SchemaError(f"columns not present in schema: {sorted(extra)}")
-        return shard, n_rows or 0
+        return _Shard(columns=shard, n_rows=n_rows or 0)
 
     # -- construction --------------------------------------------------------
 
@@ -173,17 +251,55 @@ class Table:
         """A table with zero rows."""
         return cls.from_rows(schema, [])
 
-    # -- versioning and shards ------------------------------------------------
+    @classmethod
+    def _view_over_shard(
+        cls,
+        schema: Schema,
+        shard: _Shard,
+        category_index: dict[str, dict[str, int]],
+        intern_lock: threading.RLock,
+    ) -> "Table":
+        """A single-shard view sharing the owning table's shard object.
+
+        The view wraps the *same* :class:`_Shard`, shared category index and
+        intern lock as its owner, so dictionary codes interned through the
+        view are exactly the arrays the owner concatenates (and vice versa).
+        It carries its own identity, version and mask cache.
+        """
+        self = cls.__new__(cls)
+        self._schema = schema
+        self._shards = [shard]
+        self._n_rows = shard.n_rows
+        self._version = TableVersion(next(_TABLE_UIDS), 0)
+        self._mutation_lock = threading.RLock()
+        self._intern_lock = intern_lock
+        self._category_index = category_index
+        self._materialized = dict(shard.columns)
+        self._null_masks = {}
+        self._float_values = {}
+        self._category_codes = {}
+        self._mask_cache = LRUCache(self._mask_cache_capacity())
+        self._snapshot = None
+        self._auto_compact = False
+        return self
+
+    # -- versioning, shards and snapshots -------------------------------------
 
     @property
     def version_token(self) -> TableVersion:
         """The immutable token identifying this table's current state.
 
-        Advances on every :meth:`append_rows` / :meth:`refresh`; any cache
+        Advances on every :meth:`append_rows` / :meth:`refresh` (but *not*
+        on :meth:`compact`, which changes layout, never contents); any cache
         keyed by this token can never serve an artifact derived from a
         different state of the data.
         """
         return self._version
+
+    @property
+    def is_snapshot(self) -> bool:
+        """Whether this table is an immutable pinned-version snapshot."""
+        return False
 
     @property
     def n_shards(self) -> int:
@@ -193,27 +309,63 @@ class Table:
     @property
     def shard_sizes(self) -> tuple[int, ...]:
         """Row count of each shard, in storage order."""
-        return tuple(self._shard_sizes)
+        with self._mutation_lock:
+            return tuple(shard.n_rows for shard in self._shards)
+
+    def snapshot(self) -> "TableSnapshot":
+        """Pin the current shard list and version token for wait-free reading.
+
+        Returns an immutable :class:`TableSnapshot` sharing this table's
+        frozen shard arrays (zero-copy), its per-version derived artifacts
+        and its mask LRU.  A reader evaluating against the snapshot is
+        completely isolated from concurrent :meth:`append_rows` /
+        :meth:`refresh`: it neither blocks, nor fails on shape checks, nor
+        observes rows from a newer version.
+
+        Snapshots are memoised: until the next mutation every call returns
+        the *same* object, so all readers admitted at one version share one
+        snapshot identity (which keeps the identity-keyed true-count and
+        histogram caches warm across requests).  Taking a snapshot of a
+        snapshot returns the snapshot itself.
+        """
+        snap = self._snapshot
+        if snap is not None and snap._version == self._version:
+            return snap
+        with self._mutation_lock:
+            snap = self._snapshot
+            if snap is None or snap._version != self._version:
+                snap = TableSnapshot(self)
+                self._snapshot = snap
+            return snap
 
     def shard_tables(self) -> tuple["Table", ...]:
         """Each row shard as its own single-shard table view.
 
-        Views share the parent's schema and (zero-copy) its frozen shard
-        arrays, but carry their own identity, version and caches.  Because
-        shards are immutable, a view built before an append remains valid --
-        and keeps its warm per-shard caches -- afterwards; only new shards
-        need fresh evaluation.  This is the unit of work for shard-parallel
+        Views share the owner's schema, its frozen shard arrays (zero-copy)
+        and its category dictionary, but carry their own identity, version
+        and mask cache.  Because shards are immutable, a view built before an
+        append remains valid -- and keeps its warm per-shard caches --
+        afterwards; only new shards need fresh evaluation.  Views are
+        memoised on the shard object, so a table and its snapshots hand out
+        the same (warm) views.  This is the unit of work for shard-parallel
         evaluation (:func:`repro.queries.predicates.evaluate_sharded`).
         """
         with self._mutation_lock:
             shards = list(self._shards)
-            views = self._shard_views
         out: list[Table] = []
-        for i, shard in enumerate(shards):
-            view = views[i]
+        for shard in shards:
+            view = shard.view
             if view is None:
-                view = Table(self._schema, shard)
-                views[i] = view
+                with self._intern_lock:
+                    view = shard.view
+                    if view is None:
+                        view = Table._view_over_shard(
+                            self._schema,
+                            shard,
+                            self._category_index,
+                            self._intern_lock,
+                        )
+                        shard.view = view
             out.append(view)
         return tuple(out)
 
@@ -222,34 +374,46 @@ class Table:
 
         Missing keys become NULL, exactly as in :meth:`from_rows`.  Returns
         the new :attr:`version_token`.  Every per-version cache (and every
-        external cache keyed by the token) misses afterwards.
+        external cache keyed by the token) misses afterwards; readers that
+        pinned a :meth:`snapshot` before the append keep answering for their
+        version, untouched.
+
+        :param rows: iterable of ``{attribute: value}`` dicts.
+        :returns: the advanced :class:`TableVersion`.
         """
         return self.append_columns(_rows_to_columns(self._schema, rows))
 
     def append_columns(self, columns: Mapping[str, np.ndarray]) -> TableVersion:
-        """Append a pre-built column chunk as a new shard (see ``append_rows``)."""
-        shard, n_new = self._freeze_shard(columns)
+        """Append a pre-built column chunk as a new shard (see ``append_rows``).
+
+        When ``auto_compact`` is enabled and the compaction policy fires
+        (more than :data:`COMPACT_MAX_SHARDS` shards, or a smallest shard
+        under :data:`COMPACT_MIN_FRACTION` of the rows), adjacent small
+        shards are merged before returning -- contents and the just-advanced
+        version token are unchanged by that merge.
+        """
+        shard = self._freeze_shard(columns)
         with self._mutation_lock:
             self._shards.append(shard)
-            self._shard_sizes.append(n_new)
-            self._shard_views.append(None)
-            self._n_rows += n_new
+            self._n_rows += shard.n_rows
             self._advance_version_locked()
+            if self._auto_compact and self._needs_compaction_locked():
+                self._compact_locked()
         return self._version
 
     def refresh(self, rows: Iterable[Mapping[str, object]]) -> TableVersion:
         """Replace the table contents wholesale and advance the version token.
 
         Models a base-table reload (new extract, corrected data): the schema
-        stays, every row and every derived artifact is dropped.
+        stays, every row and every derived artifact is dropped.  The shared
+        category dictionary is retained -- it is append-only, so codes of
+        vanished values simply match nothing.
         """
         columns = _rows_to_columns(self._schema, rows)
-        shard, n_rows = self._freeze_shard(columns)
+        shard = self._freeze_shard(columns)
         with self._mutation_lock:
             self._shards = [shard]
-            self._shard_sizes = [n_rows]
-            self._shard_views = [None]
-            self._n_rows = n_rows
+            self._n_rows = shard.n_rows
             self._advance_version_locked()
         return self._version
 
@@ -257,7 +421,7 @@ class Table:
         """Bump the token and drop every per-version cache (mutation lock held)."""
         self._version = self._version.advanced()
         self._materialized = (
-            dict(self._shards[0]) if len(self._shards) == 1 else {}
+            dict(self._shards[0].columns) if len(self._shards) == 1 else {}
         )
         self._null_masks = {}
         self._float_values = {}
@@ -265,7 +429,126 @@ class Table:
         # Versioned keys already make old entries unreachable; a fresh LRU
         # frees the memory immediately and re-derives the entry cap from the
         # new row count, keeping the byte budget honest as the table grows.
+        # Snapshots of the previous version keep the old LRU (their masks
+        # stay warm for in-flight readers).
         self._mask_cache = LRUCache(self._mask_cache_capacity())
+        self._snapshot = None
+
+    # -- compaction ------------------------------------------------------------
+
+    def compact(self) -> bool:
+        """Merge small or over-numerous shards into larger ones.
+
+        Purely a physical-layout rewrite: row order, contents and the
+        version token are unchanged, so every cache keyed on the token (or
+        on the table's per-version artifacts) remains valid.  Shards large
+        enough to stand alone are kept untouched -- their warm views and
+        interned code arrays are reused as-is -- and merged shards inherit
+        concatenated code arrays wherever every constituent was already
+        interned.  Snapshots taken before the call keep their own pinned
+        shard lists.
+
+        :returns: ``True`` when the layout changed, ``False`` when the
+            table was already compact.
+        """
+        with self._mutation_lock:
+            return self._compact_locked()
+
+    def _needs_compaction_locked(self) -> bool:
+        """Whether the compaction policy fires for the current shard layout."""
+        if len(self._shards) <= 1:
+            return False
+        if len(self._shards) > COMPACT_MAX_SHARDS:
+            return True
+        smallest = min(shard.n_rows for shard in self._shards)
+        return smallest < self._compact_threshold_locked()
+
+    def _compact_threshold_locked(self) -> int:
+        """Rows below which a shard counts as "small" for the policy."""
+        return max(1, math.ceil(max(self._n_rows, 1) * COMPACT_MIN_FRACTION))
+
+    def _compact_locked(self) -> bool:
+        """Greedy adjacent-run merge (mutation lock held); order-preserving."""
+        shards = self._shards
+        if len(shards) <= 1:
+            return False
+        threshold = self._compact_threshold_locked()
+        if len(shards) > COMPACT_MAX_SHARDS:
+            threshold = max(
+                threshold, math.ceil(self._n_rows / COMPACT_MAX_SHARDS)
+            )
+        groups: list[list[_Shard]] = []
+        current: list[_Shard] = []
+        current_rows = 0
+        for shard in shards:
+            if shard.n_rows >= threshold:
+                # Large enough to stand alone: close any open small run and
+                # keep this shard untouched (its view/codes stay warm).
+                if current:
+                    groups.append(current)
+                    current, current_rows = [], 0
+                groups.append([shard])
+                continue
+            current.append(shard)
+            current_rows += shard.n_rows
+            if current_rows >= threshold:
+                groups.append(current)
+                current, current_rows = [], 0
+        if current:
+            groups.append(current)
+        while len(groups) > COMPACT_MAX_SHARDS:
+            # Hard bound: fold the adjacent pair with the fewest rows.
+            sizes = [sum(s.n_rows for s in g) for g in groups]
+            i = min(range(len(groups) - 1), key=lambda j: sizes[j] + sizes[j + 1])
+            groups[i : i + 2] = [groups[i] + groups[i + 1]]
+        if all(len(group) == 1 for group in groups):
+            return False
+        self._shards = [
+            group[0] if len(group) == 1 else self._merge_shards(group)
+            for group in groups
+        ]
+        # Readers admitted from now on must see the merged layout: drop the
+        # memoised snapshot so the next snapshot() call re-pins.  Snapshots
+        # already handed out keep their (equivalent) pre-compact shard lists,
+        # and the new snapshot shares the same version token and mask LRU, so
+        # nothing version-keyed goes cold.
+        self._snapshot = None
+        return True
+
+    def _merge_shards(self, group: Sequence[_Shard]) -> _Shard:
+        """Concatenate adjacent shards into one, carrying over interned codes.
+
+        The carry-over is an optimisation only, so the intern lock is taken
+        *non-blocking*: a reader mid-way through interning a large shard
+        must never stall an auto-compacting appender (which holds the
+        mutation lock here -- blocking would serialize admission behind the
+        reader's Python loop).  When the lock is busy the merged shard
+        simply starts with no codes and re-interns lazily on first use.
+        """
+        columns: dict[str, np.ndarray] = {}
+        for name in self._schema.attribute_names:
+            col = np.concatenate([shard.columns[name] for shard in group])
+            col.flags.writeable = False
+            columns[name] = col
+        codes: dict[str, np.ndarray] = {}
+        if self._intern_lock.acquire(blocking=False):
+            try:
+                interned_everywhere = set(group[0].codes)
+                for shard in group[1:]:
+                    interned_everywhere &= set(shard.codes)
+                for name in interned_everywhere:
+                    merged = np.concatenate(
+                        [shard.codes[name] for shard in group]
+                    )
+                    merged.flags.writeable = False
+                    codes[name] = merged
+            finally:
+                self._intern_lock.release()
+        return _Shard(
+            columns=columns,
+            n_rows=sum(shard.n_rows for shard in group),
+            codes=codes,
+        )
 
     # -- basic accessors ------------------------------------------------------
 
@@ -295,9 +578,11 @@ class Table:
             if col is not None:
                 return col
             if len(self._shards) == 1:
-                col = self._shards[0][name]
+                col = self._shards[0].columns[name]
             else:
-                col = np.concatenate([shard[name] for shard in self._shards])
+                col = np.concatenate(
+                    [shard.columns[name] for shard in self._shards]
+                )
                 col.flags.writeable = False
             self._materialized[name] = col
             return col
@@ -381,28 +666,67 @@ class Table:
         """Dictionary-encode an object (categorical/text) column.
 
         Returns ``(codes, index)`` where ``codes`` is a read-only ``int32``
-        array with NULL encoded as ``-1`` and ``index`` maps each distinct
-        value to its code.  Built once per column per version; every
-        categorical predicate afterwards runs as integer comparisons.
+        array with NULL encoded as ``-1`` and ``index`` maps distinct values
+        to codes.  Encoding is **per shard** against the table's shared
+        append-only dictionary: each shard is interned at most once in its
+        lifetime, and the per-version result here is a concatenation of the
+        per-shard code arrays -- after an append only the new shard pays the
+        interning loop.  ``index`` is the live shared dictionary: it may
+        contain values that no current row carries (from refreshed-away rows
+        or sibling shards), which is harmless -- their codes match nothing --
+        and callers must treat it as read-only.
         """
         cached = self._category_codes.get(name)
         if cached is not None:
             return cached
-        col = self._column_data(name)
-        index: dict[str, int] = {}
-        codes = np.empty(len(col), dtype=np.int32)
-        for i, value in enumerate(col):
-            if value is None:
-                codes[i] = -1
-                continue
-            code = index.get(value)
-            if code is None:
-                code = len(index)
-                index[value] = code
-            codes[i] = code
-        codes.flags.writeable = False
-        self._category_codes[name] = (codes, index)
+        if name not in self._schema.attribute_names:
+            raise SchemaError(
+                f"table has no column {name!r}; "
+                f"known columns: {list(self._schema.attribute_names)}"
+            )
+        with self._mutation_lock:
+            # Capture a (shard list, per-version cache) pair that belongs to
+            # one version: an append rebinding the caches mid-read cannot
+            # make us publish codes for version N+1 under version N's dict.
+            shards = list(self._shards)
+            per_version = self._category_codes
+        index = self._category_index.setdefault(name, {})
+        parts = [self._shard_codes(shard, name, index) for shard in shards]
+        if len(parts) == 1:
+            codes = parts[0]
+        elif parts:
+            codes = np.concatenate(parts)
+            codes.flags.writeable = False
+        else:  # zero shards never happens, but keep the dtype contract
+            codes = np.empty(0, dtype=np.int32)
+        per_version[name] = (codes, index)
         return codes, index
+
+    def _shard_codes(
+        self, shard: _Shard, name: str, index: dict[str, int]
+    ) -> np.ndarray:
+        """The shard's code array under the shared dictionary (intern once)."""
+        codes = shard.codes.get(name)
+        if codes is not None:
+            return codes
+        with self._intern_lock:
+            codes = shard.codes.get(name)
+            if codes is not None:
+                return codes
+            col = shard.columns[name]
+            out = np.empty(len(col), dtype=np.int32)
+            for i, value in enumerate(col):
+                if value is None:
+                    out[i] = -1
+                    continue
+                code = index.get(value)
+                if code is None:
+                    code = len(index)
+                    index[value] = code
+                out[i] = code
+            out.flags.writeable = False
+            shard.codes[name] = out
+            return out
 
     @property
     def mask_cache(self) -> LRUCache[np.ndarray]:
@@ -410,7 +734,9 @@ class Table:
 
         Entries are keyed by ``(version_token, predicate)`` -- see
         :meth:`mask_key` -- so a mask evaluated before an append can never be
-        served afterwards.
+        served afterwards.  The current version's snapshot shares this LRU
+        object, so snapshot-scoped evaluations and live-table reads at the
+        same version warm each other.
         """
         return self._mask_cache
 
@@ -420,8 +746,8 @@ class Table:
         """The versioned mask-LRU key of one predicate.
 
         ``version`` defaults to the current token; evaluation paths pass the
-        token they captured *before* computing, so a mask whose evaluation
-        straddled a mutation can never be stored under the new version.
+        token of the snapshot they evaluated, so a mask can only ever be
+        stored under the version it describes.
         """
         return (version if version is not None else self._version, predicate)
 
@@ -439,20 +765,24 @@ class Table:
     ) -> np.ndarray:
         """Freeze and insert one predicate mask into the LRU (versioned key).
 
-        Callers that computed ``mask`` over a possibly mutating table must
-        pass the token captured before the evaluation: inserting under an
-        old token is harmless (the key is unreachable at newer versions),
-        whereas stamping a stale mask with the *current* token would poison
-        the new version's cache.
+        Evaluation routes through snapshots, so the mask is always a pure
+        function of ``(version, predicate)`` and admission is unconditional;
+        inserting under an old token is harmless (the key is unreachable at
+        newer versions).
         """
         mask.flags.writeable = False
         return self._mask_cache.put(self.mask_key(predicate, version), mask)
 
     def clear_caches(self) -> None:
-        """Drop every lazily built cache (benchmarks use this for cold runs).
+        """Drop every lazily built per-version cache (benchmarks use this).
 
         Purely a recompute trigger: the version token does *not* advance
         (the data is unchanged, so externally cached artifacts stay valid).
+        The memoised snapshot is dropped so the next reader re-derives its
+        artifacts cold.  The shared category dictionary and the per-shard
+        code arrays are retained -- they are append-only facts about the
+        data, never renumbered, so "cold" runs still share them (build a
+        fresh ``Table`` to measure interning itself).
         """
         with self._mutation_lock:
             self._null_masks.clear()
@@ -460,8 +790,9 @@ class Table:
             self._category_codes.clear()
             self._mask_cache.clear()
             self._materialized = (
-                dict(self._shards[0]) if len(self._shards) == 1 else {}
+                dict(self._shards[0].columns) if len(self._shards) == 1 else {}
             )
+            self._snapshot = None
 
     def null_count(self, name: str) -> int:
         return int(self.is_null(name).sum())
@@ -541,6 +872,98 @@ class Table:
             f"Table(schema={self._schema.name!r}, rows={self._n_rows}, "
             f"shards={len(self._shards)}, version={self._version.ordinal}, "
             f"attributes={list(self._schema.attribute_names)})"
+        )
+
+
+class TableSnapshot(Table):
+    """An immutable view of one :class:`Table` version (see :meth:`Table.snapshot`).
+
+    Shares the parent's frozen shard objects (zero-copy), its per-version
+    derived artifacts, its mask LRU and its category dictionary, and pins
+    the parent's :attr:`version_token` forever -- so everything derived
+    through the snapshot is addressable under exactly the keys a live read
+    admitted at that version would use, and the straddled-mutation guards of
+    the old read path are vacuous: a snapshot-scoped evaluation is *always*
+    cacheable.
+
+    Mutators (:meth:`append_rows`, :meth:`append_columns`, :meth:`refresh`,
+    :meth:`compact`) raise :class:`~repro.core.exceptions.SnapshotError`;
+    derivations (:meth:`Table.filter`, :meth:`Table.take`, ...) still return
+    fresh mutable tables.
+    """
+
+    def __init__(self, parent: Table) -> None:
+        # Called by Table.snapshot() with the parent's mutation lock held,
+        # so the (shards, n_rows, version, caches) capture is consistent.
+        self._schema = parent._schema
+        self._shards = list(parent._shards)
+        self._n_rows = parent._n_rows
+        self._version = parent._version
+        self._mutation_lock = threading.RLock()
+        self._intern_lock = parent._intern_lock
+        self._category_index = parent._category_index
+        # Copy the per-version dicts (cheap: a handful of columns): the
+        # arrays inside are shared, while later lazy fills stay local so the
+        # parent rebinding its dicts on a version advance is never observed
+        # mid-read through the snapshot.
+        self._materialized = dict(parent._materialized)
+        self._null_masks = dict(parent._null_masks)
+        self._float_values = dict(parent._float_values)
+        self._category_codes = dict(parent._category_codes)
+        # The mask LRU is shared *by reference* (it locks internally): masks
+        # evaluated through the snapshot serve live-table readers at the
+        # same version and vice versa.  After the parent advances, it swaps
+        # in a fresh LRU while this snapshot keeps the old one warm.
+        self._mask_cache = parent._mask_cache
+        self._snapshot = None
+        self._auto_compact = False
+
+    @property
+    def is_snapshot(self) -> bool:
+        return True
+
+    def snapshot(self) -> "TableSnapshot":
+        """Snapshots are already pinned; returns ``self``."""
+        return self
+
+    def _refuse_mutation(self, operation: str) -> None:
+        raise SnapshotError(
+            f"cannot {operation} a TableSnapshot (pinned at version "
+            f"{self._version.ordinal}); mutate the live Table instead"
+        )
+
+    def append_rows(self, rows: Iterable[Mapping[str, object]]) -> TableVersion:
+        self._refuse_mutation("append rows to")
+
+    def append_columns(self, columns: Mapping[str, np.ndarray]) -> TableVersion:
+        self._refuse_mutation("append columns to")
+
+    def refresh(self, rows: Iterable[Mapping[str, object]]) -> TableVersion:
+        self._refuse_mutation("refresh")
+
+    def compact(self) -> bool:
+        self._refuse_mutation("compact")
+
+    def clear_caches(self) -> None:
+        """Drop the snapshot's own lazy caches (cold-run helper).
+
+        Detaches from the shared mask LRU (clearing it would also chill the
+        live table and sibling readers) and rebinds fresh local dicts; the
+        pinned shard data itself is immutable and stays.
+        """
+        with self._mutation_lock:
+            self._null_masks = {}
+            self._float_values = {}
+            self._category_codes = {}
+            self._materialized = (
+                dict(self._shards[0].columns) if len(self._shards) == 1 else {}
+            )
+            self._mask_cache = LRUCache(self._mask_cache_capacity())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TableSnapshot(schema={self._schema.name!r}, rows={self._n_rows}, "
+            f"shards={len(self._shards)}, version={self._version.ordinal})"
         )
 
 

@@ -113,6 +113,7 @@ class LaplaceMechanism(Mechanism):
     ) -> MechanismResult:
         self._check_supported(query)
         generator = self._rng(rng)
+        table = table.snapshot()  # pin one version for the whole run
         schema = table.schema
         translation = self.translate(
             query, accuracy, schema, version=table.version_token

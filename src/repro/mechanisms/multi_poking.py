@@ -106,6 +106,7 @@ class MultiPokingMechanism(Mechanism):
         self._check_supported(query)
         assert isinstance(query, IcebergCountingQuery)
         generator = self._rng(rng)
+        table = table.snapshot()  # pin one version for the whole poking loop
         schema: Schema = table.schema
         alpha, beta = accuracy.alpha, accuracy.beta
         m = self._n_pokes

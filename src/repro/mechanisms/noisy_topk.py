@@ -82,6 +82,7 @@ class LaplaceTopKMechanism(Mechanism):
         self._check_supported(query)
         assert isinstance(query, TopKCountingQuery)
         generator = self._rng(rng)
+        table = table.snapshot()  # pin one version for the whole run
         translation = self.translate(
             query, accuracy, table.schema, version=table.version_token
         )

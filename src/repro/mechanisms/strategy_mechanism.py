@@ -130,6 +130,7 @@ class StrategyMechanism(Mechanism):
     ) -> MechanismResult:
         self._check_supported(query)
         generator = self._rng(rng)
+        table = table.snapshot()  # pin one version for search + histogram
         workload_matrix = query.workload_matrix(table.schema, table.version_token)
         translation = self._translate_matrix(
             workload_matrix, accuracy.alpha, accuracy.beta
@@ -338,6 +339,7 @@ class IcebergStrategyMechanism(Mechanism):
         self._check_supported(query)
         assert isinstance(query, IcebergCountingQuery)
         generator = self._rng(rng)
+        table = table.snapshot()  # pin one version for search + histogram
         workload_matrix = query.workload_matrix(table.schema, table.version_token)
         translation = self._inner._translate_matrix(
             workload_matrix, accuracy.alpha, self._wcq_accuracy(accuracy).beta

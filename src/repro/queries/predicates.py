@@ -124,25 +124,25 @@ class Predicate:
     def evaluate(self, table: Table) -> np.ndarray:
         """Boolean mask of rows of ``table`` satisfying the predicate.
 
-        The mask is memoised in the table's predicate-mask LRU, keyed by the
-        table's ``version_token`` plus the predicate itself (value equality
-        for structured predicates, identity for
-        :class:`FunctionPredicate`); a mask evaluated before ``append_rows``
-        can therefore never be served afterwards.  The token is captured
-        before computing, and an evaluation that straddles a concurrent
-        mutation is returned uncached -- it describes a newer state than the
-        captured version, and stamping it with either token would poison
-        that key.  The returned array is read-only.
+        Evaluation is **snapshot-scoped**: the table's current
+        :class:`~repro.data.table.TableSnapshot` is pinned up front and the
+        mask is computed entirely over its frozen shards, so a concurrent
+        ``append_rows``/``refresh`` can neither fail the evaluation on a
+        shape check nor leak newer rows into the result -- the mask always
+        describes exactly the pinned version.  That also makes caching
+        unconditional: the mask is memoised in the (shared) predicate-mask
+        LRU keyed by the snapshot's version token plus the predicate itself
+        (value equality for structured predicates, identity for
+        :class:`FunctionPredicate`), and a mask evaluated before an append
+        can never be served afterwards.  The returned array is read-only.
         """
-        version = table.version_token
-        mask = table.cached_mask(self, version)
+        snapshot = table.snapshot()
+        version = snapshot.version_token
+        mask = snapshot.cached_mask(self, version)
         if mask is not None:
             return mask
-        mask = self._evaluate_mask(table)
-        if table.version_token == version:
-            return table.cache_mask(self, mask, version)
-        mask.flags.writeable = False
-        return mask
+        mask = self._evaluate_mask(snapshot)
+        return snapshot.cache_mask(self, mask, version)
 
     def _evaluate_mask(self, table: Table) -> np.ndarray:
         """Uncached mask computation; implemented by every concrete predicate."""
@@ -589,13 +589,15 @@ def evaluate_sharded(
 ) -> np.ndarray:
     """Evaluate ``predicate`` shard-parallel and concatenate the partial masks.
 
-    Each row shard of ``table`` is evaluated as its own single-shard view
-    (:meth:`~repro.data.table.Table.shard_tables`), fanning the numpy work out
-    over ``executor``'s threads; the concatenated mask is bit-identical to
-    :meth:`Predicate.evaluate` on the whole table and is memoised in the
-    parent table's versioned mask LRU.  Falls back to the sequential path
-    when the table has one shard or no executor is available (``executor``
-    argument, else the process default from :mod:`repro.core.parallel`).
+    The table's current snapshot is pinned first (wait-free against
+    concurrent appends), then each of its row shards is evaluated as its own
+    single-shard view (:meth:`~repro.data.table.Table.shard_tables`), fanning
+    the numpy work out over ``executor``'s threads; the concatenated mask is
+    bit-identical to :meth:`Predicate.evaluate` on the whole table and is
+    memoised in the shared versioned mask LRU.  Falls back to the sequential
+    path when the table has one shard or no executor is available
+    (``executor`` argument, else the process default from
+    :mod:`repro.core.parallel`).
 
     Shard views keep their own caches, so after an ``append_rows`` only the
     new shard pays for evaluation -- the old shards' masks are still warm.
@@ -612,23 +614,21 @@ def evaluate_sharded(
 
     if executor is None:
         executor = get_default_executor()
-    version = table.version_token
-    cached = table.cached_mask(predicate, version)
+    snapshot = table.snapshot()
+    version = snapshot.version_token
+    cached = snapshot.cached_mask(predicate, version)
     if cached is not None:
         return cached
-    shards = table.shard_tables()
+    shards = snapshot.shard_tables()
     if (
         executor is None
         or len(shards) <= 1
         or not predicate.supports_domain_analysis
     ):
-        return predicate.evaluate(table)
+        return predicate.evaluate(snapshot)
     parts = executor.map(predicate.evaluate, shards)
     mask = np.concatenate(parts)
-    if table.version_token == version:
-        return table.cache_mask(predicate, mask, version)
-    mask.flags.writeable = False
-    return mask
+    return snapshot.cache_mask(predicate, mask, version)
 
 
 def _apply_op(values: np.ndarray | float, op: str, target: float) -> np.ndarray | bool:

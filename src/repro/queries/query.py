@@ -159,23 +159,23 @@ class Query:
     def true_counts(self, table: Table) -> np.ndarray:
         """Exact per-bin counts on ``table`` (no privacy).
 
-        The result is cached per (table identity, version token): mechanisms
-        and the benchmark harness evaluate the same query on the same table
-        many times (once per noise draw), and the predicate evaluation
-        dominates the cost; an ``append_rows`` advances the token, so grown
-        tables recount instead of serving stale totals.
+        Counting pins the table's snapshot up front, so the counts describe
+        exactly one version even while ``append_rows`` runs concurrently --
+        and caching is unconditional.  The result is cached per (snapshot
+        identity, version token): mechanisms and the benchmark harness
+        evaluate the same query on the same table many times (once per noise
+        draw), and the predicate evaluation dominates the cost; snapshots
+        are memoised per version, so same-version repeats hit, while an
+        ``append_rows`` advances the token and grown tables recount instead
+        of serving stale totals.
         """
+        table = table.snapshot()
         version = table.version_token
         cache = self._true_counts_cache
         if cache is not None and cache[0]() is table and cache[1] == version:
             return cache[2]
         counts = self._workload.true_answers(table)
-        if table.version_token == version:
-            # Only cache when the evaluation did not straddle a mutation;
-            # otherwise the counts belong to a newer state than ``version``
-            # and caching them under it would be exactly the staleness bug
-            # the token exists to prevent.
-            self._true_counts_cache = (weakref.ref(table), version, counts)
+        self._true_counts_cache = (weakref.ref(table), version, counts)
         return counts
 
     def true_answer(self, table: Table):

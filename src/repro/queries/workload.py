@@ -198,11 +198,15 @@ class Workload:
     ) -> np.ndarray:
         """Boolean membership matrix of shape ``(n_rows, L)``.
 
-        With an executor (argument, else the process default) and a
-        multi-shard table, every predicate evaluates shard-parallel
+        All predicates evaluate against **one** pinned snapshot of the table
+        (taken up front), so the stacked masks always describe a single
+        version even while ``append_rows`` runs concurrently.  With an
+        executor (argument, else the process default) and a multi-shard
+        table, every predicate evaluates shard-parallel
         (:func:`~repro.queries.predicates.evaluate_sharded`); the result is
         bit-identical to the sequential path.
         """
+        table = table.snapshot()
         if executor is None:
             executor = get_default_executor()
         if executor is not None and table.n_shards > 1:
@@ -504,13 +508,18 @@ class WorkloadMatrix:
 
         Each row is assigned to the partition matching its predicate
         signature; rows satisfying no predicate fall outside ``dom_W(R)`` and
-        are ignored (they contribute to no count).  The histogram is cached
-        per (table, version token), held through a weak reference: identity
-        can never alias a recycled ``id()``, the version token makes a
-        histogram computed before ``append_rows`` unservable afterwards, and
-        a matrix parked in the module-level memo does not pin a discarded
-        table (and its mask cache) in memory.
+        are ignored (they contribute to no count).  Evaluation pins the
+        table's snapshot up front, so the histogram always describes exactly
+        one version even under concurrent appends, and caching is
+        unconditional.  The histogram is cached per (snapshot, version
+        token), held through a weak reference: snapshots are memoised per
+        version, so repeated reads at one version hit; identity can never
+        alias a recycled ``id()``; the version token makes a histogram
+        computed before ``append_rows`` unservable afterwards; and a matrix
+        parked in the module-level memo does not pin a discarded table (and
+        its mask cache) in memory.
         """
+        table = table.snapshot()
         version = table.version_token
         cached = self._histogram_cache
         if cached is not None and cached[0]() is table and cached[1] == version:
@@ -544,10 +553,9 @@ class WorkloadMatrix:
                         histogram[i] += count
                 continue
             histogram[j] += count
-        if table.version_token == version:
-            # Don't cache an evaluation that straddled a mutation: the
-            # histogram would describe a newer state than ``version``.
-            self._histogram_cache = (weakref.ref(table), version, histogram)
+        # The snapshot's version never advances, so the histogram is a pure
+        # function of (snapshot, version) and admission is unconditional.
+        self._histogram_cache = (weakref.ref(table), version, histogram)
         return histogram
 
     def true_answers(

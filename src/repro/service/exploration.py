@@ -17,7 +17,14 @@ budget ``B``, and any number of analysts then register sessions and issue
   the process-wide workload-matrix memo, and a
   :class:`~repro.service.batching.RequestBatcher` coalesces structurally
   identical requests arriving within a window so a cold workload-matrix
-  build happens once per batch rather than once per analyst.
+  build happens once per batch rather than once per analyst;
+* **snapshot isolation** -- every request is admitted on a pinned
+  :class:`~repro.data.table.TableSnapshot` (the snapshot's version token
+  joins the batch key), so long-running explores are wait-free against
+  concurrent :meth:`ExplorationService.append_rows` /
+  :meth:`ExplorationService.refresh_table` and always answer for exactly
+  the version they were admitted at.  See ``docs/consistency.md`` for the
+  full cache/version/snapshot contract.
 
 Every request's wall-clock latency is recorded as it completes: the most
 recent sample lands in the existing benchmark machinery
@@ -189,28 +196,36 @@ class ExplorationService:
     def append_rows(
         self, table: str, rows: Sequence[Mapping[str, object]]
     ) -> TableVersion:
-        """Append rows to a hosted table (streaming ingest between requests).
+        """Append rows to a hosted table (streaming ingest, any time).
 
         Advances the table's version token, which every request-path cache
         (batch key, translation memo, workload-matrix memo, WCQ-SM search,
         mask LRU, histogram/true-count caches) keys on -- the next
         structurally identical request misses everywhere and rebuilds against
         the grown table.  Requests admitted after this call observe the new
-        version.  A request still *evaluating* when the append lands is not
-        isolated from it: the evaluation reads live storage, so it either
-        completes against a single consistent version or fails loudly on a
-        column-length mismatch (never silently mixes versions -- and the
-        straddle guards keep such a result out of every cache).  Callers
-        that cannot tolerate that loud failure should sequence appends
-        between requests, as the replay scripts and the streaming benchmark
-        do; transparent in-flight snapshots are a ROADMAP open item.
+        version.  Requests still *in flight* are untouched: each was
+        admitted on a pinned :class:`~repro.data.table.TableSnapshot`, whose
+        frozen shards the append cannot reach, so concurrent readers neither
+        fail nor mix versions -- appends may land at any time, mid-request
+        included (pinned by ``tests/data/test_snapshot_isolation.py`` and
+        the ``--suite snapshots`` benchmark).  Small appends are folded into
+        larger shards automatically by the table's compaction policy.
+
+        :param table: name of a hosted table.
+        :param rows: the rows to append (missing keys become NULL).
+        :returns: the advanced :class:`~repro.data.table.TableVersion`.
+        :raises ApexError: when ``table`` is not hosted by this service.
         """
         return self._mutable_table(table).append_rows(rows)
 
     def refresh_table(
         self, table: str, rows: Sequence[Mapping[str, object]]
     ) -> TableVersion:
-        """Replace a hosted table's contents wholesale (see ``append_rows``)."""
+        """Replace a hosted table's contents wholesale (see ``append_rows``).
+
+        In-flight requests keep answering over their pinned pre-refresh
+        snapshots; requests admitted afterwards observe the new contents.
+        """
         return self._mutable_table(table).refresh(rows)
 
     def _mutable_table(self, table: str) -> Table:
@@ -341,24 +356,36 @@ class ExplorationService:
     ) -> dict[str, tuple[float, float]]:
         """Data-independent cost preview, batched across concurrent duplicates.
 
-        Structurally identical previews arriving within the batch window are
-        answered by one translation (and, cold, one workload-matrix build);
-        see :class:`~repro.service.batching.RequestBatcher`.  Costs no
-        privacy; the analyst only needs to be registered.
+        The request is admitted on a pinned snapshot whose version token
+        joins the batch key (snapshots are memoised per version, so the
+        token *is* the snapshot's identity): structurally identical previews
+        arriving within the batch window at the same version are answered by
+        one translation (and, cold, one workload-matrix build); see
+        :class:`~repro.service.batching.RequestBatcher`.  Costs no privacy;
+        the analyst only needs to be registered.
+
+        :param analyst: a registered session identity.
+        :param query: the query whose mechanisms to price.
+        :param accuracy: the ``(alpha, beta)`` requirement to translate.
+        :returns: mapping of mechanism name to ``(epsilon_lower,
+            epsilon_upper)``.
         """
         handle = self.session(analyst)
         start = time.perf_counter()
-        key = self._batch_key(handle, query, accuracy)
-        table = self._tables[handle.table]
+        snapshot = self._tables[handle.table].snapshot()
+        key = self._batch_key(handle, snapshot, query, accuracy)
         if key is None or self._translator.is_cached(
-            query, accuracy, table.schema, version=table.version_token
+            query, accuracy, snapshot.schema, version=snapshot.version_token
         ):
             # Unbatchable, or already warm: the memo answers in microseconds,
             # so paying the coalescing window would only add latency.
-            result = handle.engine.preview_cost(query, accuracy)
+            result = handle.engine.preview_cost(query, accuracy, snapshot=snapshot)
         else:
             result = self._batcher.submit(
-                key, lambda: handle.engine.preview_cost(query, accuracy)
+                key,
+                lambda: handle.engine.preview_cost(
+                    query, accuracy, snapshot=snapshot
+                ),
             )
         self._note_latency("preview_cost", time.perf_counter() - start)
         # Each caller gets its own copy: coalesced followers share the
@@ -372,19 +399,30 @@ class ExplorationService:
     ) -> ExplorationResult:
         """Answer one query for ``analyst`` (Algorithm 1, jointly budget-safe).
 
-        The mechanism run and the privacy charge are individual to the
-        analyst (each answer draws fresh noise and is charged to the
-        analyst's ledger and the shared pool); only the data-independent
-        derivations underneath are shared.  Requests for the *same* analyst
-        are serialized on the session's lock -- an analyst is a sequential
-        agent, and the engine's noise generator must not be shared by
-        concurrent draws; requests for different analysts run fully in
-        parallel.
+        The request is admitted on a snapshot pinned *here*, at entry: the
+        mechanism evaluates that snapshot's frozen shards, so the explore is
+        wait-free against concurrent :meth:`append_rows` and its answer
+        describes exactly the admitted version even if the table grows while
+        the mechanism runs.  The mechanism run and the privacy charge are
+        individual to the analyst (each answer draws fresh noise and is
+        charged to the analyst's ledger and the shared pool); only the
+        data-independent derivations underneath are shared.  Requests for
+        the *same* analyst are serialized on the session's lock -- an
+        analyst is a sequential agent, and the engine's noise generator must
+        not be shared by concurrent draws; requests for different analysts
+        run fully in parallel.
+
+        :param analyst: a registered session identity.
+        :param query: the query to answer.
+        :param accuracy: the ``(alpha, beta)`` requirement.
+        :returns: the :class:`~repro.core.engine.ExplorationResult` (denied
+            when no mechanism fits the remaining budget).
         """
         handle = self.session(analyst)
         start = time.perf_counter()
+        snapshot = self._tables[handle.table].snapshot()
         with handle.run_lock:
-            result = handle.engine.explore(query, accuracy)
+            result = handle.engine.explore(query, accuracy, snapshot=snapshot)
         self._note_latency("explore", time.perf_counter() - start)
         return result
 
@@ -404,17 +442,21 @@ class ExplorationService:
     # -- internals ------------------------------------------------------------------
 
     def _batch_key(
-        self, handle: AnalystSessionHandle, query: Query, accuracy: AccuracySpec
+        self,
+        handle: AnalystSessionHandle,
+        snapshot: Table,
+        query: Query,
+        accuracy: AccuracySpec,
     ) -> tuple | None:
         """Structural identity of a preview request; ``None`` disables batching.
 
-        Includes the table's version token: previews issued before and after
-        an ``append_rows`` are *different* requests, so a post-append
-        duplicate can never coalesce onto (or be answered by) a pre-append
-        flight.
+        Includes the admission snapshot's version token -- which, because
+        snapshots are memoised per version, is exactly the snapshot's
+        identity: previews admitted on snapshots of different versions are
+        *different* requests, so a post-append duplicate can never coalesce
+        onto (or be answered by) a pre-append flight.
         """
-        table = self._tables[handle.table]
-        query_key = query.cache_key(table.schema, table.version_token)
+        query_key = query.cache_key(snapshot.schema, snapshot.version_token)
         if query_key is None:
             return None
         return ("preview", handle.table, query_key, accuracy.alpha, accuracy.beta)

@@ -1,0 +1,202 @@
+"""Shard compaction: layout-only rewrites under an unchanged version token.
+
+The policy (``COMPACT_MAX_SHARDS`` / ``COMPACT_MIN_FRACTION``) bounds shard
+fragmentation under streaming appends; the contract is that compaction may
+change *only* the physical layout -- row order, contents, the version token,
+and therefore every version-keyed cache, are untouched, and shards large
+enough to stand alone keep their warm views and interned codes by identity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import (
+    Attribute,
+    CategoricalDomain,
+    NumericDomain,
+    Schema,
+)
+from repro.data.table import (
+    COMPACT_MAX_SHARDS,
+    Table,
+)
+from repro.queries.predicates import Between, Comparison
+from repro.queries.workload import Workload
+
+
+def make_schema() -> Schema:
+    return Schema(
+        [
+            Attribute("state", CategoricalDomain(("CA", "NY", "TX")), nullable=True),
+            Attribute("score", NumericDomain(0, 100), nullable=True),
+        ],
+        name="Compaction",
+    )
+
+
+def make_rows(n: int, offset: int = 0) -> list[dict]:
+    return [
+        {
+            "state": ("CA", "NY", "TX", None)[(offset + i) % 4],
+            "score": float((offset + 3 * i) % 97),
+        }
+        for i in range(n)
+    ]
+
+
+def columns_equal(a: Table, b: Table) -> bool:
+    for name in a.schema.attribute_names:
+        left, right = a.column(name), b.column(name)
+        if len(left) != len(right):
+            return False
+        if left.dtype == float:
+            if not np.array_equal(
+                np.nan_to_num(left), np.nan_to_num(right)
+            ) or not np.array_equal(np.isnan(left), np.isnan(right)):
+                return False
+        elif not all(x == y for x, y in zip(left, right)):
+            return False
+    return True
+
+
+class TestCompactionPolicy:
+    def test_small_tail_shards_merge(self):
+        table = Table.from_rows(make_schema(), make_rows(10_000))
+        for i in range(5):
+            table.append_rows(make_rows(20, offset=i * 20))
+        # 20-row appends are far below 1% of ~10k rows: the tail runs merge.
+        assert table.n_shards == 2
+        assert table.shard_sizes == (10_000, 100)
+
+    def test_balanced_appends_do_not_compact(self):
+        table = Table.from_rows(make_schema(), make_rows(100))
+        table.append_rows(make_rows(80, offset=100))
+        table.append_rows(make_rows(90, offset=180))
+        assert table.n_shards == 3  # every shard is >= 1% of the rows
+
+    def test_shard_count_is_bounded(self):
+        table = Table.from_rows(make_schema(), make_rows(50))
+        for i in range(3 * COMPACT_MAX_SHARDS):
+            table.append_rows(make_rows(50, offset=50 * i))
+        assert table.n_shards <= COMPACT_MAX_SHARDS
+
+    def test_auto_compact_false_accumulates_shards(self):
+        table = Table(
+            make_schema(),
+            {
+                "state": np.array(["CA"] * 1000, dtype=object),
+                "score": np.arange(1000, dtype=float),
+            },
+            auto_compact=False,
+        )
+        for i in range(8):
+            table.append_rows(make_rows(2, offset=i))
+        assert table.n_shards == 9
+        assert table.compact()  # manual compaction still available
+        # Small shards merge into ~threshold-sized groups (here: the 1000-row
+        # base stands alone, the 8x2-row tail folds into two groups).
+        assert table.shard_sizes == (1000, 12, 4)
+
+    def test_singleton_small_run_is_a_noop(self):
+        table = Table.from_rows(make_schema(), make_rows(10_000))
+        table.append_rows(make_rows(20, offset=0))
+        assert table.n_shards == 2  # nothing adjacent to merge with
+        assert table.compact() is False
+        assert table.n_shards == 2
+
+
+class TestCompactionContract:
+    def build_fragmented(self, auto_compact: bool) -> Table:
+        table = Table(
+            make_schema(),
+            {
+                "state": np.array(
+                    [("CA", "NY", "TX", None)[i % 4] for i in range(400)],
+                    dtype=object,
+                ),
+                "score": np.arange(400, dtype=float),
+            },
+            auto_compact=auto_compact,
+        )
+        for i in range(12):
+            table.append_rows(make_rows(3, offset=100 * i))
+        return table
+
+    def test_parity_with_uncompacted_layout(self):
+        compacted = self.build_fragmented(auto_compact=True)
+        fragmented = self.build_fragmented(auto_compact=False)
+        assert compacted.n_shards < fragmented.n_shards
+        assert len(compacted) == len(fragmented)
+        assert columns_equal(compacted, fragmented)
+        workload = Workload(
+            [
+                Comparison("state", "==", "CA"),
+                Between("score", 10.0, 200.0),
+                Comparison("score", ">", 300.0),
+            ]
+        )
+        assert np.array_equal(
+            workload.evaluate(compacted), workload.evaluate(fragmented)
+        )
+
+    def test_compact_preserves_version_token_and_caches(self):
+        table = self.build_fragmented(auto_compact=False)
+        predicate = Comparison("state", "==", "CA")
+        mask = predicate.evaluate(table)
+        version = table.version_token
+        snap = table.snapshot()
+        assert table.compact()
+        # Layout changed, nothing else did.
+        assert table.version_token == version
+        assert columns_equal(table, snap)
+        # The cached mask is still row-aligned and still served by identity.
+        assert predicate.evaluate(table) is mask
+        # Earlier snapshots keep their own pinned (uncompacted) shard list.
+        assert snap.n_shards > table.n_shards
+        assert np.array_equal(predicate.evaluate(snap), mask)
+
+    def test_compact_refreshes_the_memoised_snapshot(self):
+        """New admissions after an explicit compact() must see the merged
+        layout (the memoised snapshot is re-pinned), while masks stay warm
+        across the re-pin -- same version token, same shared LRU."""
+        table = self.build_fragmented(auto_compact=False)
+        predicate = Comparison("state", "==", "CA")
+        before = table.snapshot()
+        mask = predicate.evaluate(before)
+        assert table.compact()
+        after = table.snapshot()
+        assert after is not before
+        assert after.n_shards == table.n_shards < before.n_shards
+        assert after.version_token == before.version_token
+        assert predicate.evaluate(after) is mask  # shared LRU stayed warm
+
+    def test_untouched_large_shards_keep_their_views(self):
+        table = self.build_fragmented(auto_compact=False)
+        views_before = table.shard_tables()
+        base_view = views_before[0]  # the 400-row base shard stands alone
+        assert table.compact()
+        views_after = table.shard_tables()
+        assert views_after[0] is base_view
+        assert len(views_after) < len(views_before)
+
+    def test_merged_shards_inherit_interned_codes(self):
+        table = self.build_fragmented(auto_compact=False)
+        codes_before, index = table.category_codes("state")
+        assert table.compact()
+        codes_after, index_after = table.category_codes("state")
+        assert index_after is index  # shared dictionary, never rebound
+        assert np.array_equal(codes_before, codes_after)
+
+    def test_compaction_with_appends_racing_reads(self):
+        """Auto-compaction under a pinned reader: the snapshot's masks and
+        counts are unaffected by merges happening on the live table."""
+        table = Table.from_rows(make_schema(), make_rows(5_000))
+        snap = table.snapshot()
+        workload = Workload(
+            [Comparison("state", "==", "NY"), Between("score", 0.0, 50.0)]
+        )
+        expected = workload.true_answers(snap)
+        for i in range(10):
+            table.append_rows(make_rows(5, offset=i))  # triggers compaction
+        assert table.n_shards < 11
+        assert np.array_equal(workload.true_answers(snap), expected)

@@ -1,0 +1,124 @@
+"""The shared append-only category dictionary and per-shard code interning.
+
+Categorical columns are dictionary-encoded per *shard* against one
+append-only ``value -> code`` index shared by a table, its shard views and
+its snapshots.  The contract: codes are stable for the table's lifetime
+(values are only ever added), a shard is interned at most once, and the
+parent's per-version code column is a concatenation of per-shard arrays --
+so after an append only the new shard pays the interning loop.
+"""
+
+import numpy as np
+
+from repro.data.schema import (
+    Attribute,
+    CategoricalDomain,
+    NumericDomain,
+    Schema,
+)
+from repro.data.table import Table
+from repro.queries.predicates import Comparison, In
+
+
+def make_schema() -> Schema:
+    return Schema(
+        [
+            Attribute(
+                "state",
+                CategoricalDomain(("CA", "NY", "TX", "WY")),
+                nullable=True,
+            ),
+            Attribute("score", NumericDomain(0, 100), nullable=True),
+        ],
+        name="Interning",
+    )
+
+
+def make_rows(n: int, states=("CA", "NY", None)) -> list[dict]:
+    return [
+        {"state": states[i % len(states)], "score": float(i % 97)}
+        for i in range(n)
+    ]
+
+
+def decode(codes: np.ndarray, index: dict) -> list:
+    inverse = {code: value for value, code in index.items()}
+    return [None if c == -1 else inverse[int(c)] for c in codes]
+
+
+class TestSharedDictionary:
+    def test_codes_round_trip_across_shards(self):
+        table = Table.from_rows(make_schema(), make_rows(9))
+        table.append_rows(make_rows(6, states=("TX", "WY")))
+        codes, index = table.category_codes("state")
+        assert codes.dtype == np.int32
+        assert decode(codes, index) == list(table.column("state"))
+
+    def test_append_reuses_old_shard_codes_by_identity(self):
+        table = Table.from_rows(make_schema(), make_rows(50))
+        table.category_codes("state")
+        base_codes = table._shards[0].codes["state"]
+        table.append_rows(make_rows(10, states=("TX",)))
+        codes, _ = table.category_codes("state")
+        # The base shard was NOT re-interned: same array object.
+        assert table._shards[0].codes["state"] is base_codes
+        assert len(codes) == 60
+
+    def test_index_is_append_only_and_never_rebound(self):
+        table = Table.from_rows(make_schema(), make_rows(12))
+        _, index_before = table.category_codes("state")
+        ca_code = index_before["CA"]
+        table.append_rows(make_rows(4, states=("WY",)))
+        _, index_after = table.category_codes("state")
+        assert index_after is index_before  # one dictionary per table lineage
+        assert index_after["CA"] == ca_code  # codes never renumber
+        assert "WY" in index_after
+
+    def test_refresh_keeps_the_dictionary(self):
+        table = Table.from_rows(make_schema(), make_rows(12))
+        _, index = table.category_codes("state")
+        ny_code = index["NY"]
+        table.refresh(make_rows(5, states=("TX",)))
+        codes, index_after = table.category_codes("state")
+        assert index_after is index
+        assert index_after["NY"] == ny_code  # vanished value keeps its code
+        assert ny_code not in codes  # ...and matches no current row
+
+    def test_shard_views_share_the_dictionary_and_code_arrays(self):
+        table = Table.from_rows(make_schema(), make_rows(20))
+        table.append_rows(make_rows(10, states=("TX", "WY")))
+        views = table.shard_tables()
+        view_codes, view_index = views[1].category_codes("state")
+        parent_codes, parent_index = table.category_codes("state")
+        assert view_index is parent_index
+        # The view's array IS the per-shard slice the parent concatenated.
+        assert view_codes is table._shards[1].codes["state"]
+        assert np.array_equal(parent_codes[20:], view_codes)
+
+    def test_snapshots_share_the_dictionary(self):
+        table = Table.from_rows(make_schema(), make_rows(15))
+        snap = table.snapshot()
+        _, snap_index = snap.category_codes("state")
+        _, live_index = table.category_codes("state")
+        assert snap_index is live_index
+
+    def test_predicates_match_values_interned_by_other_shards(self):
+        # A value first seen in shard 2 must be invisible to shard-1-only
+        # data and visible on the full table -- regardless of interning order.
+        table = Table.from_rows(make_schema(), make_rows(8, states=("CA",)))
+        eq_wy = Comparison("state", "==", "WY")
+        assert int(eq_wy.evaluate(table).sum()) == 0
+        table.append_rows(make_rows(4, states=("WY",)))
+        assert int(eq_wy.evaluate(table).sum()) == 4
+        assert int(In("state", ["WY", "CA"]).evaluate(table).sum()) == 12
+
+    def test_extra_dictionary_values_do_not_leak_into_matches(self):
+        # The shared index may hold values no current row carries; != and IN
+        # must still match exactly the rows that carry a *present* value.
+        table = Table.from_rows(make_schema(), make_rows(10, states=("CA", "NY")))
+        table.category_codes("state")
+        table.refresh(make_rows(6, states=("TX", None)))
+        ne_tx = Comparison("state", "!=", "TX")
+        # NULLs never match; only TX rows exist, so != TX matches nothing.
+        assert int(ne_tx.evaluate(table).sum()) == 0
+        assert int(In("state", ["CA", "NY"]).evaluate(table).sum()) == 0

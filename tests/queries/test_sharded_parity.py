@@ -154,31 +154,43 @@ class TestShardedMaskParity:
         assert np.array_equal(sharded, expected)
         assert np.array_equal(in_workload[:, 0], expected)
 
-    def test_straddling_evaluation_is_not_cached_under_either_version(self):
-        """A mutation landing during a mask evaluation must not poison the
-        mask LRU: the computed mask describes a newer state than the
-        captured token."""
+    def test_straddling_mutation_cannot_reach_a_pinned_evaluation(self):
+        """A mutation landing during a mask evaluation is invisible to it:
+        evaluation pins the table's snapshot up front, computes entirely
+        over the pinned shards, and caches unconditionally under the pinned
+        token -- a snapshot-scoped evaluation is never discarded."""
+        from repro.core.exceptions import SnapshotError
         from repro.queries.predicates import FunctionPredicate
 
         rng = np.random.default_rng(17)
         table, _ = sharded_and_flat(rng)
+        n_before = len(table)
         appended = []
 
         def append_mid_evaluation(t):
-            if not appended:  # only on the first (straddling) evaluation
-                appended.append(t.append_rows(random_rows(rng, 10)))
+            assert t.is_snapshot  # evaluation always sees the pinned view
+            with pytest.raises(SnapshotError):
+                t.append_rows(random_rows(rng, 10))  # snapshots are immutable
+            if not appended:  # mutate the *live* table mid-evaluation
+                appended.append(table.append_rows(random_rows(rng, 10)))
             return np.ones(len(t), dtype=bool)
 
         predicate = FunctionPredicate("straddler", append_mid_evaluation)
         v0 = table.version_token
+        snapshot = table.snapshot()
         mask = predicate.evaluate(table)
-        assert len(mask) == len(table)  # evaluated over the grown rows
+        # The mask describes exactly the pinned (pre-append) version...
+        assert len(mask) == n_before
         assert table.version_token != v0
-        # Neither the old nor the new version may serve the straddling mask.
+        assert len(table) == n_before + 10
+        # ...and it IS cached under the pinned token (admission is
+        # unconditional for snapshot-scoped evaluations), while the new
+        # version cannot serve it.
+        assert snapshot.cached_mask(predicate, v0) is mask
         assert table.cached_mask(predicate) is None
-        assert table.cached_mask(predicate, v0) is None
-        # A clean re-evaluation caches normally under the new version.
+        # A fresh evaluation pins the grown version and caches under it.
         again = predicate.evaluate(table)
+        assert len(again) == n_before + 10
         assert table.cached_mask(predicate) is again
 
     def test_default_executor_is_picked_up(self):
