@@ -3,17 +3,18 @@
 Intended for CI smoke use (``--quick``) and for regenerating the perf
 trajectory after engine changes::
 
-    python -m repro.bench                 # all suites -> BENCH_1/2/3/4.json
+    python -m repro.bench                 # all suites -> BENCH_1/.../5.json
     python -m repro.bench --suite engine  # vectorized-engine suite only
     python -m repro.bench --suite service # concurrency/batching suite only
     python -m repro.bench --suite shards  # sharded/versioned backend suite only
     python -m repro.bench --suite snapshots  # snapshot/compaction/interning suite
+    python -m repro.bench --suite store   # artifact store / revalidation suite
     python -m repro.bench --quick         # scaled down, same checks
     python -m repro.bench --suite engine --output out.json
 
 Exit status is non-zero when any parity, cache, budget-safety,
-transcript-validity, staleness-invalidation or snapshot-isolation assertion
-fails.
+transcript-validity, staleness-invalidation, snapshot-isolation,
+warm-start or revalidation assertion fails.
 """
 
 from __future__ import annotations
@@ -26,6 +27,7 @@ from repro.bench.microbench import (
     run_service_microbenchmarks,
     run_shard_microbenchmarks,
     run_snapshot_microbenchmarks,
+    run_store_microbenchmarks,
 )
 from repro.bench.reporting import write_bench_json
 
@@ -105,13 +107,14 @@ def _print_shard_summary(payload: dict, output: str) -> int:
     print(
         f"sharded mask evaluation: {masks['n_shards']} shards x "
         f"{masks['n_rows']} rows, +{masks['append_rows']} appended: "
-        f"incremental re-eval {masks['incremental_after_append_seconds']:.4f}s vs "
-        f"{masks['grown_cold_seconds']:.4f}s cold "
+        f"warm-shard mask re-eval {masks['incremental_mask_seconds']:.4f}s vs "
+        f"{masks['full_mask_reeval_seconds']:.4f}s full "
         f"({masks['incremental_speedup']:.1f}x, parity={masks['parity']})"
     )
     print(
         f"streaming invalidation: append between previews -> "
-        f"matrix_rebuilt={streaming['post_append_rebuilt_matrix']}, "
+        f"revalidated={streaming['post_append_revalidated']}, "
+        f"rebuilt={streaming['post_append_rebuilt']}, "
         f"counts_match={streaming['post_append_counts_match_reference']}, "
         f"no_stale_reuse={streaming['no_stale_reuse']}"
     )
@@ -206,6 +209,64 @@ def _print_snapshot_summary(payload: dict, output: str) -> int:
     return failures
 
 
+def _print_store_summary(payload: dict, output: str) -> int:
+    warm = payload["store_warm_start"]
+    reval = payload["domain_revalidation"]
+    print(f"wrote {output}")
+    print(
+        f"store warm start: cold preview {warm['cold_preview_seconds']:.3f}s -> "
+        f"restarted-process preview {warm['warm_start_preview_seconds']:.4f}s "
+        f"({warm['warm_start_speedup']:.0f}x, "
+        f"matrix_builds={warm['restart_matrix_builds']}, "
+        f"mc_searches={warm['restart_mc_searches']}, "
+        f"bit_identical={warm['bit_identical']})"
+    )
+    print(
+        f"domain revalidation: preserving append -> "
+        f"{reval['revalidated_preview_seconds']:.4f}s re-tag "
+        f"(revalidated={reval['preserving_append_revalidated']}, "
+        f"rebuilt={reval['preserving_append_rebuilt']}); changing append -> "
+        f"{reval['rebuild_preview_seconds']:.3f}s rebuild "
+        f"({reval['revalidate_vs_rebuild_speedup']:.0f}x apart)"
+    )
+    failures = 0
+    if not warm["zero_rebuild_restart"]:
+        print(
+            f"FAILURE: the restarted process rebuilt "
+            f"{warm['restart_matrix_builds']} matrices and re-ran "
+            f"{warm['restart_mc_searches']} Monte-Carlo searches (expected 0/0)",
+            file=sys.stderr,
+        )
+        failures += 1
+    if not warm["bit_identical"]:
+        print(
+            "FAILURE: the warm-started preview is not bit-identical to the "
+            "cold result",
+            file=sys.stderr,
+        )
+        failures += 1
+    if not reval["preserving_append_revalidated"] or reval["preserving_append_rebuilt"]:
+        print(
+            "FAILURE: a domain-preserving append did not revalidate "
+            "(or rebuilt anyway)",
+            file=sys.stderr,
+        )
+        failures += 1
+    if not reval["preserving_costs_identical"]:
+        print(
+            "FAILURE: the revalidated preview changed the translation answer",
+            file=sys.stderr,
+        )
+        failures += 1
+    if not reval["changing_append_rebuilt"] or reval["changing_append_revalidated"]:
+        print(
+            "FAILURE: a domain-changing append did not rebuild conservatively",
+            file=sys.stderr,
+        )
+        failures += 1
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -218,7 +279,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("engine", "service", "shards", "snapshots", "all"),
+        choices=("engine", "service", "shards", "snapshots", "store", "all"),
         default="all",
         help="which suite to run (default: all)",
     )
@@ -227,7 +288,8 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="path of the JSON payload; only valid with a single --suite "
         "(defaults: BENCH_1.json for engine, BENCH_2.json for service, "
-        "BENCH_3.json for shards, BENCH_4.json for snapshots)",
+        "BENCH_3.json for shards, BENCH_4.json for snapshots, "
+        "BENCH_5.json for store)",
     )
     parser.add_argument(
         "--seed", type=int, default=20190501, help="seed for the synthetic table"
@@ -257,6 +319,11 @@ def main(argv: list[str] | None = None) -> int:
         payload = run_snapshot_microbenchmarks(quick=args.quick, seed=args.seed)
         write_bench_json(output, payload)
         failures += _print_snapshot_summary(payload, output)
+    if args.suite in ("store", "all"):
+        output = args.output or "BENCH_5.json"
+        payload = run_store_microbenchmarks(quick=args.quick, seed=args.seed)
+        write_bench_json(output, payload)
+        failures += _print_store_summary(payload, output)
     return 1 if failures else 0
 
 

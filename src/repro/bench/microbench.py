@@ -64,12 +64,24 @@ path, shard compaction and the shared category dictionary:
   interning plus concatenation vs an honest full re-intern of the grown
   column from scratch.
 
+The **store suite** (``BENCH_5``) measures the persistent artifact store
+and the domain-fingerprint revalidation layer (:mod:`repro.store`):
+
+* **warm start** -- one cold ``preview_cost`` persisting its artifacts,
+  then a fresh interpreter (a subprocess) pointed at the same store
+  directory answering the structurally identical preview with zero matrix
+  builds and zero Monte-Carlo searches, bit-identical to the cold result;
+* **domain revalidation** -- structurally identical previews around a
+  domain-preserving append (fingerprint tier re-tags: zero rebuilds) and a
+  domain-changing append (fingerprint miss: conservative rebuild).
+
 ``run_microbenchmarks`` / ``run_service_microbenchmarks`` /
-``run_shard_microbenchmarks`` / ``run_snapshot_microbenchmarks`` collect
-each suite into one JSON-serialisable payload; the ``python -m repro.bench``
-entry point (and ``benchmarks/run_bench.py``) writes them to
-``BENCH_1.json`` ... ``BENCH_4.json``.  All seeds are fixed, so CI can smoke
-every suite with ``--quick``.
+``run_shard_microbenchmarks`` / ``run_snapshot_microbenchmarks`` /
+``run_store_microbenchmarks`` collect each suite into one JSON-serialisable
+payload; the ``python -m repro.bench`` entry point (and
+``benchmarks/run_bench.py``) writes them to ``BENCH_1.json`` ...
+``BENCH_5.json``.  All seeds are fixed, so CI can smoke every suite with
+``--quick``.
 """
 
 from __future__ import annotations
@@ -124,10 +136,13 @@ __all__ = [
     "bench_wait_free_reads",
     "bench_compaction",
     "bench_shared_interning",
+    "bench_store_warm_start",
+    "bench_domain_revalidation",
     "run_microbenchmarks",
     "run_service_microbenchmarks",
     "run_shard_microbenchmarks",
     "run_snapshot_microbenchmarks",
+    "run_store_microbenchmarks",
 ]
 
 _REGIONS = tuple(f"region-{i:02d}" for i in range(12))
@@ -633,10 +648,21 @@ def bench_sharded_mask_evaluation(
     parity-checks the shard-parallel masks against the reference evaluation
     on the equivalent single-shard table, then appends one more chunk and
     measures re-evaluation: the old shards' views keep their warm masks, so
-    only the new chunk is evaluated -- compared against a cold full
-    re-evaluation of the grown data (what a version-oblivious engine would
-    have to do after any mutation, and exactly what the single-shard layout
-    costs).
+    only the new chunk is evaluated.
+
+    The headline **isolates mask re-evaluation**: a sequential pass that
+    evaluates every predicate over every shard view (the unit the warm-mask
+    reuse operates on), warm old shards vs every mask LRU dropped -- with
+    columnar artifacts and the shared category dictionary warm in both
+    cases.  (The pre-PR-5 baseline was a cold evaluation of a fresh flat
+    table, which conflated the measurement with dictionary interning --
+    free since the shared-dictionary work; and the end-to-end
+    ``workload.evaluate`` path is dominated on a single-core host by
+    thread-pool dispatch and mask concatenation, identical in both paths,
+    which drowned the warm-mask win.)  The end-to-end warm re-evaluation
+    and a full cold evaluation of the grown flat data are still reported
+    (``incremental_after_append_seconds``, ``grown_mask_reeval_seconds``,
+    ``grown_cold_seconds``) for context.
     """
     from repro.core.parallel import ParallelExecutor
     from repro.queries.predicates import evaluate_sharded
@@ -699,6 +725,18 @@ def bench_sharded_mask_evaluation(
         workload.evaluate(table, executor)
         incremental_seconds = time.perf_counter() - start
 
+        # Isolated baseline: the same grown, sharded table with every mask
+        # LRU dropped (table-level combined masks and the per-shard view
+        # masks) but columnar artifacts and the shared dictionary warm --
+        # a pure full mask re-evaluation.
+        def run_grown_mask_reeval() -> None:
+            table.mask_cache.clear()
+            for view in table.shard_tables():
+                view.mask_cache.clear()
+            workload.evaluate(table, executor)
+
+        grown_mask_reeval = _best_of(2, run_grown_mask_reeval)
+
         grown_flat = flat.concat(extra)
 
         def run_grown_cold() -> None:
@@ -707,10 +745,46 @@ def bench_sharded_mask_evaluation(
 
         grown_cold = _best_of(2, run_grown_cold)
 
+        # The isolated measurement: evaluate every predicate over every
+        # shard view, sequentially (no pool dispatch, no concatenation) --
+        # the exact layer the warm-mask reuse operates on.  Old shards'
+        # views answer from their mask LRUs; only the appended shard's view
+        # computes.  The baseline is the same loop with every mask LRU
+        # dropped (columnar artifacts and dictionary stay warm).
+        views = table.shard_tables()
+
+        def eval_all_views() -> None:
+            for predicate in workload.predicates:
+                for view in views:
+                    predicate.evaluate(view)
+
+        def drop_view_masks() -> None:
+            for view in views:
+                view.mask_cache.clear()
+
+        extra_2 = build_bench_table(append_rows, seed=seed + n_shards + 1)
+        eval_all_views()  # warm every current shard view
+        table.append_columns(
+            {name: extra_2.column(name) for name in table.schema.attribute_names}
+        )
+        views = table.shard_tables()  # old views stay warm, one new view
+        start = time.perf_counter()
+        eval_all_views()
+        incremental_mask_seconds = time.perf_counter() - start
+
+        def run_full_mask_reeval() -> None:
+            drop_view_masks()
+            eval_all_views()
+
+        full_mask_reeval = _best_of(2, run_full_mask_reeval)
+
         # The incremental result must still be exact on the grown data.
         incremental_counts = workload.true_answers(table, executor)
         expected_counts = np.array(
-            [reference_mask(p, grown_flat).sum() for p in workload.predicates],
+            [
+                reference_mask(p, grown_flat.concat(extra_2)).sum()
+                for p in workload.predicates
+            ],
             dtype=float,
         )
         if not np.array_equal(incremental_counts, expected_counts):
@@ -725,8 +799,17 @@ def bench_sharded_mask_evaluation(
         "sharded_cold_seconds": sharded_cold,
         "single_shard_cold_seconds": flat_cold,
         "incremental_after_append_seconds": incremental_seconds,
+        "grown_mask_reeval_seconds": grown_mask_reeval,
         "grown_cold_seconds": grown_cold,
-        "incremental_speedup": grown_cold / max(incremental_seconds, 1e-12),
+        "incremental_mask_seconds": incremental_mask_seconds,
+        "full_mask_reeval_seconds": full_mask_reeval,
+        "incremental_speedup": full_mask_reeval
+        / max(incremental_mask_seconds, 1e-12),
+        "incremental_speedup_baseline": (
+            "sequential per-shard-view mask evaluation with every mask LRU "
+            "dropped (columnar artifacts and dictionary warm); end-to-end "
+            "workload.evaluate timings reported alongside"
+        ),
         "parity": True,
     }
 
@@ -739,10 +822,11 @@ def bench_streaming_invalidation(
     The adversarial scenario for every cache this stack grew: a structurally
     identical ``preview_cost`` before and after ``append_rows``.  The payload
     pins (a) the warm repeat *before* the append hits the translation memo,
-    (b) the repeat *after* the append misses the translation memo *and*
-    rebuilds the workload matrix (version-token miss), and (c) post-append
-    true counts equal the reference row-at-a-time semantics on the grown
-    data.
+    (b) the repeat *after* the append misses the exact version-scoped key
+    (no stale hit) and -- the append being domain-preserving -- is answered
+    by the revalidation tier with **zero** rebuilds and an identical cost
+    preview, and (c) post-append true counts (data-dependent, version-keyed)
+    equal the reference row-at-a-time semantics on the grown data.
     """
     from repro.service import ExplorationService
 
@@ -763,22 +847,23 @@ def bench_streaming_invalidation(
             name="stream-wcq",
         )
 
-    def snapshot() -> tuple[int, int]:
+    def snapshot() -> tuple[int, int, int]:
         stats = service.stats()
         return (
             stats["translations"]["hits"],
-            stats["workload_matrices"]["misses"],
+            stats["translations"]["revalidated"],
+            stats["workload_matrices"]["built"],
         )
 
     start = time.perf_counter()
-    service.preview_cost("stream", make_query(), accuracy)
+    first_costs = service.preview_cost("stream", make_query(), accuracy)
     cold_seconds = time.perf_counter() - start
-    hits_0, misses_0 = snapshot()
+    hits_0, revalidated_0, built_0 = snapshot()
 
     start = time.perf_counter()
     service.preview_cost("stream", make_query(), accuracy)
     warm_seconds = time.perf_counter() - start
-    hits_1, misses_1 = snapshot()
+    hits_1, revalidated_1, built_1 = snapshot()
 
     n_before = len(table)
     extra = build_bench_table(max(len(table) // 10, 100), seed=99)
@@ -788,9 +873,9 @@ def bench_streaming_invalidation(
     )
 
     start = time.perf_counter()
-    service.preview_cost("stream", make_query(), accuracy)
+    post_costs = service.preview_cost("stream", make_query(), accuracy)
     post_append_seconds = time.perf_counter() - start
-    hits_2, misses_2 = snapshot()
+    hits_2, revalidated_2, built_2 = snapshot()
 
     query = make_query()
     post_counts = query.true_counts(table)
@@ -807,16 +892,20 @@ def bench_streaming_invalidation(
         "warm_preview_seconds": warm_seconds,
         "post_append_preview_seconds": post_append_seconds,
         "warm_repeat_hit_translation_memo": bool(hits_1 > hits_0),
-        "warm_repeat_rebuilt_matrix": bool(misses_1 > misses_0),
-        "post_append_hit_translation_memo": bool(hits_2 > hits_1),
-        "post_append_rebuilt_matrix": bool(misses_2 > misses_1),
+        "warm_repeat_rebuilt": bool(built_1 > built_0),
+        "post_append_hit_exact_key": bool(hits_2 > hits_1),
+        "post_append_revalidated": bool(revalidated_2 > revalidated_1),
+        "post_append_rebuilt": bool(built_2 > built_1),
+        "post_append_costs_identical": bool(post_costs == first_costs),
         "post_append_counts_match_reference": counts_match,
         "no_stale_reuse": bool(
-            hits_1 > hits_0  # warm repeat is served by the memo...
-            and misses_1 == misses_0  # ...without rebuilding anything
-            and hits_2 == hits_1  # the post-append request misses the memo...
-            and misses_2 > misses_1  # ...and rebuilds against the new version
-            and counts_match
+            hits_1 > hits_0  # warm repeat is served by the exact memo...
+            and built_1 == built_0  # ...without rebuilding anything
+            and hits_2 == hits_1  # the post-append request misses the exact key
+            and revalidated_2 > revalidated_1  # ...revalidates (domains kept)
+            and built_2 == built_1  # ...with zero rebuilds
+            and post_costs == first_costs  # ...and an identical preview
+            and counts_match  # data-dependent counts track the grown table
         ),
     }
 
@@ -1055,6 +1144,253 @@ def bench_shared_interning(
     }
 
 
+def bench_store_warm_start(
+    *,
+    n_rows: int = 20_000,
+    n_predicates: int = 64,
+    n_amount_cuts: int = 12,
+    mc_samples: int = 500,
+    seed: int = 20190501,
+) -> dict[str, object]:
+    """Cold vs warm-start ``preview_cost`` across two processes.
+
+    The parent runs one cold preview with an :class:`~repro.store.ArtifactStore`
+    attached (building the matrix, the translation list and the WCQ-SM
+    epsilon search, all persisted to disk), then spawns a **fresh
+    interpreter** (:mod:`repro.bench.store_worker`) pointed at the same
+    store directory.  The payload pins the acceptance criterion of the
+    store: the restarted process answers the structurally identical preview
+    with zero matrix builds and zero Monte-Carlo searches, bit-identical to
+    the cold result.
+    """
+    import json
+    import os
+    import shutil
+    import subprocess
+    import sys
+    import tempfile
+
+    import repro
+    from repro.mechanisms.strategy_mechanism import reset_search_stats, search_stats
+    from repro.store import ArtifactStore
+
+    store_dir = tempfile.mkdtemp(prefix="repro-store-bench-")
+    try:
+        clear_matrix_cache()
+        reset_search_stats()
+        table = build_bench_table(n_rows, seed=seed)
+        workload = build_bench_workload(n_predicates, n_amount_cuts=n_amount_cuts)
+        engine = APExEngine(
+            table,
+            budget=10.0,
+            registry=default_registry(mc_samples=mc_samples),
+            seed=7,
+            store=ArtifactStore(store_dir),
+        )
+        accuracy = AccuracySpec(alpha=0.05 * len(table), beta=5e-4)
+        query = WorkloadCountingQuery(workload, name="bench-wcq")
+
+        start = time.perf_counter()
+        cold_costs = engine.preview_cost(query, accuracy)
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        engine.preview_cost(query, accuracy)
+        warm_memory_seconds = time.perf_counter() - start
+        cold_searches = search_stats()["searches"]
+
+        # The restart: a fresh interpreter sharing only the store directory.
+        env = dict(os.environ)
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.bench.store_worker",
+                "--store",
+                store_dir,
+                "--rows",
+                str(n_rows),
+                "--predicates",
+                str(n_predicates),
+                "--amount-cuts",
+                str(n_amount_cuts),
+                "--mc-samples",
+                str(mc_samples),
+                "--seed",
+                str(seed),
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=600,
+        )
+        if completed.returncode != 0:
+            raise AssertionError(
+                f"store worker failed: {completed.stderr.strip()[:2000]}"
+            )
+        worker = json.loads(completed.stdout)
+
+        # JSON round-trip preserves float bits exactly, so equality here is
+        # bit-identity of every (epsilon_lower, epsilon_upper) pair.
+        cold_costs_json = json.loads(
+            json.dumps({name: list(pair) for name, pair in cold_costs.items()})
+        )
+        bit_identical = cold_costs_json == worker["costs"]
+
+        return {
+            "n_rows": n_rows,
+            "n_predicates": n_predicates,
+            "mc_samples": mc_samples,
+            "cold_preview_seconds": cold_seconds,
+            "warm_memory_preview_seconds": warm_memory_seconds,
+            "warm_start_preview_seconds": worker["preview_seconds"],
+            "warm_start_speedup": cold_seconds
+            / max(worker["preview_seconds"], 1e-12),
+            "cold_mc_searches": cold_searches,
+            "restart_matrix_builds": worker["matrix_builds"],
+            "restart_mc_searches": worker["mc_searches"],
+            "restart_translation_builds": worker["translation_builds"],
+            "restart_disk_hits": worker["translation_disk_hits"]
+            + worker["matrix_disk_hits"],
+            "zero_rebuild_restart": bool(
+                worker["matrix_builds"] == 0 and worker["mc_searches"] == 0
+            ),
+            "bit_identical": bool(bit_identical),
+        }
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+
+def bench_domain_revalidation(
+    *,
+    n_rows: int = 20_000,
+    n_predicates: int = 64,
+    n_amount_cuts: int = 12,
+    mc_samples: int = 500,
+    seed: int = 20190501,
+) -> dict[str, object]:
+    """Revalidate vs rebuild around domain-preserving/-changing appends.
+
+    The table observes only the first six of the twelve declared regions,
+    so both kinds of append are legal data.  A structurally identical
+    ``preview_cost`` after a *domain-preserving* append must be answered by
+    the fingerprint tier (re-tag: zero matrix builds, zero searches); after
+    an append that introduces a previously unobserved region the fingerprint
+    changes and the conservative rebuild runs.  The payload records both
+    paths and the revalidate-vs-rebuild latency ratio.
+    """
+    from repro.mechanisms.strategy_mechanism import reset_search_stats, search_stats
+
+    clear_matrix_cache()
+    reset_search_stats()
+    schema = bench_schema()
+    rng = np.random.default_rng(seed)
+    base = build_bench_table(n_rows, seed=seed)
+    region = np.array(
+        [_REGIONS[i] for i in rng.integers(0, 6, n_rows)], dtype=object
+    )
+    region[rng.random(n_rows) < 0.05] = None
+    columns = {name: base.column(name) for name in schema.attribute_names}
+    columns["region"] = region
+    table = Table(schema, columns)
+
+    engine = APExEngine(
+        table, budget=10.0, registry=default_registry(mc_samples=mc_samples), seed=7
+    )
+    accuracy = AccuracySpec(alpha=0.05 * len(table), beta=5e-4)
+    workload = build_bench_workload(n_predicates, n_amount_cuts=n_amount_cuts)
+
+    def make_query() -> WorkloadCountingQuery:
+        return WorkloadCountingQuery(
+            Workload(list(workload.predicates), list(workload.names)),
+            name="reval-wcq",
+        )
+
+    def counters() -> tuple[int, int, int]:
+        stats = engine.cache_stats()
+        return (
+            stats["translations"]["revalidated"],
+            stats["workload_matrices"]["built"],
+            search_stats()["searches"],
+        )
+
+    def append(region_value: str, n: int = 50) -> None:
+        table.append_rows(
+            [
+                {"region": region_value, "channel": "web", "amount": 5.0, "age": 30.0}
+                for _ in range(n)
+            ]
+        )
+
+    start = time.perf_counter()
+    first_costs = engine.preview_cost(make_query(), accuracy)
+    cold_seconds = time.perf_counter() - start
+    revalidated_0, built_0, searches_0 = counters()
+
+    append(_REGIONS[3])  # already observed: domain-preserving
+    start = time.perf_counter()
+    preserved_costs = engine.preview_cost(make_query(), accuracy)
+    revalidated_seconds = time.perf_counter() - start
+    revalidated_1, built_1, searches_1 = counters()
+
+    append(_REGIONS[6])  # declared but never observed: domain-changing
+    start = time.perf_counter()
+    engine.preview_cost(make_query(), accuracy)
+    rebuild_seconds = time.perf_counter() - start
+    revalidated_2, built_2, searches_2 = counters()
+
+    return {
+        "n_rows": n_rows,
+        "n_predicates": n_predicates,
+        "mc_samples": mc_samples,
+        "cold_preview_seconds": cold_seconds,
+        "revalidated_preview_seconds": revalidated_seconds,
+        "rebuild_preview_seconds": rebuild_seconds,
+        "revalidate_vs_rebuild_speedup": rebuild_seconds
+        / max(revalidated_seconds, 1e-12),
+        "preserving_append_revalidated": bool(revalidated_1 > revalidated_0),
+        "preserving_append_rebuilt": bool(
+            built_1 > built_0 or searches_1 > searches_0
+        ),
+        "preserving_costs_identical": bool(preserved_costs == first_costs),
+        "changing_append_rebuilt": bool(built_2 > built_1),
+        "changing_append_revalidated": bool(revalidated_2 > revalidated_1),
+    }
+
+
+def run_store_microbenchmarks(
+    quick: bool = False, seed: int = 20190501
+) -> dict[str, object]:
+    """Run the artifact-store suite; returns the BENCH_5 payload."""
+    import os
+
+    n_rows = 20_000 if quick else 100_000
+    n_amount_cuts = 12 if quick else 40
+    mc_samples = 300 if quick else 1_000
+    warm_start = bench_store_warm_start(
+        n_rows=n_rows,
+        n_amount_cuts=n_amount_cuts,
+        mc_samples=mc_samples,
+        seed=seed,
+    )
+    revalidation = bench_domain_revalidation(
+        n_rows=n_rows,
+        n_amount_cuts=n_amount_cuts,
+        mc_samples=mc_samples,
+        seed=seed,
+    )
+    return {
+        "bench": 5,
+        "quick": quick,
+        "seed": seed,
+        "created_unix": time.time(),
+        "cpu_count": os.cpu_count(),
+        "store_warm_start": warm_start,
+        "domain_revalidation": revalidation,
+    }
+
+
 def run_snapshot_microbenchmarks(
     quick: bool = False, seed: int = 20190501
 ) -> dict[str, object]:
@@ -1103,6 +1439,10 @@ def run_shard_microbenchmarks(
     n_rows = 20_000 if quick else 100_000
     n_amount_cuts = 12 if quick else 40
     mc_samples = 300 if quick else 1_000
+    # The mask scenario runs at 4x the base size (per the ROADMAP item:
+    # vectorized per-shard evaluation is so fast that at 25k rows/shard the
+    # per-call fixed costs rival the numpy work and hide the warm-mask win).
+    mask_rows = 80_000 if quick else 400_000
     append = 2_000 if quick else 10_000
 
     workload = build_bench_workload(64, n_amount_cuts=n_amount_cuts)
@@ -1111,7 +1451,7 @@ def run_shard_microbenchmarks(
         workload, schema, workers=4, repeats=1 if quick else 2
     )
     masks = bench_sharded_mask_evaluation(
-        n_rows=n_rows,
+        n_rows=mask_rows,
         n_shards=4,
         append_rows=append,
         workers=4,

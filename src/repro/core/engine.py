@@ -31,11 +31,13 @@ from repro.core.accounting import PrivacyLedger, Transcript
 from repro.core.accuracy import AccuracySpec
 from repro.core.exceptions import ApexError, BudgetExceededError
 from repro.core.translator import AccuracyTranslator, SelectionMode
-from repro.data.table import Table, TableSnapshot
+from repro.data.table import DomainStamp, Table, TableSnapshot
 from repro.mechanisms.registry import MechanismRegistry
+from repro.mechanisms.strategy_mechanism import search_stats
 from repro.queries.parser import parse_query
 from repro.queries.query import Query
 from repro.queries.workload import matrix_cache_stats
+from repro.store import ArtifactStore
 
 __all__ = ["ExplorationResult", "APExEngine"]
 
@@ -92,6 +94,13 @@ class APExEngine:
         (its registry/mode win over ``registry``/``mode``).  Sharing one
         translator between engines shares the translation memo, so analysts
         asking structurally identical queries pay for translation once.
+    store:
+        An optional :class:`~repro.store.ArtifactStore`.  When set, every
+        request's :class:`~repro.data.table.DomainStamp` carries the store
+        down the translation stack: cold derivations (workload matrices,
+        translation lists, WCQ-SM epsilon searches) persist to disk, and a
+        fresh process pointed at the same directory warm-starts from them
+        with zero rebuilds (``docs/store.md``).
 
     The engine is thread-safe when its ledger is: admission control and
     charging follow a two-phase reservation protocol
@@ -111,6 +120,7 @@ class APExEngine:
         deny_mode: str = "result",
         ledger: PrivacyLedger | None = None,
         translator: AccuracyTranslator | None = None,
+        store: ArtifactStore | None = None,
     ) -> None:
         if not isinstance(table, Table):
             raise ApexError("APExEngine requires a repro.data.Table")
@@ -136,6 +146,7 @@ class APExEngine:
             seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
         )
         self._deny_mode = deny_mode
+        self._store = store
 
     # -- owner-facing accessors ---------------------------------------------------
 
@@ -175,23 +186,48 @@ class APExEngine:
     def registry(self) -> MechanismRegistry:
         return self._translator.registry
 
+    @property
+    def store(self) -> ArtifactStore | None:
+        """The attached artifact store, if any."""
+        return self._store
+
     def transcript(self) -> Transcript:
         """The full transcript of interaction so far."""
         return self._ledger.transcript
 
     def cache_stats(self) -> dict[str, dict[str, int]]:
-        """Hit/miss counters of the translation and workload-matrix caches.
+        """Counters of every derivation cache the engine sits on.
 
         ``translations`` counts memoised accuracy-to-privacy translation
         lists (per this engine's translator); ``workload_matrices`` counts
-        the process-wide workload-matrix memo.  Useful for verifying that a
-        repeated ``preview_cost``/``explore`` of a structurally identical
-        query does not re-derive anything.
+        the process-wide workload-matrix memo; ``wcqsm_search`` counts the
+        process-wide Monte-Carlo epsilon searches.  Each includes the
+        hierarchy counters (``built``/``revalidated``/``disk_hits``) of the
+        memory -> revalidate -> disk cascade; ``store`` reports the attached
+        :class:`~repro.store.ArtifactStore`'s own counters when one is
+        configured.  Useful for verifying that a repeated (or revalidated,
+        or warm-started) ``preview_cost``/``explore`` does not re-derive
+        anything.
         """
-        return {
+        out: dict[str, dict[str, int]] = {
             "translations": self._translator.cache_stats,
             "workload_matrices": matrix_cache_stats(),
+            "wcqsm_search": search_stats(),
         }
+        if self._store is not None:
+            out["store"] = self._store.stats()
+        return out
+
+    def domain_stamp(self, query: Query, snapshot: TableSnapshot) -> DomainStamp:
+        """The :class:`~repro.data.table.DomainStamp` of one admitted request.
+
+        Covers the domains of exactly the attributes the query's workload
+        references, and carries the engine's store; this is what every cache
+        key below the engine sees instead of a bare version token.
+        """
+        return snapshot.domain_stamp(
+            query.workload.attributes(), store=self._store
+        )
 
     # -- analyst-facing API --------------------------------------------------------
 
@@ -206,11 +242,13 @@ class APExEngine:
 
         The request is admitted on a pinned
         :class:`~repro.data.table.TableSnapshot` (``snapshot`` argument, else
-        one taken here): translation keys on the snapshot's version token and
-        the mechanism evaluates the snapshot's frozen shards, so a
-        long-running explore is fully wait-free against concurrent
-        ``append_rows``/``refresh`` and its answer describes exactly the
-        admitted version.
+        one taken here): translation keys on the snapshot's
+        :class:`~repro.data.table.DomainStamp` (version token plus the
+        referenced attributes' domain fingerprints, so domain-preserving
+        mutations revalidate instead of rebuilding) and the mechanism
+        evaluates the snapshot's frozen shards, so a long-running explore is
+        fully wait-free against concurrent ``append_rows``/``refresh`` and
+        its answer describes exactly the admitted version.
 
         Admission and charging follow the ledger's two-phase reservation
         protocol: the chosen mechanism's worst-case loss is atomically set
@@ -221,13 +259,14 @@ class APExEngine:
         updated headroom -- a cheaper mechanism may still be admissible.
         """
         snap = self._pin_snapshot(snapshot)
+        stamp = self.domain_stamp(query, snap)
         while True:
             choice = self._translator.choose(
                 query,
                 accuracy,
                 snap.schema,
                 budget_remaining=self._ledger.remaining,
-                version=snap.version_token,
+                version=stamp,
             )
             if choice is None:
                 return self._deny(query, accuracy)
@@ -308,7 +347,7 @@ class APExEngine:
         """
         snap = self._pin_snapshot(snapshot)
         translations = self._translator.translations(
-            query, accuracy, snap.schema, version=snap.version_token
+            query, accuracy, snap.schema, version=self.domain_stamp(query, snap)
         )
         return {
             mechanism.name: (t.epsilon_lower, t.epsilon_upper)

@@ -22,6 +22,18 @@ the query's structural identity and the accuracy requirement, so the
 exploration strategies' relaxation loops (which re-ask structurally identical
 queries round after round) and repeated ``preview_cost`` calls stop paying
 for mechanism translation more than once.
+
+Like the workload-matrix memo, the translation memo is three-tiered when
+the ``version`` argument is a :class:`~repro.data.table.DomainStamp`:
+a miss on the exact (version-scoped) key falls through to a revalidation
+tier keyed by the stamp's domain fingerprints (translation is data
+independent, so a mutation that preserved every referenced domain cannot
+change it) and then to the stamp's
+:class:`~repro.store.ArtifactStore`, from which a restarted process
+reloads whole translation lists without re-running a single mechanism
+translation.  The disk key includes each applicable mechanism's
+:meth:`~repro.mechanisms.base.Mechanism.cache_signature`, so stores are
+never shared across differently configured mechanism suites.
 """
 
 from __future__ import annotations
@@ -33,9 +45,11 @@ from repro.core.accuracy import AccuracySpec
 from repro.core.exceptions import TranslationError
 from repro.core.lru import LRUCache
 from repro.data.schema import Schema
+from repro.data.table import DomainStamp
 from repro.mechanisms.base import Mechanism, TranslationResult
 from repro.mechanisms.registry import MechanismRegistry, default_registry
 from repro.queries.query import Query
+from repro.store.fingerprint import stable_digest
 
 __all__ = ["SelectionMode", "MechanismChoice", "AccuracyTranslator"]
 
@@ -81,6 +95,17 @@ class AccuracyTranslator:
         self._translation_cache: LRUCache[
             list[tuple[Mechanism, TranslationResult]]
         ] = LRUCache(self.CACHE_MAX_ENTRIES)
+        #: Revalidation tier: the same lists keyed by domain fingerprints
+        #: instead of the version, so domain-preserving mutations re-tag.
+        self._domain_cache: LRUCache[
+            list[tuple[Mechanism, TranslationResult]]
+        ] = LRUCache(self.CACHE_MAX_ENTRIES)
+        self._tier_stats = {
+            "built": 0,
+            "revalidated": 0,
+            "disk_hits": 0,
+            "disk_writes": 0,
+        }
 
     @property
     def registry(self) -> MechanismRegistry:
@@ -92,11 +117,20 @@ class AccuracyTranslator:
 
     @property
     def cache_stats(self) -> dict[str, int]:
-        """Hit/miss/size counters of the translation memo."""
-        return self._translation_cache.stats()
+        """Counters of the translation memo hierarchy.
+
+        ``hits``/``misses``/``size`` describe the exact (version-scoped)
+        LRU; ``revalidated`` counts lists re-tagged via the
+        domain-fingerprint tier, ``disk_hits``/``disk_writes`` the artifact
+        store, and ``built`` the translation lists actually computed.
+        """
+        return {**self._translation_cache.stats(), **self._tier_stats}
 
     def clear_cache(self) -> None:
         self._translation_cache.clear()
+        self._domain_cache.clear()
+        for key in self._tier_stats:
+            self._tier_stats[key] = 0
 
     def is_cached(
         self,
@@ -111,12 +145,25 @@ class AccuracyTranslator:
         A pure peek: neither recency nor the hit/miss counters change.  The
         service's batching front door uses this to skip the coalescing window
         for requests that are already warm (they cost microseconds; only cold
-        builds are worth batching).
+        builds are worth batching).  With a
+        :class:`~repro.data.table.DomainStamp` the peek covers the
+        revalidation tier too: a post-append request whose domains are
+        unchanged is warm, it just has not been re-tagged yet.
         """
         query_key = query.cache_key(schema, version)
         if query_key is None:
             return False
-        return (query_key, accuracy.alpha, accuracy.beta) in self._translation_cache
+        if (query_key, accuracy.alpha, accuracy.beta) in self._translation_cache:
+            return True
+        if isinstance(version, DomainStamp):
+            domain_key = query.cache_key(schema, version.domain_key)
+            if domain_key is not None:
+                return (
+                    domain_key,
+                    accuracy.alpha,
+                    accuracy.beta,
+                ) in self._domain_cache
+        return False
 
     # -- translation ---------------------------------------------------------------
 
@@ -135,8 +182,12 @@ class AccuracyTranslator:
         per (query structure, accuracy, table version): translation is data
         independent and deterministic, so a structurally identical repeat (a
         re-asked query, a second ``preview_cost``) is answered from the
-        cache -- until the table mutates, which advances the version token
-        and forces a rebuild.
+        cache -- until the table mutates.  With a
+        :class:`~repro.data.table.DomainStamp` a mutation that preserved
+        every referenced domain *revalidates* (the cached list is re-tagged
+        for the new version), and a fresh process warm-starts from the
+        stamp's :class:`~repro.store.ArtifactStore` before any mechanism
+        translation runs.
         """
         query_key = query.cache_key(schema, version)
         cache_key = None
@@ -145,11 +196,36 @@ class AccuracyTranslator:
             cached = self._translation_cache.get(cache_key)
             if cached is not None:
                 return list(cached)
+        stamp = version if isinstance(version, DomainStamp) else None
+        domain_cache_key = None
+        if cache_key is not None and stamp is not None:
+            domain_query_key = query.cache_key(schema, stamp.domain_key)
+            if domain_query_key is not None:
+                domain_cache_key = (domain_query_key, accuracy.alpha, accuracy.beta)
+                cached = self._domain_cache.get(domain_cache_key)
+                if cached is not None:
+                    self._tier_stats["revalidated"] += 1
+                    self._translation_cache.put(cache_key, list(cached))
+                    return list(cached)
         applicable = self._registry.for_query(query)
         if not applicable:
             raise TranslationError(
                 f"no registered mechanism supports {query.kind.value} queries"
             )
+        store = stamp.store if stamp is not None else None
+        store_digest = None
+        if store is not None and cache_key is not None:
+            store_digest = self._store_digest(query, accuracy, schema, stamp, applicable)
+        if store_digest is not None:
+            loaded = self._from_payload(
+                store.load("translation", store_digest), applicable  # type: ignore[union-attr]
+            )
+            if loaded is not None:
+                self._tier_stats["disk_hits"] += 1
+                self._translation_cache.put(cache_key, list(loaded))
+                if domain_cache_key is not None:
+                    self._domain_cache.put(domain_cache_key, list(loaded))
+                return list(loaded)
         out: list[tuple[Mechanism, TranslationResult]] = []
         for mechanism in applicable:
             try:
@@ -166,8 +242,70 @@ class AccuracyTranslator:
                 f"no mechanism could translate the accuracy requirement {accuracy} "
                 f"for query {query.name!r}"
             )
+        self._tier_stats["built"] += 1
         if cache_key is not None:
             self._translation_cache.put(cache_key, list(out))
+        if domain_cache_key is not None:
+            self._domain_cache.put(domain_cache_key, list(out))
+        if store_digest is not None:
+            payload = [(mechanism.name, result) for mechanism, result in out]
+            if store.save("translation", store_digest, payload):  # type: ignore[union-attr]
+                self._tier_stats["disk_writes"] += 1
+        return out
+
+    def _store_digest(
+        self,
+        query: Query,
+        accuracy: AccuracySpec,
+        schema: Schema | None,
+        stamp: DomainStamp,
+        applicable: list[Mechanism],
+    ) -> str | None:
+        """Process-stable disk key of one translation list, or ``None``.
+
+        Covers the query structure (kind, predicates, names, overrides,
+        ICQ threshold / TCQ k via ``cache_key``), the schema content, the
+        accuracy pair, the stamp's domain fingerprints and every applicable
+        mechanism's configuration signature -- so differently parameterised
+        suites (e.g. different ``mc_samples``) never share artifacts.
+        """
+        structural_key = query.cache_key(None, None)
+        if structural_key is None:
+            return None
+        return stable_digest(
+            (
+                "translation",
+                structural_key,
+                schema,
+                stamp.fingerprints,
+                accuracy.alpha,
+                accuracy.beta,
+                tuple(mechanism.cache_signature() for mechanism in applicable),
+            )
+        )
+
+    @staticmethod
+    def _from_payload(
+        payload: object, applicable: list[Mechanism]
+    ) -> list[tuple[Mechanism, TranslationResult]] | None:
+        """Re-pair a stored ``(mechanism name, result)`` list, or ``None``.
+
+        The disk key pins the mechanism signatures, so a name that no longer
+        resolves (or a malformed payload) means the store and the registry
+        drifted -- treat as a miss and rebuild.
+        """
+        if not isinstance(payload, list) or not payload:
+            return None
+        by_name = {mechanism.name: mechanism for mechanism in applicable}
+        out: list[tuple[Mechanism, TranslationResult]] = []
+        for item in payload:
+            if not (isinstance(item, tuple) and len(item) == 2):
+                return None
+            name, result = item
+            mechanism = by_name.get(name)
+            if mechanism is None or not isinstance(result, TranslationResult):
+                return None
+            out.append((mechanism, result))
         return out
 
     def choose(

@@ -61,6 +61,20 @@ whole column; refresh and compaction keep the index (codes are only ever
 added, never renumbered), so a value's code is stable for the table's
 lifetime.
 
+**Domain fingerprints.** Every attribute has a cheap, incrementally
+maintained **domain fingerprint** (:meth:`Table.domain_fingerprint`): a
+digest of the attribute's declared schema domain plus -- for categorical
+attributes -- the set of values actually observed in the data.  Fingerprints
+are pure functions of (schema, data at one version), so two processes
+holding the same data compute the same fingerprints.  They are maintained
+per shard (a shard's distinct-value set is computed once, ever), so after an
+append only the new shard is scanned.  :meth:`Table.domain_stamp` bundles
+the fingerprints of a set of attributes with the version token into a
+:class:`DomainStamp`, which the translation/matrix memo layers use to
+*revalidate* data-independent artifacts across domain-preserving mutations
+instead of rebuilding them (see :mod:`repro.store` and
+``docs/store.md``).
+
 Within one version the storage is immutable: shard arrays are frozen at
 construction (``writeable = False``; the table takes ownership of the arrays
 it is given -- copy first if you need to keep mutating yours) and every
@@ -75,6 +89,8 @@ from __future__ import annotations
 import itertools
 import math
 import threading
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -83,8 +99,9 @@ import numpy as np
 from repro.core.exceptions import SchemaError, SnapshotError
 from repro.core.lru import LRUCache
 from repro.data.schema import AttributeKind, Schema
+from repro.store.fingerprint import stable_digest
 
-__all__ = ["Table", "TableSnapshot", "TableVersion"]
+__all__ = ["DomainStamp", "Table", "TableSnapshot", "TableVersion"]
 
 #: Byte budget of the per-table predicate-mask LRU (masks are one byte per
 #: row, so the entry cap is ``budget // n_rows``): bounded memory regardless
@@ -98,6 +115,14 @@ COMPACT_MAX_SHARDS = 64
 #: Compaction trigger: merge shards once the smallest shard holds less than
 #: this fraction of the table's rows.
 COMPACT_MIN_FRACTION = 0.01
+
+#: How many recent versions' snapshots a table memoises.  Bounding the memo
+#: keeps identity-keyed data caches (true counts, histograms) warm across a
+#: few quick version flips without letting the table itself pin every old
+#: shard list forever; evicted snapshots keep working for readers that hold
+#: them, they just stop being handed out (and stop being pinned by the
+#: table).  See ``docs/consistency.md`` ("Snapshot lifetime").
+SNAPSHOT_MEMO_MAX_ENTRIES = 4
 
 #: Process-wide source of unique table identities (the first half of every
 #: :class:`TableVersion`); an ever-increasing counter can never alias the way
@@ -126,23 +151,55 @@ class TableVersion:
         return TableVersion(self.table_uid, self.ordinal + 1)
 
 
+@dataclass(frozen=True)
+class DomainStamp:
+    """A revalidation-aware stand-in for a bare :class:`TableVersion`.
+
+    Minted by :meth:`Table.domain_stamp` for the attributes one request
+    references.  Two stamps compare (and hash) equal when they carry the
+    same ``version`` *and* the same per-attribute ``fingerprints``; memo
+    layers that key on the stamp therefore behave exactly like version-token
+    keying -- but they can additionally recognise, via the fingerprints
+    alone, that a *different* version left every referenced domain untouched
+    and re-tag the existing artifact instead of rebuilding it (the
+    "revalidate instead of rebuild" contract in ``docs/store.md``).
+
+    ``store`` optionally carries the process's
+    :class:`~repro.store.ArtifactStore` down the translation stack without
+    widening every signature; it never participates in equality or hashing.
+    """
+
+    version: TableVersion
+    #: Sorted ``(attribute, digest)`` pairs for the referenced attributes.
+    fingerprints: tuple[tuple[str, str], ...]
+    store: "object | None" = field(default=None, compare=False, repr=False)
+
+    @property
+    def domain_key(self) -> tuple:
+        """The version-free part of the stamp (what revalidation keys on)."""
+        return ("domain", self.fingerprints)
+
+
 @dataclass(eq=False)
 class _Shard:
     """One immutable row chunk plus its lazily derived per-shard artifacts.
 
     ``columns`` maps attribute name to a frozen storage array; ``codes``
     holds per-column ``int32`` dictionary codes interned against the owning
-    table's shared category index; ``view`` is the memoised single-shard
-    ``Table`` view used by shard-parallel evaluation.  Shard objects are
-    shared freely between a table, its snapshots and its compacted
-    descendants -- the arrays are read-only, and ``codes``/``view`` only
-    ever gain entries (guarded by the table's intern lock), so sharing can
-    never observe a torn state.
+    table's shared category index; ``distinct`` holds per-column frozen
+    distinct-value sets (the shard-local half of the domain fingerprints);
+    ``view`` is the memoised single-shard ``Table`` view used by
+    shard-parallel evaluation.  Shard objects are shared freely between a
+    table, its snapshots and its compacted descendants -- the arrays are
+    read-only, and ``codes``/``distinct``/``view`` only ever gain entries
+    (guarded by the table's intern lock), so sharing can never observe a
+    torn state.
     """
 
     columns: dict[str, np.ndarray]
     n_rows: int
     codes: dict[str, np.ndarray] = field(default_factory=dict)
+    distinct: dict[str, frozenset] = field(default_factory=dict)
     view: "Table | None" = None
 
 
@@ -193,11 +250,20 @@ class Table:
         self._null_masks: dict[str, np.ndarray] = {}
         self._float_values: dict[str, np.ndarray] = {}
         self._category_codes: dict[str, tuple[np.ndarray, dict[str, int]]] = {}
+        self._domain_fingerprints: dict[str, str] = {}
         self._mask_cache: LRUCache[np.ndarray] = LRUCache(
             self._mask_cache_capacity()
         )
-        #: Memoised :class:`TableSnapshot` of the current version.
-        self._snapshot: "TableSnapshot | None" = None
+        #: Bounded memo of recent versions' snapshots (newest last); the
+        #: current version's entry is what :meth:`snapshot` hands out.
+        self._snapshots: "OrderedDict[TableVersion, TableSnapshot]" = OrderedDict()
+        self._snapshot_stats = {
+            "created": 0,
+            "reused": 0,
+            "evicted": 0,
+            "closed": 0,
+        }
+        self._closed = False
         self._auto_compact = bool(auto_compact)
 
     def _mask_cache_capacity(self) -> int:
@@ -232,6 +298,9 @@ class Table:
         if extra:
             raise SchemaError(f"columns not present in schema: {sorted(extra)}")
         return _Shard(columns=shard, n_rows=n_rows or 0)
+
+    def _ensure_open(self) -> None:
+        """Live tables are always open; closed snapshots override to raise."""
 
     # -- construction --------------------------------------------------------
 
@@ -278,8 +347,11 @@ class Table:
         self._null_masks = {}
         self._float_values = {}
         self._category_codes = {}
+        self._domain_fingerprints = {}
         self._mask_cache = LRUCache(self._mask_cache_capacity())
-        self._snapshot = None
+        self._snapshots = OrderedDict()
+        self._snapshot_stats = {"created": 0, "reused": 0, "evicted": 0, "closed": 0}
+        self._closed = False
         self._auto_compact = False
         return self
 
@@ -322,21 +394,72 @@ class Table:
         :meth:`refresh`: it neither blocks, nor fails on shape checks, nor
         observes rows from a newer version.
 
-        Snapshots are memoised: until the next mutation every call returns
-        the *same* object, so all readers admitted at one version share one
-        snapshot identity (which keeps the identity-keyed true-count and
-        histogram caches warm across requests).  Taking a snapshot of a
-        snapshot returns the snapshot itself.
+        Snapshots are memoised per version in a bounded per-lineage memo
+        (:data:`SNAPSHOT_MEMO_MAX_ENTRIES` most recent versions): until the
+        next mutation every call returns the *same* object, so all readers
+        admitted at one version share one snapshot identity (which keeps the
+        identity-keyed true-count and histogram caches warm across
+        requests), and a handful of recent versions stay warm for stragglers
+        without the table pinning every old shard list.  Evicted snapshots
+        keep answering for readers that hold them.  Long-lived holders
+        should :meth:`TableSnapshot.close` their handle when done;
+        :meth:`snapshot_cache_stats` reports the memo counters.  Taking a
+        snapshot of a snapshot returns the snapshot itself.
         """
-        snap = self._snapshot
-        if snap is not None and snap._version == self._version:
+        snap = self._snapshots.get(self._version)
+        if snap is not None:
+            self._snapshot_stats["reused"] += 1
             return snap
         with self._mutation_lock:
-            snap = self._snapshot
-            if snap is None or snap._version != self._version:
-                snap = TableSnapshot(self)
-                self._snapshot = snap
+            snap = self._snapshots.get(self._version)
+            if snap is not None:
+                self._snapshot_stats["reused"] += 1
+                return snap
+            snap = TableSnapshot(self)
+            self._snapshots[self._version] = snap
+            self._snapshot_stats["created"] += 1
+            while len(self._snapshots) > SNAPSHOT_MEMO_MAX_ENTRIES:
+                self._snapshots.popitem(last=False)
+                self._snapshot_stats["evicted"] += 1
             return snap
+
+    def open_snapshot(self) -> "TableSnapshot":
+        """A private, caller-owned snapshot of the current version.
+
+        Unlike :meth:`snapshot`, the returned object is *not* memoised and
+        is never handed to any other reader, so the caller may safely
+        :meth:`TableSnapshot.close` it (releasing the pinned shard list and
+        poisoning further reads) whenever it is done -- the pattern for
+        long-lived analytics handles held across many table versions.  It
+        shares the frozen shards, derived artifacts and mask LRU of the
+        version exactly like a memoised snapshot, so it costs nothing
+        extra.  Use ``with table.open_snapshot() as snap: ...`` for
+        explicitly scoped holders.
+        """
+        with self._mutation_lock:
+            snap = TableSnapshot(self)
+            snap._owned = True
+            self._snapshot_stats["created"] += 1
+        return snap
+
+    def snapshot_cache_stats(self) -> dict[str, int]:
+        """Counters of the bounded per-lineage snapshot memo.
+
+        ``live`` is the number of snapshots the table currently pins (at
+        most :data:`SNAPSHOT_MEMO_MAX_ENTRIES`); ``created``/``reused``
+        count :meth:`snapshot`/:meth:`open_snapshot` calls that minted vs
+        shared an object; ``evicted`` counts memo entries dropped by the
+        bound; ``closed`` counts explicit :meth:`TableSnapshot.close`
+        calls on this lineage.  The ``reused`` counter is best-effort: the
+        memoised fast path is deliberately lock-free (wait-free reads), so
+        concurrent readers may occasionally lose an increment.
+        """
+        with self._mutation_lock:
+            return {
+                "live": len(self._snapshots),
+                "max_entries": SNAPSHOT_MEMO_MAX_ENTRIES,
+                **self._snapshot_stats,
+            }
 
     def shard_tables(self) -> tuple["Table", ...]:
         """Each row shard as its own single-shard table view.
@@ -351,6 +474,7 @@ class Table:
         evaluation (:func:`repro.queries.predicates.evaluate_sharded`).
         """
         with self._mutation_lock:
+            self._ensure_open()
             shards = list(self._shards)
         out: list[Table] = []
         for shard in shards:
@@ -426,13 +550,14 @@ class Table:
         self._null_masks = {}
         self._float_values = {}
         self._category_codes = {}
+        self._domain_fingerprints = {}
         # Versioned keys already make old entries unreachable; a fresh LRU
         # frees the memory immediately and re-derives the entry cap from the
         # new row count, keeping the byte budget honest as the table grows.
         # Snapshots of the previous version keep the old LRU (their masks
-        # stay warm for in-flight readers).
+        # stay warm for in-flight readers) and stay in the bounded snapshot
+        # memo until evicted by newer versions.
         self._mask_cache = LRUCache(self._mask_cache_capacity())
-        self._snapshot = None
 
     # -- compaction ------------------------------------------------------------
 
@@ -512,7 +637,7 @@ class Table:
         # already handed out keep their (equivalent) pre-compact shard lists,
         # and the new snapshot shares the same version token and mask LRU, so
         # nothing version-keyed goes cold.
-        self._snapshot = None
+        self._snapshots.pop(self._version, None)
         return True
 
     def _merge_shards(self, group: Sequence[_Shard]) -> _Shard:
@@ -531,6 +656,7 @@ class Table:
             col.flags.writeable = False
             columns[name] = col
         codes: dict[str, np.ndarray] = {}
+        distinct: dict[str, frozenset] = {}
         if self._intern_lock.acquire(blocking=False):
             try:
                 interned_everywhere = set(group[0].codes)
@@ -542,12 +668,20 @@ class Table:
                     )
                     merged.flags.writeable = False
                     codes[name] = merged
+                scanned_everywhere = set(group[0].distinct)
+                for shard in group[1:]:
+                    scanned_everywhere &= set(shard.distinct)
+                for name in scanned_everywhere:
+                    distinct[name] = frozenset().union(
+                        *(shard.distinct[name] for shard in group)
+                    )
             finally:
                 self._intern_lock.release()
         return _Shard(
             columns=columns,
             n_rows=sum(shard.n_rows for shard in group),
             codes=codes,
+            distinct=distinct,
         )
 
     # -- basic accessors ------------------------------------------------------
@@ -574,6 +708,7 @@ class Table:
                 f"known columns: {list(self._schema.attribute_names)}"
             )
         with self._mutation_lock:
+            self._ensure_open()
             col = self._materialized.get(name)
             if col is not None:
                 return col
@@ -688,6 +823,7 @@ class Table:
             # Capture a (shard list, per-version cache) pair that belongs to
             # one version: an append rebinding the caches mid-read cannot
             # make us publish codes for version N+1 under version N's dict.
+            self._ensure_open()
             shards = list(self._shards)
             per_version = self._category_codes
         index = self._category_index.setdefault(name, {})
@@ -727,6 +863,104 @@ class Table:
             out.flags.writeable = False
             shard.codes[name] = out
             return out
+
+    # -- domain fingerprints ---------------------------------------------------
+
+    def domain_fingerprint(self, name: str) -> str:
+        """Digest of the named attribute's *domain* at the current version.
+
+        The fingerprint covers the attribute's declared schema domain
+        (categorical values in order, numeric bounds and integrality, text
+        length cap, nullability) plus -- for categorical attributes -- the
+        sorted set of values actually observed in the data.  It is a pure
+        function of (schema, data at this version): two processes holding
+        the same rows compute the same digest, appends that introduce no new
+        categorical value leave it unchanged, and numeric/text appends never
+        change it.  Maintenance is incremental: each shard's distinct-value
+        set is computed once in its lifetime, so a post-append fingerprint
+        costs one scan of the appended chunk plus a set union.
+
+        This is the invalidation key of the revalidation layer: a
+        data-independent artifact (workload matrix, accuracy translation,
+        Monte-Carlo epsilon search) keyed by the fingerprints of the
+        attributes it references stays valid across every mutation that
+        preserves them.  The observed-value component is deliberately
+        conservative -- the exact domain analysis depends only on the
+        *declared* domains, so a changed fingerprint forces at worst an
+        unnecessary rebuild, never a stale reuse.
+        """
+        cached = self._domain_fingerprints.get(name)
+        if cached is not None:
+            return cached
+        attribute = self._schema[name]
+        with self._mutation_lock:
+            # Pair the shard list with the per-version memo dict, exactly as
+            # category_codes does: a concurrent version advance rebinding the
+            # memo can never publish version N+1's digest under version N.
+            self._ensure_open()
+            shards = list(self._shards)
+            per_version = self._domain_fingerprints
+        observed: tuple[str, ...] | None = None
+        if attribute.kind is AttributeKind.CATEGORICAL:
+            values: set = set()
+            for shard in shards:
+                values |= self._shard_distinct(shard, name)
+            observed = tuple(
+                sorted("\x00NULL" if v is None else str(v) for v in values)
+            )
+        # Text/numeric fingerprints cover the declared shape only (text
+        # distinct sets are unbounded; numeric bounds live in the schema).
+        # The Attribute dataclass canonicalises name, kind, nullability and
+        # the full domain spec through the same stable-digest scheme the
+        # disk keys use, so there is exactly one canonical form to keep
+        # process-stable.
+        fingerprint = stable_digest(("domain", attribute, observed))
+        assert fingerprint is not None  # Attribute/str/None are canonical
+        per_version[name] = fingerprint
+        return fingerprint
+
+    def _shard_distinct(self, shard: _Shard, name: str) -> frozenset:
+        """The shard's distinct-value set for one column (computed once, ever)."""
+        distinct = shard.distinct.get(name)
+        if distinct is not None:
+            return distinct
+        with self._intern_lock:
+            distinct = shard.distinct.get(name)
+            if distinct is None:
+                distinct = frozenset(shard.columns[name])
+                shard.distinct[name] = distinct
+            return distinct
+
+    def domain_fingerprints(
+        self, names: Iterable[str]
+    ) -> tuple[tuple[str, str], ...]:
+        """Sorted ``(attribute, fingerprint)`` pairs for the named attributes.
+
+        Attributes absent from the schema are skipped (an opaque predicate
+        may declare attributes the hosting table does not carry; they cannot
+        influence any domain-analysed artifact).
+        """
+        known = [n for n in set(names) if n in self._schema.attribute_names]
+        return tuple(
+            (name, self.domain_fingerprint(name)) for name in sorted(known)
+        )
+
+    def domain_stamp(
+        self, attributes: Iterable[str], store: object | None = None
+    ) -> DomainStamp:
+        """Bundle the current version token with the attributes' fingerprints.
+
+        The :class:`DomainStamp` slots into every cache key that previously
+        carried the bare version token; see the class docstring for the
+        revalidation semantics.  ``store`` optionally attaches the process's
+        :class:`~repro.store.ArtifactStore` so the memo layers can fall back
+        to disk (it never affects stamp equality).
+        """
+        return DomainStamp(
+            version=self._version,
+            fingerprints=self.domain_fingerprints(attributes),
+            store=store,
+        )
 
     @property
     def mask_cache(self) -> LRUCache[np.ndarray]:
@@ -788,11 +1022,12 @@ class Table:
             self._null_masks.clear()
             self._float_values.clear()
             self._category_codes.clear()
+            self._domain_fingerprints.clear()
             self._mask_cache.clear()
             self._materialized = (
                 dict(self._shards[0].columns) if len(self._shards) == 1 else {}
             )
-            self._snapshot = None
+            self._snapshots.pop(self._version, None)
 
     def null_count(self, name: str) -> int:
         return int(self.is_null(name).sum())
@@ -910,21 +1145,90 @@ class TableSnapshot(Table):
         self._null_masks = dict(parent._null_masks)
         self._float_values = dict(parent._float_values)
         self._category_codes = dict(parent._category_codes)
+        self._domain_fingerprints = dict(parent._domain_fingerprints)
         # The mask LRU is shared *by reference* (it locks internally): masks
         # evaluated through the snapshot serve live-table readers at the
         # same version and vice versa.  After the parent advances, it swaps
         # in a fresh LRU while this snapshot keeps the old one warm.
         self._mask_cache = parent._mask_cache
-        self._snapshot = None
+        self._snapshots = OrderedDict()
+        self._snapshot_stats = {"created": 0, "reused": 0, "evicted": 0, "closed": 0}
+        self._closed = False
+        self._detached = False
+        #: True for snapshots minted by :meth:`Table.open_snapshot`: the
+        #: caller owns the object exclusively, so close() may gut it.
+        self._owned = False
+        self._parent_ref: "weakref.ref[Table] | None" = weakref.ref(parent)
         self._auto_compact = False
 
     @property
     def is_snapshot(self) -> bool:
         return True
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` released this snapshot's pinned state."""
+        return self._closed
+
     def snapshot(self) -> "TableSnapshot":
         """Snapshots are already pinned; returns ``self``."""
+        self._ensure_open()
         return self
+
+    def close(self) -> None:
+        """Release this handle's pin; how much is released depends on ownership.
+
+        For an **owned** snapshot (:meth:`Table.open_snapshot` -- the
+        long-lived analytics pattern) the pinned shard list is dropped so
+        old shards can be garbage-collected, and any further read through
+        this object raises :class:`~repro.core.exceptions.SnapshotError`.
+
+        For a **shared** snapshot (handed out by :meth:`Table.snapshot`,
+        where every reader admitted at one version holds the *same*
+        object), close() only evicts the memo entry -- the table stops
+        handing the snapshot out and stops pinning it, while readers that
+        already hold it keep working untouched.  Gutting a shared object
+        would fail other readers' in-flight evaluations, so it is never
+        done.
+
+        Closing is idempotent either way.  Owned snapshots work as context
+        managers (``with table.open_snapshot() as snap: ...`` closes on
+        exit).
+        """
+        if self._closed or self._detached:
+            return
+        parent = self._parent_ref() if self._parent_ref is not None else None
+        if parent is not None:
+            with parent._mutation_lock:
+                if parent._snapshots.get(self._version) is self:
+                    del parent._snapshots[self._version]
+                parent._snapshot_stats["closed"] += 1
+        if not self._owned:
+            self._detached = True
+            return
+        with self._mutation_lock:
+            self._closed = True
+            self._shards = []
+            self._materialized = {}
+            self._null_masks = {}
+            self._float_values = {}
+            self._category_codes = {}
+            self._domain_fingerprints = {}
+            self._mask_cache = LRUCache(16)
+
+    def __enter__(self) -> "TableSnapshot":
+        self._ensure_open()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise SnapshotError(
+                f"snapshot of version {self._version.ordinal} is closed; "
+                "pin a fresh snapshot from the live table"
+            )
 
     def _refuse_mutation(self, operation: str) -> None:
         raise SnapshotError(
@@ -955,6 +1259,7 @@ class TableSnapshot(Table):
             self._null_masks = {}
             self._float_values = {}
             self._category_codes = {}
+            self._domain_fingerprints = {}
             self._materialized = (
                 dict(self._shards[0].columns) if len(self._shards) == 1 else {}
             )

@@ -109,6 +109,18 @@ class Mechanism(abc.ABC):
         """Whether this mechanism can answer the given query."""
         return query.kind in self.supported_kinds
 
+    def cache_signature(self) -> tuple:
+        """Content identity of this mechanism's *translation behaviour*.
+
+        Two mechanism instances with equal signatures must produce identical
+        ``translate`` results for identical inputs; the signature joins the
+        artifact-store keys (:mod:`repro.store`) so persisted translations
+        are never shared across differently configured suites.  Mechanisms
+        whose translation depends on constructor parameters (sample counts,
+        search tolerances, seeds) must override and include them.
+        """
+        return (type(self).__name__, self.name)
+
     def _check_supported(self, query: Query) -> None:
         if not self.supports(query):
             raise MechanismError(

@@ -116,7 +116,10 @@ class LaplaceMechanism(Mechanism):
         table = table.snapshot()  # pin one version for the whole run
         schema = table.schema
         translation = self.translate(
-            query, accuracy, schema, version=table.version_token
+            query,
+            accuracy,
+            schema,
+            version=table.domain_stamp(query.workload.attributes()),
         )
         epsilon = translation.epsilon_upper
         sensitivity = translation.details["sensitivity"]

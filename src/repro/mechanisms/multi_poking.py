@@ -55,6 +55,12 @@ class MultiPokingMechanism(Mechanism):
         """The maximum number of pokes ``m``."""
         return self._n_pokes
 
+    def cache_signature(self) -> tuple:
+        """``m`` shapes the translation (epsilon bounds scale with the poke
+        budget), so differently configured instances must never share
+        persisted translation lists (see ``Mechanism.cache_signature``)."""
+        return (type(self).__name__, self.name, self._n_pokes)
+
     # -- translate -----------------------------------------------------------------
 
     def translate(
@@ -110,7 +116,9 @@ class MultiPokingMechanism(Mechanism):
         schema: Schema = table.schema
         alpha, beta = accuracy.alpha, accuracy.beta
         m = self._n_pokes
-        sensitivity = query.sensitivity(schema, table.version_token)
+        sensitivity = query.sensitivity(
+            schema, table.domain_stamp(query.workload.attributes())
+        )
         workload_size = query.workload_size
         epsilon_max = self._epsilon_max(sensitivity, workload_size, alpha, beta)
 

@@ -84,7 +84,10 @@ class LaplaceTopKMechanism(Mechanism):
         generator = self._rng(rng)
         table = table.snapshot()  # pin one version for the whole run
         translation = self.translate(
-            query, accuracy, table.schema, version=table.version_token
+            query,
+            accuracy,
+            table.schema,
+            version=table.domain_stamp(query.workload.attributes()),
         )
         epsilon = translation.epsilon_upper
         scale = query.k / epsilon

@@ -35,8 +35,9 @@ from repro.core.accuracy import AccuracySpec
 from repro.core.exceptions import TranslationError
 from repro.core.lru import LRUCache
 from repro.data.schema import Schema
-from repro.data.table import Table
+from repro.data.table import DomainStamp, Table
 from repro.mechanisms.base import Mechanism, MechanismResult, TranslationResult
+from repro.store.fingerprint import stable_digest
 from repro.mechanisms.noise import laplace_noise
 from repro.mechanisms.strategies import (
     StrategyMatrix,
@@ -46,9 +47,33 @@ from repro.mechanisms.strategies import (
 from repro.queries.query import IcebergCountingQuery, Query, QueryKind
 from repro.queries.workload import WorkloadMatrix
 
-__all__ = ["StrategyMechanism", "IcebergStrategyMechanism", "StrategyTranslation"]
+__all__ = [
+    "StrategyMechanism",
+    "IcebergStrategyMechanism",
+    "StrategyTranslation",
+    "search_stats",
+    "reset_search_stats",
+]
 
 StrategyFactory = Callable[[int], StrategyMatrix]
+
+#: Process-wide counters of the Monte-Carlo epsilon search: ``searches``
+#: counts binary searches actually executed (each one runs tens of
+#: Monte-Carlo simulations), ``disk_hits`` counts searches answered from an
+#: :class:`~repro.store.ArtifactStore` instead.  Benchmarks and the
+#: warm-start acceptance tests use these to pin "zero re-searches".
+_SEARCH_STATS = {"searches": 0, "disk_hits": 0, "disk_writes": 0}
+
+
+def search_stats() -> dict[str, int]:
+    """Process-wide Monte-Carlo search counters (see :data:`_SEARCH_STATS`)."""
+    return dict(_SEARCH_STATS)
+
+
+def reset_search_stats() -> None:
+    """Zero the process-wide Monte-Carlo search counters."""
+    for key in _SEARCH_STATS:
+        _SEARCH_STATS[key] = 0
 
 
 @dataclass(frozen=True)
@@ -106,7 +131,10 @@ class StrategyMechanism(Mechanism):
     ) -> TranslationResult:
         self._check_supported(query)
         translation = self._translate_matrix(
-            query.workload_matrix(schema, version), accuracy.alpha, accuracy.beta
+            query.workload_matrix(schema, version),
+            accuracy.alpha,
+            accuracy.beta,
+            store=version.store if isinstance(version, DomainStamp) else None,
         )
         return TranslationResult(
             mechanism=self.name,
@@ -121,6 +149,19 @@ class StrategyMechanism(Mechanism):
             },
         )
 
+    def cache_signature(self) -> tuple:
+        """Everything the Monte-Carlo search result depends on besides the
+        workload matrix and the accuracy pair (see ``Mechanism.cache_signature``)."""
+        return (
+            type(self).__name__,
+            self.name,
+            getattr(self._strategy_factory, "__name__", repr(self._strategy_factory)),
+            self._mc_samples,
+            self._max_search_iterations,
+            float(self._relative_tolerance).hex(),
+            self._seed,
+        )
+
     def run(
         self,
         query: Query,
@@ -131,7 +172,12 @@ class StrategyMechanism(Mechanism):
         self._check_supported(query)
         generator = self._rng(rng)
         table = table.snapshot()  # pin one version for search + histogram
-        workload_matrix = query.workload_matrix(table.schema, table.version_token)
+        # A domain stamp rather than the bare token: if translate-time work
+        # populated the memos at an equal stamp (same version, same
+        # fingerprints), the run reuses it -- and a run straddling a
+        # domain-preserving append revalidates instead of rebuilding.
+        stamp = table.domain_stamp(query.workload.attributes())
+        workload_matrix = query.workload_matrix(table.schema, stamp)
         translation = self._translate_matrix(
             workload_matrix, accuracy.alpha, accuracy.beta
         )
@@ -168,12 +214,38 @@ class StrategyMechanism(Mechanism):
         return translation.reconstruction @ strategy_answers
 
     def _translate_matrix(
-        self, workload_matrix: WorkloadMatrix, alpha: float, beta: float
+        self,
+        workload_matrix: WorkloadMatrix,
+        alpha: float,
+        beta: float,
+        store: object | None = None,
     ) -> StrategyTranslation:
         cache_key = (workload_matrix.cache_token, float(alpha), float(beta))
         cached = self._cache.get(cache_key)
         if cached is not None:
             return cached
+
+        # Disk tier: the matrix's store digest is a content address covering
+        # the workload structure and the referenced attribute domains, so a
+        # search persisted by a previous process under the same digest,
+        # accuracy pair and mechanism configuration is the same search.
+        store_key = None
+        if store is not None and workload_matrix.store_digest is not None:
+            store_key = stable_digest(
+                (
+                    "wcqsm",
+                    workload_matrix.store_digest,
+                    float(alpha),
+                    float(beta),
+                    self.cache_signature(),
+                )
+            )
+        if store_key is not None:
+            loaded = store.load("wcqsm", store_key)  # type: ignore[union-attr]
+            if isinstance(loaded, StrategyTranslation):
+                _SEARCH_STATS["disk_hits"] += 1
+                self._cache.put(cache_key, loaded)
+                return loaded
 
         strategy = self._build_strategy(workload_matrix)
         reconstruction = strategy.reconstruction(workload_matrix.matrix)
@@ -185,6 +257,7 @@ class StrategyMechanism(Mechanism):
         epsilon, iterations = self._binary_search_epsilon(
             reconstruction, sensitivity, alpha, beta, chebyshev_upper, simulation_rng
         )
+        _SEARCH_STATS["searches"] += 1
         translation = StrategyTranslation(
             epsilon=epsilon,
             strategy=strategy,
@@ -194,6 +267,9 @@ class StrategyMechanism(Mechanism):
             search_iterations=iterations,
         )
         self._cache.put(cache_key, translation)
+        if store_key is not None:
+            if store.save("wcqsm", store_key, translation):  # type: ignore[union-attr]
+                _SEARCH_STATS["disk_writes"] += 1
         return translation
 
     def _build_strategy(self, workload_matrix: WorkloadMatrix) -> StrategyMatrix:
@@ -304,6 +380,9 @@ class IcebergStrategyMechanism(Mechanism):
         beta = min(2.0 * accuracy.beta, 0.999)
         return AccuracySpec(alpha=accuracy.alpha, beta=beta)
 
+    def cache_signature(self) -> tuple:
+        return (type(self).__name__, self.name) + self._inner.cache_signature()
+
     def translate(
         self,
         query: Query,
@@ -317,6 +396,7 @@ class IcebergStrategyMechanism(Mechanism):
             query.workload_matrix(schema, version),
             accuracy.alpha,
             self._wcq_accuracy(accuracy).beta,
+            store=version.store if isinstance(version, DomainStamp) else None,
         )
         return TranslationResult(
             mechanism=self.name,
@@ -340,7 +420,8 @@ class IcebergStrategyMechanism(Mechanism):
         assert isinstance(query, IcebergCountingQuery)
         generator = self._rng(rng)
         table = table.snapshot()  # pin one version for search + histogram
-        workload_matrix = query.workload_matrix(table.schema, table.version_token)
+        stamp = table.domain_stamp(query.workload.attributes())
+        workload_matrix = query.workload_matrix(table.schema, stamp)
         translation = self._inner._translate_matrix(
             workload_matrix, accuracy.alpha, self._wcq_accuracy(accuracy).beta
         )

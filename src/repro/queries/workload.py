@@ -35,8 +35,21 @@ workload structure (predicates + names + schema identity + overrides + table
 version token); see :func:`matrix_cache_stats`.  The version token is what
 keeps the memo honest under table growth: an ``append_rows`` advances the
 token, so the next analysis for that table misses instead of resurrecting a
-matrix derived for the previous state.  The chunked cell enumeration and the
-per-table predicate evaluation both accept a
+matrix derived for the previous state.
+
+The memo is **three-tiered** when the caller passes a
+:class:`~repro.data.table.DomainStamp` (what every engine entry point does)
+instead of a bare token: a miss on the exact (version-scoped) key falls
+through to a *revalidation* tier keyed by the stamp's domain fingerprints --
+exact domain analysis is a pure function of the workload structure and the
+referenced attribute domains, so a mutation that provably preserved those
+domains re-tags the existing matrix for the new version instead of
+re-enumerating millions of cells -- and then to the stamp's optional
+:class:`~repro.store.ArtifactStore`, so a fresh process warm-starts from a
+previous run's disk cache.  ``matrix_cache_stats()`` reports
+``built``/``revalidated``/``disk_hits`` alongside the LRU counters; the
+full contract lives in ``docs/store.md``.  The chunked cell enumeration and
+the per-table predicate evaluation both accept a
 :class:`~repro.core.parallel.ParallelExecutor` to fan the numpy work out over
 threads (partials merge deterministically; results are bit-identical).
 """
@@ -54,7 +67,8 @@ from repro.core.exceptions import PredicateError, QueryError
 from repro.core.lru import LRUCache
 from repro.core.parallel import ParallelExecutor, get_default_executor
 from repro.data.schema import AttributeKind, Schema
-from repro.data.table import Table, TableVersion
+from repro.data.table import DomainStamp, Table, TableVersion
+from repro.store.fingerprint import stable_digest
 from repro.queries.predicates import (
     And,
     Between,
@@ -112,18 +126,43 @@ class _IdKey:
         return isinstance(other, _IdKey) and other.obj is self.obj
 
 
-#: Process-wide LRU of :class:`WorkloadMatrix` keyed by workload structure.
+#: Process-wide LRU of :class:`WorkloadMatrix` keyed by workload structure
+#: plus the exact table version (or stamp) the analysis was requested for.
 _MATRIX_CACHE: "LRUCache[WorkloadMatrix]" = LRUCache(128)
+
+#: Revalidation tier: the same matrices keyed by workload structure plus the
+#: *domain fingerprints* only -- version-free, so a domain-preserving
+#: mutation finds the existing matrix here and re-tags it for its new
+#: version instead of rebuilding.
+_MATRIX_DOMAIN_CACHE: "LRUCache[WorkloadMatrix]" = LRUCache(128)
+
+#: Counters of the tiers beneath the exact-key LRU (see matrix_cache_stats).
+_MATRIX_TIER_STATS = {
+    "built": 0,
+    "revalidated": 0,
+    "disk_hits": 0,
+    "disk_writes": 0,
+}
 
 
 def matrix_cache_stats() -> dict[str, int]:
-    """Hit/miss/size counters of the workload-matrix memo cache."""
-    return _MATRIX_CACHE.stats()
+    """Counters of the workload-matrix memo hierarchy.
+
+    ``hits``/``misses``/``size`` describe the exact (version-scoped) LRU;
+    ``revalidated`` counts matrices re-tagged for a new version via the
+    domain-fingerprint tier, ``disk_hits``/``disk_writes`` the artifact
+    store, and ``built`` the analyses that actually enumerated (the only
+    counter that costs real work).
+    """
+    return {**_MATRIX_CACHE.stats(), **_MATRIX_TIER_STATS}
 
 
 def clear_matrix_cache() -> None:
-    """Drop every memoised workload matrix and reset the counters."""
+    """Drop every memoised workload matrix and reset every counter."""
     _MATRIX_CACHE.clear()
+    _MATRIX_DOMAIN_CACHE.clear()
+    for key in _MATRIX_TIER_STATS:
+        _MATRIX_TIER_STATS[key] = 0
 
 
 class Workload:
@@ -234,7 +273,7 @@ class Workload:
         *,
         disjoint: bool | None = None,
         sensitivity: float | None = None,
-        version: TableVersion | None = None,
+        version: TableVersion | DomainStamp | None = None,
         executor: ParallelExecutor | None = None,
     ) -> "WorkloadMatrix":
         """Compute the matrix representation of this workload.
@@ -251,11 +290,16 @@ class Workload:
             enumeration (useful for huge cross-attribute workloads such as the
             QT2/QT4 benchmarks, where the sensitivity is known structurally).
         version:
-            The :attr:`~repro.data.table.Table.version_token` of the table the
-            analysis is performed for.  Part of the memo key: after
-            ``append_rows``/``refresh`` a structurally identical analysis
-            misses and rebuilds rather than resurrecting a matrix derived for
-            a previous state of the data.
+            The :attr:`~repro.data.table.Table.version_token` of the table
+            the analysis is performed for -- or, preferably, a
+            :class:`~repro.data.table.DomainStamp` minted by
+            :meth:`~repro.data.table.Table.domain_stamp`.  Part of the memo
+            key either way: after ``append_rows``/``refresh`` a structurally
+            identical analysis misses the exact key.  With a stamp, the miss
+            falls through to the revalidation tier (same domain
+            fingerprints: re-tag, don't rebuild) and then to the stamp's
+            :class:`~repro.store.ArtifactStore` (cross-process warm start)
+            before anything is re-enumerated.
         executor:
             Optional :class:`~repro.core.parallel.ParallelExecutor` for
             chunk-parallel domain-cell enumeration (speed only, never part of
@@ -271,8 +315,41 @@ class Workload:
             cached = _MATRIX_CACHE.get(key)
             if cached is not None:
                 return cached
+        stamp = version if isinstance(version, DomainStamp) else None
+        domain_key = None
+        if key is not None and stamp is not None:
+            domain_key = self._analysis_key(
+                schema, disjoint, sensitivity, stamp.domain_key
+            )
+            cached = _MATRIX_DOMAIN_CACHE.get(domain_key)
+            if cached is not None:
+                # Same workload, same referenced domains, different version:
+                # the enumeration would reproduce this matrix bit for bit, so
+                # re-tag it for the new version instead of rebuilding.
+                _MATRIX_TIER_STATS["revalidated"] += 1
+                _MATRIX_CACHE.put(key, cached)
+                return cached
         structural_hint = disjoint is not None or sensitivity is not None
-        if self.supports_domain_analysis and schema is not None and not structural_hint:
+        exact = (
+            self.supports_domain_analysis
+            and schema is not None
+            and not structural_hint
+        )
+        store = stamp.store if stamp is not None else None
+        store_digest = None
+        if exact and stamp is not None and store is not None:
+            store_digest = self._store_digest(schema, disjoint, sensitivity, stamp)
+        if store_digest is not None:
+            payload = store.load("matrix", store_digest)  # type: ignore[union-attr]
+            matrix = self._matrix_from_payload(payload, schema, version, store_digest)
+            if matrix is not None:
+                _MATRIX_TIER_STATS["disk_hits"] += 1
+                if key is not None:
+                    _MATRIX_CACHE.put(key, matrix)
+                if domain_key is not None:
+                    _MATRIX_DOMAIN_CACHE.put(domain_key, matrix)
+                return matrix
+        if exact:
             matrix = WorkloadMatrix.from_domain_analysis(
                 self, schema, version=version, executor=executor
             )
@@ -280,16 +357,87 @@ class Workload:
             matrix = WorkloadMatrix.from_structure(
                 self, disjoint=bool(disjoint), sensitivity=sensitivity
             )
+        _MATRIX_TIER_STATS["built"] += 1
         if key is not None:
             _MATRIX_CACHE.put(key, matrix)
+        if domain_key is not None:
+            _MATRIX_DOMAIN_CACHE.put(domain_key, matrix)
+        if store_digest is not None and matrix.exact:
+            matrix.store_digest = store_digest
+            if store.save("matrix", store_digest, _matrix_payload(matrix)):  # type: ignore[union-attr]
+                _MATRIX_TIER_STATS["disk_writes"] += 1
         return matrix
+
+    def _store_digest(
+        self,
+        schema: Schema | None,
+        disjoint: bool | None,
+        sensitivity: float | None,
+        stamp: DomainStamp,
+    ) -> str | None:
+        """Process-stable disk key of this exact analysis, or ``None``.
+
+        Covers the workload structure, the schema *content* (declared
+        domains, not object identity), the analysis overrides and the
+        stamp's domain fingerprints -- everything the matrix is a function
+        of, and nothing process-local.
+        """
+        return stable_digest(
+            (
+                "matrix",
+                self._predicates,
+                self._names,
+                schema,
+                disjoint,
+                sensitivity,
+                stamp.fingerprints,
+            )
+        )
+
+    def _matrix_from_payload(
+        self,
+        payload: object,
+        schema: Schema | None,
+        version: object,
+        store_digest: str,
+    ) -> "WorkloadMatrix | None":
+        """Rebuild a :class:`WorkloadMatrix` from its store payload.
+
+        Any shape/content mismatch (a hash collision would be astronomically
+        unlikely, a half-migrated store less so) returns ``None`` so the
+        caller rebuilds from scratch.
+        """
+        if not isinstance(payload, dict):
+            return None
+        try:
+            matrix = np.asarray(payload["matrix"], dtype=float)
+            descriptions = list(payload["descriptions"])
+            if matrix.ndim != 2 or matrix.shape[0] != self.size:
+                return None
+            if len(descriptions) != matrix.shape[1]:
+                return None
+            partitions = [
+                DomainPartition(
+                    signature=tuple(bool(v) for v in matrix[:, j]),
+                    description=str(descriptions[j]),
+                )
+                for j in range(matrix.shape[1])
+            ]
+            instance = WorkloadMatrix(self, matrix, partitions, exact=True)
+        except (KeyError, TypeError, ValueError, QueryError):
+            return None
+        token = None if schema is None else _structural_token(self, schema)
+        if token is not None:
+            instance._cache_token = ("exact",) + token + (version,)
+        instance.store_digest = store_digest
+        return instance
 
     def _analysis_key(
         self,
         schema: Schema | None,
         disjoint: bool | None,
         sensitivity: float | None,
-        version: TableVersion | None,
+        version: object | None,
     ) -> tuple | None:
         """Hashable memo key for :meth:`analyze`; ``None`` disables caching.
 
@@ -371,6 +519,11 @@ class WorkloadMatrix:
             tuple[weakref.ref[Table], TableVersion, np.ndarray] | None
         ) = None
         self._cache_token: object = ("id", _IdKey(self))
+        #: Process-stable content digest assigned when the matrix passed
+        #: through the artifact store (written or loaded); downstream
+        #: artifacts (the WCQ-SM epsilon search) derive their disk keys
+        #: from it.  ``None`` for matrices that never touched the store.
+        self.store_digest: str | None = None
         if matrix.size:
             self._sensitivity = float(np.abs(matrix).sum(axis=0).max())
         else:
@@ -384,7 +537,7 @@ class WorkloadMatrix:
         workload: Workload,
         schema: Schema,
         *,
-        version: TableVersion | None = None,
+        version: TableVersion | DomainStamp | None = None,
         executor: ParallelExecutor | None = None,
     ) -> "WorkloadMatrix":
         """Exact, data-independent matrix via vectorized domain-cell enumeration.
@@ -574,6 +727,20 @@ class WorkloadMatrix:
 # ---------------------------------------------------------------------------
 # Exact domain analysis helpers
 # ---------------------------------------------------------------------------
+
+
+def _matrix_payload(matrix: "WorkloadMatrix") -> dict[str, object]:
+    """The artifact-store payload of one exact matrix.
+
+    Signatures are *not* stored: an exact matrix is 0/1 and its columns are
+    the partition signatures in order, so they are reconstructed from the
+    matrix itself (`Workload._matrix_from_payload`).
+    """
+    return {
+        "matrix": np.asarray(matrix.matrix, dtype=float),
+        "descriptions": [p.description for p in matrix.partitions],
+        "exact": bool(matrix.exact),
+    }
 
 
 def _structural_token(workload: Workload, schema: Schema) -> tuple | None:

@@ -129,6 +129,14 @@ def main(argv: list[str] | None = None) -> int:
         f"{report.batching['coalesced']} coalesced"
     )
     for kind, agg in report.latency.items():
+        if kind == "batcher":
+            print(
+                f"  batcher linger: {agg['linger_seconds'] * 1000:.2f}ms "
+                f"(base window {agg['window_seconds'] * 1000:.2f}ms, "
+                f"duplicate-gap EWMA over {agg['interarrival_samples']:.0f} "
+                f"samples: {agg['interarrival_ewma_seconds'] * 1000:.2f}ms)"
+            )
+            continue
         print(
             f"  latency[{kind}]: n={agg['count']:.0f}, "
             f"mean={agg['mean_seconds'] * 1000:.2f}ms, "

@@ -16,9 +16,18 @@ with an optional collection window:
 * every thread presenting the same key while the computation is in flight
   becomes a **follower**: it blocks on the leader's event and returns the
   shared result without touching the compute path at all;
-* with a positive ``window``, a completed flight *lingers* for ``window``
-  seconds: a duplicate arriving just after a fast computation finished still
-  attaches to the published result instead of recomputing.
+* with a positive ``window``, a completed flight *lingers*: a duplicate
+  arriving just after a fast computation finished still attaches to the
+  published result instead of recomputing.  The linger duration **adapts**
+  to the observed duplicate traffic: the batcher keeps an EWMA of the
+  inter-arrival time between requests that presented an already-known key,
+  and lingers completed flights for twice that EWMA, clamped to
+  ``[window/4, 4*window]``.  Bursty duplicate traffic (tight relaxation
+  loops, dashboard fan-outs) therefore retires flights quickly, while
+  slow-trickling duplicates keep coalescing up to four windows -- without
+  the operator re-tuning the constant per deployment.  ``stats()`` and
+  ``ExplorationService.latency_stats()`` expose the EWMA and the current
+  linger.
 
 The leader never sleeps before computing (earlier revisions parked the
 leader for the full window up front, taxing every request -- including a
@@ -66,9 +75,9 @@ _PURGE_THRESHOLD = 128
 class _Flight:
     """One in-flight computation: the leader's event plus the shared outcome."""
 
-    __slots__ = ("done", "result", "error", "followers", "expires_at")
+    __slots__ = ("done", "result", "error", "followers", "expires_at", "last_arrival")
 
-    def __init__(self) -> None:
+    def __init__(self, now: float) -> None:
         self.done = threading.Event()
         self.result: object = None
         self.error: BaseException | None = None
@@ -77,22 +86,35 @@ class _Flight:
         #: late duplicates; ``None`` while the computation is in flight (and
         #: forever for failed flights, which are retired immediately).
         self.expires_at: float | None = None
+        #: Monotonic time the key was last presented; consecutive arrivals
+        #: feed the duplicate inter-arrival EWMA that sizes the linger.
+        self.last_arrival = now
 
 
 class RequestBatcher:
     """Coalesce concurrent identical requests into one computation.
 
-    :param window: seconds a completed flight lingers so that
+    :param window: base seconds a completed flight lingers so that
         near-simultaneous duplicates of a *fast* computation still coalesce.
         ``0`` disables the linger (pure single-flight: only duplicates
         arriving while the computation is actually running share it).  The
         leader never waits on the window -- it only bounds how long a
-        published result keeps serving stragglers.
+        published result keeps serving stragglers.  The *effective* linger
+        adapts to the observed duplicate inter-arrival time (EWMA, factor
+        2), clamped to ``[window/4, 4*window]``; until the first duplicate
+        is observed it equals ``window``.
 
     Thread-safe.  Statistics (:meth:`stats`) count successful flights
     (``computed``), coalesced followers (including linger hits), and
-    ``failed`` flights; a failed flight counts only as ``failed``.
+    ``failed`` flights; a failed flight counts only as ``failed``.  They
+    also report the adaptive linger (``linger_seconds``,
+    ``interarrival_ewma_seconds``, ``interarrival_samples``).
     """
+
+    #: Weight of the newest duplicate inter-arrival sample in the EWMA.
+    EWMA_ALPHA = 0.25
+    #: The linger targets this many expected inter-arrival gaps.
+    LINGER_FACTOR = 2.0
 
     def __init__(self, window: float = 0.0) -> None:
         if window < 0:
@@ -103,6 +125,8 @@ class RequestBatcher:
         self._computed = 0
         self._coalesced = 0
         self._failed = 0
+        self._interarrival_ewma: float | None = None
+        self._interarrival_samples = 0
 
     def submit(self, key: Hashable, compute: Callable[[], T]) -> T:
         """Return ``compute()`` for ``key``, sharing the call with duplicates.
@@ -113,16 +137,22 @@ class RequestBatcher:
         structural identity of the request -- two requests with equal keys
         must be answerable by the same value.
         """
+        now = time.monotonic()
         with self._lock:
             flight = self._flights.get(key)
             if flight is not None and self._expired(flight):
+                # An expired flight still witnesses duplicate traffic for
+                # the EWMA before it is retired and replaced.
+                self._observe_interarrival_locked(now - flight.last_arrival)
                 self._flights.pop(key, None)
                 flight = None
             if flight is not None:
+                self._observe_interarrival_locked(now - flight.last_arrival)
+                flight.last_arrival = now
                 flight.followers += 1
                 is_leader = False
             else:
-                flight = _Flight()
+                flight = _Flight(now)
                 self._flights[key] = flight
                 is_leader = True
 
@@ -148,13 +178,45 @@ class RequestBatcher:
         with self._lock:
             self._computed += 1
             if self.window > 0:
-                flight.expires_at = time.monotonic() + self.window
+                flight.expires_at = time.monotonic() + self._linger_locked()
                 if len(self._flights) > _PURGE_THRESHOLD:
                     self._purge_expired_locked()
             else:
                 self._flights.pop(key, None)
         flight.done.set()
         return flight.result  # type: ignore[return-value]
+
+    def _observe_interarrival_locked(self, delta: float) -> None:
+        """Feed one duplicate inter-arrival gap into the EWMA (lock held)."""
+        delta = max(delta, 0.0)
+        if self._interarrival_ewma is None:
+            self._interarrival_ewma = delta
+        else:
+            self._interarrival_ewma += self.EWMA_ALPHA * (
+                delta - self._interarrival_ewma
+            )
+        self._interarrival_samples += 1
+
+    def _linger_locked(self) -> float:
+        """Seconds a completed flight should linger (lock held).
+
+        ``LINGER_FACTOR`` expected duplicate gaps, clamped to
+        ``[window/4, 4*window]``; the base window until the first duplicate
+        is observed, and always ``0`` when the window is ``0``.
+        """
+        if self.window <= 0:
+            return 0.0
+        if self._interarrival_ewma is None:
+            return self.window
+        return min(
+            4.0 * self.window,
+            max(self.window / 4.0, self.LINGER_FACTOR * self._interarrival_ewma),
+        )
+
+    def effective_window(self) -> float:
+        """The linger a flight completing now would receive (seconds)."""
+        with self._lock:
+            return self._linger_locked()
 
     @staticmethod
     def _expired(flight: _Flight) -> bool:
@@ -187,12 +249,21 @@ class RequestBatcher:
             raise copied from error
         raise error
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict[str, float]:
         """Counters: successful ``computed`` flights, ``coalesced`` followers
-        (waiters and linger hits), ``failed`` flights."""
+        (waiters and linger hits), ``failed`` flights -- plus the adaptive
+        linger's current value, EWMA and sample count."""
         with self._lock:
             return {
                 "computed": self._computed,
                 "coalesced": self._coalesced,
                 "failed": self._failed,
+                "window_seconds": self.window,
+                "linger_seconds": self._linger_locked(),
+                "interarrival_ewma_seconds": (
+                    0.0
+                    if self._interarrival_ewma is None
+                    else self._interarrival_ewma
+                ),
+                "interarrival_samples": self._interarrival_samples,
             }

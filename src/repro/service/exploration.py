@@ -54,6 +54,7 @@ from repro.queries.query import Query
 from repro.queries.workload import matrix_cache_stats
 from repro.service.batching import RequestBatcher
 from repro.service.budget import BudgetPolicy, SessionLedger, SharedBudgetPool
+from repro.store import ArtifactStore
 
 __all__ = ["AnalystSessionHandle", "ExplorationService"]
 
@@ -114,6 +115,14 @@ class ExplorationService:
         reproducible yet sessions draw independent noise.
     :param batch_window: collection window (seconds) of the request batcher;
         ``0`` disables batching delays but keeps single-flight coalescing.
+        The linger of completed flights adapts to the observed duplicate
+        inter-arrival time within ``[window/4, 4*window]`` (see
+        :class:`~repro.service.batching.RequestBatcher`).
+    :param store: an optional :class:`~repro.store.ArtifactStore` shared by
+        every session's engine.  A restarted service pointed at the previous
+        run's directory warm-starts: structurally identical previews are
+        answered from disk with zero matrix rebuilds and zero Monte-Carlo
+        re-searches (``docs/store.md``).
 
     All public methods are safe to call from any thread; requests issued for
     the *same* analyst serialize on that session's lock (see
@@ -131,6 +140,7 @@ class ExplorationService:
         registry: MechanismRegistry | None = None,
         seed: int | None = None,
         batch_window: float = 0.002,
+        store: ArtifactStore | None = None,
     ) -> None:
         if isinstance(tables, Table):
             tables = {"default": tables}
@@ -153,6 +163,7 @@ class ExplorationService:
         self._mode = mode
         self._registry = registry
         self._seed = seed
+        self._store = store
         self._translator = AccuracyTranslator(registry, mode)
         self._batcher = RequestBatcher(window=batch_window)
         self._sessions: dict[str, AnalystSessionHandle] = {}
@@ -266,10 +277,16 @@ class ExplorationService:
             "batching": self._batcher.stats(),
             "translations": self._translator.cache_stats,
             "workload_matrices": matrix_cache_stats(),
+            "store": None if self._store is None else self._store.stats(),
         }
 
     def latency_stats(self) -> dict[str, dict[str, float]]:
-        """Per-entry-point request latency aggregates (count/mean/max seconds)."""
+        """Per-entry-point request latency aggregates (count/mean/max seconds).
+
+        The ``batcher`` entry reports the request batcher's adaptive linger:
+        its configured base window, the current effective linger, and the
+        duplicate inter-arrival EWMA it is derived from.
+        """
         out: dict[str, dict[str, float]] = {}
         with self._lock:
             for kind, values in self._latencies.items():
@@ -281,6 +298,15 @@ class ExplorationService:
                     }
                 else:
                     out[kind] = {"count": 0.0, "mean_seconds": 0.0, "max_seconds": 0.0}
+        batcher = self._batcher.stats()
+        out["batcher"] = {
+            "window_seconds": float(batcher["window_seconds"]),
+            "linger_seconds": float(batcher["linger_seconds"]),
+            "interarrival_ewma_seconds": float(
+                batcher["interarrival_ewma_seconds"]
+            ),
+            "interarrival_samples": float(batcher["interarrival_samples"]),
+        }
         return out
 
     # -- session management -------------------------------------------------------
@@ -331,6 +357,7 @@ class ExplorationService:
                 seed=None if self._seed is None else self._seed + index,
                 ledger=ledger,
                 translator=self._translator,
+                store=self._store,
             )
             handle = AnalystSessionHandle(analyst=analyst, table=table, engine=engine)
             self._sessions[analyst] = handle
@@ -373,9 +400,10 @@ class ExplorationService:
         handle = self.session(analyst)
         start = time.perf_counter()
         snapshot = self._tables[handle.table].snapshot()
-        key = self._batch_key(handle, snapshot, query, accuracy)
+        stamp = handle.engine.domain_stamp(query, snapshot)
+        key = self._batch_key(handle, snapshot, stamp, query, accuracy)
         if key is None or self._translator.is_cached(
-            query, accuracy, snapshot.schema, version=snapshot.version_token
+            query, accuracy, snapshot.schema, version=stamp
         ):
             # Unbatchable, or already warm: the memo answers in microseconds,
             # so paying the coalescing window would only add latency.
@@ -445,18 +473,20 @@ class ExplorationService:
         self,
         handle: AnalystSessionHandle,
         snapshot: Table,
+        stamp: object,
         query: Query,
         accuracy: AccuracySpec,
     ) -> tuple | None:
         """Structural identity of a preview request; ``None`` disables batching.
 
-        Includes the admission snapshot's version token -- which, because
-        snapshots are memoised per version, is exactly the snapshot's
-        identity: previews admitted on snapshots of different versions are
-        *different* requests, so a post-append duplicate can never coalesce
-        onto (or be answered by) a pre-append flight.
+        Includes the admission snapshot's :class:`~repro.data.table.DomainStamp`
+        (version token plus referenced domain fingerprints): previews
+        admitted at different versions are *different* requests, so a
+        post-append duplicate can never coalesce onto a pre-append flight --
+        it goes through the memo hierarchy instead, where a
+        domain-preserving append revalidates rather than rebuilds.
         """
-        query_key = query.cache_key(snapshot.schema, snapshot.version_token)
+        query_key = query.cache_key(snapshot.schema, stamp)
         if query_key is None:
             return None
         return ("preview", handle.table, query_key, accuracy.alpha, accuracy.beta)

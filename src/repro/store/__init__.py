@@ -1,0 +1,43 @@
+"""Persistent artifact store with domain-fingerprint revalidation.
+
+This package is the disk-backed third tier under the engine's in-memory
+memos.  The expensive derivations of the APEx stack -- exact-domain
+workload matrices (:class:`~repro.queries.workload.WorkloadMatrix`),
+accuracy-to-privacy translation lists
+(:class:`~repro.core.translator.AccuracyTranslator`), and WCQ-SM's
+Monte-Carlo epsilon searches
+(:class:`~repro.mechanisms.strategy_mechanism.StrategyMechanism`) -- are
+pure functions of (workload structure, attribute domains, alpha, beta).
+Three cooperating pieces exploit that purity:
+
+* **domain fingerprints** (:meth:`repro.data.Table.domain_fingerprint`,
+  bundled into :class:`repro.data.DomainStamp`) -- cheap per-attribute
+  digests that change only when a mutation actually touches the attribute's
+  domain, letting the memo layers *revalidate* (re-tag an existing artifact
+  for the new version) instead of rebuilding after domain-preserving
+  appends;
+* **process-stable content digests** (:func:`repro.store.stable_digest`) --
+  the on-disk key schema, derived from canonical value forms rather than
+  per-process ``hash()``/identity;
+* the :class:`ArtifactStore` itself -- content-addressed files with atomic
+  write-rename publication, checksum-verified corruption-safe loads,
+  advisory cross-process file locking, and size-capped LRU eviction.
+
+Attach a store with ``APExEngine(..., store=ArtifactStore(path))`` or
+``ExplorationService(..., store=...)``; a restarted service pointed at the
+previous run's directory answers structurally identical ``preview_cost``
+requests with zero matrix rebuilds and zero Monte-Carlo re-searches.  The
+full key schema, revalidation contract and eviction policy are documented
+in ``docs/store.md``; ``python -m repro.bench --suite store`` measures the
+cold vs warm-start and revalidate-vs-rebuild wins (``BENCH_5.json``).
+"""
+
+from repro.store.artifact_store import DEFAULT_STORE_DIR, ArtifactStore
+from repro.store.fingerprint import canonical_form, stable_digest
+
+__all__ = [
+    "ArtifactStore",
+    "DEFAULT_STORE_DIR",
+    "canonical_form",
+    "stable_digest",
+]

@@ -1,0 +1,322 @@
+"""A content-addressed, disk-backed artifact cache shared across processes.
+
+The expensive artifacts of this engine -- exact-domain workload matrices,
+accuracy-to-privacy translation lists, WCQ-SM's Monte-Carlo epsilon
+searches -- are pure functions of (workload structure, attribute domains,
+alpha, beta).  :class:`ArtifactStore` persists them under content digests
+(:mod:`repro.store.fingerprint`) so a *restarted* process, or a sibling
+process on the same machine, warm-starts instead of re-deriving everything.
+
+Design constraints, all stdlib-only:
+
+* **atomic publication** -- payloads are written to a temporary file in the
+  target directory and ``os.replace``-d into place, so a reader can never
+  observe a half-written artifact; concurrent writers of the same key both
+  produce valid files and the last rename wins;
+* **corruption safety** -- every file carries a magic header and a SHA-256
+  checksum of its payload; a truncated, torn or bit-flipped file fails
+  verification, is deleted best-effort, and the caller silently rebuilds
+  (a cache must never turn disk rot into a wrong answer);
+* **cross-process exclusion** -- size accounting and eviction serialize on
+  an advisory file lock (``fcntl.flock`` where available, no-op otherwise;
+  reads and writes themselves need no lock thanks to atomic renames);
+* **bounded footprint** -- the store is LRU-evicted by file mtime (bumped
+  on every hit) down to ``max_bytes`` whenever a write pushes it over;
+* **observability** -- per-process hit/miss/write/corrupt/evict counters
+  via :meth:`stats`, surfaced through ``APExEngine.cache_stats()``.
+
+Payloads are serialized with :mod:`pickle`.  The store directory is trusted
+local cache state (same trust domain as the process's own memory); the
+checksum guards against *corruption*, not against an adversary who can
+already write arbitrary files as this user.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+
+__all__ = ["ArtifactStore", "DEFAULT_STORE_DIR"]
+
+#: Conventional store location (git-ignored); pass any path to override.
+DEFAULT_STORE_DIR = ".repro-store"
+
+#: File format marker; bump when the on-disk layout changes so old caches
+#: read as misses instead of unpickling garbage.
+_MAGIC = b"repro-store/1\n"
+
+#: Default size cap (bytes) before LRU eviction kicks in.
+_DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Eviction target: shrink to this fraction of the cap so each eviction
+#: pass buys headroom instead of re-triggering on the next write.
+_EVICT_TO_FRACTION = 0.8
+
+try:  # POSIX advisory locking; Windows/exotic platforms fall back to no-op.
+    import fcntl
+except ImportError:  # pragma: no cover - platform-dependent
+    fcntl = None  # type: ignore[assignment]
+
+
+class _FileLock:
+    """Advisory cross-process lock on one file (no-op without ``fcntl``)."""
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._handle = None
+
+    def __enter__(self) -> "_FileLock":
+        if fcntl is not None:
+            self._handle = open(self._path, "a+b")
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._handle is not None:
+            try:
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            finally:
+                self._handle.close()
+                self._handle = None
+
+
+class ArtifactStore:
+    """Persist derived artifacts under ``(kind, content digest)`` keys.
+
+    :param root: directory holding the cache (created if missing).  One
+        store directory may be shared by any number of processes.
+    :param max_bytes: size cap; a write that pushes the store past it
+        evicts least-recently-used artifacts down to 80% of the cap.
+
+    Thread-safe; every method may also race freely with other processes on
+    the same directory (see the module docstring for the protocol).
+    """
+
+    def __init__(self, root: str, *, max_bytes: int = _DEFAULT_MAX_BYTES) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self._root = os.path.abspath(str(root))
+        os.makedirs(self._root, exist_ok=True)
+        self._max_bytes = int(max_bytes)
+        self._lock_path = os.path.join(self._root, ".lock")
+        self._stats_lock = threading.Lock()
+        self._stats = {
+            "hits": 0,
+            "misses": 0,
+            "writes": 0,
+            "corrupt": 0,
+            "evicted": 0,
+        }
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def root(self) -> str:
+        """Absolute path of the store directory."""
+        return self._root
+
+    @property
+    def max_bytes(self) -> int:
+        return self._max_bytes
+
+    def stats(self) -> dict[str, int]:
+        """This process's hit/miss/write/corrupt/evict counters plus size.
+
+        The size figures come from one directory walk per call; fine for
+        observability polling, but do not put this on a per-request path.
+        """
+        with self._stats_lock:
+            out = dict(self._stats)
+        entries = 0
+        disk_bytes = 0
+        for _, size, _ in self._iter_files():
+            entries += 1
+            disk_bytes += size
+        out["disk_bytes"] = disk_bytes
+        out["entries"] = entries
+        return out
+
+    def disk_bytes(self) -> int:
+        """Total bytes currently held by artifact files."""
+        return sum(size for _, size, _ in self._iter_files())
+
+    # -- load / save -------------------------------------------------------------
+
+    def load(self, kind: str, digest: str) -> object | None:
+        """The artifact stored under ``(kind, digest)``, or ``None``.
+
+        ``None`` covers both absence and corruption: a file that fails the
+        magic/checksum/unpickle gate is counted in ``corrupt``, removed
+        best-effort, and reported as a miss so the caller rebuilds.
+        """
+        path = self._path(kind, digest)
+        try:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+        except OSError:
+            self._count("misses")
+            return None
+        payload = self._verify(blob)
+        if payload is None:
+            self._count("corrupt")
+            self._count("misses")
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        try:
+            value = pickle.loads(payload)
+        except Exception:
+            self._count("corrupt")
+            self._count("misses")
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        try:  # bump mtime: the eviction order is least-recently-*used*
+            os.utime(path)
+        except OSError:
+            pass
+        self._count("hits")
+        return value
+
+    def save(self, kind: str, digest: str, artifact: object) -> bool:
+        """Persist ``artifact`` under ``(kind, digest)``; ``False`` on failure.
+
+        Failures (unpicklable artifact, full disk, permission trouble) are
+        swallowed: the store is an accelerator, never a correctness
+        dependency, so the caller keeps its freshly built in-memory value
+        either way.
+        """
+        path = self._path(kind, digest)
+        try:
+            payload = pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return False
+        blob = (
+            _MAGIC
+            + hashlib.sha256(payload).hexdigest().encode("ascii")
+            + b"\n"
+            + payload
+        )
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.remove(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        self._count("writes")
+        self._evict_if_needed()
+        return True
+
+    def clear(self) -> None:
+        """Remove every artifact (the lock file and directories stay)."""
+        with _FileLock(self._lock_path):
+            for path, _, _ in self._iter_files():
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+            self._sweep_stale_tmp_locked(max_age_seconds=0.0)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _path(self, kind: str, digest: str) -> str:
+        if not digest or not all(c in "0123456789abcdef" for c in digest):
+            raise ValueError(f"malformed artifact digest: {digest!r}")
+        safe_kind = "".join(c if c.isalnum() or c in "-_" else "_" for c in kind)
+        return os.path.join(self._root, safe_kind, digest[:2], digest + ".bin")
+
+    @staticmethod
+    def _verify(blob: bytes) -> bytes | None:
+        """The checksum-verified payload of one file, or ``None``."""
+        if not blob.startswith(_MAGIC):
+            return None
+        rest = blob[len(_MAGIC) :]
+        newline = rest.find(b"\n")
+        if newline != 64:  # sha256 hex digest length
+            return None
+        declared = rest[:newline]
+        payload = rest[newline + 1 :]
+        actual = hashlib.sha256(payload).hexdigest().encode("ascii")
+        if actual != declared:
+            return None
+        return payload
+
+    def _iter_files(self):
+        """Yield ``(path, size, mtime)`` for every artifact file."""
+        for dirpath, _, filenames in os.walk(self._root):
+            for filename in filenames:
+                if not filename.endswith(".bin"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                try:
+                    status = os.stat(path)
+                except OSError:
+                    continue
+                yield path, status.st_size, status.st_mtime
+
+    def _evict_if_needed(self) -> None:
+        """LRU-evict (by mtime) down to 80% of the cap when over it."""
+        files = list(self._iter_files())
+        if sum(size for _, size, _ in files) <= self._max_bytes:
+            return
+        with _FileLock(self._lock_path):
+            files = list(self._iter_files())  # re-scan under the lock
+            total = sum(size for _, size, _ in files)
+            target = int(self._max_bytes * _EVICT_TO_FRACTION)
+            for path, size, _ in sorted(files, key=lambda item: item[2]):
+                if total <= target:
+                    break
+                try:
+                    os.remove(path)
+                except OSError:
+                    continue
+                total -= size
+                self._count("evicted")
+            self._sweep_stale_tmp_locked()
+
+    def _sweep_stale_tmp_locked(self, max_age_seconds: float = 3600.0) -> None:
+        """Delete orphaned ``.tmp`` files left by crashed writers (lock held).
+
+        A writer killed between ``mkstemp`` and ``os.replace`` leaks its
+        temporary file; those never become artifacts, are invisible to the
+        size accounting, and would otherwise accumulate forever.  Only
+        files older than ``max_age_seconds`` are swept so an in-flight
+        writer's temp file is never yanked from under it.
+        """
+        import time
+
+        cutoff = time.time() - max_age_seconds
+        for dirpath, _, filenames in os.walk(self._root):
+            for filename in filenames:
+                if not filename.endswith(".tmp"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                try:
+                    if os.stat(path).st_mtime <= cutoff:
+                        os.remove(path)
+                except OSError:
+                    continue
+
+    def _count(self, key: str) -> None:
+        with self._stats_lock:
+            self._stats[key] += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactStore(root={self._root!r}, max_bytes={self._max_bytes})"

@@ -1,0 +1,100 @@
+"""Process-stable content digests for artifact-store keys.
+
+Disk keys must survive interpreter restarts, so they cannot rely on Python's
+per-process ``hash()`` (salted for strings) or on object identity.  This
+module canonicalises the value objects that appear in cache keys --
+predicates (frozen dataclasses), schemas, workload name tuples, accuracy
+floats, mechanism signatures -- into a deterministic JSON form and digests
+it with SHA-256.
+
+The canonical form is structural, driven by :mod:`dataclasses` metadata
+rather than by importing every predicate class (which would invert the
+package dependency graph):
+
+* scalars encode with an explicit type tag (``float`` via ``float.hex`` so
+  the digest is exact, not repr-rounded);
+* tuples/lists/sets/mappings encode recursively (sets and mappings sorted);
+* frozen dataclasses encode as ``[qualified type name, [field values...]]``,
+  skipping underscore-prefixed fields (derived lookup tables such as
+  ``Schema._by_name``);
+* enums encode as ``[class name, value]``.
+
+Anything else -- opaque callables, :class:`FunctionPredicate` and friends --
+makes the whole key *uncanonicalisable*: :func:`stable_digest` returns
+``None`` and the caller simply skips the disk tier, exactly as the
+in-memory memos skip unhashable keys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Mapping
+
+__all__ = ["stable_digest", "canonical_form"]
+
+
+class _Uncanonical(Exception):
+    """Raised internally when a key component has no stable content form."""
+
+
+def canonical_form(obj: object) -> object:
+    """A JSON-serialisable, content-deterministic form of ``obj``.
+
+    Raises :class:`TypeError` when ``obj`` (or anything inside it) has no
+    stable content representation; use :func:`stable_digest` for the
+    ``None``-on-failure variant.
+    """
+    try:
+        return _canonical(obj)
+    except _Uncanonical as exc:
+        raise TypeError(str(exc)) from None
+
+
+def stable_digest(obj: object) -> str | None:
+    """SHA-256 hex digest of ``obj``'s canonical form; ``None`` if unstable."""
+    try:
+        form = _canonical(obj)
+    except _Uncanonical:
+        return None
+    payload = json.dumps(form, separators=(",", ":"), ensure_ascii=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _canonical(obj: object) -> object:
+    if obj is None:
+        return ["z"]
+    if isinstance(obj, bool):  # before int: bool subclasses int
+        return ["b", obj]
+    if isinstance(obj, int):
+        return ["i", str(obj)]
+    if isinstance(obj, float):
+        return ["f", obj.hex()]
+    if isinstance(obj, str):
+        return ["s", obj]
+    if isinstance(obj, bytes):
+        return ["y", obj.hex()]
+    if isinstance(obj, enum.Enum):
+        return ["e", type(obj).__name__, _canonical(obj.value)]
+    if isinstance(obj, (tuple, list)):
+        return ["t", [_canonical(item) for item in obj]]
+    if isinstance(obj, (set, frozenset)):
+        items = [_canonical(item) for item in obj]
+        items.sort(key=lambda form: json.dumps(form, separators=(",", ":")))
+        return ["S", items]
+    if isinstance(obj, Mapping):
+        items = [[_canonical(k), _canonical(v)] for k, v in obj.items()]
+        items.sort(key=lambda pair: json.dumps(pair[0], separators=(",", ":")))
+        return ["m", items]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = [
+            _canonical(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+            if not f.name.startswith("_")
+        ]
+        return ["d", f"{type(obj).__module__}.{type(obj).__qualname__}", fields]
+    raise _Uncanonical(
+        f"{type(obj).__name__} has no process-stable content form"
+    )

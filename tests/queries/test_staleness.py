@@ -6,6 +6,14 @@ caches) was built under a "tables never change" assumption.  These tests pin
 the fix: each cache keys on the table's version token, so after
 ``append_rows`` a structurally identical request misses everywhere and
 recomputes against the grown data.
+
+These tests deliberately pass **bare version tokens**, which keep the
+original, strictly conservative behaviour: every mutation rebuilds.  The
+engine entry points pass :class:`~repro.data.table.DomainStamp` objects
+instead, which additionally allow *revalidation* (re-tagging
+data-independent artifacts across domain-preserving mutations) -- that
+contract is pinned by ``tests/store/test_revalidation.py`` and
+``tests/service/test_streaming.py``.
 """
 
 import numpy as np

@@ -199,3 +199,69 @@ class TestRequestBatcher:
         leader.join()
         follower.join()
         assert out == ["slow", "slow"]
+
+
+class TestAdaptiveLinger:
+    """The linger adapts to observed duplicate inter-arrival times (EWMA,
+    clamped to [window/4, 4*window])."""
+
+    def test_defaults_to_the_base_window_before_any_duplicate(self):
+        batcher = RequestBatcher(window=0.1)
+        assert batcher.effective_window() == pytest.approx(0.1)
+        stats = batcher.stats()
+        assert stats["interarrival_samples"] == 0
+        assert stats["linger_seconds"] == pytest.approx(0.1)
+
+    def test_bursty_duplicates_shrink_the_linger_to_the_floor(self):
+        batcher = RequestBatcher(window=0.2)
+        for _ in range(30):  # back-to-back duplicates: near-zero gaps
+            batcher.submit("key", lambda: "value")
+        stats = batcher.stats()
+        assert stats["interarrival_samples"] >= 29
+        assert stats["interarrival_ewma_seconds"] < 0.01
+        assert batcher.effective_window() == pytest.approx(0.2 / 4.0)
+
+    def test_slow_duplicates_are_clamped_to_four_windows(self):
+        batcher = RequestBatcher(window=0.005)
+        batcher.submit("key", lambda: "value")
+        time.sleep(0.08)  # a gap far beyond 4*window
+        batcher.submit("key", lambda: "value")
+        assert batcher.effective_window() == pytest.approx(4 * 0.005)
+
+    def test_zero_window_stays_zero(self):
+        batcher = RequestBatcher(window=0.0)
+        for _ in range(5):
+            batcher.submit("key", lambda: "value")
+        assert batcher.effective_window() == 0.0
+
+    def test_adapted_linger_governs_flight_expiry(self):
+        batcher = RequestBatcher(window=0.4)
+        # Teach the EWMA a ~2ms duplicate gap: linger becomes ~4ms-100ms
+        # (clamped floor), far below the 400ms base window.
+        for _ in range(40):
+            batcher.submit("key", lambda: "burst")
+        linger = batcher.effective_window()
+        assert linger == pytest.approx(0.1)  # the window/4 floor
+        batcher.submit("fresh", lambda: "published")
+        time.sleep(linger + 0.05)  # beyond the adapted linger...
+        calls = []
+        batcher.submit("fresh", lambda: calls.append(1) or "recomputed")
+        assert calls == [1]  # ...so the flight expired and recomputed
+
+    def test_service_latency_stats_expose_the_batcher(self):
+        from repro.mechanisms.registry import default_registry
+        from repro.service import ExplorationService
+
+        from tests.service.util import small_table
+
+        service = ExplorationService(
+            small_table(200),
+            budget=1.0,
+            registry=default_registry(mc_samples=100),
+            seed=0,
+            batch_window=0.01,
+        )
+        stats = service.latency_stats()
+        assert stats["batcher"]["window_seconds"] == pytest.approx(0.01)
+        assert stats["batcher"]["linger_seconds"] == pytest.approx(0.01)
+        assert stats["batcher"]["interarrival_samples"] == 0.0

@@ -205,7 +205,16 @@ class TestObservability:
         assert stats["policy"] == "first-come"
         assert "alice" in stats["sessions"]
         assert set(stats["budget"]) == {"budget", "spent", "reserved", "remaining"}
-        assert set(stats["batching"]) == {"computed", "coalesced", "failed"}
+        assert set(stats["batching"]) == {
+            "computed",
+            "coalesced",
+            "failed",
+            "window_seconds",
+            "linger_seconds",
+            "interarrival_ewma_seconds",
+            "interarrival_samples",
+        }
+        assert stats["store"] is None  # no ArtifactStore configured
 
     def test_single_table_shorthand_and_table_required_when_ambiguous(self, table):
         service = ExplorationService(

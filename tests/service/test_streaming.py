@@ -2,10 +2,14 @@
 
 The acceptance scenario for the versioned backend: a structurally identical
 ``preview_cost`` issued before and after the owner appends rows.  The second
-call must rebuild the workload matrix (cache miss on the version token)
-rather than reuse anything derived for the smaller table, and every answer
-served afterwards must match the reference semantics on the grown data --
-under concurrency as well as single-threaded.
+call must never reuse a *stale* artifact: it misses the exact
+(version-scoped) memo keys, and then either **revalidates** (the append
+provably preserved every referenced attribute domain, so the
+data-independent matrix/translation is re-tagged for the new version -- see
+``docs/store.md``) or **rebuilds** (the append changed a referenced
+domain).  Every data-dependent answer served afterwards must match the
+reference semantics on the grown data -- under concurrency as well as
+single-threaded.
 """
 
 import threading
@@ -61,39 +65,114 @@ ACCURACY = AccuracySpec(alpha=100.0, beta=5e-4)
 
 
 class TestAppendBetweenPreviews:
-    def test_second_identical_preview_rebuilds_matrix_on_version_miss(self):
+    def test_domain_preserving_append_revalidates_instead_of_rebuilding(self):
+        """The query references only ``amount`` (a numeric attribute whose
+        declared domain can never change under appends), so the post-append
+        preview must re-tag the cached translation/matrix for the new
+        version -- zero rebuilds -- while still missing the exact
+        version-scoped key (no *stale* hit)."""
         clear_matrix_cache()
         table = small_table()
         service = make_service(table)
         service.register_analyst("alice")
 
-        def counters() -> tuple[int, int]:
+        def counters() -> tuple[int, int, int]:
             stats = service.stats()
             return (
                 stats["translations"]["hits"],
-                stats["workload_matrices"]["misses"],
+                stats["translations"]["revalidated"],
+                stats["workload_matrices"]["built"],
             )
 
         first = service.preview_cost("alice", make_query(), ACCURACY)
-        hits_0, misses_0 = counters()
+        hits_0, revalidated_0, built_0 = counters()
+        assert built_0 == 1
 
-        # Warm repeat on the same version: memo hit, no matrix rebuild.
+        # Warm repeat on the same version: exact memo hit, nothing rebuilt.
         warm = service.preview_cost("alice", make_query(), ACCURACY)
-        hits_1, misses_1 = counters()
+        hits_1, revalidated_1, built_1 = counters()
         assert warm == first
         assert hits_1 > hits_0
-        assert misses_1 == misses_0
+        assert (revalidated_1, built_1) == (revalidated_0, built_0)
 
         version = service.append_rows("default", append_batch())
         assert version.ordinal == 1
         assert service.stats()["tables"]["default"]["shards"] == 2
 
-        # Structurally identical preview after the append: the version token
-        # changed, so the translation memo misses and the matrix is rebuilt.
+        # Structurally identical preview after the append: the exact key
+        # misses (no stale hit), the fingerprint tier re-tags, and the
+        # answer is the same data-independent translation.
+        post = service.preview_cost("alice", make_query(), ACCURACY)
+        hits_2, revalidated_2, built_2 = counters()
+        assert post == first
+        assert hits_2 == hits_1  # no stale exact-key hit
+        assert revalidated_2 == revalidated_1 + 1  # re-tagged...
+        assert built_2 == built_1  # ...not rebuilt
+
+        # The re-tag made the new version warm: a further repeat hits the
+        # exact tier again.
         service.preview_cost("alice", make_query(), ACCURACY)
-        hits_2, misses_2 = counters()
-        assert hits_2 == hits_1  # no stale memo hit
-        assert misses_2 > misses_1  # matrix rebuilt for the new version
+        hits_3, revalidated_3, built_3 = counters()
+        assert hits_3 > hits_2
+        assert (revalidated_3, built_3) == (revalidated_2, built_2)
+
+    def test_domain_changing_append_rebuilds(self):
+        """An append that introduces a previously unobserved categorical
+        value changes the referenced domain fingerprint, so the post-append
+        preview must rebuild rather than revalidate."""
+        from repro.queries.predicates import Comparison
+        from repro.queries.workload import Workload
+
+        clear_matrix_cache()
+        base = small_table()
+        # Restrict the observed regions to the first six of the twelve the
+        # schema declares, so an append can introduce a *legal* new value.
+        rows = []
+        for i in range(400):
+            row = base.row(i)
+            row["region"] = f"region-{i % 6:02d}"
+            rows.append(row)
+        from repro.data.table import Table
+
+        table = Table.from_rows(base.schema, rows)
+        service = make_service(table)
+        service.register_analyst("alice")
+
+        def make_region_query() -> WorkloadCountingQuery:
+            return WorkloadCountingQuery(
+                Workload(
+                    [Comparison("region", "==", f"region-{i:02d}") for i in range(6)]
+                ),
+                name="region-hist",
+            )
+
+        def counters() -> tuple[int, int]:
+            stats = service.stats()
+            return (
+                stats["translations"]["revalidated"],
+                stats["workload_matrices"]["built"],
+            )
+
+        service.preview_cost("alice", make_region_query(), ACCURACY)
+        revalidated_0, built_0 = counters()
+
+        # Preserving append: only already-observed regions.
+        service.append_rows(
+            "default", [dict(rows[0], region="region-03") for _ in range(5)]
+        )
+        service.preview_cost("alice", make_region_query(), ACCURACY)
+        revalidated_1, built_1 = counters()
+        assert revalidated_1 == revalidated_0 + 1
+        assert built_1 == built_0
+
+        # Changing append: region-06 is declared but was never observed.
+        service.append_rows(
+            "default", [dict(rows[0], region="region-06") for _ in range(5)]
+        )
+        service.preview_cost("alice", make_region_query(), ACCURACY)
+        revalidated_2, built_2 = counters()
+        assert revalidated_2 == revalidated_1  # fingerprints differ: no re-tag
+        assert built_2 > built_1  # conservative rebuild
 
     def test_post_append_answers_match_reference_semantics(self):
         clear_matrix_cache()

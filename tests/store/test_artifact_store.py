@@ -1,0 +1,126 @@
+"""ArtifactStore: atomic persistence, corruption safety, eviction, stats."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.store import ArtifactStore, stable_digest
+
+
+def digest_of(*parts) -> str:
+    digest = stable_digest(parts)
+    assert digest is not None
+    return digest
+
+
+@pytest.fixture()
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "store", max_bytes=1_000_000)
+
+
+class TestRoundTrip:
+    def test_save_load_roundtrip(self, store):
+        key = digest_of("matrix", 1)
+        payload = {"matrix": np.arange(12.0).reshape(3, 4), "descriptions": ["a"]}
+        assert store.save("matrix", key, payload)
+        loaded = store.load("matrix", key)
+        assert np.array_equal(loaded["matrix"], payload["matrix"])
+        assert store.stats()["hits"] == 1
+
+    def test_absent_key_is_a_miss(self, store):
+        assert store.load("matrix", digest_of("nope")) is None
+        assert store.stats()["misses"] == 1
+
+    def test_kinds_are_namespaced(self, store):
+        key = digest_of("shared")
+        store.save("matrix", key, {"kind": "matrix"})
+        store.save("translation", key, {"kind": "translation"})
+        assert store.load("matrix", key)["kind"] == "matrix"
+        assert store.load("translation", key)["kind"] == "translation"
+
+    def test_malformed_digest_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.save("matrix", "../../evil", {})
+
+    def test_unpicklable_artifact_fails_softly(self, store):
+        assert not store.save("matrix", digest_of("fn"), lambda: None)
+
+
+class TestCorruptionSafety:
+    def _path_of(self, store, kind, key):
+        return store._path(kind, key)
+
+    def test_bit_flip_is_a_silent_miss_and_removed(self, store):
+        key = digest_of("victim")
+        store.save("matrix", key, {"value": 42})
+        path = self._path_of(store, "matrix", key)
+        with open(path, "r+b") as handle:
+            handle.seek(os.path.getsize(path) // 2)
+            handle.write(b"\xff\xff\xff")
+        assert store.load("matrix", key) is None
+        assert store.stats()["corrupt"] == 1
+        assert not os.path.exists(path)
+        # The caller rebuilds and re-saves; the store recovers.
+        store.save("matrix", key, {"value": 42})
+        assert store.load("matrix", key) == {"value": 42}
+
+    def test_truncation_is_a_silent_miss(self, store):
+        key = digest_of("short")
+        store.save("matrix", key, {"value": list(range(1000))})
+        path = self._path_of(store, "matrix", key)
+        with open(path, "r+b") as handle:
+            handle.truncate(40)
+        assert store.load("matrix", key) is None
+        assert store.stats()["corrupt"] == 1
+
+    def test_foreign_file_is_a_silent_miss(self, store):
+        key = digest_of("foreign")
+        path = self._path_of(store, "matrix", key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(b"not a store file at all")
+        assert store.load("matrix", key) is None
+
+    def test_no_partial_files_visible_after_save(self, store):
+        key = digest_of("atomic")
+        store.save("matrix", key, {"value": 1})
+        leftovers = [
+            name
+            for _, _, names in os.walk(store.root)
+            for name in names
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+
+class TestEviction:
+    def test_size_cap_evicts_lru(self, tmp_path):
+        store = ArtifactStore(tmp_path / "small", max_bytes=8_000)
+        keys = [digest_of("artifact", i) for i in range(40)]
+        for key in keys:
+            store.save("matrix", key, {"blob": b"x" * 400})
+        assert store.disk_bytes() <= 8_000
+        stats = store.stats()
+        assert stats["evicted"] > 0
+        assert stats["entries"] < 40
+        # The newest artifacts survive.
+        assert store.load("matrix", keys[-1]) is not None
+
+    def test_clear_removes_everything(self, store):
+        for i in range(5):
+            store.save("matrix", digest_of(i), {"i": i})
+        store.clear()
+        assert store.stats()["entries"] == 0
+        assert store.load("matrix", digest_of(0)) is None
+
+
+class TestSharing:
+    def test_two_store_objects_share_one_directory(self, tmp_path):
+        """Two ArtifactStore instances (as two processes would hold) read
+        each other's writes through the filesystem."""
+        writer = ArtifactStore(tmp_path / "shared")
+        reader = ArtifactStore(tmp_path / "shared")
+        key = digest_of("cross")
+        writer.save("wcqsm", key, {"epsilon": 0.25})
+        assert reader.load("wcqsm", key) == {"epsilon": 0.25}

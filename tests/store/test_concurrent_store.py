@@ -1,0 +1,135 @@
+"""HISTEX-style concurrent exercising of one shared store directory.
+
+Writers, readers, an evicting writer and a corruption injector all hammer
+the same :class:`~repro.store.ArtifactStore` (as concurrent processes on a
+shared cache directory would).  The invariant is the history one: no thread
+ever crashes, and every load returns either ``None`` or a *complete, valid*
+artifact -- never a torn or corrupted value.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.store import ArtifactStore, stable_digest
+
+
+def artifact_for(index: int) -> dict:
+    """A self-describing artifact whose integrity is checkable on read."""
+    values = np.arange(64, dtype=float) * index
+    return {"index": index, "values": values, "checksum": float(values.sum())}
+
+
+def is_intact(loaded: object) -> bool:
+    if loaded is None:
+        return True  # miss, eviction, or corruption handled as a miss
+    if not isinstance(loaded, dict):
+        return False
+    values = loaded["values"]
+    return (
+        len(values) == 64
+        and float(values.sum()) == loaded["checksum"]
+        and bool(np.all(values == np.arange(64, dtype=float) * loaded["index"]))
+    )
+
+
+class TestConcurrentWritersAndReaders:
+    N_KEYS = 12
+    N_THREADS = 8
+    ROUNDS = 25
+
+    def test_history_stays_consistent_under_concurrency(self, tmp_path):
+        keys = [stable_digest(("concurrent", i)) for i in range(self.N_KEYS)]
+        stores = [
+            ArtifactStore(tmp_path / "shared", max_bytes=200_000)
+            for _ in range(self.N_THREADS)
+        ]
+        errors: list[str] = []
+        torn: list[object] = []
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def worker(thread_index: int) -> None:
+            store = stores[thread_index]  # own handle, shared directory
+            rng = np.random.default_rng(thread_index)
+            try:
+                barrier.wait()
+                for round_index in range(self.ROUNDS):
+                    index = int(rng.integers(self.N_KEYS))
+                    key = keys[index]
+                    action = (thread_index + round_index) % 3
+                    if action == 0:
+                        store.save("exercise", key, artifact_for(index))
+                    elif action == 1:
+                        loaded = store.load("exercise", key)
+                        if not is_intact(loaded):
+                            torn.append(loaded)
+                        elif loaded is not None and loaded["index"] != index:
+                            torn.append(loaded)
+                    else:
+                        # The corruption injector: scribble over the file a
+                        # writer may be concurrently replacing.
+                        path = store._path("exercise", key)
+                        try:
+                            with open(path, "r+b") as handle:
+                                handle.seek(20)
+                                handle.write(b"\x00garbage\x00")
+                        except OSError:
+                            pass  # absent or mid-rename: nothing to corrupt
+            except Exception as exc:  # noqa: BLE001 - reported below
+                errors.append(f"thread-{thread_index}: {type(exc).__name__}: {exc}")
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), name=f"store-exercise-{i}")
+            for i in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        assert torn == []
+        # The directory is still fully usable afterwards.
+        survivor = ArtifactStore(tmp_path / "shared")
+        key = stable_digest(("post", "exercise"))
+        survivor.save("exercise", key, artifact_for(3))
+        assert is_intact(survivor.load("exercise", key))
+
+    def test_concurrent_eviction_never_breaks_readers(self, tmp_path):
+        """Writers overflow a tiny cap (forcing eviction storms) while
+        readers loop over every key; reads stay intact-or-miss throughout."""
+        store = ArtifactStore(tmp_path / "tiny", max_bytes=20_000)
+        keys = [stable_digest(("evict", i)) for i in range(30)]
+        errors: list[str] = []
+        stop = threading.Event()
+
+        def writer() -> None:
+            try:
+                for round_index in range(3):
+                    for index, key in enumerate(keys):
+                        store.save("exercise", key, artifact_for(index))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(f"writer: {exc!r}")
+            finally:
+                stop.set()
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    for index, key in enumerate(keys):
+                        loaded = store.load("exercise", key)
+                        if not is_intact(loaded):
+                            errors.append(f"torn read at {index}")
+                            return
+            except Exception as exc:  # noqa: BLE001
+                errors.append(f"reader: {exc!r}")
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert store.disk_bytes() <= 20_000

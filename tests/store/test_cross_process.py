@@ -1,0 +1,123 @@
+"""Cross-process sharing: a fresh interpreter warm-starts from the store.
+
+The acceptance criterion of the subsystem, pinned as a test (the
+``--suite store`` benchmark measures the same scenario at full size): a
+restarted process -- fresh interpreter, ``store=`` pointing at the prior
+run's directory -- answers a structurally identical ``preview_cost`` with
+**zero** matrix rebuilds and **zero** Monte-Carlo re-searches, bit-identical
+to the cold result.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import repro
+from repro.bench.microbench import build_bench_table, build_bench_workload
+from repro.core.accuracy import AccuracySpec
+from repro.core.engine import APExEngine
+from repro.mechanisms.registry import default_registry
+from repro.queries.query import WorkloadCountingQuery
+from repro.queries.workload import clear_matrix_cache
+from repro.store import ArtifactStore
+
+N_ROWS = 2_000
+N_PREDICATES = 8
+N_AMOUNT_CUTS = 4
+MC_SAMPLES = 200
+SEED = 20190501
+
+
+def run_worker(store_dir: str) -> dict:
+    env = dict(os.environ)
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.bench.store_worker",
+            "--store",
+            store_dir,
+            "--rows",
+            str(N_ROWS),
+            "--predicates",
+            str(N_PREDICATES),
+            "--amount-cuts",
+            str(N_AMOUNT_CUTS),
+            "--mc-samples",
+            str(MC_SAMPLES),
+            "--seed",
+            str(SEED),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return json.loads(completed.stdout)
+
+
+class TestWarmStartAcrossProcesses:
+    def test_restarted_process_rebuilds_nothing_and_matches_bitwise(self, tmp_path):
+        clear_matrix_cache()
+        store_dir = str(tmp_path / "store")
+        table = build_bench_table(N_ROWS, seed=SEED)
+        workload = build_bench_workload(N_PREDICATES, n_amount_cuts=N_AMOUNT_CUTS)
+        engine = APExEngine(
+            table,
+            budget=10.0,
+            registry=default_registry(mc_samples=MC_SAMPLES),
+            seed=7,
+            store=ArtifactStore(store_dir),
+        )
+        accuracy = AccuracySpec(alpha=0.05 * N_ROWS, beta=5e-4)
+        cold = engine.preview_cost(
+            WorkloadCountingQuery(workload, name="bench-wcq"), accuracy
+        )
+
+        worker = run_worker(store_dir)
+        assert worker["matrix_builds"] == 0
+        assert worker["mc_searches"] == 0
+        assert worker["translation_builds"] == 0
+        assert worker["translation_disk_hits"] >= 1
+        # JSON round-trips floats exactly: this is bit-identity.
+        cold_json = json.loads(
+            json.dumps({name: list(pair) for name, pair in cold.items()})
+        )
+        assert worker["costs"] == cold_json
+
+    def test_subprocess_writes_are_readable_by_the_parent(self, tmp_path):
+        """The sharing works in the other direction too: a child process
+        populates an empty store, then the parent warm-starts from it."""
+        clear_matrix_cache()
+        store_dir = str(tmp_path / "store")
+        worker = run_worker(store_dir)  # cold in the child: builds + persists
+        assert worker["matrix_builds"] >= 1
+
+        from repro.mechanisms.strategy_mechanism import reset_search_stats, search_stats
+
+        clear_matrix_cache()
+        reset_search_stats()
+        table = build_bench_table(N_ROWS, seed=SEED)
+        workload = build_bench_workload(N_PREDICATES, n_amount_cuts=N_AMOUNT_CUTS)
+        engine = APExEngine(
+            table,
+            budget=10.0,
+            registry=default_registry(mc_samples=MC_SAMPLES),
+            seed=7,
+            store=ArtifactStore(store_dir),
+        )
+        accuracy = AccuracySpec(alpha=0.05 * N_ROWS, beta=5e-4)
+        warm = engine.preview_cost(
+            WorkloadCountingQuery(workload, name="bench-wcq"), accuracy
+        )
+        stats = engine.cache_stats()
+        assert stats["workload_matrices"]["built"] == 0
+        assert search_stats()["searches"] == 0
+        warm_json = json.loads(
+            json.dumps({name: list(pair) for name, pair in warm.items()})
+        )
+        assert warm_json == worker["costs"]
