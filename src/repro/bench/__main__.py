@@ -3,18 +3,19 @@
 Intended for CI smoke use (``--quick``) and for regenerating the perf
 trajectory after engine changes::
 
-    python -m repro.bench                 # all suites -> BENCH_1/.../5.json
+    python -m repro.bench                 # all suites -> BENCH_1/.../6.json
     python -m repro.bench --suite engine  # vectorized-engine suite only
     python -m repro.bench --suite service # concurrency/batching suite only
     python -m repro.bench --suite shards  # sharded/versioned backend suite only
     python -m repro.bench --suite snapshots  # snapshot/compaction/interning suite
     python -m repro.bench --suite store   # artifact store / revalidation suite
+    python -m repro.bench --suite reliability  # WAL / crash-recovery suite
     python -m repro.bench --quick         # scaled down, same checks
     python -m repro.bench --suite engine --output out.json
 
 Exit status is non-zero when any parity, cache, budget-safety,
 transcript-validity, staleness-invalidation, snapshot-isolation,
-warm-start or revalidation assertion fails.
+warm-start, revalidation or crash-recovery assertion fails.
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ import sys
 
 from repro.bench.microbench import (
     run_microbenchmarks,
+    run_reliability_microbenchmarks,
     run_service_microbenchmarks,
     run_shard_microbenchmarks,
     run_snapshot_microbenchmarks,
@@ -267,6 +269,60 @@ def _print_store_summary(payload: dict, output: str) -> int:
     return failures
 
 
+def _print_reliability_summary(payload: dict, output: str) -> int:
+    wal = payload["wal_overhead"]
+    recovery = payload["recovery_latency"]
+    exerciser = payload["exerciser"]
+    print(f"wrote {output}")
+    print(
+        f"WAL overhead: budget stress {wal['wal_off_requests_per_second']:.1f} req/s "
+        f"bare -> {wal['wal_on_requests_per_second']:.1f} req/s journaled "
+        f"({wal['throughput_ratio']:.2f}x, {wal['journal_records']} fsync'd "
+        f"records, safety_preserved={wal['safety_preserved']})"
+    )
+    print(
+        f"recovery: {recovery['n_records']} records scanned+adopted in "
+        f"{recovery['recovery_seconds'] * 1e3:.1f}ms "
+        f"({recovery['records_per_second']:.0f} rec/s, "
+        f"transcript_valid={recovery['transcript_valid']})"
+    )
+    print(
+        f"exerciser: {exerciser['histories']} histories "
+        f"({exerciser['crashes']} kill -9, {exerciser['torn_tails']} torn tails) "
+        f"in {exerciser['wall_seconds']:.1f}s, all_ok={exerciser['all_ok']}"
+    )
+    failures = 0
+    if not wal["safety_preserved"]:
+        print(
+            "FAILURE: the journaled budget-stress run broke a safety "
+            "invariant (overspend, invalid transcript, or request errors)",
+            file=sys.stderr,
+        )
+        failures += 1
+    if not (
+        recovery["committed_exact"]
+        and recovery["inflight_conservative"]
+        and recovery["transcript_valid"]
+    ):
+        print(
+            "FAILURE: journal recovery did not reproduce the books exactly "
+            f"(committed_exact={recovery['committed_exact']}, "
+            f"inflight_conservative={recovery['inflight_conservative']}, "
+            f"transcript_valid={recovery['transcript_valid']})",
+            file=sys.stderr,
+        )
+        failures += 1
+    if not exerciser["all_ok"]:
+        print(
+            f"FAILURE: the history exerciser found "
+            f"{len(exerciser['violations'])} invariant violations: "
+            f"{exerciser['violations']}",
+            file=sys.stderr,
+        )
+        failures += 1
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -279,7 +335,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--suite",
-        choices=("engine", "service", "shards", "snapshots", "store", "all"),
+        choices=(
+            "engine",
+            "service",
+            "shards",
+            "snapshots",
+            "store",
+            "reliability",
+            "all",
+        ),
         default="all",
         help="which suite to run (default: all)",
     )
@@ -289,7 +353,7 @@ def main(argv: list[str] | None = None) -> int:
         help="path of the JSON payload; only valid with a single --suite "
         "(defaults: BENCH_1.json for engine, BENCH_2.json for service, "
         "BENCH_3.json for shards, BENCH_4.json for snapshots, "
-        "BENCH_5.json for store)",
+        "BENCH_5.json for store, BENCH_6.json for reliability)",
     )
     parser.add_argument(
         "--seed", type=int, default=20190501, help="seed for the synthetic table"
@@ -324,6 +388,11 @@ def main(argv: list[str] | None = None) -> int:
         payload = run_store_microbenchmarks(quick=args.quick, seed=args.seed)
         write_bench_json(output, payload)
         failures += _print_store_summary(payload, output)
+    if args.suite in ("reliability", "all"):
+        output = args.output or "BENCH_6.json"
+        payload = run_reliability_microbenchmarks(quick=args.quick, seed=args.seed)
+        write_bench_json(output, payload)
+        failures += _print_reliability_summary(payload, output)
     return 1 if failures else 0
 
 

@@ -375,6 +375,7 @@ def bench_concurrent_budget(
     rounds_per_thread: int = 3,
     mc_samples: int = 500,
     target_answers: float = 6.5,
+    journal: object | None = None,
 ) -> dict[str, object]:
     """N threads hammer one service with mixed preview/explore requests.
 
@@ -383,6 +384,10 @@ def bench_concurrent_budget(
     admission control.  The payload records the two safety invariants the
     service exists to protect: total charged epsilon within ``B`` and a
     Theorem 6.2-valid merged transcript.
+
+    ``journal`` (a :class:`~repro.reliability.journal.LedgerJournal`) turns
+    on write-ahead accounting; the reliability suite runs this benchmark
+    with and without one to price the WAL's fsync on the hot path.
     """
     import threading
 
@@ -414,6 +419,7 @@ def bench_concurrent_budget(
         registry=default_registry(mc_samples=mc_samples),
         seed=11,
         batch_window=0.0,
+        journal=journal,
     )
     for i in range(n_threads):
         service.register_analyst(f"stress-{i:02d}")
@@ -1359,6 +1365,203 @@ def bench_domain_revalidation(
     }
 
 
+def bench_wal_overhead(
+    *,
+    n_rows: int = 20_000,
+    n_threads: int = 8,
+    rounds_per_thread: int = 3,
+    mc_samples: int = 500,
+    seed: int = 20190501,
+) -> dict[str, object]:
+    """The write-ahead journal's cost on the concurrent budget-stress path.
+
+    Runs :func:`bench_concurrent_budget` twice over identical tables -- once
+    bare, once with every reserve/commit/release fsync'd through a
+    :class:`~repro.reliability.journal.LedgerJournal` -- and reports both
+    throughputs plus the overhead ratio.  Both runs must stay within budget
+    with a Theorem 6.2-valid transcript; the WAL buys durability, never
+    correctness, so the gate is that it costs bounded throughput and
+    changes no safety answer.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.reliability.journal import LedgerJournal
+
+    table = build_bench_table(n_rows, seed=seed)
+    common = dict(
+        n_threads=n_threads,
+        rounds_per_thread=rounds_per_thread,
+        mc_samples=mc_samples,
+    )
+    wal_off = bench_concurrent_budget(table, **common)
+
+    tmp_dir = tempfile.mkdtemp(prefix="repro-bench-wal-")
+    try:
+        journal = LedgerJournal(os.path.join(tmp_dir, "ledger.wal"))
+        wal_on = bench_concurrent_budget(table, journal=journal, **common)
+        journal_stats = journal.stats()
+        journal.close()
+    finally:
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+
+    off_rps = float(wal_off["requests_per_second"])
+    on_rps = float(wal_on["requests_per_second"])
+    return {
+        "n_rows": n_rows,
+        "n_threads": n_threads,
+        "n_requests": wal_off["n_requests"],
+        "wal_off": wal_off,
+        "wal_on": wal_on,
+        "journal_records": journal_stats["appended_records"],
+        "wal_off_requests_per_second": off_rps,
+        "wal_on_requests_per_second": on_rps,
+        "throughput_ratio": on_rps / max(off_rps, 1e-12),
+        "safety_preserved": bool(
+            wal_off["within_budget"]
+            and wal_on["within_budget"]
+            and wal_off["transcript_valid"]
+            and wal_on["transcript_valid"]
+            and not wal_on["errors"]
+        ),
+    }
+
+
+def bench_recovery_latency(
+    *,
+    n_queries: int = 500,
+    inflight: int = 8,
+    seed: int = 20190501,
+) -> dict[str, object]:
+    """Cold-start recovery: scan, replay and adopt an N-record journal.
+
+    Writes a journal shaped like a long-lived service's (``n_queries``
+    reserve+commit pairs plus ``inflight`` unresolved reservations), then
+    times a fresh :class:`~repro.reliability.journal.LedgerJournal` open
+    (scan + checksum + replay) and the pool adoption that rebuilds the
+    merged transcript.  The payload pins the recovered books: exact
+    committed spend, conservative in-flight surcharge, valid transcript.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.reliability.journal import LedgerJournal
+    from repro.service.budget import SharedBudgetPool
+
+    rng = np.random.default_rng(seed)
+    tmp_dir = tempfile.mkdtemp(prefix="repro-bench-recovery-")
+    try:
+        path = os.path.join(tmp_dir, "ledger.wal")
+        committed = 0.0
+        inflight_eps = 0.0
+        with LedgerJournal(path, sync=False) as journal:
+            for i in range(n_queries):
+                upper = float(rng.uniform(0.001, 0.003))
+                spent = float(rng.uniform(0.0005, upper))
+                rid = journal.append(
+                    "reserve", eps_upper=upper, query=f"q{i}", kind="wcq"
+                )
+                journal.append(
+                    "commit",
+                    rid=rid,
+                    eps_upper=upper,
+                    eps_spent=spent,
+                    query=f"q{i}",
+                    kind="wcq",
+                    mechanism="LM",
+                )
+                committed += spent
+            for i in range(inflight):
+                upper = float(rng.uniform(0.001, 0.003))
+                journal.append(
+                    "reserve", eps_upper=upper, query=f"inflight{i}", kind="wcq"
+                )
+                inflight_eps += upper
+
+        start = time.perf_counter()
+        reopened = LedgerJournal(path)
+        open_seconds = time.perf_counter() - start
+        recovery = reopened.recovery
+
+        budget = recovery.spent * 2.0
+        pool = SharedBudgetPool(budget)
+        start = time.perf_counter()
+        entries = pool.adopt_recovery(recovery)
+        adopt_seconds = time.perf_counter() - start
+        reopened.close()
+
+        n_records = len(recovery.records)
+        return {
+            "n_records": n_records,
+            "n_queries": n_queries,
+            "inflight": inflight,
+            "open_seconds": open_seconds,
+            "adopt_seconds": adopt_seconds,
+            "recovery_seconds": open_seconds + adopt_seconds,
+            "records_per_second": n_records
+            / max(open_seconds + adopt_seconds, 1e-12),
+            "recovered_entries": entries,
+            "committed_exact": bool(abs(recovery.committed_epsilon - committed) == 0.0),
+            "inflight_conservative": bool(
+                abs(recovery.inflight_epsilon - inflight_eps) == 0.0
+            ),
+            "transcript_valid": bool(pool.merged_transcript.is_valid(budget)),
+        }
+    finally:
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+
+
+def bench_reliability_exerciser(
+    *,
+    seeds: tuple[int, ...] = (2, 3, 5, 8),
+    n_ops: int = 6,
+    n_rows: int = 300,
+    mc_samples: int = 120,
+) -> dict[str, object]:
+    """A bounded property-based sweep: random histories, real kill -9 crashes.
+
+    Each seed runs :func:`repro.reliability.exerciser.run_history` -- real
+    subprocesses, armed crash failpoints, torn journal tails -- and the
+    payload aggregates the per-seed verdicts.  ``all_ok`` is the gate.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.reliability.exerciser import run_history
+
+    tmp_dir = tempfile.mkdtemp(prefix="repro-bench-exerciser-")
+    reports = []
+    try:
+        start = time.perf_counter()
+        for seed in seeds:
+            reports.append(
+                run_history(
+                    seed,
+                    work_dir=os.path.join(tmp_dir, f"seed-{seed}"),
+                    n_ops=n_ops,
+                    n_rows=n_rows,
+                    mc_samples=mc_samples,
+                )
+            )
+        wall_seconds = time.perf_counter() - start
+    finally:
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+    return {
+        "seeds": list(seeds),
+        "n_ops": n_ops,
+        "histories": len(reports),
+        "crashes": sum(1 for r in reports if r["crashed"]),
+        "torn_tails": sum(1 for r in reports if r["corrupt_tail"]),
+        "violations": [v for r in reports for v in r["violations"]],
+        "all_ok": all(r["ok"] for r in reports),
+        "wall_seconds": wall_seconds,
+        "reports": reports,
+    }
+
+
 def run_store_microbenchmarks(
     quick: bool = False, seed: int = 20190501
 ) -> dict[str, object]:
@@ -1500,6 +1703,50 @@ def run_service_microbenchmarks(
         "created_unix": time.time(),
         "concurrent_budget_stress": stress,
         "request_batching": batching,
+    }
+
+
+def run_reliability_microbenchmarks(
+    quick: bool = False, seed: int = 20190501
+) -> dict[str, object]:
+    """Run the crash-safety suite; returns the BENCH_6 payload.
+
+    Three measurements: the write-ahead journal's throughput cost on the
+    PR 2 budget-stress scenario (WAL on vs off), cold-start recovery latency
+    over a long journal, and a bounded property-based exerciser sweep with
+    real SIGKILL crashes.
+    """
+    import os
+
+    n_rows = 10_000 if quick else 20_000
+    mc_samples = 200 if quick else 500
+    wal = bench_wal_overhead(
+        n_rows=n_rows,
+        n_threads=8,
+        rounds_per_thread=2 if quick else 3,
+        mc_samples=mc_samples,
+        seed=seed,
+    )
+    recovery = bench_recovery_latency(
+        n_queries=200 if quick else 2_000,
+        inflight=8,
+        seed=seed,
+    )
+    exerciser = bench_reliability_exerciser(
+        seeds=(2, 3) if quick else (2, 3, 5, 8, 13),
+        n_ops=5 if quick else 8,
+        n_rows=300,
+        mc_samples=120,
+    )
+    return {
+        "bench": 6,
+        "quick": quick,
+        "seed": seed,
+        "created_unix": time.time(),
+        "cpu_count": os.cpu_count(),
+        "wal_overhead": wal,
+        "recovery_latency": recovery,
+        "exerciser": exerciser,
     }
 
 

@@ -35,16 +35,34 @@ Because admission is checked against ``B - spent - reserved`` under a single
 lock, no interleaving of concurrent explores can jointly overspend ``B`` --
 the invariant ``spent + reserved <= B`` holds at every instant, and therefore
 every committed transcript is valid in the sense of Definition 6.1.
+
+Durability
+----------
+
+The invariant above is only as durable as the process: a crash mid-explore
+would forget both committed spend and in-flight reservations.  Construct
+the ledger with a :class:`~repro.reliability.journal.LedgerJournal` and
+every reserve/commit/release/denial is appended to an fsync'd, checksummed
+write-ahead log **before** the in-memory state mutates; a restarted process
+replays the journal (:meth:`PrivacyLedger.adopt_recovery`) -- committed
+spend exactly, in-flight reservations conservatively at their worst case --
+so no crash can ever make the accounting *under*-count.  The contract is
+spelled out in ``docs/reliability.md`` and exercised by
+:mod:`repro.reliability.exerciser`.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 from repro.core.accuracy import AccuracySpec
-from repro.core.exceptions import ApexError, BudgetExceededError
+from repro.core.exceptions import ApexError, BudgetExceededError, LedgerInvariantError
+from repro.reliability.faults import fail_point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.reliability.journal import JournalRecovery, LedgerJournal
 
 __all__ = ["TranscriptEntry", "Transcript", "PrivacyLedger", "BudgetReservation"]
 
@@ -162,19 +180,133 @@ class BudgetReservation:
     :meth:`PrivacyLedger.release` (abort).  While active, the reserved
     ``epsilon_upper`` is excluded from :attr:`PrivacyLedger.remaining`, which
     is what makes concurrent admission control sound.
+
+    ``rid`` is the write-ahead journal sequence number of the reservation's
+    ``reserve`` record when the ledger is journaled (``None`` otherwise);
+    the matching ``commit``/``release`` record carries it so crash recovery
+    can tell resolved reservations from in-flight ones.
     """
 
     epsilon_upper: float
     active: bool = True
+    rid: int | None = None
+
+
+def _recovery_entries(
+    recovery: "JournalRecovery", start_index: int, spent_before: float
+) -> tuple[list[TranscriptEntry], float]:
+    """Reconstruct transcript entries from a journal replay.
+
+    Commits and denials are rebuilt in journal (= commit) order; every
+    unresolved in-flight reservation becomes an answered entry *at its
+    reserve position*, charged at its worst case ``eps_upper`` (the
+    conservative surcharge), with its query name prefixed
+    ``recovered-inflight:`` so the surcharge is visible in the transcript.
+    Reserve records are journaled only after admission fully succeeded, so
+    the rebuilt transcript satisfies the Definition 6.1 admission check at
+    every position.  Returns the entries plus the total recovered spend.
+    """
+    entries: list[TranscriptEntry] = []
+    running = spent_before
+    index = start_index
+
+    def _accuracy(record: Mapping[str, Any]) -> AccuracySpec:
+        return AccuracySpec(
+            alpha=float(record.get("alpha", 1.0)),
+            beta=float(record.get("beta", 5e-4)),
+        )
+
+    def _name(record: Mapping[str, Any], prefix: str = "") -> str:
+        query = str(record.get("query", "unknown"))
+        analyst = record.get("analyst")
+        if analyst:
+            query = f"{analyst}:{query}"
+        return prefix + query
+
+    inflight_seqs = {record["seq"] for record in recovery.inflight}
+    for record in recovery.records:
+        op = record.get("op")
+        if op == "commit":
+            eps_spent = float(record.get("eps_spent", 0.0))
+            entries.append(
+                TranscriptEntry(
+                    index=index,
+                    query_name=_name(record),
+                    query_kind=str(record.get("kind", "unknown")),
+                    accuracy=_accuracy(record),
+                    mechanism=record.get("mechanism"),
+                    epsilon_upper=float(record.get("eps_upper", eps_spent)),
+                    epsilon_spent=eps_spent,
+                    denied=False,
+                    answer=None,  # answers are not journaled, only losses
+                    budget_before=running,
+                    budget_after=running + eps_spent,
+                )
+            )
+            running += eps_spent
+            index += 1
+        elif op == "deny":
+            entries.append(
+                TranscriptEntry(
+                    index=index,
+                    query_name=_name(record),
+                    query_kind=str(record.get("kind", "unknown")),
+                    accuracy=_accuracy(record),
+                    mechanism=None,
+                    epsilon_upper=0.0,
+                    epsilon_spent=0.0,
+                    denied=True,
+                    answer=None,
+                    budget_before=running,
+                    budget_after=running,
+                )
+            )
+            index += 1
+        elif op == "reserve" and record["seq"] in inflight_seqs:
+            # Conservative surcharge: the crashed process may have run the
+            # mechanism and shown the answer, so the worst case is charged.
+            eps_upper = float(record.get("eps_upper", 0.0))
+            entries.append(
+                TranscriptEntry(
+                    index=index,
+                    query_name=_name(record, prefix="recovered-inflight:"),
+                    query_kind=str(record.get("kind", "unknown")),
+                    accuracy=_accuracy(record),
+                    mechanism=record.get("mechanism"),
+                    epsilon_upper=eps_upper,
+                    epsilon_spent=eps_upper,
+                    denied=False,
+                    answer=None,
+                    budget_before=running,
+                    budget_after=running + eps_upper,
+                )
+            )
+            running += eps_upper
+            index += 1
+    return entries, running - spent_before
 
 
 class PrivacyLedger:
     """Tracks the owner's budget ``B`` across a sequence of mechanism runs.
 
     :param budget: the owner-specified total privacy budget ``B``.
+    :param journal: an optional
+        :class:`~repro.reliability.journal.LedgerJournal`.  When set, every
+        reserve / commit / release / denial is durably appended to the
+        write-ahead log before the mechanism's effects can reach an analyst,
+        so a crashed-and-restarted process (after
+        :meth:`adopt_recovery`) can never under-count spend.
+    :param journal_label: identity stamped onto journal records (the
+        analyst name for session ledgers); purely descriptive.
     """
 
-    def __init__(self, budget: float) -> None:
+    def __init__(
+        self,
+        budget: float,
+        *,
+        journal: "LedgerJournal | None" = None,
+        journal_label: str | None = None,
+    ) -> None:
         if budget <= 0:
             raise ApexError(f"the privacy budget must be positive, got {budget}")
         self._budget = float(budget)
@@ -182,6 +314,11 @@ class PrivacyLedger:
         self._reserved = 0.0
         self._transcript = Transcript()
         self._lock = threading.RLock()
+        self._journal = journal
+        self._journal_label = journal_label
+        #: Active (unconsumed) reservations, keyed by object identity; the
+        #: source of truth for the "no orphaned reservations" invariant.
+        self._active_reservations: dict[int, BudgetReservation] = {}
 
     # -- accessors ----------------------------------------------------------------
 
@@ -215,6 +352,100 @@ class PrivacyLedger:
         """True when no further positive-epsilon query can possibly be admitted."""
         return self.remaining <= _TOLERANCE
 
+    @property
+    def journal(self) -> "LedgerJournal | None":
+        """The attached write-ahead journal, if any."""
+        return self._journal
+
+    # -- durability ---------------------------------------------------------------
+
+    def adopt_recovery(self, recovery: "JournalRecovery") -> int:
+        """Apply a journal replay to this (pristine) ledger.
+
+        Reconstructs the crashed process's transcript -- committed spend
+        exactly, in-flight reservations conservatively at their worst case
+        -- and charges the total as already-spent budget.  Must be called
+        before any new activity; returns the number of recovered entries.
+
+        :raises ApexError: when the ledger has already been used, or the
+            recovered spend exceeds this ledger's budget (the owner
+            restarted with a smaller ``B`` than was already spent -- a
+            configuration error that must not be absorbed silently).
+        """
+        with self._lock:
+            if self._spent or self._reserved or len(self._transcript):
+                raise ApexError(
+                    "adopt_recovery requires a pristine ledger; recover "
+                    "before any reserve/charge activity"
+                )
+            if recovery.spent > self._budget + _TOLERANCE:
+                raise ApexError(
+                    f"the journal records {recovery.spent:.6g} spent but this "
+                    f"ledger's budget is only {self._budget:.6g}; refusing to "
+                    "restart with less budget than was already consumed"
+                )
+            entries, spent = _recovery_entries(recovery, 0, 0.0)
+            for entry in entries:
+                self._transcript.append(entry)
+            self._spent = spent
+            return len(entries)
+
+    def assert_invariants(self) -> None:
+        """Raise :class:`LedgerInvariantError` unless the books balance.
+
+        Checks, atomically: ``spent + reserved <= B``; the reserved total
+        equals the sum of active reservations (no orphaned or double-counted
+        reservation); and the transcript's committed epsilon equals
+        ``spent``.  Cheap (no IO); called by the service validator, the
+        reliability benchmarks and the history exerciser after every step.
+        """
+        with self._lock:
+            slack = 1e-9 + _TOLERANCE * (len(self._transcript) + 1)
+            if self._spent + self._reserved > self._budget + slack:
+                raise LedgerInvariantError(
+                    f"spent ({self._spent:.6g}) + reserved ({self._reserved:.6g}) "
+                    f"exceeds the budget {self._budget:.6g}"
+                )
+            if self._reserved < -slack:
+                raise LedgerInvariantError(
+                    f"reserved is negative: {self._reserved:.6g}"
+                )
+            active_total = sum(
+                r.epsilon_upper for r in self._active_reservations.values()
+            )
+            if abs(active_total - self._reserved) > slack:
+                raise LedgerInvariantError(
+                    f"reserved ({self._reserved:.6g}) disagrees with the "
+                    f"{len(self._active_reservations)} active reservations "
+                    f"({active_total:.6g}) -- an orphaned or double-counted "
+                    "reservation"
+                )
+            committed = self._transcript.total_epsilon()
+            if abs(committed - self._spent) > slack:
+                raise LedgerInvariantError(
+                    f"transcript epsilon ({committed:.6g}) disagrees with "
+                    f"spent ({self._spent:.6g})"
+                )
+
+    def _journal_reserve(
+        self,
+        reservation: BudgetReservation,
+        epsilon_upper: float,
+        context: Mapping[str, Any] | None,
+    ) -> None:
+        """Durably record an *admitted* reservation (see :meth:`reserve`)."""
+        if self._journal is None:
+            return
+        fields: dict[str, Any] = {"eps_upper": float(epsilon_upper)}
+        if self._journal_label is not None:
+            fields["analyst"] = self._journal_label
+        if context:
+            fields.update(
+                {k: context[k] for k in ("query", "kind", "mechanism", "alpha", "beta") if k in context}
+            )
+        reservation.rid = self._journal.append("reserve", **fields)
+        fail_point("ledger.reserve.after_journal")
+
     # -- admission and charging ------------------------------------------------------
 
     def can_afford(self, epsilon_upper: float) -> bool:
@@ -223,13 +454,30 @@ class PrivacyLedger:
             raise ApexError("epsilon_upper must be positive")
         return epsilon_upper <= self.remaining + _TOLERANCE
 
-    def reserve(self, epsilon_upper: float) -> BudgetReservation | None:
+    def reserve(
+        self,
+        epsilon_upper: float,
+        *,
+        context: Mapping[str, Any] | None = None,
+        _journal_now: bool = True,
+    ) -> BudgetReservation | None:
         """Atomically admit and set aside ``epsilon_upper``; ``None`` on refusal.
 
         This is phase one of the two-phase charge used by concurrent
         exploration: the check against :attr:`remaining` and the reservation
         happen under one lock, so two in-flight queries can never both be
         admitted against the same headroom.
+
+        ``context`` (query name/kind, mechanism, alpha, beta) is stamped
+        onto the journal record so crash recovery can reconstruct a
+        meaningful transcript entry for an in-flight reservation.  The
+        journal append happens *after* admission succeeded (an unadmitted
+        reservation must never be conservatively charged on recovery) but
+        *before* this method returns -- i.e. before the mechanism can
+        possibly run -- which is the write-ahead ordering the recovery
+        guarantee needs.  ``_journal_now=False`` is for subclasses whose
+        admission spans further checks (:class:`~repro.service.budget.SessionLedger`
+        journals only once the shared pool has also admitted).
         """
         if epsilon_upper <= 0:
             raise ApexError("epsilon_upper must be positive")
@@ -237,14 +485,25 @@ class PrivacyLedger:
             if epsilon_upper > self.remaining + _TOLERANCE:
                 return None
             self._reserved += epsilon_upper
-            return BudgetReservation(epsilon_upper=float(epsilon_upper))
+            reservation = BudgetReservation(epsilon_upper=float(epsilon_upper))
+            self._active_reservations[id(reservation)] = reservation
+        if _journal_now:
+            self._journal_reserve(reservation, epsilon_upper, context)
+        return reservation
 
     def release(self, reservation: BudgetReservation) -> None:
         """Return an unused reservation to the pool (mechanism did not run)."""
         with self._lock:
             if not reservation.active:
                 return
+            if self._journal is not None and reservation.rid is not None:
+                # Journal first: if we crash in between, recovery sees the
+                # release and charges nothing -- correct, since "released"
+                # means the mechanism never ran.
+                self._journal.append("release", rid=reservation.rid)
+                fail_point("ledger.release.after_journal")
             reservation.active = False
+            self._active_reservations.pop(id(reservation), None)
             self._reserved = max(self._reserved - reservation.epsilon_upper, 0.0)
 
     def charge(
@@ -282,8 +541,6 @@ class PrivacyLedger:
                         f"cannot charge epsilon_upper={epsilon_upper} against a "
                         f"reservation of {reservation.epsilon_upper}"
                     )
-                reservation.active = False
-                self._reserved = max(self._reserved - reservation.epsilon_upper, 0.0)
             elif not self.can_afford(epsilon_upper):
                 raise BudgetExceededError(
                     f"admitting {mechanism} (worst case {epsilon_upper:.6g}) would "
@@ -291,6 +548,31 @@ class PrivacyLedger:
                     required=epsilon_upper,
                     remaining=self.remaining,
                 )
+            # Write-ahead: the commit is durable before spent/transcript
+            # mutate.  A crash right before this line leaves the reservation
+            # journaled but uncommitted -- recovery conservatively charges
+            # its worst case; a crash right after counts the exact loss.
+            fail_point("ledger.charge.before_journal")
+            if self._journal is not None:
+                fields: dict[str, Any] = {
+                    "eps_upper": float(epsilon_upper),
+                    "eps_spent": float(epsilon_spent),
+                    "query": query_name,
+                    "kind": query_kind,
+                    "mechanism": mechanism,
+                    "alpha": float(accuracy.alpha),
+                    "beta": float(accuracy.beta),
+                }
+                if reservation is not None and reservation.rid is not None:
+                    fields["rid"] = reservation.rid
+                if self._journal_label is not None:
+                    fields["analyst"] = self._journal_label
+                self._journal.append("commit", **fields)
+                fail_point("ledger.charge.after_journal")
+            if reservation is not None:
+                reservation.active = False
+                self._active_reservations.pop(id(reservation), None)
+                self._reserved = max(self._reserved - reservation.epsilon_upper, 0.0)
             before = self._spent
             self._spent += epsilon_spent
             entry = TranscriptEntry(
@@ -319,6 +601,16 @@ class PrivacyLedger:
     ) -> TranscriptEntry:
         """Record a denied query (costs no privacy)."""
         with self._lock:
+            if self._journal is not None:
+                fields: dict[str, Any] = {
+                    "query": query_name,
+                    "kind": query_kind,
+                    "alpha": float(accuracy.alpha),
+                    "beta": float(accuracy.beta),
+                }
+                if self._journal_label is not None:
+                    fields["analyst"] = self._journal_label
+                self._journal.append("deny", **fields)
             entry = TranscriptEntry(
                 index=len(self._transcript),
                 query_name=query_name,

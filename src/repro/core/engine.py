@@ -37,6 +37,8 @@ from repro.mechanisms.strategy_mechanism import search_stats
 from repro.queries.parser import parse_query
 from repro.queries.query import Query
 from repro.queries.workload import matrix_cache_stats
+from repro.reliability.deadline import Deadline
+from repro.reliability.faults import fail_point
 from repro.store import ArtifactStore
 
 __all__ = ["ExplorationResult", "APExEngine"]
@@ -237,6 +239,7 @@ class APExEngine:
         accuracy: AccuracySpec,
         *,
         snapshot: TableSnapshot | None = None,
+        deadline: Deadline | None = None,
     ) -> ExplorationResult:
         """Answer one query under the given accuracy requirement (Algorithm 1).
 
@@ -257,8 +260,17 @@ class APExEngine:
         is committed afterwards.  When another thread depletes the budget
         between selection and reservation, selection is retried against the
         updated headroom -- a cheaper mechanism may still be admissible.
+
+        With a ``deadline``, the request is aborted cooperatively (before
+        the mechanism runs, and again after it but before the charge) once
+        the deadline passes: the reservation is released, no privacy is
+        charged (the never-published draw costs nothing, exactly like a
+        mechanism failure), and
+        :class:`~repro.core.exceptions.RequestTimeoutError` is raised.
         """
         snap = self._pin_snapshot(snapshot)
+        if deadline is not None:
+            deadline.check(f"explore({query.name})")
         stamp = self.domain_stamp(query, snap)
         while True:
             choice = self._translator.choose(
@@ -270,12 +282,27 @@ class APExEngine:
             )
             if choice is None:
                 return self._deny(query, accuracy)
-            reservation = self._ledger.reserve(choice.translation.epsilon_upper)
+            reservation = self._ledger.reserve(
+                choice.translation.epsilon_upper,
+                context={
+                    "query": query.name,
+                    "kind": query.kind.value,
+                    "mechanism": choice.mechanism.name,
+                    "alpha": float(accuracy.alpha),
+                    "beta": float(accuracy.beta),
+                },
+            )
             if reservation is not None:
                 break
 
         try:
+            fail_point("engine.explore.after_reserve")
+            if deadline is not None:
+                deadline.check(f"explore({query.name})")
             result = choice.mechanism.run(query, accuracy, snap, rng=self._rng)
+            fail_point("engine.explore.after_run")
+            if deadline is not None:
+                deadline.check(f"explore({query.name})")
             entry = self._ledger.charge(
                 query_name=query.name,
                 query_kind=query.kind.value,

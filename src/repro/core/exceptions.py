@@ -71,3 +71,59 @@ class BudgetExceededError(ApexError):
 
 class QueryDeniedError(BudgetExceededError):
     """Alias kept for backwards compatibility with earlier releases."""
+
+
+class FaultInjected(ApexError):
+    """An armed failpoint (:mod:`repro.reliability.faults`) fired.
+
+    Only ever raised by fault-injection tests and the history exerciser;
+    production code never arms failpoints.
+    """
+
+
+class JournalCorruptError(ApexError):
+    """The write-ahead ledger journal is corrupt *before* its tail.
+
+    A torn or rotted **tail** (the last, partially written records of a
+    crashed process) is expected and is truncated silently on recovery.
+    Corruption in the *middle* of the journal -- a bad record followed by
+    valid ones -- cannot come from a torn write; truncating there would
+    silently drop committed privacy spend recorded after it (an
+    *under*-count, the one failure accounting must never have), so recovery
+    refuses to proceed and surfaces this error instead.
+    """
+
+
+class LedgerInvariantError(ApexError):
+    """A privacy-ledger internal invariant was violated.
+
+    Raised by :meth:`~repro.core.accounting.PrivacyLedger.assert_invariants`
+    when ``spent + reserved > B``, the reserved total disagrees with the set
+    of active reservations (an orphaned or double-counted reservation), or
+    the transcript's committed epsilon disagrees with ``spent``.  Any of
+    these means an accounting bug, never analyst misuse.
+    """
+
+
+class RequestTimeoutError(ApexError):
+    """A request exceeded its deadline and was aborted.
+
+    The abort is cooperative (checked between the translation, mechanism
+    run and charge steps) and always releases the request's budget
+    reservation before raising, so a timed-out explore costs no privacy.
+    """
+
+    def __init__(self, message: str, *, elapsed: float, deadline: float) -> None:
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.deadline = deadline
+
+
+class StoreLockTimeout(ApexError):
+    """The artifact store's advisory file lock could not be acquired in time.
+
+    Raised instead of blocking indefinitely on a cross-process ``flock``;
+    callers degrade past it (skip the eviction pass, keep serving) rather
+    than hanging the request path on a stuck sibling process.
+    """
+

@@ -1,0 +1,67 @@
+"""Per-request deadlines with a cooperative, reservation-safe abort.
+
+A mechanism run is GIL-releasing numpy that cannot be preempted mid-array,
+so deadlines here are *cooperative*: the engine checks the request's
+:class:`Deadline` at its natural safe points (after mechanism selection,
+before the mechanism runs, and after it runs but before the privacy charge)
+and aborts with :class:`~repro.core.exceptions.RequestTimeoutError` when it
+has expired.  The abort always happens where the budget reservation can
+still be released, so a timed-out explore never leaks reserved headroom and
+never charges privacy -- its (never-published) draw costs nothing under the
+standard DP accounting, exactly like a mechanism failure.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.exceptions import ApexError, RequestTimeoutError
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """A wall-clock budget for one request.
+
+    :param seconds: time allowed from construction.  Must be positive.
+    """
+
+    __slots__ = ("_start", "_seconds")
+
+    def __init__(self, seconds: float) -> None:
+        if not seconds > 0:
+            raise ApexError(f"deadline must be positive, got {seconds}")
+        self._seconds = float(seconds)
+        self._start = time.perf_counter()
+
+    @classmethod
+    def after(cls, seconds: float | None) -> "Deadline | None":
+        """A deadline ``seconds`` from now, or ``None`` for no deadline."""
+        return None if seconds is None else cls(seconds)
+
+    @property
+    def seconds(self) -> float:
+        return self._seconds
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    def remaining(self) -> float:
+        return self._seconds - self.elapsed()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, what: str) -> None:
+        """Raise :class:`RequestTimeoutError` when the deadline has passed."""
+        elapsed = self.elapsed()
+        if elapsed > self._seconds:
+            raise RequestTimeoutError(
+                f"{what} exceeded its {self._seconds:.3g}s deadline "
+                f"(elapsed {elapsed:.3g}s)",
+                elapsed=elapsed,
+                deadline=self._seconds,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(seconds={self._seconds}, remaining={self.remaining():.3g})"

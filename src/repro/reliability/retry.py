@@ -1,0 +1,46 @@
+"""Retry-with-exponential-backoff for transient failures.
+
+Used by the artifact store's IO paths: a flaky disk, a saturated NFS mount
+or an injected ``store.load.read`` fault gets a few quick retries before the
+store gives up (and, past its degradation threshold, falls back to the
+in-memory tiers entirely -- see ``docs/reliability.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["retry_with_backoff"]
+
+
+def retry_with_backoff(
+    fn: Callable[[], T],
+    *,
+    retries: int,
+    base_delay: float,
+    retry_on: tuple[type[BaseException], ...] = (OSError,),
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Call ``fn``, retrying up to ``retries`` times on ``retry_on`` failures.
+
+    Sleeps ``base_delay * 2**attempt`` between attempts (0-indexed), so
+    ``retries=2, base_delay=0.01`` sleeps 10ms then 20ms.  The final
+    exception propagates unchanged.  ``on_retry(attempt, exc)`` is invoked
+    before each sleep -- callers use it to count retries.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retry_on as exc:
+            if attempt >= retries:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            time.sleep(base_delay * (2.0**attempt))
+            attempt += 1

@@ -31,14 +31,19 @@ from __future__ import annotations
 
 import enum
 import threading
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.core.accounting import (
     BudgetReservation,
     PrivacyLedger,
     Transcript,
     TranscriptEntry,
+    _recovery_entries,
 )
-from repro.core.exceptions import ApexError
+from repro.core.exceptions import ApexError, LedgerInvariantError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.reliability.journal import JournalRecovery, LedgerJournal
 
 __all__ = ["BudgetPolicy", "SharedBudgetPool", "SessionLedger"]
 
@@ -205,6 +210,64 @@ class SharedBudgetPool:
                 "remaining": max(self._budget - self._spent - self._reserved, 0.0),
             }
 
+    # -- durability ---------------------------------------------------------------
+
+    def adopt_recovery(self, recovery: "JournalRecovery") -> int:
+        """Seed the pool from a journal replay (crash recovery on startup).
+
+        Reconstructs the crashed service's merged transcript -- committed
+        spend exactly, in-flight reservations conservatively at their worst
+        case -- and charges the total against the pool, so the restarted
+        service's admission control starts from what was *at least* spent.
+        Must run before any session activity; returns the number of
+        recovered entries.  See
+        :meth:`repro.core.accounting.PrivacyLedger.adopt_recovery` for the
+        error contract (non-pristine pool, recovered spend above ``B``).
+        """
+        with self._lock:
+            if self._spent or self._reserved or len(self._merged):
+                raise ApexError(
+                    "adopt_recovery requires a pristine pool; recover before "
+                    "any session activity"
+                )
+            if recovery.spent > self._budget + _TOLERANCE:
+                raise ApexError(
+                    f"the journal records {recovery.spent:.6g} spent but the "
+                    f"pool budget is only {self._budget:.6g}; refusing to "
+                    "restart with less budget than was already consumed"
+                )
+            entries, spent = _recovery_entries(recovery, 0, 0.0)
+            for entry in entries:
+                self._merged.append(entry)
+            self._spent = spent
+            return len(entries)
+
+    def assert_invariants(self) -> None:
+        """Raise :class:`LedgerInvariantError` unless the pool books balance.
+
+        Checks ``spent + reserved <= B`` and that the merged transcript's
+        committed epsilon equals the pool's ``spent`` (every commit appends
+        its entry under the same lock acquisition, so any disagreement is
+        an accounting bug).
+        """
+        with self._lock:
+            slack = 1e-9 + _TOLERANCE * (len(self._merged) + 1)
+            if self._spent + self._reserved > self._budget + slack:
+                raise LedgerInvariantError(
+                    f"pool spent ({self._spent:.6g}) + reserved "
+                    f"({self._reserved:.6g}) exceeds the budget {self._budget:.6g}"
+                )
+            if self._reserved < -slack:
+                raise LedgerInvariantError(
+                    f"pool reserved is negative: {self._reserved:.6g}"
+                )
+            committed = self._merged.total_epsilon()
+            if abs(committed - self._spent) > slack:
+                raise LedgerInvariantError(
+                    f"merged transcript epsilon ({committed:.6g}) disagrees "
+                    f"with pool spent ({self._spent:.6g})"
+                )
+
 
 class SessionLedger(PrivacyLedger):
     """A per-analyst ledger that draws on a :class:`SharedBudgetPool`.
@@ -221,10 +284,22 @@ class SessionLedger(PrivacyLedger):
     :param share: the analyst's own cap (``B/N`` for fixed-share policies,
         the full ``B`` for first-come).
     :param analyst: identity used to label merged-transcript entries.
+    :param journal: the service's shared
+        :class:`~repro.reliability.journal.LedgerJournal`, when the service
+        is journaled.  All session ledgers append to the one journal (each
+        record labelled with the analyst); recovery is applied pool-wide by
+        :meth:`SharedBudgetPool.adopt_recovery`, never per session.
     """
 
-    def __init__(self, pool: SharedBudgetPool, share: float, analyst: str) -> None:
-        super().__init__(share)
+    def __init__(
+        self,
+        pool: SharedBudgetPool,
+        share: float,
+        analyst: str,
+        *,
+        journal: "LedgerJournal | None" = None,
+    ) -> None:
+        super().__init__(share, journal=journal, journal_label=str(analyst))
         self._pool = pool
         self._analyst = str(analyst)
 
@@ -241,14 +316,31 @@ class SessionLedger(PrivacyLedger):
         """Headroom: the tighter of the analyst's share and the pool."""
         return min(super().remaining, self._pool.remaining)
 
-    def reserve(self, epsilon_upper: float) -> BudgetReservation | None:
-        """Reserve from the analyst's share, then from the pool (with rollback)."""
-        reservation = super().reserve(epsilon_upper)
+    def reserve(
+        self,
+        epsilon_upper: float,
+        *,
+        context: Mapping[str, Any] | None = None,
+        _journal_now: bool = True,
+    ) -> BudgetReservation | None:
+        """Reserve from the analyst's share, then from the pool (with rollback).
+
+        The journal record is appended only once *both* admission checks
+        have passed: a reservation the pool refused must never exist in the
+        journal, or crash recovery would conservatively charge budget that
+        was never admitted (and the recovered transcript could fail the
+        Definition 6.1 admission check).
+        """
+        reservation = super().reserve(
+            epsilon_upper, context=context, _journal_now=False
+        )
         if reservation is None:
             return None
         if not self._pool.try_reserve(epsilon_upper):
             super().release(reservation)
             return None
+        if _journal_now:
+            self._journal_reserve(reservation, epsilon_upper, context)
         return reservation
 
     def release(self, reservation: BudgetReservation) -> None:
@@ -256,14 +348,27 @@ class SessionLedger(PrivacyLedger):
         if not reservation.active:
             return
         super().release(reservation)
-        self._pool.release(reservation.epsilon_upper)
+        try:
+            self._pool.release(reservation.epsilon_upper)
+        except ApexError as exc:
+            # The share-level release went through but the pool's did not:
+            # the two books now disagree, which is an accounting bug, never
+            # analyst misuse -- surface it as the invariant violation it is
+            # instead of leaking reserved pool headroom silently.
+            raise LedgerInvariantError(
+                f"pool release failed after the share release for analyst "
+                f"{self._analyst!r}: {exc}"
+            ) from exc
 
     def charge(self, **kwargs) -> TranscriptEntry:
         """Commit an answered query to the analyst's transcript and the pool.
 
         Requires a reservation (concurrent service use always has one): the
         unreserved fast path of the base ledger would bypass the pool's
-        admission control.
+        admission control.  ``super().charge`` validates the loss *before*
+        consuming the reservation, so a rejected charge (mechanism reported
+        an out-of-range loss) leaves the reservation active at both levels
+        and the caller's ``release`` returns the headroom to both books.
         """
         reservation = kwargs.get("reservation")
         if reservation is None:
@@ -273,7 +378,18 @@ class SessionLedger(PrivacyLedger):
             )
         epsilon_upper = float(reservation.epsilon_upper)
         entry = super().charge(**kwargs)
-        self._pool.commit(epsilon_upper, entry, self._analyst)
+        try:
+            self._pool.commit(epsilon_upper, entry, self._analyst)
+        except ApexError as exc:
+            # The analyst's share-level charge committed but the pool's
+            # mirror did not (its reservation was double-consumed or never
+            # mirrored).  The share transcript cannot be un-appended, so the
+            # books are inconsistent: raise the loudest possible error
+            # rather than letting it masquerade as a failed request.
+            raise LedgerInvariantError(
+                f"pool commit failed after the share-level charge for "
+                f"analyst {self._analyst!r}: {exc}"
+            ) from exc
         return entry
 
     def deny(self, **kwargs) -> TranscriptEntry:

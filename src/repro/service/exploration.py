@@ -24,7 +24,15 @@ budget ``B``, and any number of analysts then register sessions and issue
   concurrent :meth:`ExplorationService.append_rows` /
   :meth:`ExplorationService.refresh_table` and always answer for exactly
   the version they were admitted at.  See ``docs/consistency.md`` for the
-  full cache/version/snapshot contract.
+  full cache/version/snapshot contract;
+* **crash safety** -- hand the service a
+  :class:`~repro.reliability.journal.LedgerJournal` and every reserve /
+  commit / release / denial is made durable *before* the books mutate; a
+  service restarted over the same journal path adopts the recovered spend
+  (committed charges exactly, in-flight reservations conservatively at
+  their upper bounds) before admitting any new analyst.  Per-request
+  deadlines abort overlong explores and release their reservations.  See
+  ``docs/reliability.md`` for the journal format and recovery semantics.
 
 Every request's wall-clock latency is recorded as it completes: the most
 recent sample lands in the existing benchmark machinery
@@ -45,13 +53,16 @@ from typing import Mapping, Sequence
 from repro.core.accounting import Transcript
 from repro.core.accuracy import AccuracySpec
 from repro.core.engine import APExEngine, ExplorationResult
-from repro.core.exceptions import ApexError
+from repro.core.exceptions import ApexError, RequestTimeoutError
 from repro.core.translator import AccuracyTranslator, SelectionMode
 from repro.data.table import Table, TableVersion
 from repro.mechanisms.registry import MechanismRegistry
 from repro.queries.parser import parse_query
 from repro.queries.query import Query
 from repro.queries.workload import matrix_cache_stats
+from repro.reliability.deadline import Deadline
+from repro.reliability.faults import fail_point
+from repro.reliability.journal import LedgerJournal
 from repro.service.batching import RequestBatcher
 from repro.service.budget import BudgetPolicy, SessionLedger, SharedBudgetPool
 from repro.store import ArtifactStore
@@ -123,6 +134,18 @@ class ExplorationService:
         run's directory warm-starts: structurally identical previews are
         answered from disk with zero matrix rebuilds and zero Monte-Carlo
         re-searches (``docs/store.md``).
+    :param journal: an optional write-ahead
+        :class:`~repro.reliability.journal.LedgerJournal`.  When given, the
+        journal's recovered spend (replayed at open) is adopted into the
+        shared pool *before* any analyst registers -- committed charges
+        replay exactly; reservations that were in flight at the crash are
+        charged conservatively at their upper bounds -- and every session
+        ledger journals its own reserves/commits/releases through it.
+    :param request_deadline: optional per-request wall-clock budget in
+        seconds for :meth:`explore`.  An expired deadline aborts the request
+        with :class:`~repro.core.exceptions.RequestTimeoutError` at the next
+        safe point; the reservation is always released and nothing is
+        charged (an unpublished draw costs no privacy).
 
     All public methods are safe to call from any thread; requests issued for
     the *same* analyst serialize on that session's lock (see
@@ -141,6 +164,8 @@ class ExplorationService:
         seed: int | None = None,
         batch_window: float = 0.002,
         store: ArtifactStore | None = None,
+        journal: LedgerJournal | None = None,
+        request_deadline: float | None = None,
     ) -> None:
         if isinstance(tables, Table):
             tables = {"default": tables}
@@ -156,8 +181,20 @@ class ExplorationService:
                 )
         if isinstance(mode, str):
             mode = SelectionMode(mode.lower())
+        if request_deadline is not None and request_deadline <= 0:
+            raise ApexError("request_deadline must be positive (or None)")
         self._tables = dict(tables)
         self._pool = SharedBudgetPool(budget)
+        self._journal = journal
+        self._request_deadline = request_deadline
+        self._timeouts = 0
+        self._recovered_entries = 0
+        if journal is not None and not journal.recovery.empty:
+            # Crash recovery happens here, before any analyst can register:
+            # the previous incarnation's committed spend replays exactly and
+            # its in-flight reservations are charged at their upper bounds,
+            # so no interleaving of old crash and new requests can overspend.
+            self._recovered_entries = self._pool.adopt_recovery(journal.recovery)
         self._policy = policy
         self._max_analysts = max_analysts
         self._mode = mode
@@ -251,6 +288,19 @@ class ExplorationService:
         """Theorem 6.2: is the merged transcript valid for the owner's ``B``?"""
         return self._pool.merged_transcript.is_valid(self._pool.budget)
 
+    def assert_invariants(self) -> None:
+        """Check the pool's and every session ledger's accounting invariants.
+
+        Raises :class:`~repro.core.exceptions.LedgerInvariantError` on the
+        first violation (spend past ``B``, negative or orphaned
+        reservations, transcript drift).  Cheap enough to call after every
+        request in tests and in the reliability exerciser; production
+        callers typically invoke it at checkpoints.
+        """
+        self._pool.assert_invariants()
+        for handle in self.sessions():
+            handle.ledger.assert_invariants()
+
     def stats(self) -> dict[str, object]:
         """Budget, batching, cache and per-session counters in one snapshot."""
         with self._lock:
@@ -278,6 +328,12 @@ class ExplorationService:
             "translations": self._translator.cache_stats,
             "workload_matrices": matrix_cache_stats(),
             "store": None if self._store is None else self._store.stats(),
+            "reliability": {
+                "journal": None if self._journal is None else self._journal.stats(),
+                "recovered_entries": self._recovered_entries,
+                "request_deadline_seconds": self._request_deadline,
+                "timeouts": self._timeouts,
+            },
         }
 
     def latency_stats(self) -> dict[str, dict[str, float]]:
@@ -349,7 +405,7 @@ class ExplorationService:
                 share = self._pool.budget / self._max_analysts
             else:
                 share = self._pool.budget
-            ledger = SessionLedger(self._pool, share, analyst)
+            ledger = SessionLedger(self._pool, share, analyst, journal=self._journal)
             engine = APExEngine(
                 self._tables[table],
                 mode=self._mode,
@@ -448,9 +504,20 @@ class ExplorationService:
         """
         handle = self.session(analyst)
         start = time.perf_counter()
+        deadline = Deadline.after(self._request_deadline)
         snapshot = self._tables[handle.table].snapshot()
-        with handle.run_lock:
-            result = handle.engine.explore(query, accuracy, snapshot=snapshot)
+        fail_point("service.explore.admitted")
+        try:
+            with handle.run_lock:
+                result = handle.engine.explore(
+                    query, accuracy, snapshot=snapshot, deadline=deadline
+                )
+        except RequestTimeoutError:
+            # The engine's release-on-failure path already returned the
+            # reservation; here we only keep score for stats().
+            with self._lock:
+                self._timeouts += 1
+            raise
         self._note_latency("explore", time.perf_counter() - start)
         return result
 

@@ -1,0 +1,15 @@
+"""Shared fixtures: failpoint hygiene for every reliability test."""
+
+import pytest
+
+from repro.reliability import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_failpoints():
+    """No armed failpoint (or stale trigger count) ever leaks between tests."""
+    faults.disarm_all()
+    faults.reset_fault_stats()
+    yield
+    faults.disarm_all()
+    faults.reset_fault_stats()

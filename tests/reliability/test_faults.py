@@ -1,0 +1,108 @@
+"""The failpoint framework: arming, counting, env parsing, actions."""
+
+import time
+
+import pytest
+
+from repro.core.exceptions import FaultInjected
+from repro.reliability import faults
+
+
+class TestArming:
+    def test_disarmed_site_is_a_noop(self):
+        faults.fail_point("ledger.charge.before_journal")  # must not raise
+
+    def test_unknown_site_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown failpoint site"):
+            faults.arm("no.such.site", "error")
+
+    def test_unknown_action_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown failpoint action"):
+            faults.arm("store.load.read", "explode")
+
+    def test_error_action_raises_fault_injected(self):
+        faults.arm("store.load.read", "error")
+        with pytest.raises(FaultInjected):
+            faults.fail_point("store.load.read")
+
+    def test_io_error_action_raises_oserror(self):
+        faults.arm("store.load.read", "io-error")
+        with pytest.raises(OSError):
+            faults.fail_point("store.load.read")
+
+    def test_other_sites_stay_unarmed(self):
+        faults.arm("store.load.read", "error")
+        faults.fail_point("store.save.write")  # must not raise
+
+    def test_count_exhaustion_self_disarms(self):
+        faults.arm("store.load.read", "error", count=2)
+        for _ in range(2):
+            with pytest.raises(FaultInjected):
+                faults.fail_point("store.load.read")
+        faults.fail_point("store.load.read")  # third hit: disarmed
+        assert faults.fault_stats()["store.load.read"] == 2
+
+    def test_armed_context_manager_disarms_on_exit(self):
+        with faults.armed("store.load.read", "error"):
+            with pytest.raises(FaultInjected):
+                faults.fail_point("store.load.read")
+        faults.fail_point("store.load.read")
+
+    def test_sleep_action_stalls(self):
+        faults.arm("store.lock.acquire", "sleep:0.05")
+        start = time.perf_counter()
+        faults.fail_point("store.lock.acquire")
+        assert time.perf_counter() - start >= 0.05
+
+    def test_invalid_sleep_rejected(self):
+        with pytest.raises(ValueError, match="malformed sleep"):
+            faults.arm("store.lock.acquire", "sleep:fast")
+        with pytest.raises(ValueError, match=">= 0"):
+            faults.arm("store.lock.acquire", "sleep:-1")
+
+
+class TestEnvParsing:
+    def test_parses_sites_actions_and_counts(self):
+        armed = faults.arm_from_env(
+            {
+                faults.ENV_VAR: (
+                    "ledger.charge.after_journal=crash:1;"
+                    "store.load.read=io-error;"
+                    "store.lock.acquire=sleep:0.2:3"
+                )
+            }
+        )
+        assert armed == [
+            "ledger.charge.after_journal",
+            "store.load.read",
+            "store.lock.acquire",
+        ]
+        # the sleep entry kept its duration and got count=3
+        with pytest.raises(OSError):
+            faults.fail_point("store.load.read")
+
+    def test_empty_env_arms_nothing(self):
+        assert faults.arm_from_env({}) == []
+        assert faults.arm_from_env({faults.ENV_VAR: "  "}) == []
+
+    def test_malformed_entry_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            faults.arm_from_env({faults.ENV_VAR: "just-a-site"})
+
+    def test_catalog_only_contains_known_prefixes(self):
+        # every site names an existing module area; a typo here would let a
+        # doc reference drift from the code
+        prefixes = ("journal.", "ledger.", "engine.", "store.", "service.")
+        for site in faults.FAILPOINT_SITES:
+            assert site.startswith(prefixes)
+
+
+class TestStats:
+    def test_trigger_counts_accumulate_and_reset(self):
+        faults.arm("store.load.read", "error", count=3)
+        for _ in range(3):
+            with pytest.raises(FaultInjected):
+                faults.fail_point("store.load.read")
+        assert faults.fault_stats() == {"store.load.read": 3}
+        faults.reset_fault_stats()
+        assert faults.fault_stats() == {}
