@@ -37,6 +37,7 @@ from repro.bench.harness import (
 )
 from repro.bench.microbench import run_microbenchmarks
 from repro.bench.reporting import (
+    bench_payload_header,
     format_records,
     format_table,
     records_to_csv,
@@ -44,6 +45,7 @@ from repro.bench.reporting import (
     summarize_by,
     write_bench_json,
 )
+from repro.bench.workloadbench import run_workload_microbenchmarks
 
 __all__ = [
     "BenchmarkQuery",
@@ -65,8 +67,10 @@ __all__ = [
     "records_to_csv",
     "summarize_by",
     "report",
+    "bench_payload_header",
     "write_bench_json",
     "run_microbenchmarks",
+    "run_workload_microbenchmarks",
     "last_run_timings",
     "clear_run_timings",
 ]

@@ -3,13 +3,14 @@
 Intended for CI smoke use (``--quick``) and for regenerating the perf
 trajectory after engine changes::
 
-    python -m repro.bench                 # all suites -> BENCH_1/.../6.json
+    python -m repro.bench                 # all suites -> BENCH_1/.../7.json
     python -m repro.bench --suite engine  # vectorized-engine suite only
     python -m repro.bench --suite service # concurrency/batching suite only
     python -m repro.bench --suite shards  # sharded/versioned backend suite only
     python -m repro.bench --suite snapshots  # snapshot/compaction/interning suite
     python -m repro.bench --suite store   # artifact store / revalidation suite
     python -m repro.bench --suite reliability  # WAL / crash-recovery suite
+    python -m repro.bench --suite workloads  # generated longitudinal streams
     python -m repro.bench --quick         # scaled down, same checks
     python -m repro.bench --suite engine --output out.json
 
@@ -32,6 +33,7 @@ from repro.bench.microbench import (
     run_store_microbenchmarks,
 )
 from repro.bench.reporting import write_bench_json
+from repro.bench.workloadbench import run_workload_microbenchmarks
 
 
 def _print_engine_summary(payload: dict, output: str) -> None:
@@ -323,6 +325,71 @@ def _print_reliability_summary(payload: dict, output: str) -> int:
     return failures
 
 
+def _print_workloads_summary(payload: dict, output: str) -> int:
+    preserve = payload["preserve_stream"]
+    restart = payload["named_restart"]
+    exerciser = payload["exerciser"]
+    print(f"wrote {output}")
+    print(
+        f"preserve stream: {preserve['rows_total']} rows over "
+        f"{preserve['periods']} periods: hit_rate="
+        f"{preserve['revalidation_hit_rate']:.3f} "
+        f"({preserve['built_after_warmup']} rebuilds, "
+        f"{preserve['revalidated']} revalidations, "
+        f"{preserve['mean_period_preview_seconds'] * 1e3:.1f}ms/period)"
+    )
+    for mode in payload["drift_modes"]:
+        print(
+            f"  {mode['drift']}: {mode['built_after_warmup']} rebuilds on "
+            f"{mode['scheduled_fingerprint_changes']} scheduled changes, "
+            f"{mode['revalidated']} revalidations"
+        )
+    print(
+        f"named restart: {restart['cold_preview_seconds']:.3f}s cold -> "
+        f"{restart['warm_start_preview_seconds']:.3f}s fresh-process warm "
+        f"({restart['warm_start_speedup']:.1f}x, "
+        f"zero_rebuild={restart['zero_rebuild_restart']}, "
+        f"bit_identical={restart['bit_identical']}, "
+        f"bare_bypass={restart['bare_control_bypasses_disk']})"
+    )
+    print(
+        f"exerciser: {len(exerciser['histories'])} generated-stream histories, "
+        f"all_ok={exerciser['all_ok']}"
+    )
+    failures = 0
+    if not (
+        preserve["zero_rebuilds_after_warmup"]
+        and preserve["revalidation_hit_rate"] >= 0.95
+    ):
+        print(
+            "FAILURE: the preserve-mode stream rebuilt translations after "
+            f"warmup (hit_rate={preserve['revalidation_hit_rate']:.3f})",
+            file=sys.stderr,
+        )
+        failures += 1
+    if not (restart["zero_rebuild_restart"] and restart["bit_identical"]):
+        print(
+            "FAILURE: the named-predicate restart did not warm-start from "
+            "the disk tier bit-identically",
+            file=sys.stderr,
+        )
+        failures += 1
+    if not restart["bare_control_bypasses_disk"]:
+        print(
+            "FAILURE: a bare opaque predicate reached the disk tier",
+            file=sys.stderr,
+        )
+        failures += 1
+    if not exerciser["all_ok"]:
+        print(
+            "FAILURE: a generated-workload exerciser history violated a "
+            "recovery invariant",
+            file=sys.stderr,
+        )
+        failures += 1
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -342,6 +409,7 @@ def main(argv: list[str] | None = None) -> int:
             "snapshots",
             "store",
             "reliability",
+            "workloads",
             "all",
         ),
         default="all",
@@ -353,7 +421,8 @@ def main(argv: list[str] | None = None) -> int:
         help="path of the JSON payload; only valid with a single --suite "
         "(defaults: BENCH_1.json for engine, BENCH_2.json for service, "
         "BENCH_3.json for shards, BENCH_4.json for snapshots, "
-        "BENCH_5.json for store, BENCH_6.json for reliability)",
+        "BENCH_5.json for store, BENCH_6.json for reliability, "
+        "BENCH_7.json for workloads)",
     )
     parser.add_argument(
         "--seed", type=int, default=20190501, help="seed for the synthetic table"
@@ -393,6 +462,11 @@ def main(argv: list[str] | None = None) -> int:
         payload = run_reliability_microbenchmarks(quick=args.quick, seed=args.seed)
         write_bench_json(output, payload)
         failures += _print_reliability_summary(payload, output)
+    if args.suite in ("workloads", "all"):
+        output = args.output or "BENCH_7.json"
+        payload = run_workload_microbenchmarks(quick=args.quick, seed=args.seed)
+        write_bench_json(output, payload)
+        failures += _print_workloads_summary(payload, output)
     return 1 if failures else 0
 
 

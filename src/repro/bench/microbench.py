@@ -113,6 +113,7 @@ from repro.queries.predicates import (
     Predicate,
 )
 from repro.queries.query import WorkloadCountingQuery
+from repro.bench.reporting import bench_payload_header
 from repro.queries.reference import reference_domain_matrix, reference_mask
 from repro.queries.workload import (
     Workload,
@@ -1566,8 +1567,6 @@ def run_store_microbenchmarks(
     quick: bool = False, seed: int = 20190501
 ) -> dict[str, object]:
     """Run the artifact-store suite; returns the BENCH_5 payload."""
-    import os
-
     n_rows = 20_000 if quick else 100_000
     n_amount_cuts = 12 if quick else 40
     mc_samples = 300 if quick else 1_000
@@ -1584,11 +1583,7 @@ def run_store_microbenchmarks(
         seed=seed,
     )
     return {
-        "bench": 5,
-        "quick": quick,
-        "seed": seed,
-        "created_unix": time.time(),
-        "cpu_count": os.cpu_count(),
+        **bench_payload_header(5, quick=quick, seed=seed),
         "store_warm_start": warm_start,
         "domain_revalidation": revalidation,
     }
@@ -1598,8 +1593,6 @@ def run_snapshot_microbenchmarks(
     quick: bool = False, seed: int = 20190501
 ) -> dict[str, object]:
     """Run the snapshot/compaction/interning suite; returns the BENCH_4 payload."""
-    import os
-
     n_rows = 20_000 if quick else 100_000
     n_amount_cuts = 10 if quick else 20
     wait_free = bench_wait_free_reads(
@@ -1622,11 +1615,7 @@ def run_snapshot_microbenchmarks(
         seed=seed,
     )
     return {
-        "bench": 4,
-        "quick": quick,
-        "seed": seed,
-        "created_unix": time.time(),
-        "cpu_count": os.cpu_count(),
+        **bench_payload_header(4, quick=quick, seed=seed),
         "wait_free_reads": wait_free,
         "compaction": compaction,
         "shared_interning": interning,
@@ -1637,8 +1626,6 @@ def run_shard_microbenchmarks(
     quick: bool = False, seed: int = 20190501
 ) -> dict[str, object]:
     """Run the sharded/versioned-backend suite and return the BENCH_3 payload."""
-    import os
-
     n_rows = 20_000 if quick else 100_000
     n_amount_cuts = 12 if quick else 40
     mc_samples = 300 if quick else 1_000
@@ -1664,11 +1651,7 @@ def run_shard_microbenchmarks(
     table = build_bench_table(n_rows, seed=seed)
     streaming = bench_streaming_invalidation(table, workload, mc_samples=mc_samples)
     return {
-        "bench": 3,
-        "quick": quick,
-        "seed": seed,
-        "created_unix": time.time(),
-        "cpu_count": os.cpu_count(),
+        **bench_payload_header(3, quick=quick, seed=seed),
         "sharded_domain_analysis": domain,
         "sharded_mask_evaluation": masks,
         "streaming_invalidation": streaming,
@@ -1697,10 +1680,7 @@ def run_service_microbenchmarks(
         table, workload, n_threads=n_threads, mc_samples=mc_samples
     )
     return {
-        "bench": 2,
-        "quick": quick,
-        "seed": seed,
-        "created_unix": time.time(),
+        **bench_payload_header(2, quick=quick, seed=seed),
         "concurrent_budget_stress": stress,
         "request_batching": batching,
     }
@@ -1716,8 +1696,6 @@ def run_reliability_microbenchmarks(
     over a long journal, and a bounded property-based exerciser sweep with
     real SIGKILL crashes.
     """
-    import os
-
     n_rows = 10_000 if quick else 20_000
     mc_samples = 200 if quick else 500
     wal = bench_wal_overhead(
@@ -1739,11 +1717,7 @@ def run_reliability_microbenchmarks(
         mc_samples=120,
     )
     return {
-        "bench": 6,
-        "quick": quick,
-        "seed": seed,
-        "created_unix": time.time(),
-        "cpu_count": os.cpu_count(),
+        **bench_payload_header(6, quick=quick, seed=seed),
         "wal_overhead": wal,
         "recovery_latency": recovery,
         "exerciser": exerciser,
@@ -1765,10 +1739,7 @@ def run_microbenchmarks(quick: bool = False, seed: int = 20190501) -> dict[str, 
         table, workload, mc_samples=mc_samples
     )
     return {
-        "bench": 1,
-        "quick": quick,
-        "seed": seed,
-        "created_unix": time.time(),
+        **bench_payload_header(1, quick=quick, seed=seed),
         "mask_evaluation": mask_results,
         "domain_analysis": domain_results,
         "translation_cache": translation_results,

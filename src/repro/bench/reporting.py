@@ -12,6 +12,8 @@ from __future__ import annotations
 import io
 import json
 import math
+import os
+import time
 from typing import Iterable, Mapping, Sequence
 
 __all__ = [
@@ -20,6 +22,7 @@ __all__ = [
     "records_to_csv",
     "summarize_by",
     "report",
+    "bench_payload_header",
     "write_bench_json",
 ]
 
@@ -159,6 +162,23 @@ def report(title: str, records, group_keys, value_key) -> None:
             summary, columns=list(group_keys) + ["count", "median", "q25", "q75"]
         )
     )
+
+
+def bench_payload_header(bench: int, *, quick: bool, seed: int) -> dict[str, object]:
+    """The common header every ``BENCH_*.json`` payload starts with.
+
+    One place records the run's provenance fields (``bench`` number,
+    ``quick`` flag, ``seed``, wall-clock stamp, ``cpu_count``) so the suites
+    can't drift apart on which of them they include -- comparing two bench
+    files always has the same metadata to key on.
+    """
+    return {
+        "bench": bench,
+        "quick": quick,
+        "seed": seed,
+        "created_unix": time.time(),
+        "cpu_count": os.cpu_count(),
+    }
 
 
 def write_bench_json(path: str, payload: Mapping[str, object]) -> None:

@@ -1,0 +1,390 @@
+"""The generated-workload suite (``BENCH_7``): longitudinal streams.
+
+Four measurements over :mod:`repro.workloads` microsimulation streams:
+
+* ``preserve_stream`` -- the headline acceptance number: a preserve-mode
+  stream totalling 500k rows (scaled down under ``--quick``), previewed
+  after every period append.  Because preserve-mode batches never leave the
+  observed domains, every post-warmup preview must be answered by the
+  revalidation tier: the payload reports the revalidation hit-rate (the
+  acceptance bar is >= 95%, and the expected value is exactly 1.0 -- zero
+  rebuilds after warmup) and the per-period preview latency that re-tagging
+  buys.
+* ``drift_modes`` -- the same stream under each drift knob, reporting how
+  the ``built``/``revalidated`` split tracks the per-period drift schedule
+  (rebuilds land exactly on the scheduled fingerprint changes).
+* ``named_restart`` -- the ER-loop shape: an opaque-but-*named*
+  :class:`~repro.queries.predicates.FunctionPredicate` workload previews
+  cold with an artifact store attached, then a **fresh interpreter**
+  (``python -m repro.workloads.worker --probe warm-start``) re-creates the
+  same predicates from their declared ``(name, version)`` identities and
+  warm-starts from the disk tier with zero builds and zero Monte-Carlo
+  searches; a bare (unnamed) control workload in the same run shows the
+  conservative disk bypass (zero disk writes).
+* ``exerciser`` -- the PR 6 crash exerciser driven by generated
+  interleavings (appends consume the stream's period batches in order),
+  checking the recovery invariants survive longitudinal streams.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.bench.reporting import bench_payload_header
+from repro.core.accuracy import AccuracySpec
+from repro.core.engine import APExEngine
+from repro.mechanisms.registry import default_registry
+from repro.mechanisms.strategy_mechanism import reset_search_stats, search_stats
+from repro.queries.predicates import Between, Comparison, FunctionPredicate
+from repro.queries.query import WorkloadCountingQuery
+from repro.queries.workload import Workload, clear_matrix_cache
+from repro.store import ArtifactStore
+from repro.store.fingerprint import stable_digest
+from repro.workloads.config import GeneratorConfig
+from repro.workloads.population import (
+    INCOME_CAP,
+    OCCUPATION_CODES,
+    REGION_CODES,
+    MicrosimulationGenerator,
+)
+from repro.workloads.scripts import named_screen_workload
+from repro.workloads.worker import run_named_warm_start
+
+__all__ = [
+    "bench_preserve_stream",
+    "bench_drift_modes",
+    "bench_named_restart",
+    "bench_generated_exerciser",
+    "run_workload_microbenchmarks",
+]
+
+
+def _stream_queries() -> list[WorkloadCountingQuery]:
+    """The structural query mix previewed after every period."""
+    step = INCOME_CAP / 5
+    return [
+        WorkloadCountingQuery(
+            Workload([Comparison("region", "==", code) for code in REGION_CODES]),
+            name="regions",
+        ),
+        WorkloadCountingQuery(
+            Workload(
+                [Comparison("occupation", "==", c) for c in OCCUPATION_CODES[:12]]
+            ),
+            name="occupations",
+        ),
+        WorkloadCountingQuery(
+            Workload([Between("income", i * step, (i + 1) * step) for i in range(5)]),
+            name="income",
+        ),
+    ]
+
+
+def _stream_run(config: GeneratorConfig, mc_samples: int) -> dict[str, object]:
+    """Stream ``config`` through an engine; report per-tier counters."""
+    clear_matrix_cache()
+    reset_search_stats()
+    generator = MicrosimulationGenerator(config)
+    table = generator.build_table()
+    engine = APExEngine(
+        table,
+        budget=config.budget,
+        registry=default_registry(mc_samples=mc_samples),
+        seed=config.seed,
+    )
+    accuracy = AccuracySpec(alpha=0.2 * config.total_rows(), beta=1e-3)
+    queries = _stream_queries()
+
+    start = time.perf_counter()
+    for query in _stream_queries():
+        engine.preview_cost(query, accuracy)
+    warmup_seconds = time.perf_counter() - start
+    warm = dict(engine.cache_stats()["translations"])
+
+    preview_seconds = []
+    for batch in generator.batches():
+        table.append_rows(list(batch.rows))
+        start = time.perf_counter()
+        for query in _stream_queries():
+            engine.preview_cost(query, accuracy)
+        preview_seconds.append(time.perf_counter() - start)
+
+    stats = engine.cache_stats()["translations"]
+    built_after_warmup = stats["built"] - warm["built"]
+    revalidated = stats["revalidated"] - warm["revalidated"]
+    post_warmup = built_after_warmup + revalidated
+    return {
+        "rows_total": config.total_rows(),
+        "periods": config.periods,
+        "queries_per_period": len(queries),
+        "drift": config.drift,
+        "scheduled_fingerprint_changes": sum(config.drift_schedule()),
+        "warmup_builds": warm["built"],
+        "warmup_seconds": warmup_seconds,
+        "built_after_warmup": built_after_warmup,
+        "revalidated": revalidated,
+        "revalidation_hit_rate": (
+            revalidated / post_warmup if post_warmup else 0.0
+        ),
+        "mean_period_preview_seconds": (
+            sum(preview_seconds) / len(preview_seconds) if preview_seconds else 0.0
+        ),
+        "mc_searches": search_stats()["searches"],
+    }
+
+
+def bench_preserve_stream(
+    *, quick: bool = False, seed: int = 20190501, mc_samples: int = 300
+) -> dict[str, object]:
+    """The acceptance scenario: a preserve-mode 500k-row stream.
+
+    500k rows = 100k initial + 8 periods x 50k appended; ``quick`` scales
+    the row counts down 50x while keeping the period structure (the counter
+    assertions are row-count independent).
+    """
+    config = GeneratorConfig(
+        seed=seed % 1_000_000,
+        initial_rows=100_000,
+        periods=8,
+        rows_per_period=50_000,
+        drift="preserve",
+    )
+    if quick:
+        config = config.scaled(0.02)
+    result = _stream_run(config, mc_samples)
+    result["zero_rebuilds_after_warmup"] = result["built_after_warmup"] == 0
+    if not result["zero_rebuilds_after_warmup"]:
+        raise AssertionError(
+            f"preserve-mode stream rebuilt {result['built_after_warmup']} "
+            "translations after warmup; expected zero"
+        )
+    if result["revalidation_hit_rate"] < 0.95:
+        raise AssertionError(
+            f"revalidation hit-rate {result['revalidation_hit_rate']:.3f} "
+            "below the 95% acceptance bar"
+        )
+    return result
+
+
+def bench_drift_modes(
+    *, quick: bool = False, seed: int = 20190501, mc_samples: int = 300
+) -> list[dict[str, object]]:
+    """Per-drift-knob tier splits over a mid-sized stream."""
+    results = []
+    for mode in ("preserve", "drift", "mixed"):
+        config = GeneratorConfig(
+            seed=seed % 1_000_000,
+            initial_rows=2_000 if quick else 20_000,
+            periods=6,
+            rows_per_period=500 if quick else 5_000,
+            drift=mode,
+            drift_every=2,
+        )
+        result = _stream_run(config, mc_samples)
+        # Rebuilds land exactly on the scheduled fingerprint changes (one
+        # query references each drifted attribute).
+        expected = sum(config.drift_schedule())
+        if result["built_after_warmup"] != expected:
+            raise AssertionError(
+                f"{mode}: {result['built_after_warmup']} rebuilds, "
+                f"schedule says {expected}"
+            )
+        results.append(result)
+    return results
+
+
+def bench_named_restart(
+    *,
+    quick: bool = False,
+    seed: int = 20190501,
+    mc_samples: int = 300,
+    n_screens: int = 6,
+) -> dict[str, object]:
+    """Named opaque predicates warm-start from disk in a fresh process."""
+    config = GeneratorConfig(
+        seed=seed % 1_000_000,
+        initial_rows=4_000 if quick else 20_000,
+        periods=1,
+        rows_per_period=1,
+    )
+    store_dir = tempfile.mkdtemp(prefix="repro-workload-bench-")
+    try:
+        clear_matrix_cache()
+        reset_search_stats()
+        # Cold: build + persist in this process.
+        cold = run_named_warm_start(
+            store_dir, config, n_screens=n_screens, mc_samples=mc_samples
+        )
+        if cold["translation_builds"] != 1:
+            raise AssertionError(
+                f"cold run built {cold['translation_builds']} translations"
+            )
+
+        # The bare control: same shape, no declared identity -> no disk tier.
+        step = INCOME_CAP / n_screens
+        bare = Workload(
+            [
+                FunctionPredicate(
+                    f"bare-{i}",
+                    (lambda low, high: lambda t: (t.numeric_values("income") >= low)
+                     & (t.numeric_values("income") < high))(i * step, (i + 1) * step),
+                    attributes=("income",),
+                )
+                for i in range(n_screens)
+            ]
+        )
+        bare_digest_is_none = (
+            stable_digest(("translation", tuple(bare.predicates))) is None
+        )
+        table = MicrosimulationGenerator(config).build_table()
+        store = ArtifactStore(store_dir)
+        writes_before = store.stats()["writes"]
+        engine = APExEngine(
+            table,
+            budget=config.budget,
+            registry=default_registry(mc_samples=mc_samples),
+            seed=config.seed,
+            store=store,
+        )
+        engine.preview_cost(
+            WorkloadCountingQuery(bare, name="bare-screens", disjoint=True),
+            AccuracySpec(alpha=0.1 * len(table), beta=1e-3),
+        )
+        bare_disk_writes = (
+            engine.cache_stats()["translations"]["disk_writes"]
+        )
+
+        # Warm: a fresh interpreter rebuilds the predicates from their
+        # declared identities and answers from the disk tier.
+        env = dict(os.environ)
+        import repro
+
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        env["PYTHONPATH"] = package_root + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.workloads.worker",
+                "--probe",
+                "warm-start",
+                "--store",
+                store_dir,
+                "--config-json",
+                json.dumps(config.to_json()),
+                "--screens",
+                str(n_screens),
+                "--mc-samples",
+                str(mc_samples),
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=600,
+        )
+        if completed.returncode != 0:
+            raise AssertionError(
+                f"warm-start worker failed: {completed.stderr.strip()[:2000]}"
+            )
+        warm = json.loads(completed.stdout)
+        zero_rebuild = (
+            warm["translation_builds"] == 0 and warm["mc_searches"] == 0
+        )
+        if not zero_rebuild:
+            raise AssertionError(
+                f"named restart rebuilt: {warm['translation_builds']} builds, "
+                f"{warm['mc_searches']} searches"
+            )
+        return {
+            "n_screens": n_screens,
+            "n_rows": config.initial_rows,
+            "mc_samples": mc_samples,
+            "cold_preview_seconds": cold["preview_seconds"],
+            "warm_start_preview_seconds": warm["preview_seconds"],
+            "warm_start_speedup": cold["preview_seconds"]
+            / max(warm["preview_seconds"], 1e-12),
+            "restart_translation_builds": warm["translation_builds"],
+            "restart_translation_disk_hits": warm["translation_disk_hits"],
+            "restart_mc_searches": warm["mc_searches"],
+            "restart_mc_disk_hits": warm["mc_disk_hits"],
+            "zero_rebuild_restart": zero_rebuild,
+            "bit_identical": cold["costs"] == warm["costs"],
+            "bare_control_disk_writes": bare_disk_writes,
+            "bare_control_digest_is_none": bare_digest_is_none,
+            "bare_control_bypasses_disk": bare_disk_writes == 0
+            and store.stats()["writes"] == writes_before
+            and bare_digest_is_none,
+        }
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+
+def bench_generated_exerciser(
+    *, quick: bool = False, seed: int = 20190501
+) -> dict[str, object]:
+    """The crash exerciser over generated longitudinal interleavings."""
+    from repro.reliability.exerciser import run_history
+
+    config = GeneratorConfig(
+        seed=seed % 1_000_000,
+        initial_rows=250,
+        periods=3,
+        rows_per_period=60,
+        drift="mixed",
+        drift_every=2,
+        budget=4.0,
+    ).to_json()
+    seeds = (2, 3) if quick else (2, 3, 5, 8)
+    work_dir = tempfile.mkdtemp(prefix="repro-workload-exerciser-")
+    histories = []
+    try:
+        for s in seeds:
+            report = run_history(
+                s,
+                work_dir=os.path.join(work_dir, f"seed-{s}"),
+                n_ops=6 if quick else 10,
+                budget=4.0,
+                n_rows=0,
+                mc_samples=120,
+                workloads_config=config,
+            )
+            histories.append(
+                {
+                    "seed": s,
+                    "ok": report["violations"] == [],
+                    "crashed": report.get("crashed"),
+                    "violations": report["violations"],
+                }
+            )
+    finally:
+        shutil.rmtree(work_dir, ignore_errors=True)
+    failed = [h for h in histories if not h["ok"]]
+    if failed:
+        raise AssertionError(f"generated-workload exerciser violations: {failed}")
+    return {"seeds": list(seeds), "histories": histories, "all_ok": True}
+
+
+def run_workload_microbenchmarks(
+    quick: bool = False, seed: int = 20190501
+) -> dict[str, object]:
+    """Run the generated-workload suite; returns the BENCH_7 payload."""
+    mc_samples = 150 if quick else 300
+    preserve = bench_preserve_stream(quick=quick, seed=seed, mc_samples=mc_samples)
+    modes = bench_drift_modes(quick=quick, seed=seed, mc_samples=mc_samples)
+    restart = bench_named_restart(quick=quick, seed=seed, mc_samples=mc_samples)
+    exerciser = bench_generated_exerciser(quick=quick, seed=seed)
+    return {
+        **bench_payload_header(7, quick=quick, seed=seed),
+        "preserve_stream": preserve,
+        "drift_modes": modes,
+        "named_restart": restart,
+        "exerciser": exerciser,
+    }

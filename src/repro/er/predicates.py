@@ -28,6 +28,14 @@ from repro.queries.predicates import FunctionPredicate, Predicate
 
 __all__ = ["SimilarityPredicateSpec", "SimilarityCache", "BooleanFormula"]
 
+#: Identity version declared on every similarity :class:`FunctionPredicate`.
+#: A spec's ``describe()`` string (attribute, transform, similarity,
+#: threshold) fully determines the mask semantics, so ``(description,
+#: version)`` is a faithful content identity and the engine's disk tiers may
+#: persist artifacts derived from these predicates.  Bump this whenever the
+#: similarity/transform implementations change behaviour.
+_PREDICATE_IDENTITY_VERSION = 1
+
 
 @dataclass(frozen=True)
 class SimilarityPredicateSpec:
@@ -62,10 +70,9 @@ class SimilarityCache:
     def __init__(self, table: Table) -> None:
         self._table = table
         self._scores: dict[tuple[str, str, str], np.ndarray] = {}
-        # FunctionPredicate compares by identity, so interning one predicate
-        # object per spec / formula lets every downstream structural cache
-        # (workload matrices, translations, strategy searches) recognise a
-        # re-asked condition.
+        # The predicates declare a stable identity (description + version),
+        # so downstream caches recognise re-asked conditions by value;
+        # interning still saves rebuilding one closure per re-asked spec.
         self._spec_predicates: dict[SimilarityPredicateSpec, Predicate] = {}
         self._formula_predicates: dict["BooleanFormula", Predicate] = {}
 
@@ -109,6 +116,7 @@ class SimilarityCache:
                 spec.describe(),
                 lambda table, spec=spec: self._mask_for(table, spec),
                 attributes=(spec.left_column, spec.right_column),
+                version=_PREDICATE_IDENTITY_VERSION,
             )
             self._spec_predicates[spec] = cached
         return cached
@@ -125,6 +133,7 @@ class SimilarityCache:
                     for spec in formula.specs
                     for column in (spec.left_column, spec.right_column)
                 ),
+                version=_PREDICATE_IDENTITY_VERSION,
             )
             self._formula_predicates[formula] = cached
         return cached

@@ -531,6 +531,21 @@ class FunctionPredicate(Predicate):
     do not support exact domain partitioning; workloads containing them fall
     back to a structural sensitivity bound (see
     :meth:`repro.queries.workload.Workload.analyze`).
+
+    **Identity.** A bare function predicate is identified by the *object*:
+    equality and hashing are identity-based, and it has no process-stable
+    content form, so every disk-tier key containing it degrades to ``None``
+    and the artifact store is (conservatively) bypassed.  Passing
+    ``version=`` declares a **stable identity**: the caller promises that
+    ``(name, version, attributes)`` uniquely determines the callable's
+    behaviour, across predicate instances *and across processes*.  A
+    declared predicate compares and hashes by that triple (so re-created
+    instances hit every in-memory memo) and canonicalises through
+    :func:`repro.store.fingerprint.stable_digest` (so translation lists and
+    Monte-Carlo searches derived from it persist in, and warm-start from,
+    the :class:`~repro.store.ArtifactStore`).  Bump ``version`` whenever the
+    function's semantics change; reusing a ``(name, version)`` pair for a
+    different behaviour silently serves the old cached artifacts.
     """
 
     supports_domain_analysis = False
@@ -540,12 +555,19 @@ class FunctionPredicate(Predicate):
         name: str,
         fn: Callable[[Table], np.ndarray],
         attributes: Iterable[str] = (),
+        *,
+        version: str | int | None = None,
     ) -> None:
         if not callable(fn):
             raise PredicateError("FunctionPredicate requires a callable")
+        if version is not None and not isinstance(version, (str, int)):
+            raise PredicateError(
+                "a declared FunctionPredicate version must be a string or int"
+            )
         self._name = name
         self._fn = fn
         self._attributes = frozenset(attributes)
+        self._version = version
 
     def _evaluate_mask(self, table: Table) -> np.ndarray:
         raw = self._fn(table)
@@ -575,11 +597,34 @@ class FunctionPredicate(Predicate):
     def describe(self) -> str:
         return self._name
 
+    @property
+    def version(self) -> str | int | None:
+        """The declared identity version, or ``None`` for a bare predicate."""
+        return self._version
+
+    def __stable_identity__(self) -> tuple | None:
+        """Content identity for :mod:`repro.store.fingerprint`, or ``None``.
+
+        ``None`` (no declared version) keeps the predicate uncanonicalisable
+        and therefore keeps every disk key containing it disabled.
+        """
+        if self._version is None:
+            return None
+        return (self._name, self._version, self._attributes)
+
     def __eq__(self, other: object) -> bool:
-        return self is other
+        if self._version is None:
+            return self is other
+        return (
+            type(other) is type(self)
+            and other._version is not None  # type: ignore[attr-defined]
+            and self.__stable_identity__() == other.__stable_identity__()  # type: ignore[attr-defined]
+        )
 
     def __hash__(self) -> int:
-        return id(self)
+        if self._version is None:
+            return id(self)
+        return hash(("FunctionPredicate", self._name, self._version, self._attributes))
 
 
 def evaluate_sharded(

@@ -337,9 +337,9 @@ class Workload:
         )
         store = stamp.store if stamp is not None else None
         store_digest = None
-        if exact and stamp is not None and store is not None:
+        if stamp is not None and store is not None:
             store_digest = self._store_digest(schema, disjoint, sensitivity, stamp)
-        if store_digest is not None:
+        if exact and store_digest is not None:
             payload = store.load("matrix", store_digest)  # type: ignore[union-attr]
             matrix = self._matrix_from_payload(payload, schema, version, store_digest)
             if matrix is not None:
@@ -362,10 +362,17 @@ class Workload:
             _MATRIX_CACHE.put(key, matrix)
         if domain_key is not None:
             _MATRIX_DOMAIN_CACHE.put(domain_key, matrix)
-        if store_digest is not None and matrix.exact:
+        if store_digest is not None:
+            # The digest is assigned to structural matrices too: the identity
+            # matrix itself is trivial to rebuild (so it is never persisted),
+            # but downstream artifacts -- the WCQ-SM Monte-Carlo search in
+            # particular -- derive their disk keys from it, which is what
+            # lets workloads of *named* opaque predicates warm-start their
+            # searches from the store.
             matrix.store_digest = store_digest
-            if store.save("matrix", store_digest, _matrix_payload(matrix)):  # type: ignore[union-attr]
-                _MATRIX_TIER_STATS["disk_writes"] += 1
+            if matrix.exact:
+                if store.save("matrix", store_digest, _matrix_payload(matrix)):  # type: ignore[union-attr]
+                    _MATRIX_TIER_STATS["disk_writes"] += 1
         return matrix
 
     def _store_digest(

@@ -21,16 +21,25 @@ before the crash and can check the recovery invariants:
 
 Supported operations (``--ops`` is a JSON list of objects):
 
-=============  =================================================================
-``op``         fields
-=============  =================================================================
-``explore``    ``analyst``, ``bins`` (histogram width), ``alpha_frac``
-               (alpha as a fraction of the table size), ``name``
-``preview``    same fields as ``explore``; costs no privacy
-``append``     ``n`` rows appended to the table, generated from ``seed``
-``compact``    fold the table's small shards together
-``crash``      ``os.kill(SIGKILL)`` -- an unconditional scripted crash
-=============  =================================================================
+==============  ================================================================
+``op``          fields
+==============  ================================================================
+``explore``     ``analyst``, ``bins`` (histogram width), ``alpha_frac``
+                (alpha as a fraction of the table size), ``name``, and an
+                optional ``attribute`` (default ``amount``) whose histogram
+                range is taken from the table schema's declared domain
+``preview``     same fields as ``explore``; costs no privacy
+``append``      ``n`` rows appended to the table, generated from ``seed``
+``append_rows`` ``rows``: explicit ``{attribute: value}`` dicts to append
+                (how generated microsimulation batches reach the worker)
+``compact``     fold the table's small shards together
+``crash``       ``os.kill(SIGKILL)`` -- an unconditional scripted crash
+==============  ================================================================
+
+By default the worker hosts the deterministic bench table;
+``--workloads-config`` (a :class:`~repro.workloads.config.GeneratorConfig`
+JSON object) hosts a generated microsimulation population instead, so the
+exerciser can crash-test the engine under generated longitudinal streams.
 
 A final ``{"event": "done", ...}`` line carries the incarnation's closing
 books (total spent, transcript validity, ledger-invariant check) so a
@@ -99,13 +108,21 @@ def run_script(
     mc_samples: int,
     store_dir: str | None = None,
     request_deadline: float | None = None,
+    workloads_config: dict | None = None,
 ) -> int:
     """Execute ``ops`` against a journaled service; ack each op on stdout."""
     from repro.bench.microbench import build_bench_table
     from repro.service import ExplorationService
 
     arm_from_env()
-    table = build_bench_table(n_rows, seed=seed)
+    if workloads_config is not None:
+        from repro.workloads import GeneratorConfig, MicrosimulationGenerator
+
+        table = MicrosimulationGenerator(
+            GeneratorConfig.from_json(workloads_config)
+        ).build_table()
+    else:
+        table = build_bench_table(n_rows, seed=seed)
     journal = LedgerJournal(journal_path)
     service = ExplorationService(
         table,
@@ -145,8 +162,15 @@ def run_script(
             bins = int(op.get("bins", 8))
             alpha_frac = float(op.get("alpha_frac", 0.05))
             name = str(op.get("name", f"q-{index}"))
+            attribute = str(op.get("attribute", "amount"))
+            domain = table.schema[attribute].domain
             query = WorkloadCountingQuery(
-                histogram_workload("amount", start=0, stop=10_000, bins=bins),
+                histogram_workload(
+                    attribute,
+                    start=float(domain.low),
+                    stop=float(domain.high),
+                    bins=bins,
+                ),
                 name=name,
             )
             accuracy = AccuracySpec(
@@ -181,6 +205,13 @@ def run_script(
                 _append_rows(int(op.get("n", 50)), int(op.get("seed", seed + index))),
             )
             ack["version"] = version.ordinal
+        elif kind == "append_rows":
+            rows = [dict(row) for row in op.get("rows", ())]
+            if not rows:
+                raise ApexError("an append_rows op needs a non-empty 'rows' list")
+            version = service.append_rows("default", rows)
+            ack["version"] = version.ordinal
+            ack["rows"] = len(rows)
         elif kind == "compact":
             ack["compacted"] = bool(table.compact())
         elif kind == "crash":
@@ -214,10 +245,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--mc-samples", type=int, default=200)
     parser.add_argument("--store", default=None, help="artifact store directory")
     parser.add_argument("--deadline", type=float, default=None)
+    parser.add_argument(
+        "--workloads-config",
+        default=None,
+        help="GeneratorConfig JSON: host a generated population instead of "
+        "the bench table",
+    )
     args = parser.parse_args(argv)
     ops = json.loads(args.ops)
     if not isinstance(ops, list):
         raise SystemExit("--ops must be a JSON list")
+    workloads_config = (
+        None if args.workloads_config is None else json.loads(args.workloads_config)
+    )
+    if workloads_config is not None and not isinstance(workloads_config, dict):
+        raise SystemExit("--workloads-config must be a JSON object")
     return run_script(
         args.journal,
         ops,
@@ -227,6 +269,7 @@ def main(argv: list[str] | None = None) -> int:
         mc_samples=args.mc_samples,
         store_dir=args.store,
         request_deadline=args.deadline,
+        workloads_config=workloads_config,
     )
 
 

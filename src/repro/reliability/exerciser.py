@@ -48,7 +48,12 @@ import sys
 
 from repro.reliability.faults import ENV_VAR
 
-__all__ = ["generate_script", "run_history", "run_worker"]
+__all__ = [
+    "generate_script",
+    "generate_workload_script",
+    "run_history",
+    "run_worker",
+]
 
 #: Failpoint sites where a crash is most likely to catch the books mid-flight.
 CRASH_SITES = (
@@ -101,6 +106,63 @@ def generate_script(rng: random.Random, n_ops: int) -> list[dict[str, object]]:
     return script
 
 
+def generate_workload_script(
+    rng: random.Random, n_ops: int, workloads_config: dict
+) -> list[dict[str, object]]:
+    """A random mixed-op script over a generated microsimulation stream.
+
+    Appends consume the stream's period batches *in order* (so the drift
+    schedule survives the shuffle); explores and previews are income
+    histograms against the generated population.  Once the configured
+    periods are exhausted, would-be appends degrade to compactions.
+    """
+    from repro.workloads import GeneratorConfig, MicrosimulationGenerator
+
+    generator = MicrosimulationGenerator(
+        GeneratorConfig.from_json(workloads_config)
+    )
+    batches = list(generator.batches())
+    analysts = [f"a{i}" for i in range(rng.randint(1, 3))]
+    script: list[dict[str, object]] = []
+    for index in range(n_ops):
+        roll = rng.random()
+        if roll < 0.5:
+            script.append(
+                {
+                    "op": "explore",
+                    "analyst": rng.choice(analysts),
+                    "bins": rng.choice([4, 6, 8]),
+                    "alpha_frac": rng.choice([0.06, 0.08, 0.1]),
+                    "attribute": "income",
+                    "name": f"wq-{index}",
+                }
+            )
+        elif roll < 0.7:
+            script.append(
+                {
+                    "op": "preview",
+                    "analyst": rng.choice(analysts),
+                    "bins": rng.choice([4, 6, 8]),
+                    "alpha_frac": rng.choice([0.06, 0.08, 0.1]),
+                    "attribute": "income",
+                    "name": f"wq-{index}",
+                }
+            )
+        elif roll < 0.92 and batches:
+            batch = batches.pop(0)
+            script.append(
+                {
+                    "op": "append_rows",
+                    "rows": [dict(row) for row in batch.rows],
+                    "period": batch.period,
+                    "changes_fingerprint": batch.changes_fingerprint,
+                }
+            )
+        else:
+            script.append({"op": "compact"})
+    return script
+
+
 def run_worker(
     journal_path: str,
     ops: list[dict[str, object]],
@@ -111,6 +173,7 @@ def run_worker(
     mc_samples: int,
     store_dir: str | None = None,
     failpoints: str | None = None,
+    workloads_config: dict | None = None,
     timeout: float = 300.0,
 ) -> tuple[int, list[dict[str, object]], str]:
     """One crash-worker incarnation; returns (returncode, acked lines, stderr)."""
@@ -142,6 +205,8 @@ def run_worker(
     ]
     if store_dir is not None:
         argv += ["--store", store_dir]
+    if workloads_config is not None:
+        argv += ["--workloads-config", json.dumps(workloads_config)]
     completed = subprocess.run(
         argv, capture_output=True, text=True, env=env, timeout=timeout
     )
@@ -177,20 +242,33 @@ def run_history(
     n_rows: int = 400,
     mc_samples: int = 150,
     use_store: bool = False,
+    workloads_config: dict | None = None,
 ) -> dict[str, object]:
     """One full generate / run / crash / recover / check cycle for ``seed``.
 
     Returns a report dict whose ``violations`` list is empty iff every
     invariant held; callers assert on ``report["violations"] == []`` so a
     failure message carries the whole scenario (seed, fault plan, books).
+
+    With ``workloads_config`` the scenario runs over a generated
+    microsimulation stream instead of the bench table: the scripts come
+    from :func:`generate_workload_script` and both incarnations host the
+    config's population (the second rebuilds the same initial population
+    from the config's seed, as a restarted service would).
     """
     rng = random.Random(seed)
     os.makedirs(work_dir, exist_ok=True)
     journal_path = os.path.join(work_dir, "ledger.wal")
     store_dir = os.path.join(work_dir, "store") if use_store else None
 
-    script = generate_script(rng, n_ops)
-    post_script = generate_script(rng, max(2, n_ops // 2))
+    if workloads_config is None:
+        script = generate_script(rng, n_ops)
+        post_script = generate_script(rng, max(2, n_ops // 2))
+    else:
+        script = generate_workload_script(rng, n_ops, workloads_config)
+        post_script = generate_workload_script(
+            rng, max(2, n_ops // 2), workloads_config
+        )
 
     # -- fault plan ------------------------------------------------------------
     fault_kind = rng.choice(["failpoint", "scripted", "none"])
@@ -203,7 +281,13 @@ def run_history(
         script.insert(rng.randint(0, len(script)), {"op": "crash"})
     corrupt_tail = rng.random() < 0.4
 
-    common = dict(budget=budget, n_rows=n_rows, seed=seed, mc_samples=mc_samples)
+    common = dict(
+        budget=budget,
+        n_rows=n_rows,
+        seed=seed,
+        mc_samples=mc_samples,
+        workloads_config=workloads_config,
+    )
     violations: list[str] = []
 
     returncode, events, stderr = run_worker(
@@ -288,6 +372,7 @@ def run_history(
     return {
         "seed": seed,
         "fault": failpoints or fault_kind,
+        "workloads": workloads_config is not None,
         "corrupt_tail": corrupt_tail,
         "crashed": crashed,
         "incarnation1_events": len(events),

@@ -7,7 +7,8 @@ an :class:`~repro.service.exploration.ExplorationService`, and a merged
 report at the end.  This module provides exactly that:
 
 * :class:`ScriptRequest` / :class:`AnalystScript` -- one request
-  (``preview`` or ``explore``) written in the declarative text language, and
+  (``preview``/``explore`` in the declarative text language, a streaming
+  ``append_rows``, or a :mod:`repro.workloads` ``generator`` period), and
   an analyst's ordered request list;
 * :func:`default_script` -- a built-in mixed workload over the synthetic
   Adult and NYTaxi tables (histograms, iceberg and top-k queries of the
@@ -51,25 +52,39 @@ __all__ = [
 class ScriptRequest:
     """One scripted request: an operation plus its payload.
 
-    :ivar op: ``"explore"`` (spends privacy), ``"preview"`` (cost only), or
+    :ivar op: ``"explore"`` (spends privacy), ``"preview"`` (cost only),
         ``"append_rows"`` (streaming ingest: the owner grows the table
-        between analyst requests, advancing its version token).
+        between analyst requests, advancing its version token), or
+        ``"generator"`` (one simulated period of a
+        :mod:`repro.workloads` microsimulation stream: the next batch is
+        generated on the fly and appended).
     :ivar text: for ``explore``/``preview``, the query in the declarative
         language, including its ``ERROR ... CONFIDENCE ...`` clause.
     :ivar rows: for ``append_rows``, the ``{attribute: value}`` dicts to
         append (missing keys become NULL).
+    :ivar generator: for ``generator``, ``{"config": {...}}`` -- a
+        :class:`~repro.workloads.config.GeneratorConfig` payload.  All
+        requests sharing one config (by value) share one generator
+        instance, and each request consumes its next period in script
+        order.
     """
 
     op: str
     text: str = ""
     rows: tuple[dict, ...] = ()
+    generator: dict | None = None
 
     def __post_init__(self) -> None:
-        if self.op not in ("explore", "preview", "append_rows"):
+        if self.op not in ("explore", "preview", "append_rows", "generator"):
             raise ApexError(f"unknown script op {self.op!r}")
         if self.op == "append_rows":
             if not self.rows:
                 raise ApexError("an append_rows request needs a non-empty 'rows' list")
+        elif self.op == "generator":
+            if not self.generator or "config" not in self.generator:
+                raise ApexError(
+                    "a generator request needs a 'generator' payload with a 'config'"
+                )
         elif not self.text:
             raise ApexError(f"a {self.op!r} request needs a query 'text'")
 
@@ -254,6 +269,7 @@ def load_script(path: str) -> list[AnalystScript]:
                 op=r["op"],
                 text=r.get("text", ""),
                 rows=tuple(dict(row) for row in r.get("rows", ())),
+                generator=r.get("generator"),
             )
             for r in spec["requests"]
         )
@@ -267,6 +283,39 @@ def load_script(path: str) -> list[AnalystScript]:
     if not scripts:
         raise ApexError(f"script {path!r} defines no analysts")
     return scripts
+
+
+class _GeneratorPool:
+    """Shared microsimulation streams for one replay run.
+
+    ``generator`` requests referencing the same config (by value) must
+    consume *one* stream in period order, even though requests run on
+    analyst threads; the pool interns generators by their canonical config
+    JSON and hands out batches under a lock.  The workloads package is
+    imported lazily so plain replays don't pay for it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._streams: dict[str, object] = {}
+
+    def next_batch(self, payload: dict):
+        from repro.workloads import GeneratorConfig, MicrosimulationGenerator
+
+        key = json.dumps(payload["config"], sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            stream = self._streams.get(key)
+            if stream is None:
+                config = GeneratorConfig.from_json(payload["config"])
+                stream = MicrosimulationGenerator(config).batches()
+                self._streams[key] = stream
+            try:
+                return next(stream)  # type: ignore[call-overload]
+            except StopIteration:
+                raise ApexError(
+                    "the generator stream is exhausted: more 'generator' "
+                    "requests than configured periods"
+                ) from None
 
 
 def replay(
@@ -287,6 +336,7 @@ def replay(
     barrier = threading.Barrier(len(scripts)) if start_barrier and scripts else None
     report = ReplayReport(budget=service.budget)
     report_lock = threading.Lock()
+    generators = _GeneratorPool()
 
     def run_one(script: AnalystScript) -> None:
         if barrier is not None:
@@ -311,6 +361,26 @@ def replay(
                             )
                         )
                     continue  # no query to parse; outcome already recorded
+                if request.op == "generator":
+                    batch = generators.next_batch(request.generator)
+                    version = service.append_rows(script.table, batch.rows)
+                    effect = "drift" if batch.changes_fingerprint else "preserve"
+                    with report_lock:
+                        report.outcomes.append(
+                            RequestOutcome(
+                                analyst=script.analyst,
+                                op=request.op,
+                                query_name=(
+                                    f"generator[p{batch.period}: "
+                                    f"{len(batch.rows)} rows -> "
+                                    f"v{version.ordinal}, {effect}]"
+                                ),
+                                denied=False,
+                                mechanism=None,
+                                epsilon_spent=0.0,
+                            )
+                        )
+                    continue
                 query, accuracy = parse_query(request.text)
                 if accuracy is None:
                     raise ApexError("scripted queries must carry ERROR/CONFIDENCE")

@@ -17,12 +17,18 @@ package dependency graph):
 * frozen dataclasses encode as ``[qualified type name, [field values...]]``,
   skipping underscore-prefixed fields (derived lookup tables such as
   ``Schema._by_name``);
-* enums encode as ``[class name, value]``.
+* enums encode as ``[class name, value]``;
+* objects exposing a ``__stable_identity__()`` method encode as
+  ``[qualified type name, identity form]``.  The hook is how opaque-but-named
+  values (a :class:`~repro.queries.predicates.FunctionPredicate` with a
+  declared ``version=``) join disk keys without this module importing their
+  classes; returning ``None`` from the hook means "no stable identity" and
+  keeps the value uncanonicalisable.
 
-Anything else -- opaque callables, :class:`FunctionPredicate` and friends --
-makes the whole key *uncanonicalisable*: :func:`stable_digest` returns
-``None`` and the caller simply skips the disk tier, exactly as the
-in-memory memos skip unhashable keys.
+Anything else -- opaque callables, bare :class:`FunctionPredicate` instances
+and friends -- makes the whole key *uncanonicalisable*:
+:func:`stable_digest` returns ``None`` and the caller simply skips the disk
+tier, exactly as the in-memory memos skip unhashable keys.
 """
 
 from __future__ import annotations
@@ -88,6 +94,18 @@ def _canonical(obj: object) -> object:
         items = [[_canonical(k), _canonical(v)] for k, v in obj.items()]
         items.sort(key=lambda pair: json.dumps(pair[0], separators=(",", ":")))
         return ["m", items]
+    hook = getattr(type(obj), "__stable_identity__", None)
+    if hook is not None and not isinstance(obj, type):
+        identity = obj.__stable_identity__()
+        if identity is None:
+            raise _Uncanonical(
+                f"{type(obj).__name__} declares no stable identity"
+            )
+        return [
+            "I",
+            f"{type(obj).__module__}.{type(obj).__qualname__}",
+            _canonical(identity),
+        ]
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         fields = [
             _canonical(getattr(obj, f.name))

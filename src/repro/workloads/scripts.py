@@ -1,0 +1,156 @@
+"""Replay-script emission from parameterised query-structure templates.
+
+A generated run is one JSON script in the :mod:`repro.service.replay`
+format: a dedicated *stream owner* analyst carries one ``generator`` op per
+simulated period (so appends happen in period order on a single sequential
+thread), and each query analyst runs a deterministic rotation over the
+structure templates below -- income histograms, age pyramids, regional
+mixes, an occupation iceberg and a region top-k, all written against the
+*declared* domains so they stay valid under drift.
+
+The templates are structure-parameterised, not hand-written queries: bin
+widths, thresholds and ``ERROR`` targets are derived from the generator
+config, so scaling the stream scales the workload with it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.queries.predicates import FunctionPredicate
+from repro.queries.workload import Workload
+from repro.workloads.config import GeneratorConfig
+from repro.workloads.population import (
+    INCOME_CAP,
+    OCCUPATION_CODES,
+    REGION_CODES,
+    SEEDED_OCCUPATIONS,
+    SEEDED_REGIONS,
+    MAX_AGE,
+)
+
+__all__ = [
+    "STREAM_OWNER",
+    "query_templates",
+    "emit_script_payload",
+    "write_script",
+    "named_screen_workload",
+]
+
+#: Name of the analyst that owns the generator stream.  All ``generator``
+#: ops live in this analyst's request list, which the replay machinery runs
+#: strictly in order -- so period N+1 never appends before period N.
+STREAM_OWNER = "stream-owner"
+
+
+def _accuracy_tail(config: GeneratorConfig) -> str:
+    alpha = max(100.0, 0.08 * config.total_rows())
+    return f"ERROR {alpha:g} CONFIDENCE 0.9995;"
+
+
+def query_templates(config: GeneratorConfig) -> list[str]:
+    """The parameterised query structures, instantiated for ``config``."""
+    tail = _accuracy_tail(config)
+    income_step = INCOME_CAP / 8
+    income_bins = ", ".join(
+        f"income BETWEEN {low:g} AND {low + income_step:g}"
+        for low in [i * income_step for i in range(8)]
+    )
+    age_bins = ", ".join(
+        f"age BETWEEN {low} AND {low + 20}" for low in range(0, MAX_AGE, 20)
+    )
+    region_bins = ", ".join(
+        f"region = '{code}'" for code in REGION_CODES[: SEEDED_REGIONS + 2]
+    )
+    occupation_bins = ", ".join(
+        f"occupation = '{code}'"
+        for code in OCCUPATION_CODES[: SEEDED_OCCUPATIONS + 2]
+    )
+    iceberg_threshold = max(50, config.initial_rows // 20)
+    return [
+        f"BIN D ON COUNT(*) WHERE W = {{{income_bins}}} {tail}",
+        f"BIN D ON COUNT(*) WHERE W = {{{age_bins}}} {tail}",
+        f"BIN D ON COUNT(*) WHERE W = {{{region_bins}}} {tail}",
+        f"BIN D ON COUNT(*) WHERE W = {{{occupation_bins}}} "
+        f"HAVING COUNT(*) > {iceberg_threshold} {tail}",
+        f"BIN D ON COUNT(*) WHERE W = {{{region_bins}}} "
+        f"ORDER BY COUNT(*) LIMIT 3 {tail}",
+    ]
+
+
+def emit_script_payload(config: GeneratorConfig) -> dict:
+    """The full replay script for ``config`` as a JSON-ready payload.
+
+    Deterministic: the analyst rotation is modular arithmetic over the
+    template list, not sampled, so equal configs emit identical scripts.
+    """
+    templates = query_templates(config)
+    generator_json = config.to_json()
+    owner_requests = [
+        {"op": "generator", "generator": {"config": generator_json, "period": p}}
+        for p in range(1, config.periods + 1)
+    ]
+    analysts = [
+        {
+            "name": STREAM_OWNER,
+            "table": config.table,
+            "requests": owner_requests,
+        }
+    ]
+    for i in range(config.analysts):
+        requests = []
+        for j in range(config.queries_per_analyst):
+            text = templates[(i + j) % len(templates)]
+            op = "preview" if (i + j) % 2 == 0 else "explore"
+            requests.append({"op": op, "text": text})
+        analysts.append(
+            {
+                "name": f"analyst-{i:02d}",
+                "table": config.table,
+                "requests": requests,
+            }
+        )
+    return {"config": generator_json, "analysts": analysts}
+
+
+def write_script(config: GeneratorConfig, path: str) -> dict:
+    """Write the replay script for ``config`` to ``path``; returns the payload."""
+    payload = emit_script_payload(config)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
+def named_screen_workload(
+    n_screens: int = 6, *, version: int | str = 1
+) -> Workload:
+    """An opaque-but-named income-screening workload (the ER-loop shape).
+
+    Each bin is a :class:`FunctionPredicate` over a fixed income band with a
+    declared ``(name, version)`` identity, so a fresh process that rebuilds
+    this workload from the same parameters produces predicates with the
+    *same* stable identity -- which is what lets its Monte-Carlo searches
+    and translation lists warm-start from the artifact-store disk tier.
+    The callables close only over band edges derived from the declared
+    domain, never over data, so the identity promise holds by construction.
+    """
+    step = INCOME_CAP / n_screens
+
+    def band(low: float, high: float):
+        def mask(table):
+            values = table.numeric_values("income")
+            return (values >= low) & (values < high)
+
+        return mask
+
+    predicates = [
+        FunctionPredicate(
+            f"income-screen-{i:02d}",
+            band(i * step, (i + 1) * step),
+            attributes=("income",),
+            version=version,
+        )
+        for i in range(n_screens)
+    ]
+    return Workload(predicates, [f"income-screen-{i:02d}" for i in range(n_screens)])

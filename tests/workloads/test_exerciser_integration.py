@@ -1,0 +1,83 @@
+"""Generated microsimulation streams driving the reliability exerciser."""
+
+import random
+
+from repro.reliability.exerciser import (
+    generate_workload_script,
+    run_history,
+    run_worker,
+)
+from repro.workloads import GeneratorConfig
+
+
+def workloads_config() -> dict:
+    return GeneratorConfig(
+        seed=31,
+        initial_rows=250,
+        periods=3,
+        rows_per_period=60,
+        drift="mixed",
+        drift_every=2,
+        budget=4.0,
+    ).to_json()
+
+
+class TestScriptGeneration:
+    def test_appends_consume_periods_in_order(self):
+        config = workloads_config()
+        rng = random.Random(4)
+        script = generate_workload_script(rng, 30, config)
+        appends = [op for op in script if op["op"] == "append_rows"]
+        assert appends, "30 ops should roll at least one append"
+        assert [op["period"] for op in appends] == sorted(
+            op["period"] for op in appends
+        )
+        schedule = GeneratorConfig.from_json(config).drift_schedule()
+        for op in appends:
+            assert op["changes_fingerprint"] == schedule[op["period"] - 1]
+            assert op["rows"], "append batches are never empty"
+
+    def test_queries_target_the_generated_schema(self):
+        script = generate_workload_script(random.Random(7), 25, workloads_config())
+        queries = [op for op in script if op["op"] in ("explore", "preview")]
+        assert queries
+        assert all(op["attribute"] == "income" for op in queries)
+
+    def test_same_seed_generates_the_same_script(self):
+        config = workloads_config()
+        assert generate_workload_script(
+            random.Random(11), 20, config
+        ) == generate_workload_script(random.Random(11), 20, config)
+
+
+class TestWorkerRuns:
+    def test_worker_hosts_the_generated_population(self, tmp_path):
+        config = workloads_config()
+        script = generate_workload_script(random.Random(2), 8, config)
+        returncode, events, stderr = run_worker(
+            str(tmp_path / "ledger.wal"),
+            script,
+            budget=4.0,
+            n_rows=0,
+            seed=31,
+            mc_samples=100,
+            workloads_config=config,
+        )
+        assert returncode == 0, stderr
+        done = [e for e in events if e.get("event") == "done"]
+        assert len(done) == 1 and done[0]["valid"]
+        acks = [e for e in events if e.get("event") == "ack"]
+        assert len(acks) == len(script)
+
+    def test_run_history_smoke(self, tmp_path):
+        report = run_history(
+            5,
+            work_dir=str(tmp_path),
+            n_ops=8,
+            budget=4.0,
+            n_rows=0,
+            mc_samples=100,
+            workloads_config=workloads_config(),
+        )
+        assert report["workloads"] is True
+        assert report["violations"] == []
