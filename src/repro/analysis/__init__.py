@@ -1,0 +1,44 @@
+"""Invariant-aware static analysis for the repro codebase.
+
+The analyzer proves (or flags violations of) the cross-cutting invariants
+the rest of the stack relies on but no type checker can express:
+
+========  ==================================================================
+APX001    budget-flow: every ``reserve()`` reaches ``charge()``/``release()``
+          on all paths, including exception edges
+APX002    cache-key completeness: table-derived cache keys carry a version
+          token / domain stamp / cache token
+APX003    lock-order: the static lock-acquisition graph stays acyclic; no
+          non-reentrant ``Lock`` is re-acquired by its holder
+APX004    failpoint registry: ``fail_point()`` sites and ``FAILPOINT_SITES``
+          agree in both directions
+APX005    snapshot discipline: mechanism/engine read paths admit raw tables
+          through ``Table.snapshot()``
+========  ==================================================================
+
+Run it with ``python -m repro.analysis --check src/``; see
+``docs/analysis.md`` for the rule catalog, suppression syntax, and the
+baseline workflow.  The runtime complement -- the lock-order watchdog -- is
+:mod:`repro.analysis.runtime`.
+"""
+
+from repro.analysis.findings import (
+    AnalysisReport,
+    Baseline,
+    Finding,
+    RULES,
+    Suppressions,
+    findings_to_json,
+)
+from repro.analysis.runner import analyze, discover
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "Finding",
+    "RULES",
+    "Suppressions",
+    "analyze",
+    "discover",
+    "findings_to_json",
+]

@@ -1,0 +1,360 @@
+"""A structural control-flow engine for intraprocedural dataflow rules.
+
+Rather than materialising an explicit basic-block graph, the engine walks a
+function's AST recursively and propagates *sets of abstract states* along
+every control-flow edge a CFG would have -- fallthrough, branch true/false,
+loop back-edges (iterated to a fixpoint), ``break``/``continue``/``return``,
+and crucially **exception edges**: any statement the client declares
+may-raise forks a state into the innermost ``try`` handler chain (or out of
+the function).  ``try``/``except``/``else``/``finally`` composition follows
+the language semantics, over-approximating where the handler types cannot be
+matched statically.
+
+The engine is deliberately client-agnostic: a rule subclasses
+:class:`FlowClient` and interprets statements over its own abstract state
+(hashable, small -- the engine unions states per program point, so lattices
+should stay finite).  :mod:`repro.analysis.rules.budget_flow` uses it to
+prove that every ledger reservation is consumed on all paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+__all__ = ["FlowClient", "Outcomes", "run_flow"]
+
+State = Hashable
+
+# Outcome kinds: how control leaves a statement or block.
+FALL = "fall"
+RETURN = "return"
+RAISE = "raise"
+BREAK = "break"
+CONTINUE = "continue"
+
+#: Loop fixpoint guard: abstract states are tiny finite sets, so a handful of
+#: iterations always converges; the cap only bounds pathological clients.
+_MAX_LOOP_ITERATIONS = 16
+
+#: Builtins that cannot raise on any argument the analyzed code passes them.
+#: A statement whose only calls are these gets no exception edge -- otherwise
+#: `registry[id(obj)] = obj` would fork a spurious raise path.
+_NON_RAISING_CALLS = frozenset({"id", "isinstance", "type", "repr", "bool"})
+
+
+@dataclass
+class Outcomes:
+    """State sets per control-exit kind of one statement or block."""
+
+    fall: set[State] = field(default_factory=set)
+    ret: set[State] = field(default_factory=set)
+    raised: set[State] = field(default_factory=set)
+    brk: set[State] = field(default_factory=set)
+    cont: set[State] = field(default_factory=set)
+
+    def absorb_nonlocal(self, other: "Outcomes") -> None:
+        """Merge ``other``'s non-fallthrough exits into this accumulator."""
+        self.ret |= other.ret
+        self.raised |= other.raised
+        self.brk |= other.brk
+        self.cont |= other.cont
+
+
+class FlowClient:
+    """The rule-specific interpretation the engine parameterises over."""
+
+    def transfer(self, stmt: ast.stmt, state: State) -> State | None:
+        """State after ``stmt`` completes *normally* (``None`` = unreachable)."""
+        return state
+
+    def transfer_raise(self, stmt: ast.stmt, state: State) -> State | None:
+        """State on ``stmt``'s *exceptional* exit (default: unchanged)."""
+        return state
+
+    def may_raise(self, stmt: ast.stmt) -> bool:
+        """Whether ``stmt`` has an exception edge.
+
+        Default: the statement contains at least one call that is not a
+        known non-raising builtin (:data:`_NON_RAISING_CALLS`).
+        """
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                func = node.func
+                name = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else ""
+                )
+                if name not in _NON_RAISING_CALLS:
+                    return True
+        return False
+
+    def refine(self, test: ast.expr, state: State, branch: bool) -> State | None:
+        """State refined by ``test`` being ``branch``; ``None`` = impossible."""
+        return state
+
+
+def _apply(states: Iterable[State], fn) -> set[State]:
+    out: set[State] = set()
+    for state in states:
+        new = fn(state)
+        if new is not None:
+            out.add(new)
+    return out
+
+
+class _Engine:
+    def __init__(self, client: FlowClient) -> None:
+        self.client = client
+
+    # -- blocks -------------------------------------------------------------------
+
+    def block(self, stmts: list[ast.stmt], entry: set[State]) -> Outcomes:
+        acc = Outcomes()
+        current = set(entry)
+        for stmt in stmts:
+            if not current:
+                break
+            out = self.stmt(stmt, current)
+            acc.absorb_nonlocal(out)
+            current = out.fall
+        acc.fall = current
+        return acc
+
+    # -- statements ---------------------------------------------------------------
+
+    def stmt(self, stmt: ast.stmt, entry: set[State]) -> Outcomes:
+        handler = getattr(self, f"_stmt_{type(stmt).__name__}", None)
+        if handler is not None:
+            return handler(stmt, entry)
+        return self._simple(stmt, entry)
+
+    def _simple(self, stmt: ast.stmt, entry: set[State]) -> Outcomes:
+        out = Outcomes()
+        out.fall = _apply(entry, lambda s: self.client.transfer(stmt, s))
+        if self.client.may_raise(stmt):
+            out.raised = _apply(entry, lambda s: self.client.transfer_raise(stmt, s))
+        return out
+
+    def _stmt_Return(self, stmt: ast.Return, entry: set[State]) -> Outcomes:
+        out = Outcomes()
+        out.ret = _apply(entry, lambda s: self.client.transfer(stmt, s))
+        if stmt.value is not None and self.client.may_raise(stmt):
+            out.raised = _apply(entry, lambda s: self.client.transfer_raise(stmt, s))
+        return out
+
+    def _stmt_Raise(self, stmt: ast.Raise, entry: set[State]) -> Outcomes:
+        out = Outcomes()
+        out.raised = _apply(entry, lambda s: self.client.transfer(stmt, s))
+        return out
+
+    def _stmt_Break(self, stmt: ast.Break, entry: set[State]) -> Outcomes:
+        return Outcomes(brk=set(entry))
+
+    def _stmt_Continue(self, stmt: ast.Continue, entry: set[State]) -> Outcomes:
+        return Outcomes(cont=set(entry))
+
+    def _stmt_Pass(self, stmt: ast.Pass, entry: set[State]) -> Outcomes:
+        return Outcomes(fall=set(entry))
+
+    def _stmt_Assert(self, stmt: ast.Assert, entry: set[State]) -> Outcomes:
+        out = Outcomes()
+        out.fall = _apply(entry, lambda s: self.client.refine(stmt.test, s, True))
+        out.raised = _apply(entry, lambda s: self.client.refine(stmt.test, s, False))
+        return out
+
+    def _stmt_If(self, stmt: ast.If, entry: set[State]) -> Outcomes:
+        true_states = _apply(entry, lambda s: self.client.refine(stmt.test, s, True))
+        false_states = _apply(entry, lambda s: self.client.refine(stmt.test, s, False))
+        out = Outcomes()
+        if any(isinstance(n, ast.Call) for n in ast.walk(stmt.test)):
+            out.raised |= set(entry)
+        body_out = self.block(stmt.body, true_states)
+        else_out = self.block(stmt.orelse, false_states)
+        out.fall = body_out.fall | else_out.fall
+        out.absorb_nonlocal(body_out)
+        out.absorb_nonlocal(else_out)
+        return out
+
+    def _loop(
+        self,
+        body: list[ast.stmt],
+        orelse: list[ast.stmt],
+        entry: set[State],
+        refine_test: ast.expr | None,
+        head_raises: bool,
+    ) -> Outcomes:
+        out = Outcomes()
+        head_states = set(entry)
+        breaks: set[State] = set()
+        normal_exit: set[State] = set()
+        for _ in range(_MAX_LOOP_ITERATIONS):
+            if refine_test is not None:
+                enter = _apply(
+                    head_states, lambda s: self.client.refine(refine_test, s, True)
+                )
+                normal_exit = _apply(
+                    head_states, lambda s: self.client.refine(refine_test, s, False)
+                )
+            else:
+                enter = set(head_states)
+                normal_exit = set(head_states)  # zero-iteration / exhausted
+            if head_raises:
+                out.raised |= head_states
+            body_out = self.block(body, enter)
+            out.ret |= body_out.ret
+            out.raised |= body_out.raised
+            breaks |= body_out.brk
+            new_head = head_states | body_out.fall | body_out.cont
+            if new_head == head_states:
+                break
+            head_states = new_head
+        else_out = self.block(orelse, normal_exit)
+        out.absorb_nonlocal(else_out)
+        out.fall = breaks | else_out.fall
+        return out
+
+    def _stmt_While(self, stmt: ast.While, entry: set[State]) -> Outcomes:
+        head_raises = any(isinstance(n, ast.Call) for n in ast.walk(stmt.test))
+        return self._loop(stmt.body, stmt.orelse, entry, stmt.test, head_raises)
+
+    def _stmt_For(self, stmt: ast.For, entry: set[State]) -> Outcomes:
+        head_raises = any(isinstance(n, ast.Call) for n in ast.walk(stmt.iter))
+        return self._loop(stmt.body, stmt.orelse, entry, None, head_raises)
+
+    _stmt_AsyncFor = _stmt_For
+
+    def _stmt_With(self, stmt: ast.With, entry: set[State]) -> Outcomes:
+        out = Outcomes()
+        # __enter__ may raise before the body runs.
+        if any(isinstance(n, ast.Call) for item in stmt.items for n in ast.walk(item)):
+            out.raised |= set(entry)
+        body_out = self.block(stmt.body, set(entry))
+        out.fall = body_out.fall
+        out.absorb_nonlocal(body_out)
+        return out
+
+    _stmt_AsyncWith = _stmt_With
+
+    def _stmt_Try(self, stmt: ast.Try, entry: set[State]) -> Outcomes:
+        out = Outcomes()
+        body_out = self.block(stmt.body, set(entry))
+        out.ret |= body_out.ret
+        out.brk |= body_out.brk
+        out.cont |= body_out.cont
+
+        raise_states = body_out.raised
+        caught_broadly = False
+        for handler in stmt.handlers:
+            if _handler_catches_everything(handler):
+                caught_broadly = True
+            handler_out = self.block(handler.body, set(raise_states))
+            out.absorb_nonlocal(handler_out)
+            out.fall |= handler_out.fall
+        if not caught_broadly:
+            # Some exception types may escape the handler chain.
+            out.raised |= raise_states
+
+        else_out = self.block(stmt.orelse, body_out.fall)
+        out.fall |= else_out.fall
+        out.absorb_nonlocal(else_out)
+
+        if stmt.finalbody:
+            out = self._through_finally(stmt.finalbody, out)
+        return out
+
+    _stmt_TryStar = _stmt_Try
+
+    def _through_finally(self, finalbody: list[ast.stmt], out: Outcomes) -> Outcomes:
+        """Route every exit kind through the ``finally`` block."""
+        routed = Outcomes()
+        for kind, states in (
+            (FALL, out.fall),
+            (RETURN, out.ret),
+            (RAISE, out.raised),
+            (BREAK, out.brk),
+            (CONTINUE, out.cont),
+        ):
+            if not states:
+                continue
+            fin = self.block(finalbody, states)
+            # The finally body's own abnormal exits win; its fallthrough
+            # resumes the original exit kind.
+            routed.ret |= fin.ret
+            routed.raised |= fin.raised
+            routed.brk |= fin.brk
+            routed.cont |= fin.cont
+            if kind == FALL:
+                routed.fall |= fin.fall
+            elif kind == RETURN:
+                routed.ret |= fin.fall
+            elif kind == RAISE:
+                routed.raised |= fin.fall
+            elif kind == BREAK:
+                routed.brk |= fin.fall
+            elif kind == CONTINUE:
+                routed.cont |= fin.fall
+        return routed
+
+    def _stmt_Match(self, stmt: ast.Match, entry: set[State]) -> Outcomes:
+        out = Outcomes()
+        for case in stmt.cases:
+            case_out = self.block(case.body, set(entry))
+            out.fall |= case_out.fall
+            out.absorb_nonlocal(case_out)
+        out.fall |= set(entry)  # no case may match
+        return out
+
+    def _stmt_FunctionDef(self, stmt, entry: set[State]) -> Outcomes:
+        # Nested defs/classes: no control flow, but the client may treat a
+        # captured name as escaping (via transfer).
+        return self._simple_no_raise(stmt, entry)
+
+    _stmt_AsyncFunctionDef = _stmt_FunctionDef
+    _stmt_ClassDef = _stmt_FunctionDef
+    _stmt_Import = _stmt_FunctionDef
+    _stmt_ImportFrom = _stmt_FunctionDef
+    _stmt_Global = _stmt_FunctionDef
+    _stmt_Nonlocal = _stmt_FunctionDef
+
+    def _simple_no_raise(self, stmt: ast.stmt, entry: set[State]) -> Outcomes:
+        return Outcomes(fall=_apply(entry, lambda s: self.client.transfer(stmt, s)))
+
+
+def _handler_catches_everything(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler's type clause catches any exception."""
+    if handler.type is None:
+        return True
+    names: list[str] = []
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for node in types:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.append(node.attr)
+    return any(name in ("BaseException", "Exception") for name in names)
+
+
+def run_flow(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    client: FlowClient,
+    entry_state: State,
+) -> dict[str, set[State]]:
+    """Run ``client`` over ``fn``'s body from ``entry_state``.
+
+    Returns the function's exit states split by kind: ``"return"`` covers
+    explicit returns *and* fallthrough off the end of the body, ``"raise"``
+    is every state on which an exception propagates out of the function.
+    """
+    out = _Engine(client).block(list(fn.body), {entry_state})
+    return {
+        RETURN: out.ret | out.fall,
+        RAISE: out.raised,
+        # break/continue at function top level is a syntax error; ignore.
+    }

@@ -1,0 +1,226 @@
+"""The finding model shared by every rule, plus suppression and baseline logic.
+
+A :class:`Finding` is one rule violation at one source location.  Findings
+are identified two ways:
+
+* the *location* (``path:line``) -- what the text report prints and what an
+  inline suppression comment silences;
+* the *stable key* -- ``rule|path|context`` where ``context`` is a
+  line-number-free description of the enclosing symbol and the violating
+  construct.  The committed baseline file stores stable keys, so reformatting
+  a file (which moves line numbers) does not invalidate the baseline, while
+  adding a *second* violation of the same rule to the same function does
+  surface as a new finding.
+
+Suppression comments
+--------------------
+
+A finding is suppressed inline by a comment on its line (or on the line of
+the enclosing statement for multi-line constructs)::
+
+    cache[table] = mask  # apx: ignore[APX002] identity-keyed by design
+
+The rule list is mandatory (``# apx: ignore`` without codes suppresses
+nothing -- a bare blanket ignore would hide future rules); the trailing
+justification is free text and strongly encouraged.
+
+Baseline
+--------
+
+``analysis-baseline.json`` at the repository root records findings that are
+*accepted* (each with a one-line justification).  ``--check`` fails only on
+findings whose stable key is not baselined; ``--write-baseline`` regenerates
+the file from the current tree (justifications of surviving entries are
+preserved).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Finding",
+    "Suppressions",
+    "Baseline",
+    "RULES",
+    "findings_to_json",
+]
+
+#: The rule catalog: code -> one-line description (docs/analysis.md expands
+#: each with rationale and examples).
+RULES: dict[str, str] = {
+    "APX001": "budget-flow: every reserve() must reach charge()/release() on "
+    "all paths, including exception edges",
+    "APX002": "cache-key completeness: table-derived cache keys must carry a "
+    "version token / domain stamp / cache token",
+    "APX003": "lock-order: lock acquisition edges must stay acyclic, and a "
+    "non-reentrant Lock must never be re-acquired by its holder",
+    "APX004": "failpoint registry: fail_point()/armed() names and "
+    "FAILPOINT_SITES must agree in both directions",
+    "APX005": "snapshot discipline: mechanism/engine read paths must admit "
+    "raw tables through Table.snapshot()",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repository-relative, forward slashes
+    line: int
+    col: int
+    message: str
+    #: Line-free context for the stable key: usually ``Class.method`` plus a
+    #: short token naming the violating construct.
+    context: str = ""
+
+    @property
+    def key(self) -> str:
+        """The stable (line-number-free) identity used by the baseline."""
+        return f"{self.rule}|{self.path}|{self.context}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "context": self.context,
+            "key": self.key,
+        }
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*apx:\s*ignore\[(?P<codes>[A-Z0-9,\s]+)\](?P<reason>.*)$"
+)
+
+
+class Suppressions:
+    """Per-file inline ``# apx: ignore[...]`` comments, parsed once."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line: dict[int, frozenset[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            codes = frozenset(
+                code.strip() for code in match.group("codes").split(",") if code.strip()
+            )
+            if codes:
+                self._by_line[lineno] = codes
+
+    def covers(self, finding: Finding) -> bool:
+        codes = self._by_line.get(finding.line)
+        return codes is not None and finding.rule in codes
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+class Baseline:
+    """The committed set of accepted findings (stable key -> justification)."""
+
+    def __init__(self, entries: Mapping[str, str] | None = None) -> None:
+        self._entries: dict[str, str] = dict(entries or {})
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return cls()
+        entries = {
+            str(item["key"]): str(item.get("reason", ""))
+            for item in payload.get("findings", [])
+        }
+        return cls(entries)
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.key in self._entries
+
+    def reason(self, finding: Finding) -> str:
+        return self._entries.get(finding.key, "")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def keys(self) -> frozenset[str]:
+        return frozenset(self._entries)
+
+    def write(self, path: str, findings: Iterable[Finding]) -> None:
+        """Regenerate the baseline from ``findings``, keeping old reasons."""
+        items = []
+        seen: set[str] = set()
+        for finding in sorted(findings, key=lambda f: (f.path, f.rule, f.context)):
+            if finding.key in seen:
+                continue
+            seen.add(finding.key)
+            items.append(
+                {
+                    "key": finding.key,
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "reason": self._entries.get(finding.key, "TODO: justify"),
+                }
+            )
+        payload = {
+            "comment": "Accepted repro.analysis findings; every entry needs a "
+            "one-line justification.  Regenerate with "
+            "`python -m repro.analysis --write-baseline src/`.",
+            "findings": items,
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analyzer run produced, pre-split by disposition."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_analyzed: int = 0
+    errors: list[str] = field(default_factory=list)
+
+
+def findings_to_json(report: AnalysisReport) -> dict[str, Any]:
+    """The machine-readable payload of one run (the ``--json`` output).
+
+    Schema (stable; checked by ``tests/analysis/test_cli.py``)::
+
+        {"version": 1,
+         "rules": {code: description, ...},
+         "summary": {"files": int, "new": int, "baselined": int,
+                     "suppressed": int, "errors": int},
+         "findings": [{"rule", "path", "line", "col", "message",
+                       "context", "key"}, ...],          # new findings only
+         "baselined": [...same shape...],
+         "errors": [str, ...]}
+    """
+    return {
+        "version": 1,
+        "rules": dict(RULES),
+        "summary": {
+            "files": report.files_analyzed,
+            "new": len(report.new),
+            "baselined": len(report.baselined),
+            "suppressed": len(report.suppressed),
+            "errors": len(report.errors),
+        },
+        "findings": [f.to_dict() for f in report.new],
+        "baselined": [f.to_dict() for f in report.baselined],
+        "errors": list(report.errors),
+    }

@@ -1,0 +1,33 @@
+"""The repo-specific rule catalog (APX001..APX005).
+
+Two rule shapes exist:
+
+* **per-file rules** implement ``check(source_file)`` and see one parsed
+  module at a time (APX001, APX002, APX005);
+* **project rules** implement ``check_project(files, root)`` and see the
+  whole parsed corpus at once -- the lock-order graph (APX003) and the
+  failpoint registry reconciliation (APX004) are inherently cross-module.
+
+``all_rules()`` is the ordered registry the runner iterates.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.budget_flow import BudgetFlowRule
+from repro.analysis.rules.cache_keys import CacheKeyRule
+from repro.analysis.rules.failpoints import FailpointRegistryRule
+from repro.analysis.rules.lock_order import LockOrderRule
+from repro.analysis.rules.snapshots import SnapshotDisciplineRule
+
+__all__ = ["all_rules"]
+
+
+def all_rules():
+    """The ordered rule instances of one analyzer run."""
+    return [
+        BudgetFlowRule(),
+        CacheKeyRule(),
+        LockOrderRule(),
+        FailpointRegistryRule(),
+        SnapshotDisciplineRule(),
+    ]

@@ -1,0 +1,301 @@
+"""APX001 -- budget-flow: reservations must be consumed on every path.
+
+The two-phase accounting protocol (``docs/reliability.md``) hinges on an
+invariant no type checker can see: every successful
+:meth:`~repro.core.accounting.PrivacyLedger.reserve` (and every directly
+constructed ``BudgetReservation``) must reach exactly one
+``charge(reservation=...)`` or ``release(...)`` -- on *every* control path,
+including the exception edges.  A path that drops a live reservation leaks
+worst-case budget headroom forever: ``remaining`` shrinks, no transcript
+entry records why, and ``assert_invariants`` only notices if the orphaned
+object is also missing from the active-reservation index.
+
+This rule runs the :mod:`repro.analysis.cfg` engine per reservation binding
+and reports any function exit (normal return, fallthrough, or propagating
+exception) reachable with the reservation still live.
+
+Abstract states
+---------------
+
+``pre``     before the binding executes
+``maybe``   bound from ``.reserve()`` -- live, possibly ``None`` (refused)
+``nonnull`` live and proven non-``None`` (branch refinement, or a
+            ``BudgetReservation(...)`` constructor, which never returns None)
+``none``    proven ``None`` -- nothing was reserved, nothing to consume
+``dead``    consumed (charged, released, returned, or handed to a callee)
+
+Consumption events
+------------------
+
+* passing the name directly to any non-builtin call -- ``charge(...,
+  reservation=r)``, ``release(r)``, or any helper that takes ownership.  On
+  the call's *exception* edge the reservation stays live (the ledger
+  validates before consuming) unless the callee name contains ``release``;
+* ``return r`` -- ownership moves to the caller;
+* aliasing (``other = r``) -- tracked conservatively as a handoff.
+
+Storing the reservation in a container or attribute is *not* consumption:
+the ledger itself indexes active reservations (``_active_reservations``)
+purely as bookkeeping, and treating that store as a handoff would have
+hidden a real leak (see ``tests/core/test_accounting.py::
+TestReserveJournalFailure``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis import cfg
+from repro.analysis.findings import Finding
+from repro.analysis.rules.common import (
+    SourceFile,
+    call_name,
+    iter_functions,
+    name_in_call_args,
+)
+
+__all__ = ["BudgetFlowRule"]
+
+#: Calls that never take ownership of their arguments.
+_BUILTIN_SINKS = frozenset(
+    {"id", "len", "repr", "str", "bool", "float", "int", "print", "isinstance",
+     "type", "hash", "format", "getattr"}
+)
+
+_PRE = "pre"
+_MAYBE = "maybe"
+_NONNULL = "nonnull"
+_NONE = "none"
+_DEAD = "dead"
+_LIVE = (_MAYBE, _NONNULL)
+
+
+def _is_reserve_call(node: ast.expr) -> str | None:
+    """``"maybe"``/``"nonnull"`` when ``node`` produces a reservation."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "reserve":
+        return _MAYBE
+    name = call_name(node)
+    if name == "BudgetReservation":
+        return _NONNULL
+    return None
+
+
+class _ReservationClient(cfg.FlowClient):
+    """Tracks one named reservation binding through the flow engine."""
+
+    def __init__(self, name: str, binding: ast.Assign) -> None:
+        self.name = name
+        self.binding = binding
+        self.binding_state = _is_reserve_call(binding.value) or _MAYBE
+        #: (stmt, description) pairs for overwrite-while-live leaks.
+        self.overwrites: list[ast.stmt] = []
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _assigns_name(self, stmt: ast.stmt) -> bool:
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        else:
+            return False
+        return any(
+            isinstance(t, ast.Name) and t.id == self.name for t in targets
+        )
+
+    def _consumers(self, stmt: ast.stmt) -> list[ast.Call]:
+        """Calls within ``stmt`` that receive the tracked name directly."""
+        out = []
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and call_name(node) not in _BUILTIN_SINKS
+                and name_in_call_args(node, self.name)
+            ):
+                out.append(node)
+        return out
+
+    def _aliases_name(self, stmt: ast.stmt) -> bool:
+        """``other = r`` style handoff (value is the bare tracked name).
+
+        Only a plain-``Name`` target counts: a container or attribute store
+        (``registry[id(r)] = r``, ``self._pending = r``) is bookkeeping, not
+        a handoff -- treating it as one masked the ``PrivacyLedger.reserve``
+        journal-raise leak behind the ``_active_reservations`` index store.
+        """
+        return (
+            isinstance(stmt, ast.Assign)
+            and isinstance(stmt.value, ast.Name)
+            and stmt.value.id == self.name
+            and any(
+                isinstance(t, ast.Name) and t.id != self.name
+                for t in stmt.targets
+            )
+        )
+
+    def _captured_by_def(self, stmt: ast.stmt) -> bool:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return False
+        return any(
+            isinstance(n, ast.Name) and n.id == self.name for n in ast.walk(stmt)
+        )
+
+    # -- FlowClient hooks ---------------------------------------------------------
+
+    def transfer(self, stmt: ast.stmt, state):
+        if stmt is self.binding:
+            if state in _LIVE:
+                self.overwrites.append(stmt)
+            return self.binding_state
+        if self._assigns_name(stmt):
+            if state in _LIVE:
+                self.overwrites.append(stmt)
+            return _DEAD if state != _PRE else _PRE
+        if state not in _LIVE:
+            return state
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None and any(
+                isinstance(n, ast.Name) and n.id == self.name
+                for n in ast.walk(stmt.value)
+            ):
+                return _DEAD
+            return state
+        if self._aliases_name(stmt) or self._captured_by_def(stmt):
+            return _DEAD
+        if isinstance(stmt, ast.Delete):
+            if any(
+                isinstance(t, ast.Name) and t.id == self.name for t in stmt.targets
+            ):
+                return _DEAD
+        if self._consumers(stmt):
+            return _DEAD
+        return state
+
+    def transfer_raise(self, stmt: ast.stmt, state):
+        if stmt is self.binding:
+            # The producing call raised: nothing was reserved.
+            return _DEAD
+        if state in _LIVE:
+            consumers = self._consumers(stmt)
+            if consumers and all(
+                "release" in call_name(c) for c in consumers
+            ):
+                # release() is the abort path; treat its own failure as
+                # consuming -- callers re-raise immediately and a failed
+                # release is already a loud accounting error.
+                return _DEAD
+        return state
+
+    def refine(self, test: ast.expr, state, branch: bool):
+        if isinstance(test, ast.Constant):
+            return state if bool(test.value) == branch else None
+        if state not in _LIVE and state != _NONE:
+            return state
+        # `not X` flips the branch sense.
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            return self.refine(test.operand, state, not branch)
+        is_name = isinstance(test, ast.Name) and test.id == self.name
+        if is_name:
+            # truthiness: a BudgetReservation instance is always truthy.
+            if state == _NONE:
+                return state if not branch else None
+            return _NONNULL if branch else _NONE
+        if isinstance(test, ast.Compare) and len(test.ops) == 1:
+            left, op, right = test.left, test.ops[0], test.comparators[0]
+            operands = (left, right)
+            names = [
+                n for n in operands if isinstance(n, ast.Name) and n.id == self.name
+            ]
+            nones = [
+                n
+                for n in operands
+                if isinstance(n, ast.Constant) and n.value is None
+            ]
+            if names and nones:
+                is_none_test = isinstance(op, ast.Is) or isinstance(op, ast.Eq)
+                if isinstance(op, (ast.IsNot, ast.NotEq)):
+                    is_none_test = False
+                    branch = not branch
+                elif not is_none_test:
+                    return state
+                # branch==True on an `is None` test means: it IS None.
+                if state == _NONE:
+                    return state if branch else None
+                return _NONE if branch else _NONNULL
+        return state
+
+
+class BudgetFlowRule:
+    code = "APX001"
+
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        for qualname, fn, _cls in iter_functions(sf.tree):
+            yield from self._check_function(sf, qualname, fn)
+
+    def _check_function(self, sf, qualname, fn) -> Iterator[Finding]:
+        nested: set[int] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not fn:
+                nested.update(id(sub) for sub in ast.walk(node) if sub is not node)
+        facts: list[tuple[str, ast.Assign, int]] = []
+        ordinal = 0
+        for node in ast.walk(fn):
+            if id(node) in nested:
+                continue  # nested defs are visited by iter_functions
+            if isinstance(node, ast.Expr) and _is_reserve_call(node.value):
+                if isinstance(node.value, ast.Call) and call_name(node.value) != "BudgetReservation":
+                    yield Finding(
+                        rule=self.code,
+                        path=sf.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            "the reserve() result is discarded -- a successful "
+                            "reservation can never be charged or released"
+                        ),
+                        context=f"{qualname}:discarded",
+                    )
+            if isinstance(node, ast.Assign) and _is_reserve_call(node.value):
+                if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+                    facts.append((node.targets[0].id, node, ordinal))
+                    ordinal += 1
+
+        for name, binding, idx in facts:
+            client = _ReservationClient(name, binding)
+            exits = cfg.run_flow(fn, client, _PRE)
+            context = f"{qualname}.{name}#{idx}"
+            leaks: list[str] = []
+            if any(s in _LIVE for s in exits[cfg.RETURN]):
+                leaks.append("a normal exit")
+            if any(s in _LIVE for s in exits[cfg.RAISE]):
+                leaks.append("an exception path")
+            if leaks:
+                yield Finding(
+                    rule=self.code,
+                    path=sf.path,
+                    line=binding.lineno,
+                    col=binding.col_offset,
+                    message=(
+                        f"reservation {name!r} can leave {qualname}() via "
+                        f"{' and '.join(leaks)} without reaching "
+                        "charge()/release()"
+                    ),
+                    context=context,
+                )
+            for stmt in client.overwrites:
+                yield Finding(
+                    rule=self.code,
+                    path=sf.path,
+                    line=stmt.lineno,
+                    col=stmt.col_offset,
+                    message=(
+                        f"reservation {name!r} is overwritten while still "
+                        "live -- the previous reservation can no longer be "
+                        "charged or released"
+                    ),
+                    context=f"{context}:overwrite",
+                )

@@ -1,0 +1,87 @@
+"""Shared AST helpers for the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "SourceFile",
+    "iter_functions",
+    "call_name",
+    "dotted_name",
+    "name_in_call_args",
+]
+
+
+@dataclass
+class SourceFile:
+    """One parsed module: repo-relative path, raw source, AST."""
+
+    path: str  # repository-relative, forward slashes
+    source: str
+    tree: ast.Module
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef, str | None]]:
+    """Yield ``(qualname, function_node, enclosing_class_name)`` pairs.
+
+    ``qualname`` is dotted through classes and outer functions
+    (``Class.method``, ``outer.<locals>.inner``) so finding contexts stay
+    stable under reformatting.
+    """
+
+    def visit(node: ast.AST, prefix: str, cls: str | None):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                yield qual, child, cls
+                yield from visit(child, f"{qual}.<locals>.", cls)
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.", child.name)
+            else:
+                yield from visit(child, prefix, cls)
+
+    yield from visit(tree, "", None)
+
+
+def call_name(call: ast.Call) -> str:
+    """The final name segment of a call's callee (``''`` when unnameable)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def dotted_name(node: ast.expr) -> str:
+    """Best-effort dotted rendering of a Name/Attribute chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        parts.append(f"{node.func.id}()")
+    else:
+        parts.append("?")
+    return ".".join(reversed(parts))
+
+
+def name_in_call_args(call: ast.Call, name: str) -> bool:
+    """Whether ``name`` is passed directly (positionally or by keyword)."""
+    for arg in call.args:
+        if isinstance(arg, ast.Name) and arg.id == name:
+            return True
+        if isinstance(arg, ast.Starred) and isinstance(arg.value, ast.Name):
+            if arg.value.id == name:
+                return True
+    for kw in call.keywords:
+        if isinstance(kw.value, ast.Name) and kw.value.id == name:
+            return True
+    return False

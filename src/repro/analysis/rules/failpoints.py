@@ -1,0 +1,127 @@
+"""APX004 -- failpoint registry: ``fail_point()`` sites and the registry agree.
+
+The crash exerciser (``tests/reliability``) and ``REPRO_FAILPOINTS`` arming
+both address failure-injection sites *by name* through
+``repro.reliability.faults.FAILPOINT_SITES``.  The registry is only useful
+while it is exact, in both directions:
+
+* a ``fail_point("x")`` call whose name is **not registered** is invisible
+  to the exerciser -- that crash point is silently untested;
+* a registered name with **no call site** means a fault schedule can "arm"
+  a point that never fires, and a crash-safety run passes vacuously.
+
+This is a project-level rule: it parses ``FAILPOINT_SITES`` out of
+``faults.py`` and sweeps every analyzed module for ``fail_point(...)``
+calls.  Non-literal site names (``fail_point(name_var)``) are also flagged
+-- dynamic names defeat the registry's whole purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules.common import SourceFile
+
+__all__ = ["FailpointRegistryRule"]
+
+_REGISTRY_FILE = "src/repro/reliability/faults.py"
+_REGISTRY_NAME = "FAILPOINT_SITES"
+
+
+def _registry_sites(sf: SourceFile) -> tuple[dict[str, int], int]:
+    """``{site_name: lineno}`` from ``FAILPOINT_SITES``, plus its lineno."""
+    for node in sf.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == _REGISTRY_NAME for t in targets
+        ):
+            continue
+        sites: dict[str, int] = {}
+        if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    sites.setdefault(element.value, element.lineno)
+        return sites, node.lineno
+    return {}, 1
+
+
+class FailpointRegistryRule:
+    code = "APX004"
+
+    def check_project(
+        self, files: list[SourceFile], root: str
+    ) -> Iterator[Finding]:
+        registry_sf = next(
+            (sf for sf in files if sf.path == _REGISTRY_FILE), None
+        )
+        if registry_sf is None:
+            return  # analyzing a subtree without the reliability package
+        registered, _ = _registry_sites(registry_sf)
+
+        used: dict[str, tuple[str, int]] = {}
+        for sf in files:
+            for node in ast.walk(sf.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and (
+                        (isinstance(node.func, ast.Name) and node.func.id == "fail_point")
+                        or (
+                            isinstance(node.func, ast.Attribute)
+                            and node.func.attr == "fail_point"
+                        )
+                    )
+                    and node.args
+                ):
+                    continue
+                site = node.args[0]
+                if isinstance(site, ast.Constant) and isinstance(site.value, str):
+                    used.setdefault(site.value, (sf.path, node.lineno))
+                    if site.value not in registered:
+                        yield Finding(
+                            rule=self.code,
+                            path=sf.path,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            message=(
+                                f"fail_point site {site.value!r} is not in "
+                                f"{_REGISTRY_NAME} -- the crash exerciser can "
+                                "never schedule this crash point"
+                            ),
+                            context=f"unregistered:{site.value}",
+                        )
+                else:
+                    yield Finding(
+                        rule=self.code,
+                        path=sf.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            "fail_point() called with a non-literal site name "
+                            "-- dynamic names cannot be audited against "
+                            f"{_REGISTRY_NAME}"
+                        ),
+                        context=f"dynamic:{sf.path}:{node.lineno}",
+                    )
+
+        for name, line in sorted(registered.items()):
+            if name not in used:
+                yield Finding(
+                    rule=self.code,
+                    path=_REGISTRY_FILE,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"registered failpoint {name!r} has no fail_point() "
+                        "call site -- fault schedules arming it pass vacuously"
+                    ),
+                    context=f"orphan:{name}",
+                )

@@ -1,0 +1,105 @@
+"""File discovery and rule orchestration for one analyzer run."""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import (
+    AnalysisReport,
+    Baseline,
+    Finding,
+    Suppressions,
+)
+from repro.analysis.rules import all_rules
+from repro.analysis.rules.common import SourceFile
+
+__all__ = ["discover", "analyze", "AnalysisReport"]
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+def _relative(path: str, root: str) -> str:
+    """Repo-relative forward-slash path (the identity findings carry)."""
+    try:
+        rel = os.path.relpath(os.path.abspath(path), os.path.abspath(root))
+    except ValueError:  # different drive (windows)
+        rel = path
+    if rel.startswith(".."):
+        rel = path
+    return rel.replace(os.sep, "/")
+
+
+def discover(paths: Sequence[str], root: str = ".") -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                out.add(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames if d not in _SKIP_DIRS and not d.startswith(".")
+            )
+            for filename in filenames:
+                if filename.endswith(".py"):
+                    out.add(os.path.join(dirpath, filename))
+    return sorted(out)
+
+
+def parse_files(
+    filenames: Iterable[str], root: str = "."
+) -> tuple[list[SourceFile], list[str]]:
+    files: list[SourceFile] = []
+    errors: list[str] = []
+    for filename in filenames:
+        try:
+            with open(filename, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            tree = ast.parse(source, filename=filename)
+        except (OSError, SyntaxError, ValueError) as exc:
+            errors.append(f"{_relative(filename, root)}: {exc}")
+            continue
+        files.append(SourceFile(path=_relative(filename, root), source=source, tree=tree))
+    return files, errors
+
+
+def analyze(
+    paths: Sequence[str],
+    root: str = ".",
+    baseline: Baseline | None = None,
+    rules: Sequence[object] | None = None,
+) -> AnalysisReport:
+    """Run every rule over ``paths`` and classify the findings."""
+    baseline = baseline or Baseline()
+    filenames = discover(paths, root)
+    files, errors = parse_files(filenames, root)
+    suppressions = {sf.path: Suppressions(sf.source) for sf in files}
+
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        check = getattr(rule, "check", None)
+        if callable(check):
+            for sf in files:
+                findings.extend(check(sf))
+        check_project = getattr(rule, "check_project", None)
+        if callable(check_project):
+            findings.extend(check_project(files, root))
+
+    report = AnalysisReport(files_analyzed=len(files), errors=errors)
+    seen: set[tuple[str, int, str]] = set()
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.context)):
+        dedup = (finding.key, finding.line, finding.message)
+        if dedup in seen:
+            continue
+        seen.add(dedup)
+        supp = suppressions.get(finding.path)
+        if supp is not None and supp.covers(finding):
+            report.suppressed.append(finding)
+        elif baseline.covers(finding):
+            report.baselined.append(finding)
+        else:
+            report.new.append(finding)
+    return report

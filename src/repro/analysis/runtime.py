@@ -1,0 +1,294 @@
+"""Runtime lock-order watchdog: the dynamic complement of APX003.
+
+The static rule (:mod:`repro.analysis.rules.lock_order`) proves acyclicity
+of the acquisition edges it can resolve; receivers it cannot type
+(``handle.engine.explore`` reaching the ledger, callbacks, test doubles)
+contribute no static edges.  The watchdog covers that remainder: it wraps
+``threading.Lock``/``threading.RLock`` construction with instrumented
+locks, records every *held -> acquired* edge with per-thread acquisition
+stacks, and flags
+
+* **order inversions** -- some thread acquired B while holding A after
+  another (or the same) thread acquired A while holding B.  Two such
+  threads interleaved are a deadlock; seeing both edges is proof the
+  program admits the interleaving, whether or not this run hit it;
+* **self-deadlock** -- a thread blocking on a non-reentrant ``Lock`` it
+  already holds.  This one is not a probability, it is a hang: the
+  watchdog raises :class:`LockInversionError` *before* blocking, in every
+  mode, converting a frozen test run into a stack trace.
+
+Lock identity is the *creation site* (``file:line`` of the ``Lock()``
+call), which groups instances the way the static rule groups declarations:
+two ledgers' ``_lock`` s are the same lock class, so an inversion between
+two instances of the same pair of sites is still reported.
+
+Usage -- ``record`` mode is what the reliability/service test suites run
+under (a package-scoped autouse fixture installs it and fails the suite on
+teardown if anything was recorded); ``raise`` mode turns the first
+inversion into an exception at the acquisition site::
+
+    from repro.analysis.runtime import LockOrderWatchdog
+
+    watchdog = LockOrderWatchdog(mode="record")
+    watchdog.install()
+    try:
+        ...  # exercise code; new Lock()/RLock() objects are instrumented
+    finally:
+        watchdog.uninstall()
+    assert not watchdog.violations
+
+Only locks *created while installed* are instrumented; import-time
+singletons stay raw.  The watchdog's own bookkeeping uses a pre-patch
+``_thread.allocate_lock`` so it is immune to its own instrumentation.
+"""
+
+from __future__ import annotations
+
+import _thread
+import sys
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "LockInversionError",
+    "LockOrderViolation",
+    "LockOrderWatchdog",
+    "watching",
+]
+
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+_RAW_LOCK = _thread.allocate_lock  # immune to instrumentation
+
+
+class LockInversionError(RuntimeError):
+    """Raised in ``raise`` mode (and always for certain self-deadlock)."""
+
+
+@dataclass(frozen=True)
+class LockOrderViolation:
+    kind: str  # "inversion" | "self-deadlock"
+    first: str  # creation site of the first lock (held / prior order)
+    second: str  # creation site of the lock being acquired
+    thread: str
+    details: str
+
+    def render(self) -> str:
+        return f"{self.kind}: {self.details}"
+
+
+def _caller_site() -> str:
+    """``file:line`` of the frame that called ``Lock()``/``RLock()``."""
+    frame = sys._getframe(2)
+    while frame is not None and frame.f_code.co_filename == __file__:
+        frame = frame.f_back
+    if frame is None:  # pragma: no cover
+        return "<unknown>"
+    filename = frame.f_code.co_filename
+    for marker in ("/src/", "/tests/"):
+        cut = filename.rfind(marker)
+        if cut >= 0:
+            filename = filename[cut + 1 :]
+            break
+    return f"{filename}:{frame.f_lineno}"
+
+
+class _InstrumentedLock:
+    """A Lock/RLock wrapper reporting acquisitions to the watchdog.
+
+    Implements ``_is_owned``/``_release_save``/``_acquire_restore`` so a
+    ``threading.Condition`` built on top of it keeps working.
+    """
+
+    def __init__(self, watchdog: "LockOrderWatchdog", inner, site: str, reentrant: bool):
+        self._watchdog = watchdog
+        self._inner = inner
+        self.site = site
+        self.reentrant = reentrant
+
+    # -- core protocol ------------------------------------------------------------
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._watchdog._before_acquire(self, blocking)
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            self._watchdog._acquired(self)
+        return ok
+
+    def release(self) -> None:
+        self._inner.release()
+        self._watchdog._released(self)
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        inner_locked = getattr(self._inner, "locked", None)
+        return bool(inner_locked()) if callable(inner_locked) else False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "RLock" if self.reentrant else "Lock"
+        return f"<watched {kind} from {self.site}>"
+
+    # -- threading.Condition compatibility ----------------------------------------
+
+    def _is_owned(self) -> bool:
+        inner = getattr(self._inner, "_is_owned", None)
+        if callable(inner):
+            return inner()
+        # plain Lock: owned iff a non-blocking acquire fails (CPython's own
+        # fallback inside threading.Condition)
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def _release_save(self):
+        saved = (
+            self._inner._release_save()
+            if hasattr(self._inner, "_release_save")
+            else self._inner.release()
+        )
+        self._watchdog._released(self, fully=True)
+        return saved
+
+    def _acquire_restore(self, saved) -> None:
+        if hasattr(self._inner, "_acquire_restore"):
+            self._inner._acquire_restore(saved)
+        else:
+            self._inner.acquire()
+        # re-held after a Condition.wait: restore without order checks (the
+        # ordering was already validated on the original acquisition)
+        self._watchdog._acquired(self)
+
+
+class LockOrderWatchdog:
+    """Records lock-acquisition edges and reports ordering violations."""
+
+    def __init__(self, mode: str = "record") -> None:
+        if mode not in ("record", "raise"):
+            raise ValueError(f"mode must be 'record' or 'raise', not {mode!r}")
+        self.mode = mode
+        self.violations: list[LockOrderViolation] = []
+        #: (held_site, acquired_site) -> witness description
+        self._edges: dict[tuple[str, str], str] = {}
+        self._guard = _RAW_LOCK()
+        self._held = threading.local()  # per-thread list of instances
+        self._installed = False
+
+    # -- installation -------------------------------------------------------------
+
+    def install(self) -> None:
+        """Monkeypatch the ``threading`` lock factories (idempotent)."""
+        if self._installed:
+            return
+        watchdog = self
+
+        def make_lock():
+            return _InstrumentedLock(watchdog, _REAL_LOCK(), _caller_site(), False)
+
+        def make_rlock():
+            return _InstrumentedLock(watchdog, _REAL_RLOCK(), _caller_site(), True)
+
+        threading.Lock = make_lock  # type: ignore[assignment]
+        threading.RLock = make_rlock  # type: ignore[assignment]
+        self._installed = True
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        threading.Lock = _REAL_LOCK  # type: ignore[assignment]
+        threading.RLock = _REAL_RLOCK  # type: ignore[assignment]
+        self._installed = False
+
+    # -- per-thread stack ----------------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    # -- acquisition protocol ------------------------------------------------------
+
+    def _before_acquire(self, lock: _InstrumentedLock, blocking: bool) -> None:
+        stack = self._stack()
+        already_held = any(entry is lock for entry in stack)
+        if already_held:
+            if not lock.reentrant and blocking:
+                # Certain deadlock: raise instead of hanging, in every mode.
+                violation = LockOrderViolation(
+                    kind="self-deadlock",
+                    first=lock.site,
+                    second=lock.site,
+                    thread=threading.current_thread().name,
+                    details=(
+                        f"thread {threading.current_thread().name!r} blocks "
+                        f"on non-reentrant Lock ({lock.site}) it already "
+                        "holds"
+                    ),
+                )
+                with self._guard:
+                    self.violations.append(violation)
+                raise LockInversionError(violation.render())
+            return  # RLock re-entry: no new ordering constraint
+        if not blocking:
+            return  # a trylock cannot block, hence cannot deadlock
+        held_sites = []
+        for entry in stack:
+            if entry.site != lock.site and entry.site not in held_sites:
+                held_sites.append(entry.site)
+        if not held_sites:
+            return
+        thread = threading.current_thread().name
+        with self._guard:
+            for held_site in held_sites:
+                reverse = self._edges.get((lock.site, held_site))
+                if reverse is not None:
+                    violation = LockOrderViolation(
+                        kind="inversion",
+                        first=held_site,
+                        second=lock.site,
+                        thread=thread,
+                        details=(
+                            f"thread {thread!r} acquires {lock.site} while "
+                            f"holding {held_site}, but the opposite order "
+                            f"was observed: {reverse}"
+                        ),
+                    )
+                    self.violations.append(violation)
+                    if self.mode == "raise":
+                        raise LockInversionError(violation.render())
+                self._edges.setdefault(
+                    (held_site, lock.site),
+                    f"{thread!r} held {held_site} acquiring {lock.site}",
+                )
+
+    def _acquired(self, lock: _InstrumentedLock) -> None:
+        self._stack().append(lock)
+
+    def _released(self, lock: _InstrumentedLock, fully: bool = False) -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is lock:
+                del stack[index]
+                if not fully:
+                    break
+                # _release_save drops every recursion level at once
+
+
+@contextmanager
+def watching(mode: str = "record"):
+    """Install a watchdog for the duration of a ``with`` block."""
+    watchdog = LockOrderWatchdog(mode=mode)
+    watchdog.install()
+    try:
+        yield watchdog
+    finally:
+        watchdog.uninstall()

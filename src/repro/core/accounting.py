@@ -54,7 +54,7 @@ spelled out in ``docs/reliability.md`` and exercised by
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterator, Mapping
 
 from repro.core.accuracy import AccuracySpec
@@ -488,7 +488,14 @@ class PrivacyLedger:
             reservation = BudgetReservation(epsilon_upper=float(epsilon_upper))
             self._active_reservations[id(reservation)] = reservation
         if _journal_now:
-            self._journal_reserve(reservation, epsilon_upper, context)
+            try:
+                self._journal_reserve(reservation, epsilon_upper, context)
+            except BaseException:
+                # The journal append failed after admission: without this
+                # rollback the reservation would stay registered forever and
+                # permanently shrink `remaining` (found by APX001).
+                self.release(reservation)
+                raise
         return reservation
 
     def release(self, reservation: BudgetReservation) -> None:

@@ -35,7 +35,7 @@ from repro.core.accuracy import AccuracySpec
 from repro.core.exceptions import TranslationError
 from repro.core.lru import LRUCache
 from repro.data.schema import Schema
-from repro.data.table import DomainStamp, Table
+from repro.data.table import DomainStamp, Table, TableSnapshot
 from repro.mechanisms.base import Mechanism, MechanismResult, TranslationResult
 from repro.store.fingerprint import stable_digest
 from repro.mechanisms.noise import laplace_noise
@@ -202,11 +202,11 @@ class StrategyMechanism(Mechanism):
         self,
         workload_matrix: WorkloadMatrix,
         translation: StrategyTranslation,
-        table: Table,
+        snapshot: TableSnapshot,
         generator: np.random.Generator,
     ) -> np.ndarray:
         strategy = translation.strategy
-        histogram = workload_matrix.partition_histogram(table)
+        histogram = workload_matrix.partition_histogram(snapshot)
         scale = strategy.sensitivity / translation.epsilon
         strategy_answers = strategy.matrix @ histogram + laplace_noise(
             scale, strategy.n_queries, generator

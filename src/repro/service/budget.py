@@ -336,11 +336,25 @@ class SessionLedger(PrivacyLedger):
         )
         if reservation is None:
             return None
-        if not self._pool.try_reserve(epsilon_upper):
+        try:
+            pool_admitted = self._pool.try_reserve(epsilon_upper)
+        except BaseException:
+            # Pool admission itself failed (e.g. an armed failpoint or a
+            # poisoned pool): the share-level reservation must not outlive
+            # this call, or the analyst's headroom leaks (found by APX001).
+            super().release(reservation)
+            raise
+        if not pool_admitted:
             super().release(reservation)
             return None
         if _journal_now:
-            self._journal_reserve(reservation, epsilon_upper, context)
+            try:
+                self._journal_reserve(reservation, epsilon_upper, context)
+            except BaseException:
+                # Roll back both books: self.release() undoes the share and
+                # the pool reservation together.
+                self.release(reservation)
+                raise
         return reservation
 
     def release(self, reservation: BudgetReservation) -> None:

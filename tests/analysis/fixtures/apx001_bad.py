@@ -1,0 +1,20 @@
+"""APX001 bad fixture: three distinct ways to lose a reservation."""
+
+
+def leak_on_exception(ledger, journal):
+    reservation = ledger.reserve(0.5)
+    if reservation is None:
+        return None
+    journal.append("reserve")  # a raise here leaks the live reservation
+    ledger.charge(reservation=reservation)
+    return True
+
+
+def discarded(ledger):
+    ledger.reserve(0.25)  # result dropped: can never be charged or released
+
+
+def overwrite(ledger):
+    reservation = ledger.reserve(0.1)
+    reservation = ledger.reserve(0.2)  # first reservation is orphaned
+    ledger.release(reservation)

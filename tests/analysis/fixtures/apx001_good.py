@@ -1,0 +1,44 @@
+"""APX001 good fixture: the canonical reserve/charge/release shapes."""
+
+
+def balanced(ledger, mechanism):
+    reservation = ledger.reserve(0.5)
+    if reservation is None:
+        return None
+    try:
+        value = mechanism()
+        ledger.charge(reservation=reservation)
+        return value
+    except BaseException:
+        ledger.release(reservation)
+        raise
+
+
+def retry_loop(translator, ledger, mechanism):
+    while True:
+        choice = translator.choose()
+        if choice is None:
+            return None
+        reservation = ledger.reserve(choice)
+        if reservation is not None:
+            break
+    try:
+        value = mechanism()
+        ledger.charge(reservation=reservation)
+        return value
+    except BaseException:
+        ledger.release(reservation)
+        raise
+
+
+def refusal_only_path(ledger):
+    reservation = ledger.reserve(1.0)
+    if reservation is None:
+        return False
+    ledger.release(reservation)
+    return True
+
+
+def ownership_moves_to_caller(ledger):
+    reservation = ledger.reserve(0.1)
+    return reservation

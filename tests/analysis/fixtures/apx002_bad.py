@@ -1,0 +1,12 @@
+"""APX002 bad fixture: table-keyed caches with no version marker."""
+
+
+class Planner:
+    def __init__(self):
+        self._plan_cache = {}
+
+    def lookup(self, table, name):
+        return self._plan_cache.get((table, name))
+
+    def store(self, table, name, plan):
+        self._plan_cache[(table, name)] = plan

@@ -1,0 +1,26 @@
+"""APX003 good fixture: one consistent order, RLock re-entry allowed."""
+
+import threading
+
+
+class Outer:
+    def __init__(self, inner: "Inner"):
+        self._lock = threading.RLock()
+        self._inner = inner
+
+    def op(self):
+        with self._lock:
+            self.helper()
+
+    def helper(self):
+        with self._lock:  # RLock re-entry by the holder: reentrant, fine
+            self._inner.op()  # always Outer._lock -> Inner._lock
+
+
+class Inner:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def op(self):
+        with self._lock:
+            pass

@@ -1,0 +1,19 @@
+"""APX004 bad fixture: registry and call sites disagree in both directions."""
+
+FAILPOINT_SITES = (
+    "store.save.write",
+    "orphan.site.never_fired",
+)
+
+
+def fail_point(site):
+    pass
+
+
+def save(payload):
+    fail_point("store.save.write")
+    fail_point("store.save.unregistered")  # not in FAILPOINT_SITES
+
+
+def crash_anywhere(site_name):
+    fail_point(site_name)  # dynamic name: unauditable

@@ -1,0 +1,18 @@
+"""APX004 good fixture: every registered site fires, every firing site is registered."""
+
+FAILPOINT_SITES = (
+    "store.save.write",
+    "store.load.read",
+)
+
+
+def fail_point(site):
+    pass
+
+
+def save(payload):
+    fail_point("store.save.write")
+
+
+def load(path):
+    fail_point("store.load.read")

@@ -1,0 +1,8 @@
+"""APX005 bad fixture: a mechanism evaluating over a raw table."""
+
+
+class BadMechanism:
+    def run(self, query, accuracy, table):
+        histogram = query.histogram(table)  # raw table leaks into evaluation
+        rows = table.num_rows  # data-dependent attribute before admission
+        return histogram, rows

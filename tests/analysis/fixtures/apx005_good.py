@@ -1,0 +1,17 @@
+"""APX005 good fixture: snapshot admission first, snapshot-typed helpers."""
+
+
+class GoodMechanism:
+    def run(self, query, accuracy, table):
+        table = table.snapshot()  # admission: pins one version
+        histogram = query.histogram(table)
+        return self._finish(query, histogram)
+
+    def helper(self, query, snapshot):
+        return query.histogram(snapshot)  # snapshot-named params are trusted
+
+    def metadata(self, table):
+        return table.version_token  # data-independent surface is allowed
+
+    def _finish(self, query, histogram):
+        return histogram

@@ -1,0 +1,205 @@
+"""CLI behavior: exit codes, JSON schema, suppression, baseline workflow."""
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_SRC = Path(__file__).parents[2] / "src"
+
+BAD = FIXTURES / "apx001_bad.py"
+GOOD = FIXTURES / "apx001_good.py"
+
+
+def run_cli(args, cwd):
+    env_path = str(REPO_SRC)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+    )
+
+
+@pytest.fixture
+def dirty_project(tmp_path):
+    """A tiny project with known APX001 violations."""
+    pkg = tmp_path / "src" / "pkg"
+    pkg.mkdir(parents=True)
+    shutil.copy(BAD, pkg / "ledger_use.py")
+    return tmp_path
+
+
+@pytest.fixture
+def clean_project(tmp_path):
+    pkg = tmp_path / "src" / "pkg"
+    pkg.mkdir(parents=True)
+    shutil.copy(GOOD, pkg / "ledger_use.py")
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_checks_green(self, clean_project):
+        result = run_cli(["--check", "src"], clean_project)
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_findings_without_check_still_exit_zero(self, dirty_project):
+        result = run_cli(["src"], dirty_project)
+        assert result.returncode == 0
+        assert "APX001" in result.stdout
+
+    def test_findings_with_check_exit_one(self, dirty_project):
+        result = run_cli(["--check", "src"], dirty_project)
+        assert result.returncode == 1
+        assert "APX001" in result.stdout
+
+    def test_syntax_error_fails_the_check(self, clean_project):
+        (clean_project / "src" / "pkg" / "broken.py").write_text("def f(:\n")
+        result = run_cli(["--check", "src"], clean_project)
+        assert result.returncode == 1
+        assert "parse errors" in result.stdout
+
+    def test_list_rules(self, clean_project):
+        result = run_cli(["--list-rules"], clean_project)
+        assert result.returncode == 0
+        for code in ("APX001", "APX002", "APX003", "APX004", "APX005"):
+            assert code in result.stdout
+
+
+class TestJsonReport:
+    def test_schema(self, dirty_project):
+        result = run_cli(["--json", "src"], dirty_project)
+        payload = json.loads(result.stdout)
+        assert payload["version"] == 1
+        assert set(payload["rules"]) == {
+            "APX001", "APX002", "APX003", "APX004", "APX005"
+        }
+        summary = payload["summary"]
+        assert set(summary) == {"files", "new", "baselined", "suppressed", "errors"}
+        assert summary["new"] == len(payload["findings"]) > 0
+        for finding in payload["findings"]:
+            assert set(finding) == {
+                "rule", "path", "line", "col", "message", "context", "key"
+            }
+            assert finding["key"].startswith(f"{finding['rule']}|")
+
+    def test_clean_report_counts_zero(self, clean_project):
+        result = run_cli(["--json", "src"], clean_project)
+        payload = json.loads(result.stdout)
+        assert payload["summary"]["new"] == 0
+        assert payload["findings"] == []
+
+
+class TestSuppression:
+    def test_inline_ignore_silences_only_its_rule(self, dirty_project):
+        target = dirty_project / "src" / "pkg" / "ledger_use.py"
+        source = target.read_text()
+        source = source.replace(
+            'ledger.reserve(0.25)  # result dropped: can never be charged or released',
+            'ledger.reserve(0.25)  # apx: ignore[APX001] exercised by tests',
+        )
+        target.write_text(source)
+        result = run_cli(["--json", "src"], dirty_project)
+        payload = json.loads(result.stdout)
+        assert payload["summary"]["suppressed"] == 1
+        assert all("discarded" not in f["context"] for f in payload["findings"])
+        # the other findings are untouched
+        assert payload["summary"]["new"] > 0
+
+    def test_wrong_code_does_not_suppress(self, dirty_project):
+        target = dirty_project / "src" / "pkg" / "ledger_use.py"
+        source = target.read_text().replace(
+            'ledger.reserve(0.25)  # result dropped: can never be charged or released',
+            'ledger.reserve(0.25)  # apx: ignore[APX002] wrong rule',
+        )
+        target.write_text(source)
+        result = run_cli(["--json", "src"], dirty_project)
+        payload = json.loads(result.stdout)
+        assert payload["summary"]["suppressed"] == 0
+
+
+class TestBaselineWorkflow:
+    def test_write_baseline_then_check_is_green(self, dirty_project):
+        write = run_cli(["--write-baseline", "src"], dirty_project)
+        assert write.returncode == 0
+        payload = json.loads((dirty_project / "analysis-baseline.json").read_text())
+        assert payload["findings"]
+        for entry in payload["findings"]:
+            assert set(entry) == {"key", "rule", "path", "reason"}
+            assert entry["reason"] == "TODO: justify"
+        check = run_cli(["--check", "src"], dirty_project)
+        assert check.returncode == 0, check.stdout
+
+    def test_baseline_reasons_survive_rewrite(self, dirty_project):
+        run_cli(["--write-baseline", "src"], dirty_project)
+        baseline_path = dirty_project / "analysis-baseline.json"
+        payload = json.loads(baseline_path.read_text())
+        payload["findings"][0]["reason"] = "kept on purpose"
+        kept_key = payload["findings"][0]["key"]
+        baseline_path.write_text(json.dumps(payload))
+        run_cli(["--write-baseline", "src"], dirty_project)
+        rewritten = json.loads(baseline_path.read_text())
+        reasons = {e["key"]: e["reason"] for e in rewritten["findings"]}
+        assert reasons[kept_key] == "kept on purpose"
+
+    def test_new_finding_on_top_of_baseline_fails(self, dirty_project):
+        run_cli(["--write-baseline", "src"], dirty_project)
+        extra = dirty_project / "src" / "pkg" / "extra.py"
+        extra.write_text(
+            "def fresh_leak(ledger):\n"
+            "    ledger.reserve(0.5)\n"
+        )
+        check = run_cli(["--check", "src"], dirty_project)
+        assert check.returncode == 1
+        assert "extra.py" in check.stdout
+
+
+class TestLockOrderEmission:
+    def test_emit_rewrites_only_between_markers(self, tmp_path):
+        pkg = tmp_path / "src" / "pkg"
+        pkg.mkdir(parents=True)
+        shutil.copy(FIXTURES / "apx003_good.py", pkg / "locks.py")
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "# Consistency\n\nprose before\n\n"
+            "<!-- lock-order:begin -->\nstale\n<!-- lock-order:end -->\n\n"
+            "prose after\n"
+        )
+        result = run_cli(["--emit-lock-order", str(doc), "src"], tmp_path)
+        assert result.returncode == 0, result.stdout + result.stderr
+        text = doc.read_text()
+        assert "stale" not in text
+        assert "prose before" in text and "prose after" in text
+        assert "pkg.locks.Outer._lock" in text
+        assert text.count("<!-- lock-order:begin -->") == 1
+
+    def test_missing_markers_is_an_error(self, tmp_path):
+        (tmp_path / "src").mkdir()
+        doc = tmp_path / "doc.md"
+        doc.write_text("no markers here\n")
+        result = run_cli(["--emit-lock-order", str(doc), "src"], tmp_path)
+        assert result.returncode == 2
+
+
+class TestCommittedDocIsCurrent:
+    def test_consistency_md_lock_order_matches_the_code(self):
+        """The generated block in docs/consistency.md must not go stale."""
+        from repro.analysis.cli import (
+            LOCK_ORDER_BEGIN,
+            LOCK_ORDER_END,
+            lock_order_markdown,
+        )
+
+        root = Path(__file__).parents[2]
+        text = (root / "docs" / "consistency.md").read_text()
+        committed = text.split(LOCK_ORDER_BEGIN)[1].split(LOCK_ORDER_END)[0].strip()
+        expected = lock_order_markdown([str(root / "src")], str(root)).strip()
+        assert committed == expected, (
+            "docs/consistency.md lock-order section is stale; regenerate with "
+            "`python -m repro.analysis --emit-lock-order docs/consistency.md src/`"
+        )

@@ -1,0 +1,151 @@
+"""The runtime lock-order watchdog: inversions, self-deadlock, compatibility."""
+
+import threading
+
+import pytest
+
+from repro.analysis.runtime import (
+    LockInversionError,
+    LockOrderWatchdog,
+    watching,
+)
+
+
+class TestInstallation:
+    def test_install_and_uninstall_restore_the_factories(self):
+        original_lock, original_rlock = threading.Lock, threading.RLock
+        watchdog = LockOrderWatchdog()
+        watchdog.install()
+        try:
+            assert threading.Lock is not original_lock
+            lock = threading.Lock()
+            with lock:
+                pass
+        finally:
+            watchdog.uninstall()
+        assert threading.Lock is original_lock
+        assert threading.RLock is original_rlock
+
+    def test_preexisting_locks_stay_raw(self):
+        lock = threading.Lock()
+        with watching():
+            with lock:  # not instrumented, must still work
+                pass
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            LockOrderWatchdog(mode="explode")
+
+
+class TestInversionDetection:
+    def test_two_thread_inversion_is_recorded(self):
+        """A real AB/BA inversion across a thread pair is caught even when
+        the timing happens not to deadlock (threads run one after another)."""
+        with watching(mode="record") as watchdog:
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+
+            def ab_order():
+                with lock_a:
+                    with lock_b:
+                        pass
+
+            def ba_order():
+                with lock_b:
+                    with lock_a:
+                        pass
+
+            first = threading.Thread(target=ab_order, name="ab")
+            first.start()
+            first.join()
+            second = threading.Thread(target=ba_order, name="ba")
+            second.start()
+            second.join()
+
+        inversions = [v for v in watchdog.violations if v.kind == "inversion"]
+        assert len(inversions) == 1
+        violation = inversions[0]
+        assert violation.thread == "ba"
+        assert "opposite order" in violation.details
+
+    def test_raise_mode_raises_at_the_inverting_acquire(self):
+        with watching(mode="raise"):
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+            with lock_a:
+                with lock_b:
+                    pass
+            with lock_b:
+                with pytest.raises(LockInversionError, match="opposite order"):
+                    lock_a.acquire()
+
+    def test_consistent_order_is_silent(self):
+        with watching(mode="record") as watchdog:
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+            for _ in range(3):
+                with lock_a:
+                    with lock_b:
+                        pass
+        assert watchdog.violations == []
+
+    def test_trylock_does_not_report(self):
+        """A non-blocking acquire cannot deadlock, whatever the order."""
+        with watching(mode="raise") as watchdog:
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+            with lock_a:
+                with lock_b:
+                    pass
+            with lock_b:
+                assert lock_a.acquire(blocking=False)
+                lock_a.release()
+        assert watchdog.violations == []
+
+
+class TestSelfDeadlock:
+    def test_blocking_reacquire_of_plain_lock_raises_in_every_mode(self):
+        with watching(mode="record") as watchdog:
+            lock = threading.Lock()
+            lock.acquire()
+            with pytest.raises(LockInversionError, match="self-deadlock"):
+                lock.acquire()
+            lock.release()
+        assert any(v.kind == "self-deadlock" for v in watchdog.violations)
+
+    def test_rlock_reentry_is_fine(self):
+        with watching(mode="raise") as watchdog:
+            rlock = threading.RLock()
+            with rlock:
+                with rlock:
+                    pass
+        assert watchdog.violations == []
+
+
+class TestThreadingCompatibility:
+    def test_condition_over_instrumented_lock(self):
+        """threading.Condition relies on _is_owned/_release_save/_acquire_restore."""
+        with watching(mode="raise"):
+            condition = threading.Condition()
+            results = []
+
+            def consumer():
+                with condition:
+                    while not results:
+                        condition.wait(timeout=5)
+
+            thread = threading.Thread(target=consumer)
+            thread.start()
+            with condition:
+                results.append(1)
+                condition.notify_all()
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+
+    def test_wrapped_lock_reports_locked_state(self):
+        with watching():
+            lock = threading.Lock()
+            assert not lock.locked()
+            with lock:
+                assert lock.locked()
+            assert not lock.locked()

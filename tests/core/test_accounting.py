@@ -145,3 +145,51 @@ class TestTranscript:
         assert summary["answered"] == 1
         assert summary["denied"] == 1
         assert summary["mechanisms"] == ["LM"]
+
+
+class TestReserveJournalFailure:
+    """A journal failure during reserve() must roll the admission back.
+
+    Regression: the journal append used to happen after the lock was
+    dropped with no rollback, so a crash-injected append leaked the
+    reservation and permanently shrank ``remaining`` (APX001 finding).
+    """
+
+    def test_journal_failure_releases_the_reservation(self, tmp_path):
+        from repro.core.exceptions import FaultInjected
+        from repro.reliability import faults
+        from repro.reliability.journal import LedgerJournal
+
+        journal = LedgerJournal(tmp_path / "wal.jsonl")
+        ledger = PrivacyLedger(1.0, journal=journal)
+        with faults.armed("ledger.reserve.after_journal", "error"):
+            with pytest.raises(FaultInjected):
+                ledger.reserve(0.4)
+        assert ledger.reserved == 0.0
+        assert ledger.remaining == 1.0
+        ledger.assert_invariants()
+        # The full budget is still admissible afterwards.
+        reservation = ledger.reserve(1.0)
+        assert reservation is not None
+        ledger.release(reservation)
+        journal.close()
+
+    def test_recovery_after_failed_reserve_charges_nothing(self, tmp_path):
+        from repro.core.exceptions import FaultInjected
+        from repro.reliability import faults
+        from repro.reliability.journal import LedgerJournal
+
+        path = tmp_path / "wal.jsonl"
+        journal = LedgerJournal(path)
+        ledger = PrivacyLedger(1.0, journal=journal)
+        with faults.armed("ledger.reserve.after_journal", "error"):
+            with pytest.raises(FaultInjected):
+                ledger.reserve(0.4)
+        journal.close()
+        # The rollback journaled the release, so replay charges nothing.
+        reopened = LedgerJournal(path)
+        recovered = PrivacyLedger(1.0, journal=reopened)
+        recovered.adopt_recovery(reopened.recovery)
+        assert recovered.spent == 0.0
+        assert recovered.reserved == 0.0
+        reopened.close()

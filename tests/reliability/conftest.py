@@ -1,7 +1,8 @@
-"""Shared fixtures: failpoint hygiene for every reliability test."""
+"""Shared fixtures: failpoint hygiene + lock-order watchdog for the suite."""
 
 import pytest
 
+from repro.analysis.runtime import LockOrderWatchdog
 from repro.reliability import faults
 
 
@@ -13,3 +14,23 @@ def clean_failpoints():
     yield
     faults.disarm_all()
     faults.reset_fault_stats()
+
+
+@pytest.fixture(autouse=True, scope="package")
+def lock_order_watchdog():
+    """Every lock created by reliability tests runs under the watchdog.
+
+    Record mode: the tests themselves are unaffected, but any lock-order
+    inversion the suite exercises (the dynamic edges APX003 cannot resolve
+    statically) fails the package at teardown.
+    """
+    watchdog = LockOrderWatchdog(mode="record")
+    watchdog.install()
+    yield watchdog
+    watchdog.uninstall()
+    inversions = [v for v in watchdog.violations if v.kind == "inversion"]
+    if inversions:
+        pytest.fail(
+            "lock-order inversions observed during the reliability suite:\n"
+            + "\n".join(v.render() for v in inversions)
+        )

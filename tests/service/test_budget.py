@@ -241,3 +241,54 @@ class TestSessionLedger:
     def test_policy_values(self):
         assert BudgetPolicy("fixed-share") is BudgetPolicy.FIXED_SHARE
         assert BudgetPolicy("first-come") is BudgetPolicy.FIRST_COME
+
+
+class TestSessionReserveRollback:
+    """Raise paths inside SessionLedger.reserve must not leak either book.
+
+    Regression: a pool admission or journal append that *raised* (rather
+    than refused) used to leave the share-level (and pool-level)
+    reservation permanently held (APX001 finding).
+    """
+
+    def test_pool_failure_rolls_back_the_share_reservation(self):
+        pool = SharedBudgetPool(2.0)
+        ledger = SessionLedger(pool, 1.0, "alice")
+
+        class Boom(RuntimeError):
+            pass
+
+        def exploding_try_reserve(epsilon_upper):
+            raise Boom("pool fault")
+
+        ledger._pool = type(
+            "ExplodingPool",
+            (),
+            {
+                "try_reserve": staticmethod(exploding_try_reserve),
+                "remaining": property(lambda self: pool.remaining),
+            },
+        )()
+        with pytest.raises(Boom):
+            ledger.reserve(0.5)
+        ledger._pool = pool
+        assert ledger.reserved == 0.0
+        assert pool.reserved == 0.0
+        ledger.assert_invariants()
+
+    def test_journal_failure_rolls_back_share_and_pool(self, tmp_path):
+        from repro.core.exceptions import FaultInjected
+        from repro.reliability import faults
+        from repro.reliability.journal import LedgerJournal
+
+        journal = LedgerJournal(tmp_path / "wal.jsonl")
+        pool = SharedBudgetPool(2.0)
+        ledger = SessionLedger(pool, 1.0, "alice", journal=journal)
+        with faults.armed("ledger.reserve.after_journal", "error"):
+            with pytest.raises(FaultInjected):
+                ledger.reserve(0.5)
+        assert ledger.reserved == 0.0
+        assert pool.reserved == 0.0
+        assert ledger.remaining == 1.0
+        ledger.assert_invariants()
+        journal.close()
