@@ -103,6 +103,20 @@ class ParallelExecutor:
         pool = self._ensure_pool()
         return list(pool.map(fn, tasks))
 
+    def submit(self, fn: Callable[..., R], /, *args: object, **kwargs: object):
+        """Schedule one call on the pool and return its ``Future``.
+
+        The future-returning primitive beneath the asyncio service front
+        (:mod:`repro.service.async_front` awaits it via
+        ``asyncio.wrap_future``).  Unlike :meth:`map`, ``submit`` always
+        goes through the pool -- even at ``max_workers=1`` -- because the
+        caller is explicitly asking *not* to block the submitting thread.
+
+        :returns: a :class:`concurrent.futures.Future` for ``fn(*args,
+            **kwargs)``.
+        """
+        return self._ensure_pool().submit(fn, *args, **kwargs)
+
     def shutdown(self, wait: bool = True) -> None:
         """Release the pool threads (idempotent).
 

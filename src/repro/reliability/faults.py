@@ -95,8 +95,9 @@ FAILPOINT_SITES: tuple[str, ...] = (
     "store.load.read",  # disk read of an artifact
     "store.save.write",  # disk write/rename of an artifact
     "store.lock.acquire",  # advisory-lock acquisition (stalls)
-    # service (repro/service/exploration.py)
+    # service (repro/service/exploration.py, repro/service/budget.py)
     "service.explore.admitted",  # request admitted, engine not yet entered
+    "pool.commit.drain",  # inside the batched-commit drain, batch popped, pool untouched
 )
 
 _SITE_SET = frozenset(FAILPOINT_SITES)

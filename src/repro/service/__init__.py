@@ -17,6 +17,7 @@ checked with the paper's Theorem 6.2 machinery at any time
 the synthetic Adult / NYTaxi tables; see :mod:`repro.service.replay`.
 """
 
+from repro.service.async_front import AsyncExplorationFront
 from repro.service.batching import RequestBatcher
 from repro.service.budget import BudgetPolicy, SessionLedger, SharedBudgetPool
 from repro.service.exploration import AnalystSessionHandle, ExplorationService
@@ -33,6 +34,7 @@ from repro.service.replay import (
 __all__ = [
     "AnalystScript",
     "AnalystSessionHandle",
+    "AsyncExplorationFront",
     "BudgetPolicy",
     "ExplorationService",
     "ReplayReport",

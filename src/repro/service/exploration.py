@@ -48,7 +48,7 @@ import itertools
 import threading
 import time
 from dataclasses import dataclass, field as dataclasses_field
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.accounting import Transcript
 from repro.core.accuracy import AccuracySpec
@@ -66,6 +66,10 @@ from repro.reliability.journal import LedgerJournal
 from repro.service.batching import RequestBatcher
 from repro.service.budget import BudgetPolicy, SessionLedger, SharedBudgetPool
 from repro.store import ArtifactStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.parallel import ParallelExecutor
+    from repro.service.async_front import AsyncExplorationFront
 
 __all__ = ["AnalystSessionHandle", "ExplorationService"]
 
@@ -520,6 +524,45 @@ class ExplorationService:
             raise
         self._note_latency("explore", time.perf_counter() - start)
         return result
+
+    def serve_async(
+        self,
+        *,
+        max_concurrency: int | None = None,
+        executor: "ParallelExecutor | None" = None,
+    ) -> "AsyncExplorationFront":
+        """Build an asyncio front over this service (coroutine-per-session).
+
+        The returned :class:`~repro.service.async_front.AsyncExplorationFront`
+        holds any number of open analyst sessions as coroutines and admits
+        at most ``max_concurrency`` requests at a time into a bounded
+        thread pool -- the backpressure boundary in front of the
+        :class:`~repro.service.batching.RequestBatcher` and the budget
+        pool.  The service itself stays fully usable from plain threads at
+        the same time; both fronts land in the same admission protocol.
+
+        :param max_concurrency: admission bound (defaults to the front's
+            :data:`~repro.service.async_front.DEFAULT_MAX_CONCURRENCY`).
+        :param executor: optional shared
+            :class:`~repro.core.parallel.ParallelExecutor`; by default the
+            front creates (and owns) one sized to the admission bound.
+        """
+        # Imported lazily: the blocking service must stay importable in
+        # environments that strip asyncio-based tooling.
+        from repro.service.async_front import (
+            DEFAULT_MAX_CONCURRENCY,
+            AsyncExplorationFront,
+        )
+
+        return AsyncExplorationFront(
+            self,
+            max_concurrency=(
+                DEFAULT_MAX_CONCURRENCY
+                if max_concurrency is None
+                else max_concurrency
+            ),
+            executor=executor,
+        )
 
     def explore_text(
         self, analyst: str, query_text: str, accuracy: AccuracySpec | None = None

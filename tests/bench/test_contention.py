@@ -1,0 +1,41 @@
+"""Payload-shape and invariant checks for the BENCH_8 contention suite."""
+
+from repro.bench.contention import (
+    bench_commit_batch_latency,
+    bench_contended_mixes,
+    bench_pinned_version_parity,
+    bench_uncontended_hits,
+)
+
+
+class TestContentionPayloads:
+    def test_uncontended_hits_payload(self):
+        payload = bench_uncontended_hits(n_ops=2_000, repeats=2)
+        assert payload["optimistic_hits_per_second"] > 0
+        assert payload["locked_hits_per_second"] > 0
+        assert payload["speedup"] > 0
+        # The hot-key loop must actually ride the optimistic path.
+        assert payload["optimistic_hit_fraction"] > 0.99
+
+    def test_contended_mix_payload_is_correct_and_labelled(self):
+        results = bench_contended_mixes(
+            thread_counts=(1, 2), ops_per_thread=1_500, max_attempts=2
+        )
+        assert [r["n_threads"] for r in results] == [1, 2]
+        for record in results:
+            assert record["torn_or_stale_values"] == 0, record["errors"]
+            assert record["ops_per_second"] > 0
+            assert record["optimistic_hits"] + record["lock_hits"] > 0
+
+    def test_commit_batch_latency_is_exact_and_valid(self):
+        payload = bench_commit_batch_latency(n_analysts=4, n_ops=8)
+        assert payload["errors"] == []
+        assert payload["spend_exact"]
+        assert payload["transcript_valid"]
+        assert payload["batched_commits"] == 4 * 8
+        assert payload["latency_p50_seconds"] <= payload["latency_p99_seconds"]
+
+    def test_pinned_version_parity_is_bit_identical(self):
+        payload = bench_pinned_version_parity(500, seed=0, n_threads=2, rounds=20)
+        assert payload["bit_identical"]
+        assert payload["mask_cache_hits"] > 0

@@ -1,0 +1,93 @@
+"""Property-based deterministic history replay across fresh interpreters.
+
+A concurrency battery is only trustworthy if its histories can be
+*reproduced*: the same seed must generate the same operation schedule and
+-- replayed sequentially in canonical order -- the same outcomes, in a
+brand-new interpreter.  This pins two properties at once:
+
+* the cache itself is deterministic for a fixed history (counters,
+  eviction order, final contents -- no hidden dependence on ids, hash
+  randomization, or interpreter state), and
+* the battery's seeded schedule generation is stable, so a failing seed
+  reported by CI can be replayed locally, bit for bit.
+
+Keys are restricted to types whose hashes are stable across interpreters
+with ``PYTHONHASHSEED`` pinned (ints here; the battery's own SlowKey
+hashes delegate to ints too), which is also why the subprocesses run with
+an explicit hash seed.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+#: The replay program run in each fresh interpreter: generates a seeded
+#: history, applies it to an LRUCache, prints a digest of everything
+#: observable (per-op results, final stats, final contents in order).
+REPLAY_PROGRAM = """
+import json
+import random
+import sys
+
+from repro.core.lru import LRUCache
+
+seed, stripes, n_ops = (int(a) for a in sys.argv[1:4])
+rng = random.Random(seed)
+cache = LRUCache(32, stripes=stripes)
+
+history = []
+for _ in range(n_ops):
+    op = rng.choice(("get", "put", "put", "get", "contains", "len"))
+    key = rng.randrange(64)
+    if op == "put":
+        value = (key, rng.randrange(1 << 16))
+        cache.put(key, value)
+        history.append(("put", key, value[1]))
+    elif op == "get":
+        value = cache.get(key)
+        history.append(("get", key, None if value is None else value[1]))
+    elif op == "contains":
+        history.append(("contains", key, key in cache))
+    else:
+        history.append(("len", len(cache)))
+
+stats = cache.stats()
+final = [(k, cache.get(k) is not None) for k in range(64)]
+print(json.dumps({"history": history, "stats": stats, "final": final}))
+"""
+
+
+def replay_in_fresh_interpreter(seed, stripes, n_ops=400):
+    env = dict(os.environ)
+    root = Path(__file__).resolve().parents[2]
+    src = str(root / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["PYTHONHASHSEED"] = "0"
+    result = subprocess.run(
+        [sys.executable, "-c", REPLAY_PROGRAM, str(seed), str(stripes), str(n_ops)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestDeterministicReplay:
+    @pytest.mark.parametrize("stripes", [1, 4])
+    @pytest.mark.parametrize("seed", [0, 12345])
+    def test_history_replays_identically_across_interpreters(self, seed, stripes):
+        first = replay_in_fresh_interpreter(seed, stripes)
+        second = replay_in_fresh_interpreter(seed, stripes)
+        assert first == second
+        assert '"history"' in first  # the digest actually carries the history
+
+    def test_different_seeds_generate_different_histories(self):
+        # The property test has teeth only if the schedule space is real.
+        assert replay_in_fresh_interpreter(1, 1) != replay_in_fresh_interpreter(2, 1)

@@ -5,13 +5,47 @@ import pytest
 from repro.core.lru import LRUCache
 
 
+def counters(cache, *fields):
+    stats = cache.stats()
+    return {field: stats[field] for field in fields}
+
+
 class TestLRUCache:
     def test_get_put_and_counters(self):
         cache = LRUCache(4)
         assert cache.get("a") is None
         cache.put("a", 1)
         assert cache.get("a") == 1
-        assert cache.stats() == {"hits": 1, "misses": 1, "size": 1}
+        assert counters(cache, "hits", "misses", "size") == {
+            "hits": 1,
+            "misses": 1,
+            "size": 1,
+        }
+
+    def test_stats_exposes_seqlock_counters(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        stats = cache.stats()
+        assert stats["hits"] == stats["optimistic_hits"] + stats["lock_hits"]
+        assert stats["hits"] == 2
+        assert stats["seqlock_retries"] == 0
+        assert stats["puts"] == 1
+        assert stats["evictions"] == 0
+        assert stats["stripes"] == 1
+        assert stats["stripe_migrations"] == 0
+        # Conservation: every snapshot balances inserts against removals.
+        assert stats["inserts"] - stats["evictions"] == stats["size"]
+
+    def test_non_optimistic_mode_counts_hits_as_locked(self):
+        cache = LRUCache(4, optimistic=False)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        stats = cache.stats()
+        assert stats["optimistic_hits"] == 0
+        assert stats["lock_hits"] == 1
+        assert stats["hits"] == 1
 
     def test_eviction_is_least_recently_used(self):
         cache = LRUCache(2)
@@ -30,11 +64,48 @@ class TestLRUCache:
         assert len(cache) == 5
         cache.clear()
         assert len(cache) == 0
-        assert cache.stats() == {"hits": 0, "misses": 0, "size": 0}
+        assert counters(cache, "hits", "misses", "size") == {
+            "hits": 0,
+            "misses": 0,
+            "size": 0,
+        }
 
     def test_rejects_non_positive_capacity(self):
         with pytest.raises(ValueError):
             LRUCache(0)
+
+    def test_striped_cache_spreads_entries_and_aggregates_stats(self):
+        cache = LRUCache(64, stripes=4)
+        assert cache.stripes == 4
+        for i in range(32):
+            cache.put(i, i * 10)
+        for i in range(32):
+            assert cache.get(i) == i * 10
+        stats = cache.stats()
+        assert stats["hits"] == 32
+        assert stats["size"] == 32
+        assert len(cache) == 32
+        assert stats["inserts"] - stats["evictions"] == stats["size"]
+
+    def test_stripe_count_rounds_up_to_power_of_two(self):
+        cache = LRUCache(64, stripes=3)
+        assert cache.stripes == 4
+
+    def test_resize_stripes_migrates_entries(self):
+        cache = LRUCache(64, stripes=1, max_stripes=8)
+        for i in range(16):
+            cache.put(i, i)
+        moved = cache.resize_stripes(4)
+        assert moved == 16
+        assert cache.stripes == 4
+        assert cache.stripe_migrations == 16
+        for i in range(16):
+            assert cache.get(i) == i
+        stats = cache.stats()
+        assert stats["size"] == 16
+        # Migration books drained entries as evictions and re-homes as
+        # puts, so conservation survives the resize.
+        assert stats["inserts"] - stats["evictions"] == stats["size"]
 
     def test_mask_budget_scales_with_rows(self):
         from repro.data.table import (

@@ -113,6 +113,34 @@ class TestCrashDuringJournalAppend:
         assert recovered["spent"] <= BUDGET + 1e-9
 
 
+class TestCrashInsideCommitDrain:
+    def test_drain_crash_recovers_conservatively(self, tmp_path):
+        """SIGKILL inside the batched-commit drain: the share-level commit
+        record hit the WAL before the pool mirror ran, so recovery must
+        charge the op (conservative direction) and stay valid."""
+        journal = str(tmp_path / "ledger.wal")
+        rc, events, stderr = run_worker(
+            journal,
+            SCRIPT,
+            failpoints="pool.commit.drain=crash:1",
+            **COMMON,
+        )
+        assert rc == -9, f"rc={rc} {stderr!r}"
+        # The drain runs after the share charge but before the ack.
+        assert events_of("ack", events) == []
+        rc2, events2, stderr2 = run_worker(journal, [], **COMMON)
+        assert rc2 == 0, stderr2
+        recovered = events_of("recovered", events2)[0]
+        assert recovered["valid"]
+        assert 0.0 < recovered["spent"] <= BUDGET
+        # Recovered spend is at least the journaled charge: never an
+        # under-count across the crash boundary.
+        rc3, events3, stderr3 = run_worker(journal, SCRIPT, **COMMON)
+        assert rc3 == 0, stderr3
+        done = events_of("done", events3)[0]
+        assert done["valid"]
+
+
 class TestCorruptedTailOnStartup:
     def test_garbage_tail_never_fails_startup(self, tmp_path):
         journal = str(tmp_path / "ledger.wal")

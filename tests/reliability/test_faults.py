@@ -92,7 +92,7 @@ class TestEnvParsing:
     def test_catalog_only_contains_known_prefixes(self):
         # every site names an existing module area; a typo here would let a
         # doc reference drift from the code
-        prefixes = ("journal.", "ledger.", "engine.", "store.", "service.")
+        prefixes = ("journal.", "ledger.", "engine.", "store.", "service.", "pool.")
         for site in faults.FAILPOINT_SITES:
             assert site.startswith(prefixes)
 

@@ -204,7 +204,15 @@ class TestObservability:
         stats = service.stats()
         assert stats["policy"] == "first-come"
         assert "alice" in stats["sessions"]
-        assert set(stats["budget"]) == {"budget", "spent", "reserved", "remaining"}
+        assert set(stats["budget"]) == {
+            "budget",
+            "spent",
+            "reserved",
+            "remaining",
+            "batched_commits",
+            "commit_batches",
+            "commit_batch_sizes",
+        }
         assert set(stats["batching"]) == {
             "computed",
             "coalesced",
