@@ -12,6 +12,7 @@ trajectory after engine changes::
     python -m repro.bench --suite reliability  # WAL / crash-recovery suite
     python -m repro.bench --suite workloads  # generated longitudinal streams
     python -m repro.bench --suite contention  # lock-light hot-path suite
+    python -m repro.bench --suite obs     # observability overhead suite
     python -m repro.bench --quick         # scaled down, same checks
     python -m repro.bench --suite engine --output out.json
 
@@ -37,6 +38,7 @@ from repro.bench.contention import (
     UNCONTENDED_SPEEDUP_TARGET,
     run_contention_microbenchmarks,
 )
+from repro.bench.obsbench import OBS_OVERHEAD_TARGET, run_obs_microbenchmarks
 from repro.bench.reporting import write_bench_json
 from repro.bench.workloadbench import run_workload_microbenchmarks
 
@@ -472,6 +474,79 @@ def _print_contention_summary(payload: dict, output: str) -> int:
     return failures
 
 
+def _print_obs_summary(payload: dict, output: str) -> int:
+    overhead = payload["tracing_overhead"]
+    poll = payload["registry_poll"]
+    chain = payload["span_chain"]
+    print(f"wrote {output}")
+    baseline = overhead["modes"]["baseline"]
+    print(
+        f"tracing overhead: baseline {baseline['requests_per_second']:.1f} req/s; "
+        + ", ".join(
+            f"{mode} {record['overhead_vs_baseline'] * 100:+.2f}%"
+            for mode, record in overhead["modes"].items()
+            if mode != "baseline"
+        )
+        + f" (target <= {overhead['overhead_target'] * 100:.0f}% disabled, "
+        f"attempt {overhead['attempts']})"
+    )
+    print(
+        f"registry poll: {poll['n_metrics']} metrics validated in "
+        f"{poll['seconds_per_poll'] * 1e3:.2f}ms/poll "
+        f"(scheme_conformant={poll['scheme_conformant']})"
+    )
+    print(
+        f"span chain: preview_complete={chain['preview_chain_complete']}, "
+        f"explore_complete={chain['explore_chain_complete']}, "
+        f"cache_tiers_match={chain['cache_tiers_match_counters']} "
+        f"(labels={chain['cache_tier_labels']}, "
+        f"{chain['chrome_events']} chrome events)"
+    )
+    failures = 0
+    if not overhead["within_target"]:
+        print(
+            f"FAILURE: tracing-disabled overhead "
+            f"{overhead['disabled_overhead'] * 100:.2f}% exceeds the "
+            f"{OBS_OVERHEAD_TARGET * 100:.0f}% target",
+            file=sys.stderr,
+        )
+        failures += 1
+    if not overhead["safety_preserved"]:
+        print(
+            "FAILURE: a traced budget-stress run broke a safety invariant "
+            "(overspend, invalid transcript, or request errors)",
+            file=sys.stderr,
+        )
+        failures += 1
+    if not (poll["scheme_conformant"] and poll["has_cache_tiers"]):
+        print(
+            "FAILURE: the metrics catalog violates the "
+            "repro_<subsystem>_<name> scheme or lacks the cache-tier "
+            "counters",
+            file=sys.stderr,
+        )
+        failures += 1
+    if not (
+        chain["preview_chain_complete"] and chain["explore_chain_complete"]
+    ):
+        print(
+            f"FAILURE: the acceptance trace is missing spans "
+            f"(preview: {chain['preview_missing']}, "
+            f"explore: {chain['explore_missing']})",
+            file=sys.stderr,
+        )
+        failures += 1
+    if not chain["cache_tiers_match_counters"]:
+        print(
+            f"FAILURE: cache_tier span labels {chain['cache_tier_labels']} "
+            f"diverge from the translator counters "
+            f"{chain['cache_tier_deltas']}",
+            file=sys.stderr,
+        )
+        failures += 1
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -493,6 +568,7 @@ def main(argv: list[str] | None = None) -> int:
             "reliability",
             "workloads",
             "contention",
+            "obs",
             "all",
         ),
         default="all",
@@ -505,7 +581,8 @@ def main(argv: list[str] | None = None) -> int:
         "(defaults: BENCH_1.json for engine, BENCH_2.json for service, "
         "BENCH_3.json for shards, BENCH_4.json for snapshots, "
         "BENCH_5.json for store, BENCH_6.json for reliability, "
-        "BENCH_7.json for workloads, BENCH_8.json for contention)",
+        "BENCH_7.json for workloads, BENCH_8.json for contention, "
+        "BENCH_9.json for obs)",
     )
     parser.add_argument(
         "--seed", type=int, default=20190501, help="seed for the synthetic table"
@@ -555,6 +632,11 @@ def main(argv: list[str] | None = None) -> int:
         payload = run_contention_microbenchmarks(quick=args.quick, seed=args.seed)
         write_bench_json(output, payload)
         failures += _print_contention_summary(payload, output)
+    if args.suite in ("obs", "all"):
+        output = args.output or "BENCH_9.json"
+        payload = run_obs_microbenchmarks(quick=args.quick, seed=args.seed)
+        write_bench_json(output, payload)
+        failures += _print_obs_summary(payload, output)
     return 1 if failures else 0
 
 

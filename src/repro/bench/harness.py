@@ -19,9 +19,10 @@ Empirical error definitions follow Section 7.1:
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, MutableMapping, Sequence
 
 import numpy as np
 
@@ -42,6 +43,7 @@ from repro.er.strategies import (
 )
 from repro.mechanisms.base import Mechanism
 from repro.mechanisms.registry import MechanismRegistry, default_registry
+from repro.obs.registry import Histogram
 from repro.queries.builders import (
     cumulative_histogram_workload,
     histogram_workload,
@@ -71,6 +73,7 @@ __all__ = [
     "empirical_error",
     "last_run_timings",
     "clear_run_timings",
+    "run_timing_stats",
 ]
 
 #: The alpha sweep used throughout Section 7 (fractions of |D|).
@@ -78,9 +81,73 @@ PAPER_ALPHA_FRACTIONS = (0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64)
 #: The paper's default failure probability.
 PAPER_BETA = 5e-4
 
-#: Wall-clock seconds of the most recent invocation of each ``run_*``
-#: experiment, keyed by experiment name (``"figure2"``, ``"table2"``, ...).
-RUN_TIMINGS: dict[str, float] = {}
+class RunTimings(MutableMapping[str, float]):
+    """Thread-safe wall-clock record of timed runs, with full distributions.
+
+    Drop-in compatible with the plain dict this used to be
+    (``RUN_TIMINGS[name] = seconds``; iteration/lookup sees the most recent
+    sample per key), but every assignment additionally feeds a per-key
+    :class:`repro.obs.registry.Histogram` -- the old dict raced concurrent
+    writers (the service records request latencies from many threads at
+    once) and silently kept only the last sample, so "mean service latency
+    during the bench run" was unanswerable.  :meth:`stats` exposes
+    count/mean/min/max/p50/p95 per key; :func:`last_run_timings` keeps its
+    historical last-sample shape.
+    """
+
+    def __init__(self) -> None:
+        # One lock guards both maps; the per-key histograms have their own
+        # finer-grained seqlock discipline for snapshots.
+        self._lock = threading.Lock()
+        self._last: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def __setitem__(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self._last[name] = seconds
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+        histogram.observe(seconds)
+
+    def __getitem__(self, name: str) -> float:
+        with self._lock:
+            return self._last[name]
+
+    def __delitem__(self, name: str) -> None:
+        with self._lock:
+            del self._last[name]
+            self._histograms.pop(name, None)
+
+    def __iter__(self) -> Iterator[str]:
+        with self._lock:
+            return iter(list(self._last))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._last)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._last.clear()
+            self._histograms.clear()
+
+    def stats(self) -> dict[str, dict[str, float]]:
+        """Per-key aggregates over *every* sample since the last clear."""
+        with self._lock:
+            histograms = dict(self._histograms)
+        return {
+            name: histogram.snapshot()
+            for name, histogram in sorted(histograms.items())
+        }
+
+
+#: Wall-clock seconds of the timed runs recorded so far: the most recent
+#: invocation of each ``run_*`` experiment (``"figure2"``, ``"table2"``, ...)
+#: plus the service's per-request latencies (``"service.explore"``, ...).
+#: Mapping reads see the last sample per key; ``RUN_TIMINGS.stats()`` /
+#: :func:`run_timing_stats` aggregate the full per-key distributions.
+RUN_TIMINGS = RunTimings()
 
 
 def _timed(name: str) -> Callable:
@@ -106,6 +173,11 @@ def last_run_timings() -> dict[str, float]:
 
 def clear_run_timings() -> None:
     RUN_TIMINGS.clear()
+
+
+def run_timing_stats() -> dict[str, dict[str, float]]:
+    """Aggregates (count/mean/min/max/p50/p95) of every timed run per key."""
+    return RUN_TIMINGS.stats()
 
 
 @dataclass

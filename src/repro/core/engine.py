@@ -34,6 +34,8 @@ from repro.core.translator import AccuracyTranslator, SelectionMode
 from repro.data.table import DomainStamp, Table, TableSnapshot
 from repro.mechanisms.registry import MechanismRegistry
 from repro.mechanisms.strategy_mechanism import search_stats
+from repro.obs import tracing
+from repro.obs.registry import flatten_stats
 from repro.queries.parser import parse_query
 from repro.queries.query import Query
 from repro.queries.workload import matrix_cache_stats
@@ -220,6 +222,25 @@ class APExEngine:
             out["store"] = self._store.stats()
         return out
 
+    def as_metrics(self) -> dict[str, float]:
+        """:meth:`cache_stats` under the ``repro_<subsystem>_<name>`` scheme.
+
+        The dict shapes of :meth:`cache_stats` stay untouched; this is a
+        flat re-export suitable for
+        :meth:`repro.obs.MetricsRegistry.register_collector` (see
+        ``docs/observability.md`` for the catalog).
+        """
+        stats = self.cache_stats()
+        out = flatten_stats("translations", stats["translations"])
+        out.update(flatten_stats("matrix", stats["workload_matrices"]))
+        out.update(flatten_stats("wcqsm", stats["wcqsm_search"]))
+        if "store" in stats:
+            out.update(flatten_stats("store", stats["store"]))
+        out["repro_engine_budget_total"] = self._ledger.budget
+        out["repro_engine_budget_spent"] = self._ledger.spent
+        out["repro_engine_budget_remaining"] = self._ledger.remaining
+        return out
+
     def domain_stamp(self, query: Query, snapshot: TableSnapshot) -> DomainStamp:
         """The :class:`~repro.data.table.DomainStamp` of one admitted request.
 
@@ -268,58 +289,65 @@ class APExEngine:
         mechanism failure), and
         :class:`~repro.core.exceptions.RequestTimeoutError` is raised.
         """
-        snap = self._pin_snapshot(snapshot)
-        if deadline is not None:
-            deadline.check(f"explore({query.name})")
-        stamp = self.domain_stamp(query, snap)
-        while True:
-            choice = self._translator.choose(
-                query,
-                accuracy,
-                snap.schema,
-                budget_remaining=self._ledger.remaining,
-                version=stamp,
-            )
-            if choice is None:
-                return self._deny(query, accuracy)
-            reservation = self._ledger.reserve(
-                choice.translation.epsilon_upper,
-                context={
-                    "query": query.name,
-                    "kind": query.kind.value,
-                    "mechanism": choice.mechanism.name,
-                    "alpha": float(accuracy.alpha),
-                    "beta": float(accuracy.beta),
-                },
-            )
-            if reservation is not None:
-                break
+        with tracing.root_span("engine.explore", query=query.name):
+            snap = self._pin_snapshot(snapshot)
+            if deadline is not None:
+                deadline.check(f"explore({query.name})")
+            stamp = self.domain_stamp(query, snap)
+            while True:
+                with tracing.span("engine.translate"):
+                    choice = self._translator.choose(
+                        query,
+                        accuracy,
+                        snap.schema,
+                        budget_remaining=self._ledger.remaining,
+                        version=stamp,
+                    )
+                if choice is None:
+                    tracing.annotate("denied", True)
+                    return self._deny(query, accuracy)
+                with tracing.span("engine.reserve"):
+                    reservation = self._ledger.reserve(
+                        choice.translation.epsilon_upper,
+                        context={
+                            "query": query.name,
+                            "kind": query.kind.value,
+                            "mechanism": choice.mechanism.name,
+                            "alpha": float(accuracy.alpha),
+                            "beta": float(accuracy.beta),
+                        },
+                    )
+                if reservation is not None:
+                    break
 
-        try:
-            fail_point("engine.explore.after_reserve")
-            if deadline is not None:
-                deadline.check(f"explore({query.name})")
-            result = choice.mechanism.run(query, accuracy, snap, rng=self._rng)
-            fail_point("engine.explore.after_run")
-            if deadline is not None:
-                deadline.check(f"explore({query.name})")
-            entry = self._ledger.charge(
-                query_name=query.name,
-                query_kind=query.kind.value,
-                accuracy=accuracy,
-                mechanism=choice.mechanism.name,
-                epsilon_upper=choice.translation.epsilon_upper,
-                epsilon_spent=result.epsilon_spent,
-                answer=result.value,
-                reservation=reservation,
-            )
-        except BaseException:
-            # Covers both a failing mechanism run and a rejected charge (e.g.
-            # a mechanism reporting an out-of-range actual loss): the charge
-            # validates before consuming the reservation, so releasing here
-            # returns the reserved headroom instead of leaking it.
-            self._ledger.release(reservation)
-            raise
+            try:
+                fail_point("engine.explore.after_reserve")
+                if deadline is not None:
+                    deadline.check(f"explore({query.name})")
+                with tracing.span("mechanism.run", mechanism=choice.mechanism.name):
+                    result = choice.mechanism.run(query, accuracy, snap, rng=self._rng)
+                fail_point("engine.explore.after_run")
+                if deadline is not None:
+                    deadline.check(f"explore({query.name})")
+                with tracing.span("engine.commit"):
+                    entry = self._ledger.charge(
+                        query_name=query.name,
+                        query_kind=query.kind.value,
+                        accuracy=accuracy,
+                        mechanism=choice.mechanism.name,
+                        epsilon_upper=choice.translation.epsilon_upper,
+                        epsilon_spent=result.epsilon_spent,
+                        answer=result.value,
+                        reservation=reservation,
+                    )
+            except BaseException:
+                # Covers both a failing mechanism run and a rejected charge
+                # (e.g. a mechanism reporting an out-of-range actual loss):
+                # the charge validates before consuming the reservation, so
+                # releasing here returns the reserved headroom instead of
+                # leaking it.
+                self._ledger.release(reservation)
+                raise
         return ExplorationResult(
             query_name=query.name,
             query_kind=query.kind.value,
@@ -372,14 +400,16 @@ class APExEngine:
         :meth:`explore`, it is admitted on a pinned snapshot so the
         translation memo keys on one stable version token.
         """
-        snap = self._pin_snapshot(snapshot)
-        translations = self._translator.translations(
-            query, accuracy, snap.schema, version=self.domain_stamp(query, snap)
-        )
-        return {
-            mechanism.name: (t.epsilon_lower, t.epsilon_upper)
-            for mechanism, t in translations
-        }
+        with tracing.root_span("engine.preview_cost", query=query.name):
+            snap = self._pin_snapshot(snapshot)
+            with tracing.span("engine.translate"):
+                translations = self._translator.translations(
+                    query, accuracy, snap.schema, version=self.domain_stamp(query, snap)
+                )
+            return {
+                mechanism.name: (t.epsilon_lower, t.epsilon_upper)
+                for mechanism, t in translations
+            }
 
     # -- internals ------------------------------------------------------------------
 

@@ -34,6 +34,8 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.obs import tracing
+
 __all__ = [
     "ParallelExecutor",
     "get_default_executor",
@@ -101,7 +103,9 @@ class ParallelExecutor:
         if self._max_workers == 1 or len(tasks) <= 1:
             return [fn(item) for item in tasks]
         pool = self._ensure_pool()
-        return list(pool.map(fn, tasks))
+        # Pool threads inherit the submitting request's trace context (a
+        # no-op returning ``fn`` unchanged when tracing is off).
+        return list(pool.map(tracing.bind_current(fn), tasks))
 
     def submit(self, fn: Callable[..., R], /, *args: object, **kwargs: object):
         """Schedule one call on the pool and return its ``Future``.
@@ -115,7 +119,7 @@ class ParallelExecutor:
         :returns: a :class:`concurrent.futures.Future` for ``fn(*args,
             **kwargs)``.
         """
-        return self._ensure_pool().submit(fn, *args, **kwargs)
+        return self._ensure_pool().submit(tracing.bind_current(fn), *args, **kwargs)
 
     def shutdown(self, wait: bool = True) -> None:
         """Release the pool threads (idempotent).

@@ -48,6 +48,7 @@ from repro.data.schema import Schema
 from repro.data.table import DomainStamp
 from repro.mechanisms.base import Mechanism, TranslationResult
 from repro.mechanisms.registry import MechanismRegistry, default_registry
+from repro.obs import tracing
 from repro.queries.query import Query
 from repro.store.fingerprint import stable_digest
 
@@ -210,6 +211,7 @@ class AccuracyTranslator:
             cache_key = (query_key, accuracy.alpha, accuracy.beta)
             cached = self._translation_cache.get(cache_key)
             if cached is not None:
+                tracing.annotate("cache_tier", "exact")
                 return list(cached)
         stamp = version if isinstance(version, DomainStamp) else None
         domain_cache_key = None
@@ -220,6 +222,7 @@ class AccuracyTranslator:
                 cached = self._domain_cache.get(domain_cache_key)
                 if cached is not None:
                     self._tier_stats["revalidated"] += 1
+                    tracing.annotate("cache_tier", "revalidated")
                     self._translation_cache.put(cache_key, list(cached))
                     return list(cached)
         applicable = self._registry.for_query(query)
@@ -237,6 +240,7 @@ class AccuracyTranslator:
             )
             if loaded is not None:
                 self._tier_stats["disk_hits"] += 1
+                tracing.annotate("cache_tier", "disk")
                 self._translation_cache.put(cache_key, list(loaded))
                 if domain_cache_key is not None:
                     self._domain_cache.put(domain_cache_key, list(loaded))
@@ -258,6 +262,7 @@ class AccuracyTranslator:
                 f"for query {query.name!r}"
             )
         self._tier_stats["built"] += 1
+        tracing.annotate("cache_tier", "built")
         if cache_key is not None:
             self._translation_cache.put(cache_key, list(out))
         if domain_cache_key is not None:

@@ -37,6 +37,7 @@ from repro.core.lru import LRUCache
 from repro.data.schema import Schema
 from repro.data.table import DomainStamp, Table, TableSnapshot
 from repro.mechanisms.base import Mechanism, MechanismResult, TranslationResult
+from repro.obs import tracing
 from repro.store.fingerprint import stable_digest
 from repro.mechanisms.noise import laplace_noise
 from repro.mechanisms.strategies import (
@@ -225,6 +226,7 @@ class StrategyMechanism(Mechanism):
         cache_key = (workload_matrix.cache_token, float(alpha), float(beta))
         cached = self._cache.get(cache_key)
         if cached is not None:
+            tracing.annotate("search_tier", "exact")
             return cached
 
         # Disk tier: the matrix's store digest is a content address covering
@@ -246,6 +248,7 @@ class StrategyMechanism(Mechanism):
             loaded = store.load("wcqsm", store_key)  # type: ignore[union-attr]
             if isinstance(loaded, StrategyTranslation):
                 _SEARCH_STATS["disk_hits"] += 1
+                tracing.annotate("search_tier", "disk")
                 self._cache.put(cache_key, loaded)
                 return loaded
 
@@ -256,10 +259,12 @@ class StrategyMechanism(Mechanism):
         chebyshev_upper = sensitivity * frobenius / (alpha * math.sqrt(beta / 2.0))
 
         simulation_rng = np.random.default_rng(self._seed)
-        epsilon, iterations = self._binary_search_epsilon(
-            reconstruction, sensitivity, alpha, beta, chebyshev_upper, simulation_rng
-        )
+        with tracing.span("wcqsm.search", mc_samples=self._mc_samples):
+            epsilon, iterations = self._binary_search_epsilon(
+                reconstruction, sensitivity, alpha, beta, chebyshev_upper, simulation_rng
+            )
         _SEARCH_STATS["searches"] += 1
+        tracing.annotate("search_tier", "built")
         translation = StrategyTranslation(
             epsilon=epsilon,
             strategy=strategy,

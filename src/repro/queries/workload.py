@@ -68,6 +68,7 @@ from repro.core.lru import LRUCache
 from repro.core.parallel import ParallelExecutor, get_default_executor
 from repro.data.schema import AttributeKind, Schema
 from repro.data.table import DomainStamp, Table, TableVersion
+from repro.obs import tracing
 from repro.store.fingerprint import stable_digest
 from repro.queries.predicates import (
     And,
@@ -329,6 +330,7 @@ class Workload:
         if key is not None:
             cached = _MATRIX_CACHE.get(key)
             if cached is not None:
+                tracing.annotate("matrix_tier", "exact")
                 return cached
         stamp = version if isinstance(version, DomainStamp) else None
         domain_key = None
@@ -342,6 +344,7 @@ class Workload:
                 # the enumeration would reproduce this matrix bit for bit, so
                 # re-tag it for the new version instead of rebuilding.
                 _MATRIX_TIER_STATS["revalidated"] += 1
+                tracing.annotate("matrix_tier", "revalidated")
                 _MATRIX_CACHE.put(key, cached)
                 return cached
         structural_hint = disjoint is not None or sensitivity is not None
@@ -359,20 +362,23 @@ class Workload:
             matrix = self._matrix_from_payload(payload, schema, version, store_digest)
             if matrix is not None:
                 _MATRIX_TIER_STATS["disk_hits"] += 1
+                tracing.annotate("matrix_tier", "disk")
                 if key is not None:
                     _MATRIX_CACHE.put(key, matrix)
                 if domain_key is not None:
                     _MATRIX_DOMAIN_CACHE.put(domain_key, matrix)
                 return matrix
-        if exact:
-            matrix = WorkloadMatrix.from_domain_analysis(
-                self, schema, version=version, executor=executor
-            )
-        else:
-            matrix = WorkloadMatrix.from_structure(
-                self, disjoint=bool(disjoint), sensitivity=sensitivity
-            )
+        with tracing.span("workload.matrix_build", exact=exact):
+            if exact:
+                matrix = WorkloadMatrix.from_domain_analysis(
+                    self, schema, version=version, executor=executor
+                )
+            else:
+                matrix = WorkloadMatrix.from_structure(
+                    self, disjoint=bool(disjoint), sensitivity=sensitivity
+                )
         _MATRIX_TIER_STATS["built"] += 1
+        tracing.annotate("matrix_tier", "built")
         if key is not None:
             _MATRIX_CACHE.put(key, matrix)
         if domain_key is not None:

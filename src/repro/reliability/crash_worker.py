@@ -109,12 +109,27 @@ def run_script(
     store_dir: str | None = None,
     request_deadline: float | None = None,
     workloads_config: dict | None = None,
+    trace_out: str | None = None,
 ) -> int:
-    """Execute ``ops`` against a journaled service; ack each op on stdout."""
+    """Execute ``ops`` against a journaled service; ack each op on stdout.
+
+    With ``trace_out``, every request is traced (full sampling) and the span
+    trees are dumped as a Chrome trace-event file when the incarnation ends
+    -- cleanly or by a propagating error.  A SIGKILL mid-script writes
+    nothing (nothing can), but the *recovery* incarnations of a history
+    always finish, so a failing history still yields causally-ordered
+    traces of the runs that exposed it.
+    """
     from repro.bench.microbench import build_bench_table
     from repro.service import ExplorationService
 
     arm_from_env()
+    tracer = None
+    if trace_out is not None:
+        from repro.obs.tracing import Tracer, install_tracer
+
+        tracer = Tracer(1.0, keep_traces=4096, seed=seed)
+        install_tracer(tracer)
     if workloads_config is not None:
         from repro.workloads import GeneratorConfig, MicrosimulationGenerator
 
@@ -154,85 +169,94 @@ def run_script(
             analysts.add(analyst)
         return analyst
 
-    for index, op in enumerate(ops):
-        kind = str(op["op"])
-        ack: dict[str, object] = {"event": "ack", "index": index, "op": kind}
-        if kind in ("explore", "preview"):
-            analyst = _handle(str(op.get("analyst", "a0")))
-            bins = int(op.get("bins", 8))
-            alpha_frac = float(op.get("alpha_frac", 0.05))
-            name = str(op.get("name", f"q-{index}"))
-            attribute = str(op.get("attribute", "amount"))
-            domain = table.schema[attribute].domain
-            query = WorkloadCountingQuery(
-                histogram_workload(
-                    attribute,
-                    start=float(domain.low),
-                    stop=float(domain.high),
-                    bins=bins,
-                ),
-                name=name,
-            )
-            accuracy = AccuracySpec(
-                alpha=max(alpha_frac * len(table), 1.0), beta=5e-4
-            )
-            if kind == "preview":
-                costs = service.preview_cost(analyst, query, accuracy)
-                ack["costs"] = {
-                    mech: [float(lo), float(hi)] for mech, (lo, hi) in costs.items()
-                }
-            else:
-                try:
-                    result = service.explore(analyst, query, accuracy)
-                except ApexError as exc:
-                    # Denials-by-exception (e.g. exhausted share) still ack:
-                    # the op completed, it just spent nothing.
-                    ack["error"] = type(exc).__name__
-                    ack["epsilon_spent"] = 0.0
+    try:
+        for index, op in enumerate(ops):
+            kind = str(op["op"])
+            ack: dict[str, object] = {"event": "ack", "index": index, "op": kind}
+            if kind in ("explore", "preview"):
+                analyst = _handle(str(op.get("analyst", "a0")))
+                bins = int(op.get("bins", 8))
+                alpha_frac = float(op.get("alpha_frac", 0.05))
+                name = str(op.get("name", f"q-{index}"))
+                attribute = str(op.get("attribute", "amount"))
+                domain = table.schema[attribute].domain
+                query = WorkloadCountingQuery(
+                    histogram_workload(
+                        attribute,
+                        start=float(domain.low),
+                        stop=float(domain.high),
+                        bins=bins,
+                    ),
+                    name=name,
+                )
+                accuracy = AccuracySpec(
+                    alpha=max(alpha_frac * len(table), 1.0), beta=5e-4
+                )
+                if kind == "preview":
+                    costs = service.preview_cost(analyst, query, accuracy)
+                    ack["costs"] = {
+                        mech: [float(lo), float(hi)]
+                        for mech, (lo, hi) in costs.items()
+                    }
                 else:
-                    ack["denied"] = bool(result.denied)
-                    ack["epsilon_spent"] = float(result.epsilon_spent)
-                    counts = (
-                        result.noisy_counts
-                        if result.noisy_counts is not None
-                        else result.answer
-                    )
-                    if counts is not None:
-                        ack["answer"] = [float(v) for v in counts]
-        elif kind == "append":
-            version = service.append_rows(
-                "default",
-                _append_rows(int(op.get("n", 50)), int(op.get("seed", seed + index))),
-            )
-            ack["version"] = version.ordinal
-        elif kind == "append_rows":
-            rows = [dict(row) for row in op.get("rows", ())]
-            if not rows:
-                raise ApexError("an append_rows op needs a non-empty 'rows' list")
-            version = service.append_rows("default", rows)
-            ack["version"] = version.ordinal
-            ack["rows"] = len(rows)
-        elif kind == "compact":
-            ack["compacted"] = bool(table.compact())
-        elif kind == "crash":
-            _emit({"event": "crashing", "index": index})
-            os.kill(os.getpid(), signal.SIGKILL)
-        else:
-            raise ApexError(f"unknown scripted op {kind!r}")
-        ack["spent_total"] = service.budget_spent
-        _emit(ack)
+                    try:
+                        result = service.explore(analyst, query, accuracy)
+                    except ApexError as exc:
+                        # Denials-by-exception (e.g. exhausted share) still
+                        # ack: the op completed, it just spent nothing.
+                        ack["error"] = type(exc).__name__
+                        ack["epsilon_spent"] = 0.0
+                    else:
+                        ack["denied"] = bool(result.denied)
+                        ack["epsilon_spent"] = float(result.epsilon_spent)
+                        counts = (
+                            result.noisy_counts
+                            if result.noisy_counts is not None
+                            else result.answer
+                        )
+                        if counts is not None:
+                            ack["answer"] = [float(v) for v in counts]
+            elif kind == "append":
+                version = service.append_rows(
+                    "default",
+                    _append_rows(
+                        int(op.get("n", 50)), int(op.get("seed", seed + index))
+                    ),
+                )
+                ack["version"] = version.ordinal
+            elif kind == "append_rows":
+                rows = [dict(row) for row in op.get("rows", ())]
+                if not rows:
+                    raise ApexError("an append_rows op needs a non-empty 'rows' list")
+                version = service.append_rows("default", rows)
+                ack["version"] = version.ordinal
+                ack["rows"] = len(rows)
+            elif kind == "compact":
+                ack["compacted"] = bool(table.compact())
+            elif kind == "crash":
+                _emit({"event": "crashing", "index": index})
+                os.kill(os.getpid(), signal.SIGKILL)
+            else:
+                raise ApexError(f"unknown scripted op {kind!r}")
+            ack["spent_total"] = service.budget_spent
+            _emit(ack)
 
-    service.assert_invariants()
-    _emit(
-        {
-            "event": "done",
-            "spent": service.budget_spent,
-            "valid": service.validate(),
-            "journal": journal.stats(),
-        }
-    )
-    journal.close()
-    return EXIT_OK
+        service.assert_invariants()
+        _emit(
+            {
+                "event": "done",
+                "spent": service.budget_spent,
+                "valid": service.validate(),
+                "journal": journal.stats(),
+            }
+        )
+        journal.close()
+        return EXIT_OK
+    finally:
+        if tracer is not None:
+            from repro.obs.export import write_chrome_trace
+
+            write_chrome_trace(trace_out, tracer.drain())
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -250,6 +274,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="GeneratorConfig JSON: host a generated population instead of "
         "the bench table",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="dump this incarnation's span trees as a Chrome trace-event "
+        "JSON file at exit",
     )
     args = parser.parse_args(argv)
     ops = json.loads(args.ops)
@@ -270,6 +300,7 @@ def main(argv: list[str] | None = None) -> int:
         store_dir=args.store,
         request_deadline=args.deadline,
         workloads_config=workloads_config,
+        trace_out=args.trace_out,
     )
 
 

@@ -175,6 +175,7 @@ def run_worker(
     store_dir: str | None = None,
     failpoints: str | None = None,
     workloads_config: dict | None = None,
+    trace_out: str | None = None,
     timeout: float = 300.0,
 ) -> tuple[int, list[dict[str, object]], str]:
     """One crash-worker incarnation; returns (returncode, acked lines, stderr)."""
@@ -208,6 +209,8 @@ def run_worker(
         argv += ["--store", store_dir]
     if workloads_config is not None:
         argv += ["--workloads-config", json.dumps(workloads_config)]
+    if trace_out is not None:
+        argv += ["--trace-out", trace_out]
     completed = subprocess.run(
         argv, capture_output=True, text=True, env=env, timeout=timeout
     )
@@ -250,6 +253,9 @@ def run_history(
     Returns a report dict whose ``violations`` list is empty iff every
     invariant held; callers assert on ``report["violations"] == []`` so a
     failure message carries the whole scenario (seed, fault plan, books).
+    For a *failing* history the report's ``trace_files`` lists the Chrome
+    trace-event dumps of the two recovery incarnations (kept under
+    ``work_dir``); clean histories delete them and report an empty list.
 
     With ``workloads_config`` the scenario runs over a generated
     microsimulation stream instead of the bench table: the scripts come
@@ -315,6 +321,7 @@ def run_history(
 
     # -- recovery, twice over byte-identical copies ---------------------------
     streams: list[list[dict[str, object]]] = []
+    trace_files: list[str] = []
     for copy in ("r1", "r2"):
         copy_dir = os.path.join(work_dir, copy)
         os.makedirs(copy_dir, exist_ok=True)
@@ -326,9 +333,19 @@ def run_history(
             copy_store = os.path.join(copy_dir, "store")
             if os.path.isdir(store_dir):
                 shutil.copytree(store_dir, copy_store, dirs_exist_ok=True)
+        # Recovery incarnations always run to completion, so (unlike the
+        # possibly SIGKILL'd incarnation 1) their traces are always written;
+        # a failing history keeps them for post-mortem, a clean one doesn't.
+        copy_trace = os.path.join(copy_dir, "trace.json")
         rc2, events2, stderr2 = run_worker(
-            copy_journal, post_script, store_dir=copy_store, **common
+            copy_journal,
+            post_script,
+            store_dir=copy_store,
+            trace_out=copy_trace,
+            **common,
         )
+        if os.path.exists(copy_trace):
+            trace_files.append(copy_trace)
         if rc2 != 0:
             violations.append(
                 f"recovery incarnation ({copy}) failed: rc={rc2} {stderr2.strip()!r}"
@@ -370,6 +387,14 @@ def run_history(
             "identical journals diverged"
         )
 
+    if not violations:
+        for path in trace_files:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        trace_files = []
+
     return {
         "seed": seed,
         "fault": failpoints or fault_kind,
@@ -390,6 +415,7 @@ def run_history(
                 None,
             )
         ),
+        "trace_files": trace_files,
         "violations": violations,
         "ok": not violations,
     }

@@ -73,6 +73,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output", default=None, help="write the full JSON report to this path"
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the replay's span trees as a Chrome trace-event JSON file "
+        "(open in chrome://tracing or Perfetto)",
+    )
     args = parser.parse_args(argv)
 
     tables = {}
@@ -102,7 +108,17 @@ def main(argv: list[str] | None = None) -> int:
         batch_window=args.batch_window,
     )
 
-    report = replay(service, scripts)
+    tracer = None
+    if args.trace_out is not None:
+        from repro.obs.tracing import Tracer, install_tracer
+
+        tracer = Tracer(1.0, keep_traces=4096, seed=args.seed)
+        previous = install_tracer(tracer)
+    try:
+        report = replay(service, scripts)
+    finally:
+        if tracer is not None:
+            install_tracer(previous)
 
     errors = [o for o in report.outcomes if o.error]
     answered = sum(
@@ -150,6 +166,12 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.output, "w", encoding="utf-8") as fh:
             json.dump(report.to_json(), fh, indent=2)
         print(f"wrote {args.output}")
+
+    if tracer is not None:
+        from repro.obs.export import write_chrome_trace
+
+        n_events = write_chrome_trace(args.trace_out, tracer.drain())
+        print(f"wrote {args.trace_out} ({n_events} trace events)")
 
     overspent = report.epsilon_spent > report.budget + _TOLERANCE
     if overspent:

@@ -35,6 +35,8 @@ from typing import TYPE_CHECKING
 from repro.core.accuracy import AccuracySpec
 from repro.core.engine import ExplorationResult
 from repro.core.parallel import ParallelExecutor
+from repro.obs import tracing
+from repro.obs.registry import flatten_stats
 from repro.queries.query import Query
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -49,6 +51,16 @@ __all__ = ["AsyncExplorationFront"]
 #: once.  Far below "thousands of sessions" on purpose -- open sessions are
 #: cheap coroutines; *running* requests are what must be bounded.
 DEFAULT_MAX_CONCURRENCY = 32
+
+
+def _traced(fn):
+    """Wrap a blocking service call so its root span opens worker-side."""
+
+    def run(*args):
+        with tracing.root_span("async.request", entry=fn.__name__):
+            return fn(*args)
+
+    return run
 
 
 class AsyncExplorationFront:
@@ -143,7 +155,12 @@ class AsyncExplorationFront:
             if self._in_flight > self._peak_in_flight:
                 self._peak_in_flight = self._in_flight
             try:
-                result = await asyncio.wrap_future(self._executor.submit(fn, *args))
+                # The root span opens on the *worker* thread, not here: the
+                # event loop interleaves many coroutines on one thread, so
+                # binding its thread-local context would cross-contaminate
+                # requests.  The service's own root span nests underneath.
+                call = fn if tracing.get_tracer() is None else _traced(fn)
+                result = await asyncio.wrap_future(self._executor.submit(call, *args))
             except BaseException:
                 self._errors += 1
                 raise
@@ -164,6 +181,10 @@ class AsyncExplorationFront:
             "completed": self._completed,
             "errors": self._errors,
         }
+
+    def as_metrics(self) -> dict[str, float]:
+        """:meth:`stats` under the ``repro_async_<name>`` naming scheme."""
+        return flatten_stats("async", self.stats())
 
     # -- lifecycle --------------------------------------------------------------------
 

@@ -63,6 +63,8 @@ import threading
 import time
 from typing import Callable, Hashable, NoReturn, TypeVar
 
+from repro.obs import tracing
+
 __all__ = ["RequestBatcher"]
 
 T = TypeVar("T")
@@ -75,13 +77,25 @@ _PURGE_THRESHOLD = 128
 class _Flight:
     """One in-flight computation: the leader's event plus the shared outcome."""
 
-    __slots__ = ("done", "result", "error", "followers", "expires_at", "last_arrival")
+    __slots__ = (
+        "done",
+        "result",
+        "error",
+        "followers",
+        "expires_at",
+        "last_arrival",
+        "leader_span",
+    )
 
     def __init__(self, now: float) -> None:
         self.done = threading.Event()
         self.result: object = None
         self.error: BaseException | None = None
         self.followers = 0
+        #: ``(trace_id, span_id)`` of the leader's ``batch.leader`` span when
+        #: the leader's request is being traced; followers annotate their own
+        #: spans with it, forming the coalesce edges of the trace export.
+        self.leader_span: tuple[int, int] | None = None
         #: Monotonic deadline until which a *successful* flight keeps serving
         #: late duplicates; ``None`` while the computation is in flight (and
         #: forever for failed flights, which are retired immediately).
@@ -157,7 +171,14 @@ class RequestBatcher:
                 is_leader = True
 
         if not is_leader:
-            flight.done.wait()
+            with tracing.span("batch.follower") as follower_span:
+                flight.done.wait()
+                if follower_span is not None and flight.leader_span is not None:
+                    # The coalesce edge: this request was answered by another
+                    # request's flight.  The exporters render it as a flow
+                    # arrow from the leader's span.
+                    follower_span.annotate("batch.leader_trace", flight.leader_span[0])
+                    follower_span.annotate("batch.leader_span", flight.leader_span[1])
             with self._lock:
                 self._coalesced += 1
             if flight.error is not None:
@@ -165,7 +186,10 @@ class RequestBatcher:
             return flight.result  # type: ignore[return-value]
 
         try:
-            flight.result = compute()
+            with tracing.span("batch.leader") as leader_span:
+                if leader_span is not None:
+                    flight.leader_span = (leader_span.trace_id, leader_span.span_id)
+                flight.result = compute()
         except BaseException as exc:
             flight.error = exc
             with self._lock:

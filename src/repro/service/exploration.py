@@ -34,12 +34,15 @@ budget ``B``, and any number of analysts then register sessions and issue
   deadlines abort overlong explores and release their reservations.  See
   ``docs/reliability.md`` for the journal format and recovery semantics.
 
-Every request's wall-clock latency is recorded as it completes: the most
-recent sample lands in the existing benchmark machinery
+Every request's wall-clock latency is recorded as it completes: each sample
+lands in the benchmark machinery
 (:data:`repro.bench.harness.RUN_TIMINGS`, keys ``service.preview_cost`` /
-``service.explore``; last-write-wins under concurrency), and the full
-per-request history is aggregated by
-:meth:`~ExplorationService.latency_stats` (count/mean/max).
+``service.explore``; histogram-backed and thread-safe, see
+:func:`repro.bench.harness.run_timing_stats`), and the full per-request
+history is aggregated by :meth:`~ExplorationService.latency_stats`
+(count/mean/max).  For tracing and the unified metric view see
+:meth:`~ExplorationService.as_metrics`,
+:meth:`~ExplorationService.register_metrics` and ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -57,6 +60,8 @@ from repro.core.exceptions import ApexError, RequestTimeoutError
 from repro.core.translator import AccuracyTranslator, SelectionMode
 from repro.data.table import Table, TableVersion
 from repro.mechanisms.registry import MechanismRegistry
+from repro.obs import tracing
+from repro.obs.registry import MetricsRegistry, default_metrics, flatten_stats
 from repro.queries.parser import parse_query
 from repro.queries.query import Query
 from repro.queries.workload import matrix_cache_stats
@@ -369,6 +374,54 @@ class ExplorationService:
         }
         return out
 
+    def as_metrics(self) -> dict[str, float]:
+        """:meth:`stats` + :meth:`latency_stats` under the metric naming scheme.
+
+        A flat ``{metric_name: value}`` re-export of the existing facades
+        (whose dict shapes stay bit-compatible) using
+        ``repro_<subsystem>_<name>{labels}`` names -- per-table and
+        per-latency-kind series carry labels, everything else flattens via
+        :func:`repro.obs.registry.flatten_stats`.  See
+        ``docs/observability.md`` for the catalog.
+        """
+        stats: dict = self.stats()
+        out = flatten_stats("pool", stats["budget"])
+        out.update(flatten_stats("batcher", stats["batching"]))
+        out.update(flatten_stats("translations", stats["translations"]))
+        out.update(flatten_stats("matrix", stats["workload_matrices"]))
+        if stats["store"] is not None:
+            out.update(flatten_stats("store", stats["store"]))
+        out.update(flatten_stats("reliability", stats["reliability"]))
+        for table, fields in stats["tables"].items():
+            for name, value in fields.items():
+                out[f'repro_table_{name}{{table="{table}"}}'] = float(value)
+        for analyst, fields in stats["sessions"].items():
+            for name in ("share", "spent"):
+                out[f'repro_session_{name}{{analyst="{analyst}"}}'] = float(
+                    fields[name]
+                )
+        for kind, aggregate in self.latency_stats().items():
+            if kind == "batcher":
+                continue  # already exported via the batcher subsystem
+            for name, value in aggregate.items():
+                out[f'repro_latency_{name}{{kind="{kind}"}}'] = float(value)
+        out["repro_service_sessions_active"] = float(len(stats["sessions"]))
+        return out
+
+    def register_metrics(self, registry: MetricsRegistry | None = None) -> None:
+        """Opt-in hook: re-register this service's counters as a collector.
+
+        Registers :meth:`as_metrics` under the ``"service"`` collector key of
+        ``registry`` (the process-wide default when omitted); the registry
+        pulls it at snapshot time only, so the request hot paths never see
+        it.  Unregister with
+        ``registry.unregister_collector("service")`` when tearing the
+        service down.
+        """
+        (registry or default_metrics()).register_collector(
+            "service", self.as_metrics
+        )
+
     # -- session management -------------------------------------------------------
 
     def register_analyst(
@@ -457,30 +510,38 @@ class ExplorationService:
         :returns: mapping of mechanism name to ``(epsilon_lower,
             epsilon_upper)``.
         """
-        handle = self.session(analyst)
-        start = time.perf_counter()
-        snapshot = self._tables[handle.table].snapshot()
-        stamp = handle.engine.domain_stamp(query, snapshot)
-        key = self._batch_key(handle, snapshot, stamp, query, accuracy)
-        if key is None or self._translator.is_cached(
-            query, accuracy, snapshot.schema, version=stamp
+        with tracing.root_span(
+            "service.preview_cost", analyst=analyst, query=query.name
         ):
-            # Unbatchable, or already warm: the memo answers in microseconds,
-            # so paying the coalescing window would only add latency.
-            result = handle.engine.preview_cost(query, accuracy, snapshot=snapshot)
-        else:
-            result = self._batcher.submit(
-                key,
-                lambda: handle.engine.preview_cost(
+            with tracing.span("service.admission"):
+                handle = self.session(analyst)
+            start = time.perf_counter()
+            with tracing.span("service.snapshot_pin"):
+                snapshot = self._tables[handle.table].snapshot()
+                stamp = handle.engine.domain_stamp(query, snapshot)
+            key = self._batch_key(handle, snapshot, stamp, query, accuracy)
+            if key is None or self._translator.is_cached(
+                query, accuracy, snapshot.schema, version=stamp
+            ):
+                # Unbatchable, or already warm: the memo answers in
+                # microseconds, so paying the coalescing window would only
+                # add latency.
+                result = handle.engine.preview_cost(
                     query, accuracy, snapshot=snapshot
-                ),
-            )
-        self._note_latency("preview_cost", time.perf_counter() - start)
-        # Each caller gets its own copy: coalesced followers share the
-        # leader's flight result, and a mutable dict crossing analyst
-        # boundaries would let one analyst corrupt another's preview.
-        result = dict(result)
-        return result
+                )
+            else:
+                result = self._batcher.submit(
+                    key,
+                    lambda: handle.engine.preview_cost(
+                        query, accuracy, snapshot=snapshot
+                    ),
+                )
+            self._note_latency("preview_cost", time.perf_counter() - start)
+            # Each caller gets its own copy: coalesced followers share the
+            # leader's flight result, and a mutable dict crossing analyst
+            # boundaries would let one analyst corrupt another's preview.
+            result = dict(result)
+            return result
 
     def explore(
         self, analyst: str, query: Query, accuracy: AccuracySpec
@@ -506,24 +567,27 @@ class ExplorationService:
         :returns: the :class:`~repro.core.engine.ExplorationResult` (denied
             when no mechanism fits the remaining budget).
         """
-        handle = self.session(analyst)
-        start = time.perf_counter()
-        deadline = Deadline.after(self._request_deadline)
-        snapshot = self._tables[handle.table].snapshot()
-        fail_point("service.explore.admitted")
-        try:
-            with handle.run_lock:
-                result = handle.engine.explore(
-                    query, accuracy, snapshot=snapshot, deadline=deadline
-                )
-        except RequestTimeoutError:
-            # The engine's release-on-failure path already returned the
-            # reservation; here we only keep score for stats().
-            with self._lock:
-                self._timeouts += 1
-            raise
-        self._note_latency("explore", time.perf_counter() - start)
-        return result
+        with tracing.root_span("service.explore", analyst=analyst, query=query.name):
+            with tracing.span("service.admission"):
+                handle = self.session(analyst)
+            start = time.perf_counter()
+            deadline = Deadline.after(self._request_deadline)
+            with tracing.span("service.snapshot_pin"):
+                snapshot = self._tables[handle.table].snapshot()
+            fail_point("service.explore.admitted")
+            try:
+                with handle.run_lock:
+                    result = handle.engine.explore(
+                        query, accuracy, snapshot=snapshot, deadline=deadline
+                    )
+            except RequestTimeoutError:
+                # The engine's release-on-failure path already returned the
+                # reservation; here we only keep score for stats().
+                with self._lock:
+                    self._timeouts += 1
+                raise
+            self._note_latency("explore", time.perf_counter() - start)
+            return result
 
     def serve_async(
         self,

@@ -63,6 +63,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="host the generated population and replay the script now",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="with --replay: write the run's span trees as a Chrome "
+        "trace-event JSON file (open in chrome://tracing or Perfetto)",
+    )
     args = parser.parse_args(argv)
     config = build_config(args)
 
@@ -107,7 +113,22 @@ def main(argv: list[str] | None = None) -> int:
         )
         for spec in payload["analysts"]
     ]
-    report = replay(service, scripts)
+    tracer = None
+    if args.trace_out is not None:
+        from repro.obs.tracing import Tracer, install_tracer
+
+        tracer = Tracer(1.0, keep_traces=4096, seed=config.seed)
+        previous = install_tracer(tracer)
+    try:
+        report = replay(service, scripts)
+    finally:
+        if tracer is not None:
+            install_tracer(previous)
+    if tracer is not None:
+        from repro.obs.export import write_chrome_trace
+
+        n_events = write_chrome_trace(args.trace_out, tracer.drain())
+        print(f"wrote {args.trace_out} ({n_events} trace events)")
     errors = [o for o in report.outcomes if o.error]
     appended = [o for o in report.outcomes if o.op == "generator"]
     answered = sum(

@@ -1,9 +1,12 @@
 """Tests for the experiment harness (scaled-down configurations)."""
 
+import threading
+
 import numpy as np
 import pytest
 
 from repro.bench.harness import (
+    RunTimings,
     ERExperimentConfig,
     ExperimentConfig,
     empirical_error,
@@ -175,6 +178,55 @@ class TestERFigures:
         records = run_figure6(er_config)
         assert len(records) == 2 * 2 * 1
         assert {r["figure"] for r in records} == {"6"}
+
+
+class TestRunTimings:
+    def test_mapping_reads_see_the_last_sample(self):
+        timings = RunTimings()
+        timings["figure2"] = 1.5
+        timings["figure2"] = 2.5
+        assert timings["figure2"] == 2.5
+        assert dict(timings) == {"figure2": 2.5}
+        assert len(timings) == 1
+
+    def test_stats_aggregate_every_sample(self):
+        timings = RunTimings()
+        for value in (1.0, 2.0, 3.0):
+            timings["figure2"] = value
+        stats = timings.stats()["figure2"]
+        assert stats["count"] == 3.0
+        assert stats["mean"] == 2.0
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+
+    def test_delete_and_clear_drop_the_histograms_too(self):
+        timings = RunTimings()
+        timings["a"] = 1.0
+        timings["b"] = 2.0
+        del timings["a"]
+        assert "a" not in timings.stats()
+        timings.clear()
+        assert dict(timings) == {} and timings.stats() == {}
+
+    def test_concurrent_writers_lose_no_samples(self):
+        timings = RunTimings()
+        n_threads, n_writes = 4, 2_000
+        barrier = threading.Barrier(n_threads)
+
+        def writer():
+            barrier.wait()
+            for _ in range(n_writes):
+                timings["service.explore"] = 0.5
+
+        threads = [threading.Thread(target=writer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = timings.stats()["service.explore"]
+        assert stats["count"] == float(n_threads * n_writes)
+        assert stats["mean"] == 0.5
+        assert timings["service.explore"] == 0.5
 
 
 class TestConfig:
